@@ -1,0 +1,29 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test race bench tables tables-full verify
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go vet ./...
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+tables:
+	go run ./cmd/tables
+
+tables-full:
+	go run ./cmd/tables -full
+
+# The artefacts EXPERIMENTS.md is written against.
+verify:
+	go test ./... 2>&1 | tee test_output.txt
+	go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt

@@ -1,0 +1,343 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per table
+// and figure (run `go test -bench=. -benchmem`), plus end-to-end sorting
+// benchmarks. Custom metrics attach the reproduced values to the benchmark
+// output: v(k,D) overheads as "v", C_SRM/C_DSM ratios as "ratio", expected
+// maximum occupancies as "E[max]". The full-resolution tables are printed
+// by cmd/tables; EXPERIMENTS.md records paper-vs-measured numbers.
+package srmsort
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"srmsort/internal/analysis"
+	"srmsort/internal/occupancy"
+	"srmsort/internal/pdisk"
+	"srmsort/internal/psv"
+	"srmsort/internal/record"
+	"srmsort/internal/runform"
+	"srmsort/internal/sim"
+	"srmsort/internal/timesim"
+)
+
+// BenchmarkTable1ClassicalOccupancy regenerates Table 1 cells: the overhead
+// v(k,D) = C(kD,D)/k estimated by ball-throwing Monte Carlo.
+func BenchmarkTable1ClassicalOccupancy(b *testing.B) {
+	for _, tc := range []struct{ k, d int }{
+		{5, 5}, {5, 50}, {5, 1000},
+		{50, 5}, {50, 50}, {50, 1000},
+		{1000, 5}, {1000, 1000},
+	} {
+		b.Run(fmt.Sprintf("k=%d/D=%d", tc.k, tc.d), func(b *testing.B) {
+			var v float64
+			for i := 0; i < b.N; i++ {
+				v = occupancy.OverheadV(tc.k, tc.d, 50, int64(i))
+			}
+			b.ReportMetric(v, "v")
+		})
+	}
+}
+
+// BenchmarkTable2WorstCaseRatio regenerates Table 2 cells: C_SRM/C_DSM with
+// the ball-throwing v and the paper's memory sizing (B = 1000 records).
+func BenchmarkTable2WorstCaseRatio(b *testing.B) {
+	for _, tc := range []struct{ k, d int }{
+		{5, 5}, {5, 100}, {50, 50}, {100, 50}, {1000, 1000},
+	} {
+		b.Run(fmt.Sprintf("k=%d/D=%d", tc.k, tc.d), func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				v := occupancy.OverheadV(tc.k, tc.d, 50, int64(i))
+				ratio = analysis.RatioSRMOverDSM(v, tc.k, tc.d, 1000)
+			}
+			b.ReportMetric(ratio, "ratio")
+		})
+	}
+}
+
+// BenchmarkTable3SRMSimulation regenerates Table 3 cells: the overhead
+// v(k,D) measured by simulating the SRM merge itself on average-case
+// inputs (uniform random partitions, randomized placement).
+func BenchmarkTable3SRMSimulation(b *testing.B) {
+	for _, tc := range []struct{ k, d int }{
+		{5, 5}, {5, 10}, {5, 50},
+		{10, 10}, {50, 5}, {50, 50},
+	} {
+		b.Run(fmt.Sprintf("k=%d/D=%d", tc.k, tc.d), func(b *testing.B) {
+			var v float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				v, err = sim.OverheadV(tc.k, tc.d, 50, 4, 1, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(v, "v")
+		})
+	}
+}
+
+// BenchmarkTable4AverageCaseRatio regenerates Table 4 cells: C'_SRM/C_DSM
+// with the simulated v.
+func BenchmarkTable4AverageCaseRatio(b *testing.B) {
+	for _, tc := range []struct{ k, d int }{
+		{5, 5}, {10, 10}, {50, 50},
+	} {
+		b.Run(fmt.Sprintf("k=%d/D=%d", tc.k, tc.d), func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				v, err := sim.OverheadV(tc.k, tc.d, 50, 4, 1, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = analysis.RatioSRMOverDSM(v, tc.k, tc.d, 1000)
+			}
+			b.ReportMetric(ratio, "ratio")
+		})
+	}
+}
+
+// BenchmarkFigure1DependentVsClassical regenerates the Figure 1 experiment:
+// the same ball count placed as cyclic chains (dependent) versus
+// independently (classical); the dependent expectation stays below the
+// classical one.
+func BenchmarkFigure1DependentVsClassical(b *testing.B) {
+	chains := []int{4, 3, 2, 2, 1} // the figure's instance: N_b=12, C=5, D=4
+	b.Run("dependent", func(b *testing.B) {
+		var e float64
+		for i := 0; i < b.N; i++ {
+			e = occupancy.EstimateDependent(chains, 4, 2000, int64(i)).Mean
+		}
+		b.ReportMetric(e, "E[max]")
+	})
+	b.Run("classical", func(b *testing.B) {
+		var e float64
+		for i := 0; i < b.N; i++ {
+			e = occupancy.EstimateClassical(12, 4, 2000, int64(i)).Mean
+		}
+		b.ReportMetric(e, "E[max]")
+	})
+	b.Run("dependent-exact", func(b *testing.B) {
+		var e float64
+		for i := 0; i < b.N; i++ {
+			e = occupancy.ExactDependentExpectation(chains, 4)
+		}
+		b.ReportMetric(e, "E[max]")
+	})
+	b.Run("classical-exact", func(b *testing.B) {
+		var e float64
+		for i := 0; i < b.N; i++ {
+			e = occupancy.ExactClassicalExpectation(12, 4)
+		}
+		b.ReportMetric(e, "E[max]")
+	})
+}
+
+// BenchmarkTheorem1Bounds evaluates the analytic read-bound expressions of
+// Theorem 1 across the machine shapes of the Theorem 1 sheet.
+func BenchmarkTheorem1Bounds(b *testing.B) {
+	const n = 1_000_000_000
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for _, tc := range []struct{ k, d, bb int }{
+			{5, 50, 1000}, {100, 50, 1000}, {1000, 1000, 1000},
+		} {
+			m := analysis.MemoryForK(tc.k, tc.d, tc.bb)
+			sink += analysis.Theorem1Reads(n, m, tc.d, tc.bb, tc.k)
+		}
+	}
+	b.ReportMetric(sink/float64(b.N), "bound-sum")
+}
+
+func benchRecords(n int, seed int64) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = Record{Key: rng.Uint64() >> 1, Val: uint64(i)}
+	}
+	return out
+}
+
+// BenchmarkEndToEnd sorts the same input with each algorithm and reports
+// total I/O operations alongside wall time. The op counts are the paper's
+// comparison; the wall time is the simulator's own cost.
+func BenchmarkEndToEnd(b *testing.B) {
+	in := benchRecords(200_000, 99)
+	for _, alg := range []Algorithm{SRM, SRMDeterministic, DSM} {
+		b.Run(alg.String(), func(b *testing.B) {
+			var ops int64
+			for i := 0; i < b.N; i++ {
+				_, stats, err := Sort(in, Config{
+					D: 8, B: 64, K: 4, Algorithm: alg, Seed: int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ops = stats.TotalOps()
+			}
+			b.ReportMetric(float64(ops), "io-ops")
+			b.ReportMetric(float64(len(in))/float64(b.Elapsed().Seconds()*float64(b.N)), "recs/s")
+		})
+	}
+}
+
+// BenchmarkSingleMergeSim measures the block-level simulator's throughput
+// on a paper-scale merge (R = kD runs of 200 blocks).
+func BenchmarkSingleMergeSim(b *testing.B) {
+	for _, tc := range []struct{ k, d int }{{10, 10}, {50, 10}} {
+		b.Run(fmt.Sprintf("k=%d/D=%d", tc.k, tc.d), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < b.N; i++ {
+				runs := sim.GenerateAverageCase(rng, tc.d, tc.k*tc.d, 200, 4)
+				for _, r := range runs {
+					r.StartDisk = rng.Intn(tc.d)
+				}
+				if _, err := sim.Merge(runs, tc.d, tc.k*tc.d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOccupancyTrials measures the raw Monte Carlo kernels.
+func BenchmarkOccupancyTrials(b *testing.B) {
+	b.Run("classical-1e4-balls", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < b.N; i++ {
+			occupancy.ClassicalMaxTrial(rng, 10000, 100)
+		}
+	})
+	b.Run("dependent-1e4-balls", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(3))
+		chains := make([]int, 1000)
+		for i := range chains {
+			chains[i] = 10
+		}
+		for i := 0; i < b.N; i++ {
+			occupancy.DependentMaxTrial(rng, chains, 100)
+		}
+	})
+}
+
+// BenchmarkBaselinePSV sorts with the Pai–Schaffer–Varman comparator
+// (Section 2.1 prior work): merge order fixed at D plus a transposition
+// pass per level. Reported io-ops include the transpositions.
+func BenchmarkBaselinePSV(b *testing.B) {
+	in := benchRecords(200_000, 99)
+	rec := make([]record.Record, len(in))
+	for i, r := range in {
+		rec[i] = record.Record{Key: record.Key(r.Key), Val: r.Val}
+	}
+	var ops int64
+	for i := 0; i < b.N; i++ {
+		sys, err := pdisk.NewSystem(pdisk.Config{D: 8, B: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		file, err := runform.LoadInput(sys, rec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.ResetStats()
+		m := analysis.MemoryForK(4, 8, 64)
+		_, stats, err := psv.Sort(sys, file, (m+1)/2, (m/64-16)/8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops = stats.TotalOps()
+	}
+	b.ReportMetric(float64(ops), "io-ops")
+}
+
+// BenchmarkAblationPlacement regenerates the placement ablation: the
+// overhead v under random (SRM), staggered (Section 8) and fixed
+// (adversarial, Section 3) starting disks.
+func BenchmarkAblationPlacement(b *testing.B) {
+	for _, p := range []string{"random", "staggered", "fixed"} {
+		b.Run(p, func(b *testing.B) {
+			var v float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				v, err = sim.OverheadVPlacement(5, 10, 100, 4, 1, int64(i), p)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(v, "v")
+		})
+	}
+}
+
+// BenchmarkAblationPartialStriping regenerates the [VS94] partial-striping
+// ablation: clustering c of 64 physical disks lowers the occupancy
+// overhead at unchanged bandwidth.
+func BenchmarkAblationPartialStriping(b *testing.B) {
+	for _, c := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("c=%d", c), func(b *testing.B) {
+			dPrime, bPrime, err := analysis.PartialStripe(64, 2, c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var v float64
+			for i := 0; i < b.N; i++ {
+				v, err = sim.OverheadV(5, dPrime, 400/c, bPrime, 1, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(v, "v")
+		})
+	}
+}
+
+// BenchmarkParallelWorkers measures the host-side speedup of executing a
+// pass's independent merges on multiple goroutines (identical I/O counts).
+func BenchmarkParallelWorkers(b *testing.B) {
+	in := benchRecords(300_000, 98)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Sort(in, Config{
+					D: 8, B: 32, K: 2, Seed: 3, Workers: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOverlapMakespan times the Section 5 two-control-flow simulation
+// (internal/timesim): the overlapped makespan vs the serial one for one
+// paper-scale merge on 1996-era disks. The custom metrics carry the
+// modelled seconds.
+func BenchmarkOverlapMakespan(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	runs := sim.GenerateAverageCase(rng, 8, 40, 100, 16)
+	for _, r := range runs {
+		r.StartDisk = rng.Intn(8)
+	}
+	op := pdisk.Mid1990sDisk().OpSeconds(16)
+	for _, overlap := range []bool{true, false} {
+		name := "overlapped"
+		if !overlap {
+			name = "serial"
+		}
+		b.Run(name, func(b *testing.B) {
+			var res timesim.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = timesim.Merge(runs, 8, 40, timesim.Params{
+					B: 16, OpSeconds: op, CPUPerRecord: 2e-6, Overlap: overlap,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Makespan, "model-s")
+			b.ReportMetric(res.Efficiency(), "efficiency")
+		})
+	}
+}

@@ -1,0 +1,182 @@
+// Command srmsort externally sorts a synthetic record file on a simulated
+// D-disk parallel I/O system and reports the full I/O statistics, in the
+// cost unit of Barve–Grove–Vitter (SPAA 1996): parallel I/O operations.
+//
+// Usage:
+//
+//	srmsort -n 1000000 -d 8 -b 64 -k 4 [-alg srm|srm-det|dsm|psv] [-workers N]
+//	        [-input random|sorted|reverse|dups] [-runform load|rs]
+//	        [-model none|1996|modern] [-file] [-seed N] [-verify]
+//
+// Example — compare SRM and DSM on the same input:
+//
+//	srmsort -n 2000000 -d 16 -b 64 -k 4 -alg srm -model 1996
+//	srmsort -n 2000000 -d 16 -b 64 -k 4 -alg dsm -model 1996
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"srmsort"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 1_000_000, "number of records to sort")
+		d       = flag.Int("d", 8, "number of disks D")
+		b       = flag.Int("b", 64, "block size B in records")
+		k       = flag.Int("k", 4, "memory parameter k (M = (2k+4)DB + kD^2)")
+		mem     = flag.Int("mem", 0, "memory M in records (overrides -k)")
+		alg     = flag.String("alg", "srm", "algorithm: srm, srm-det, dsm, psv")
+		input   = flag.String("input", "random", "input distribution: random, sorted, reverse, dups")
+		runform = flag.String("runform", "load", "run formation: load (half memoryloads), rs (replacement selection)")
+		model   = flag.String("model", "none", "disk time model: none, 1996, modern")
+		file    = flag.Bool("file", false, "store blocks in temporary files instead of memory")
+		seed    = flag.Int64("seed", 1, "random seed (placement and input)")
+		workers = flag.Int("workers", 0, "goroutines for a pass's merges (SRM only; -1 = GOMAXPROCS)")
+		verify  = flag.Bool("verify", true, "verify the output is sorted")
+		inFile  = flag.String("infile", "", "read wire-format records from this file instead of generating (-n ignored)")
+		outFile = flag.String("outfile", "", "write the sorted wire-format records to this file")
+	)
+	flag.Parse()
+
+	cfg := srmsort.Config{
+		D: *d, B: *b, K: *k, Memory: *mem,
+		Seed: *seed, FileBacked: *file, Workers: *workers,
+	}
+	switch *alg {
+	case "srm":
+		cfg.Algorithm = srmsort.SRM
+	case "srm-det":
+		cfg.Algorithm = srmsort.SRMDeterministic
+	case "dsm":
+		cfg.Algorithm = srmsort.DSM
+	case "psv":
+		cfg.Algorithm = srmsort.PSV
+	default:
+		fatal("unknown -alg %q", *alg)
+	}
+	switch *runform {
+	case "load":
+		cfg.RunFormation = srmsort.HalfMemoryLoads
+	case "rs":
+		cfg.RunFormation = srmsort.ReplacementSelection
+	default:
+		fatal("unknown -runform %q", *runform)
+	}
+	switch *model {
+	case "none":
+	case "1996":
+		cfg.Model = srmsort.Mid1990sDisk()
+	case "modern":
+		cfg.Model = srmsort.ModernDisk()
+	default:
+		fatal("unknown -model %q", *model)
+	}
+
+	var records []srmsort.Record
+	if *inFile != "" {
+		f, err := os.Open(*inFile)
+		if err != nil {
+			fatal("%v", err)
+		}
+		records, err = srmsort.ReadRecords(f)
+		f.Close()
+		if err != nil {
+			fatal("%v", err)
+		}
+		*n = len(records)
+	} else {
+		records = generate(*input, *n, *seed)
+	}
+	start := time.Now()
+	out, stats, err := srmsort.Sort(records, cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	elapsed := time.Since(start)
+
+	if *verify {
+		if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i].Key < out[j].Key }) {
+			fatal("output is NOT sorted")
+		}
+	}
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := srmsort.WriteRecords(f, out); err != nil {
+			fatal("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	fmt.Printf("%s sorted %d records   (D=%d, B=%d, M=%d records, R=%d)\n",
+		stats.Algorithm, *n, stats.D, stats.B, stats.M, stats.R)
+	fmt.Printf("  initial runs:        %d (%s)\n", stats.InitialRuns, *runform)
+	fmt.Printf("  merge passes:        %d\n", stats.MergePasses)
+	fmt.Printf("  run formation I/O:   %d reads + %d writes\n",
+		stats.RunFormationReads, stats.RunFormationWrites)
+	fmt.Printf("  merge I/O:           %d reads + %d writes\n",
+		stats.MergeReads, stats.MergeWrites)
+	fmt.Printf("  total I/O ops:       %d  (bandwidth minimum per pass: %d)\n",
+		stats.TotalOps(), (*n+*d**b-1)/(*d**b))
+	fmt.Printf("  parallelism:         %.2f read / %.2f write blocks per op (D=%d)\n",
+		stats.ReadParallelism, stats.WriteParallelism, *d)
+	fmt.Printf("  disk balance:        %.2f read / %.2f write (1.00 = even)\n",
+		stats.ReadBalance, stats.WriteBalance)
+	switch stats.Algorithm {
+	case srmsort.SRM, srmsort.SRMDeterministic:
+		fmt.Printf("  virtual flushes:     %d ops, %d blocks forgotten, %d re-read\n",
+			stats.Flushes, stats.BlocksFlushed, stats.BlocksReread)
+	case srmsort.PSV:
+		fmt.Printf("  transposition I/O:   %d ops\n", stats.TransposeOps)
+	}
+	if stats.SimTime > 0 {
+		fmt.Printf("  modelled disk time:  %.2f s (%s disks)\n", stats.SimTime, *model)
+	}
+	fmt.Printf("  host wall clock:     %v\n", elapsed.Round(time.Millisecond))
+}
+
+func generate(kind string, n int, seed int64) []srmsort.Record {
+	rng := rand.New(rand.NewSource(seed + 1000))
+	out := make([]srmsort.Record, n)
+	switch kind {
+	case "random":
+		for i := range out {
+			out[i] = srmsort.Record{Key: rng.Uint64() >> 1, Val: uint64(i)}
+		}
+	case "sorted":
+		key := uint64(0)
+		for i := range out {
+			key += uint64(rng.Intn(1000) + 1)
+			out[i] = srmsort.Record{Key: key, Val: uint64(i)}
+		}
+	case "reverse":
+		key := uint64(n) * 1000
+		for i := range out {
+			key -= uint64(rng.Intn(1000) + 1)
+			out[i] = srmsort.Record{Key: key, Val: uint64(i)}
+		}
+	case "dups":
+		for i := range out {
+			out[i] = srmsort.Record{Key: uint64(rng.Intn(100)), Val: uint64(i)}
+		}
+	default:
+		fatal("unknown -input %q", kind)
+	}
+	return out
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "srmsort: "+format+"\n", args...)
+	os.Exit(1)
+}

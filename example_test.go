@@ -1,0 +1,78 @@
+package srmsort_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"srmsort"
+)
+
+// ExampleSort sorts a small reverse-ordered file with SRM and reports the
+// geometry the configuration implies.
+func ExampleSort() {
+	records := make([]srmsort.Record, 1000)
+	for i := range records {
+		records[i] = srmsort.Record{Key: uint64(1000 - i), Val: uint64(i)}
+	}
+	sorted, stats, err := srmsort.Sort(records, srmsort.Config{
+		D: 4, B: 8, K: 2, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("algorithm:", stats.Algorithm)
+	fmt.Println("merge order R:", stats.R)
+	fmt.Println("first key:", sorted[0].Key)
+	fmt.Println("last key:", sorted[len(sorted)-1].Key)
+	// Output:
+	// algorithm: SRM
+	// merge order R: 8
+	// first key: 1
+	// last key: 1000
+}
+
+// ExampleSortStream sorts records in the 16-byte wire format end to end.
+func ExampleSortStream() {
+	var in bytes.Buffer
+	if err := srmsort.WriteRecords(&in, []srmsort.Record{
+		{Key: 30}, {Key: 10}, {Key: 20},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	var out bytes.Buffer
+	if _, err := srmsort.SortStream(&in, &out, srmsort.Config{D: 2, B: 2, K: 2}); err != nil {
+		log.Fatal(err)
+	}
+	sorted, err := srmsort.ReadRecords(&out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range sorted {
+		fmt.Println(r.Key)
+	}
+	// Output:
+	// 10
+	// 20
+	// 30
+}
+
+// ExampleConfig_MergeOrder shows how the paper's memory sizing
+// M = (2k+4)·D·B + k·D² translates into merge orders: SRM merges R = kD
+// runs at a time where DSM manages only about k+1.
+func ExampleConfig_MergeOrder() {
+	base := srmsort.Config{D: 10, B: 1000, K: 10}
+	for _, alg := range []srmsort.Algorithm{srmsort.SRM, srmsort.DSM, srmsort.PSV} {
+		cfg := base
+		cfg.Algorithm = alg
+		r, m, err := cfg.MergeOrder()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: R=%d with M=%d records\n", alg, r, m)
+	}
+	// Output:
+	// SRM: R=100 with M=241000 records
+	// DSM: R=11 with M=241000 records
+	// PSV: R=10 with M=241000 records
+}

@@ -1,0 +1,72 @@
+// deterministic exercises the paper's Section 8 variant: starting disks
+// chosen by staggering (run r starts on disk r mod D) instead of at random.
+// On typical inputs the staggered layout performs like the randomized one —
+// the paper expects the same average-case bounds — and it is fully
+// reproducible with no seed. The example also shows why *some* spreading is
+// essential: a layout that starts every run on the same disk loses most of
+// its read parallelism.
+//
+//	go run ./examples/deterministic
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"srmsort"
+	"srmsort/internal/sim"
+)
+
+func main() {
+	const (
+		n = 300_000
+		d = 8
+		b = 32
+		k = 4
+	)
+	rng := rand.New(rand.NewSource(9))
+	records := make([]srmsort.Record, n)
+	for i := range records {
+		records[i] = srmsort.Record{Key: rng.Uint64() >> 1, Val: uint64(i)}
+	}
+
+	fmt.Printf("sorting %d records on D=%d disks, B=%d, k=%d\n\n", n, d, b, k)
+	for _, alg := range []srmsort.Algorithm{srmsort.SRM, srmsort.SRMDeterministic} {
+		_, stats, err := srmsort.Sort(records, srmsort.Config{
+			D: d, B: b, K: k, Algorithm: alg, Seed: 13,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s merge reads %6d, flushes %4d, re-reads %4d\n",
+			stats.Algorithm, stats.MergeReads, stats.Flushes, stats.BlocksReread)
+	}
+
+	// The placement ablation on a single merge (block-level simulator):
+	// random and staggered starting disks against the degenerate all-on-
+	// disk-0 layout the paper warns about in Section 3.
+	fmt.Println("\nsingle-merge placement ablation (R = 40 runs x 200 blocks, D=8):")
+	for _, placement := range []string{"random", "staggered", "fixed"} {
+		prng := rand.New(rand.NewSource(21))
+		runs := sim.GenerateAverageCase(prng, d, 40, 200, 16)
+		for i, r := range runs {
+			switch placement {
+			case "random":
+				r.StartDisk = prng.Intn(d)
+			case "staggered":
+				r.StartDisk = i % d
+			case "fixed":
+				r.StartDisk = 0
+			}
+		}
+		stats, err := sim.Merge(runs, d, 40)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s read ops %6d  (overhead v = %.3f)\n",
+			placement, stats.ReadOps, stats.OverheadV(d))
+	}
+	fmt.Println("\nfixed placement still sorts correctly — it just pays for the skew,")
+	fmt.Println("which is exactly the worst case the randomized layout defends against.")
+}

@@ -1,0 +1,57 @@
+// diskmodel converts I/O operation counts into estimated wall-clock time
+// under a Ruemmler–Wilkes-style disk model (the paper cites [RW94] for disk
+// characteristics), for drives of the paper's era and modern ones. Because
+// an I/O operation's latency is dominated by seek + rotation, fewer
+// operations translate almost directly into less time — on modern disks the
+// transfer term is even smaller, so SRM's advantage persists.
+//
+//	go run ./examples/diskmodel
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"srmsort"
+)
+
+func main() {
+	const (
+		n = 400_000
+		d = 16
+		b = 64
+		k = 3
+	)
+	rng := rand.New(rand.NewSource(3))
+	records := make([]srmsort.Record, n)
+	for i := range records {
+		records[i] = srmsort.Record{Key: rng.Uint64() >> 1, Val: uint64(i)}
+	}
+
+	models := []struct {
+		name  string
+		model *srmsort.DiskModel
+	}{
+		{"1996-era disk (9ms seek, 7 MB/s)", srmsort.Mid1990sDisk()},
+		{"modern disk (8.5ms seek, 200 MB/s)", srmsort.ModernDisk()},
+	}
+
+	fmt.Printf("sorting %d records on D=%d disks, B=%d, k=%d\n\n", n, d, b, k)
+	for _, m := range models {
+		fmt.Println(m.name)
+		var times [2]float64
+		for i, alg := range []srmsort.Algorithm{srmsort.SRM, srmsort.DSM} {
+			_, stats, err := srmsort.Sort(records, srmsort.Config{
+				D: d, B: b, K: k, Algorithm: alg, Seed: 5, Model: m.model,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			times[i] = stats.SimTime
+			fmt.Printf("  %-18s %7d ops   estimated %7.2f s\n",
+				stats.Algorithm, stats.TotalOps(), stats.SimTime)
+		}
+		fmt.Printf("  SRM speedup: %.2fx\n\n", times[1]/times[0])
+	}
+}

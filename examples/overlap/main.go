@@ -1,0 +1,82 @@
+// overlap measures what Section 5's two concurrent control flows buy:
+// because SRM's ParReads are issued as soon as the schedule allows (Lemma
+// 1's "genuine prefetching ability"), their latency hides behind internal
+// merging. The example times one SRM merge under three CPU speeds, with
+// and without overlap, and reports how close the overlapped makespan gets
+// to the ideal max(CPU, I/O).
+//
+//	go run ./examples/overlap
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"srmsort/internal/analysis"
+	"srmsort/internal/pdisk"
+	"srmsort/internal/sim"
+	"srmsort/internal/timesim"
+)
+
+func main() {
+	const (
+		d      = 8
+		k      = 5
+		blocks = 200
+		b      = 64
+	)
+	rng := rand.New(rand.NewSource(3))
+	runs := sim.GenerateAverageCase(rng, d, k*d, blocks, b)
+	for _, r := range runs {
+		r.StartDisk = rng.Intn(d)
+	}
+	opSeconds := pdisk.Mid1990sDisk().OpSeconds(b)
+
+	fmt.Printf("one SRM merge: R=%d runs x %d blocks (B=%d) on D=%d disks\n", k*d, blocks, b, d)
+	fmt.Printf("per-op I/O time %.2f ms (1996-era disk)\n\n", opSeconds*1e3)
+	fmt.Printf("%12s %12s %12s %12s %12s %10s\n",
+		"cpu/rec", "CPU busy", "I/O busy", "overlapped", "serial", "efficiency")
+
+	for _, cpuPerRecord := range []float64{200e-9, 2e-6, 20e-6, 100e-6} {
+		p := timesim.Params{B: b, OpSeconds: opSeconds, CPUPerRecord: cpuPerRecord, Overlap: true}
+		over, err := timesim.Merge(runs, d, k*d, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p.Overlap = false
+		serial, err := timesim.Merge(runs, d, k*d, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10.0fns %11.2fs %11.2fs %11.2fs %11.2fs %9.1f%%\n",
+			cpuPerRecord*1e9, over.CPUBusy, over.IOBusy,
+			over.Makespan, serial.Makespan, over.Efficiency()*100)
+	}
+	fmt.Println("\nefficiency = max(CPU, I/O) / overlapped makespan; 100% means the slower")
+	fmt.Println("resource fully hides the faster one — SRM's forecast-driven prefetching")
+	fmt.Println("achieves this except for the unavoidable startup and stall remainders.")
+
+	// DSM overlaps too (double buffering), but needs more operations for
+	// the same data under the same memory; compare one pass at 2 us/rec.
+	records := int64(k * d * blocks * b)
+	srmOps := int64(float64(k*d*blocks)/float64(d)*2.0) + 1 // ~reads+writes, v~1
+	dsmOps := srmOps                                        // per pass DSM is optimal too...
+	srmPasses := 1.0
+	dsmPasses := analysisPassRatio(k, d, b)
+	fmt.Printf("\nper-pass both algorithms overlap; DSM's cost is extra passes:\n")
+	fmt.Printf("  SRM  ~%.1f passes x %.1fs\n", srmPasses,
+		analysis.Makespan(srmOps, opSeconds, records, 2e-6))
+	fmt.Printf("  DSM  ~%.1f passes x %.1fs\n", dsmPasses,
+		analysis.Makespan(dsmOps, opSeconds, records, 2e-6))
+}
+
+// analysisPassRatio returns ln(R_SRM)/ln(R_DSM): DSM's pass multiplier
+// relative to SRM under the same memory.
+func analysisPassRatio(k, d, b int) float64 {
+	m := analysis.MemoryForK(k, d, b)
+	rs := analysis.SRMMergeOrder(m, d, b)
+	rd := analysis.DSMMergeOrder(m, d, b)
+	return math.Log(float64(rs)) / math.Log(float64(rd))
+}

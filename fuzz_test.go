@@ -1,0 +1,87 @@
+package srmsort
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSortStream feeds arbitrary byte streams through the wire decoder and
+// the full sorter. Well-formed streams must sort correctly; malformed ones
+// must produce an error, never a panic. Run with `go test -fuzz FuzzSortStream`
+// for continuous fuzzing; the seeds below run in normal test mode.
+func FuzzSortStream(f *testing.F) {
+	// Seeds: empty, one record, two out-of-order records, a truncated tail.
+	f.Add([]byte{})
+	one := make([]byte, 16)
+	one[0] = 9
+	f.Add(one)
+	two := make([]byte, 32)
+	two[0] = 200
+	two[16] = 100
+	two[24] = 1
+	f.Add(two)
+	f.Add(make([]byte, 17))
+	f.Add(make([]byte, 160))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out bytes.Buffer
+		stats, err := SortStream(bytes.NewReader(data), &out, Config{D: 3, B: 2, K: 2, Seed: 1})
+		if len(data)%RecordWireSize != 0 {
+			if err == nil {
+				t.Fatalf("malformed stream of %d bytes accepted", len(data))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("well-formed stream of %d bytes rejected: %v", len(data), err)
+		}
+		sorted, err := ReadRecords(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sorted) != len(data)/RecordWireSize {
+			t.Fatalf("lost records: %d in, %d out", len(data)/RecordWireSize, len(sorted))
+		}
+		for i := 1; i < len(sorted); i++ {
+			if sorted[i-1].Key > sorted[i].Key {
+				t.Fatalf("not sorted at %d", i)
+			}
+		}
+		if stats.TotalOps() < 0 {
+			t.Fatal("negative op count")
+		}
+	})
+}
+
+// FuzzRecordWire round-trips arbitrary record slices through the encoder.
+func FuzzRecordWire(f *testing.F) {
+	f.Add(uint64(1), uint64(2), 10)
+	f.Add(uint64(0), uint64(0), 0)
+	f.Add(^uint64(0), uint64(5), 3)
+	f.Fuzz(func(t *testing.T, key, val uint64, nRaw int) {
+		n := nRaw % 64
+		if n < 0 {
+			n = -n
+		}
+		in := make([]Record, n)
+		for i := range in {
+			in[i] = Record{Key: key + uint64(i), Val: val ^ uint64(i)}
+		}
+		var buf bytes.Buffer
+		if err := WriteRecords(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+		out, err := ReadRecords(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(in) {
+			t.Fatalf("%d in, %d out", len(in), len(out))
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				t.Fatalf("record %d mismatch", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module srmsort
+
+go 1.22

@@ -1,0 +1,85 @@
+package srmsort
+
+import "testing"
+
+// Golden regression tests: the I/O schedule is fully deterministic given
+// the configuration and seed, so exact operation counts pin the scheduler
+// against silent drift. If an intentional algorithm change moves these
+// numbers, re-baseline deliberately and explain the change.
+func TestGoldenScheduleCounts(t *testing.T) {
+	type golden struct {
+		name  string
+		cfg   Config
+		n     int
+		seed  int64
+		check func(t *testing.T, s Stats)
+	}
+	cases := []golden{
+		{
+			name: "srm-8x64-k4",
+			cfg:  Config{D: 8, B: 64, K: 4, Seed: 7},
+			n:    100_000,
+			check: func(t *testing.T, s Stats) {
+				if s.R != 32 || s.M != 6400 {
+					t.Fatalf("geometry drifted: R=%d M=%d", s.R, s.M)
+				}
+				if s.InitialRuns != 32 || s.MergePasses != 1 {
+					t.Fatalf("plan drifted: runs=%d passes=%d", s.InitialRuns, s.MergePasses)
+				}
+				// Bandwidth minimum per pass: 100000/512 ≈ 196 ops.
+				if s.MergeReads < 196 || s.MergeReads > 260 {
+					t.Fatalf("merge reads %d outside golden band [196, 260]", s.MergeReads)
+				}
+				if s.WriteParallelism < 7.5 {
+					t.Fatalf("write parallelism %v", s.WriteParallelism)
+				}
+			},
+		},
+		{
+			name: "dsm-8x64-k4",
+			cfg:  Config{D: 8, B: 64, K: 4, Algorithm: DSM},
+			n:    100_000,
+			check: func(t *testing.T, s Stats) {
+				if s.R != 5 {
+					t.Fatalf("DSM merge order %d, want k+1 = 5", s.R)
+				}
+				if s.MergePasses != 3 {
+					t.Fatalf("DSM passes = %d, want 3 (32 runs, R=5)", s.MergePasses)
+				}
+				// Each DSM pass costs ~2*196 ops; reads+writes ~ passes*392.
+				ops := s.MergeReads + s.MergeWrites
+				if ops < 1170 || ops > 1300 {
+					t.Fatalf("DSM merge ops %d outside golden band", ops)
+				}
+			},
+		},
+		{
+			name: "srm-deterministic-identical-to-itself",
+			cfg:  Config{D: 5, B: 16, K: 3, Algorithm: SRMDeterministic},
+			n:    40_000,
+			check: func(t *testing.T, s Stats) {
+				if s.Flushes != 0 {
+					t.Logf("staggered run flushed %d times (allowed, informational)", s.Flushes)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := benchRecords(tc.n, 123)
+			_, stats, err := Sort(in, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, stats)
+			// And the exact-count regression: a second identical run.
+			_, again, err := Sort(in, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats != again {
+				t.Fatalf("schedule not reproducible:\n%+v\n%+v", stats, again)
+			}
+		})
+	}
+}

@@ -1,0 +1,44 @@
+package analysis
+
+import "fmt"
+
+// Partial striping (Vitter & Shriver 1994) groups the D physical disks
+// into D/c clusters of c disks each; a cluster acts as one logical disk
+// with block size c·B, because its c members always move one block each in
+// lockstep. The paper invokes the technique in Section 2.2 to enforce its
+// standing assumption D = O(B): a single parallel-I/O operation on the
+// logical geometry is exactly one operation on the physical geometry, so
+// all cost accounting carries over unchanged, while the occupancy overhead
+// — which grows with the number of (logical) disks — shrinks.
+//
+// The trade-off: fewer, larger logical disks also reduce the merge order
+// R = Θ(M/B') attainable from a fixed memory, so c should be no larger
+// than the assumption requires. ClusterSize picks that minimal c.
+
+// PartialStripe returns the logical geometry (D' = d/c disks with blocks
+// of B' = c·b records) obtained by clustering c physical disks. c must
+// divide d.
+func PartialStripe(d, b, c int) (dPrime, bPrime int, err error) {
+	if c < 1 {
+		return 0, 0, fmt.Errorf("analysis: cluster size %d", c)
+	}
+	if d%c != 0 {
+		return 0, 0, fmt.Errorf("analysis: cluster size %d does not divide D=%d", c, d)
+	}
+	return d / c, c * b, nil
+}
+
+// ClusterSize returns the smallest cluster size c (dividing d) for which
+// the logical geometry satisfies the paper's assumption D' <= B', i.e.
+// d/c <= c·b. For d <= b no clustering is needed and it returns 1.
+func ClusterSize(d, b int) int {
+	for c := 1; c <= d; c++ {
+		if d%c != 0 {
+			continue
+		}
+		if d/c <= c*b {
+			return c
+		}
+	}
+	return d // one cluster of all disks (degenerate but always valid)
+}

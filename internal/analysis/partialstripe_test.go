@@ -1,0 +1,60 @@
+package analysis
+
+import "testing"
+
+func TestPartialStripe(t *testing.T) {
+	d, b, err := PartialStripe(64, 4, 4)
+	if err != nil || d != 16 || b != 16 {
+		t.Fatalf("PartialStripe(64,4,4) = %d,%d,%v", d, b, err)
+	}
+	if _, _, err := PartialStripe(10, 4, 3); err == nil {
+		t.Fatal("non-dividing cluster size accepted")
+	}
+	if _, _, err := PartialStripe(10, 4, 0); err == nil {
+		t.Fatal("zero cluster size accepted")
+	}
+	// c=1 is the identity.
+	d, b, err = PartialStripe(8, 16, 1)
+	if err != nil || d != 8 || b != 16 {
+		t.Fatalf("identity transform broken: %d,%d,%v", d, b, err)
+	}
+}
+
+func TestPartialStripePreservesBandwidth(t *testing.T) {
+	// One logical op moves D'·B' = D·B records — bandwidth is invariant.
+	for _, c := range []int{1, 2, 4, 8} {
+		d, b, err := PartialStripe(16, 8, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d*b != 16*8 {
+			t.Fatalf("c=%d: logical bandwidth %d, want %d", c, d*b, 16*8)
+		}
+	}
+}
+
+func TestClusterSize(t *testing.T) {
+	for _, tc := range []struct{ d, b, want int }{
+		{4, 16, 1},   // D <= B already
+		{16, 16, 1},  // equal is fine
+		{64, 4, 4},   // 64/4=16 <= 4*4=16
+		{100, 1, 10}, // 100/10=10 <= 10
+		{8, 1, 4},    // 8/2=4 > 2; 8/4=2 <= 4
+	} {
+		if got := ClusterSize(tc.d, tc.b); got != tc.want {
+			t.Errorf("ClusterSize(%d, %d) = %d, want %d", tc.d, tc.b, got, tc.want)
+		}
+	}
+	// The returned size always satisfies the assumption and divides D.
+	for d := 1; d <= 40; d++ {
+		for b := 1; b <= 9; b++ {
+			c := ClusterSize(d, b)
+			if d%c != 0 {
+				t.Fatalf("ClusterSize(%d,%d)=%d does not divide D", d, b, c)
+			}
+			if d/c > c*b {
+				t.Fatalf("ClusterSize(%d,%d)=%d violates D' <= B'", d, b, c)
+			}
+		}
+	}
+}

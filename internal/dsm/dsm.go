@@ -1,0 +1,341 @@
+// Package dsm implements disk-striped mergesort, the baseline SRM is
+// compared against throughout the paper (Sections 1 and 9).
+//
+// DSM coordinates the D disks so that every I/O operation accesses the same
+// block index on each disk — logically one disk with block size D*B. Runs
+// are laid out in logical blocks (stripes); a merge reads one logical block
+// per I/O operation and writes the output the same way. Striping gives
+// perfect parallelism for free, but with the paper's memory budget
+// M = (2k+4)DB + kD^2 it can merge only
+//
+//	R_DSM = (M/B − 2D) / 2D = k + 1 + kD/2B
+//
+// runs at a time (2 logical blocks of read buffer per run, double-buffered,
+// plus 2 logical blocks of write buffer), against SRM's R = kD. The extra
+// passes are DSM's entire disadvantage: per pass it performs the minimal
+// N/DB reads and N/DB writes.
+package dsm
+
+import (
+	"fmt"
+
+	"srmsort/internal/ltree"
+	"srmsort/internal/pdisk"
+	"srmsort/internal/record"
+	"srmsort/internal/runform"
+)
+
+// MergeOrder returns R_DSM, the number of runs DSM merges at a time with
+// memBlocks = M/B internal memory blocks on d disks: (M/B − 2D)/2D.
+func MergeOrder(memBlocks, d int) int {
+	return (memBlocks - 2*d) / (2 * d)
+}
+
+// Run is a sorted run stored in logical (striped) blocks.
+type Run struct {
+	ID      int
+	Records int
+	// stripes[s] holds the D per-disk block addresses of logical block s
+	// (fewer than D in a partial final stripe).
+	stripes [][]pdisk.BlockAddr
+}
+
+// NumStripes returns the number of logical blocks of the run.
+func (r *Run) NumStripes() int { return len(r.stripes) }
+
+// Writer streams a sorted run to disk in logical blocks.
+type Writer struct {
+	sys     *pdisk.System
+	run     *Run
+	buf     []record.Record
+	lastKey record.Key
+	started bool
+}
+
+// NewWriter starts a new striped run with the given id.
+func NewWriter(sys *pdisk.System, id int) *Writer {
+	return &Writer{sys: sys, run: &Run{ID: id}}
+}
+
+// Append adds the next record; records must arrive in nondecreasing key
+// order.
+func (w *Writer) Append(r record.Record) error {
+	if w.started && r.Key < w.lastKey {
+		panic(fmt.Sprintf("dsm: run %d records out of order", w.run.ID))
+	}
+	w.started = true
+	w.lastKey = r.Key
+	w.buf = append(w.buf, r)
+	w.run.Records++
+	if len(w.buf) == w.sys.D()*w.sys.B() {
+		return w.flush()
+	}
+	return nil
+}
+
+// flush writes one logical block (up to D*B records) in a single parallel
+// I/O operation.
+func (w *Writer) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	b := w.sys.B()
+	var writes []pdisk.BlockWrite
+	var addrs []pdisk.BlockAddr
+	for disk := 0; len(w.buf) > 0 && disk < w.sys.D(); disk++ {
+		n := b
+		if n > len(w.buf) {
+			n = len(w.buf)
+		}
+		blk := make(record.Block, n)
+		copy(blk, w.buf[:n])
+		w.buf = w.buf[n:]
+		addr := w.sys.Alloc(disk)
+		writes = append(writes, pdisk.BlockWrite{Addr: addr, Block: pdisk.StoredBlock{Records: blk}})
+		addrs = append(addrs, addr)
+	}
+	if err := w.sys.WriteBlocks(writes); err != nil {
+		return err
+	}
+	w.run.stripes = append(w.run.stripes, addrs)
+	return nil
+}
+
+// Finish flushes the final partial logical block and returns the run.
+func (w *Writer) Finish() (*Run, error) {
+	if err := w.flush(); err != nil {
+		return nil, err
+	}
+	return w.run, nil
+}
+
+// readStripe fetches logical block s of a run in one I/O operation.
+func readStripe(sys *pdisk.System, r *Run, s int) ([]record.Record, error) {
+	blocks, err := sys.ReadBlocks(r.stripes[s])
+	if err != nil {
+		return nil, err
+	}
+	var out []record.Record
+	for _, b := range blocks {
+		out = append(out, b.Records...)
+	}
+	return out, nil
+}
+
+// MergeStats reports the I/O cost of one DSM merge.
+type MergeStats struct {
+	ReadOps  int64
+	WriteOps int64
+}
+
+// Merge merges the given runs into one, reading one logical block per I/O
+// operation exactly when a run's buffer drains (the classical k-way merge
+// with striped disks). The number of read operations is precisely the total
+// number of logical input blocks.
+func Merge(sys *pdisk.System, runs []*Run, outID int) (*Run, MergeStats, error) {
+	if len(runs) == 0 {
+		return nil, MergeStats{}, fmt.Errorf("dsm: merge of zero runs")
+	}
+	var stats MergeStats
+	readsBefore := sys.Stats().ReadOps
+	writesBefore := sys.Stats().WriteOps
+
+	bufs := make([][]record.Record, len(runs))
+	nextStripe := make([]int, len(runs))
+	refill := func(i int) error {
+		for len(bufs[i]) == 0 && nextStripe[i] < runs[i].NumStripes() {
+			recs, err := readStripe(sys, runs[i], nextStripe[i])
+			if err != nil {
+				return err
+			}
+			nextStripe[i]++
+			bufs[i] = recs
+		}
+		return nil
+	}
+	// Internal merging uses the classical tournament tree of losers
+	// ([Knu73], the paper's reference for internal merge processing).
+	keys := make([]uint64, len(runs))
+	for i := range runs {
+		if err := refill(i); err != nil {
+			return nil, stats, err
+		}
+		if len(bufs[i]) > 0 {
+			keys[i] = uint64(bufs[i][0].Key)
+		} else {
+			keys[i] = ltree.Infinite
+		}
+	}
+	lt := ltree.New(keys)
+	w := NewWriter(sys, outID)
+	for lt.Len() > 0 {
+		i, _ := lt.Min()
+		if err := w.Append(bufs[i][0]); err != nil {
+			return nil, stats, err
+		}
+		bufs[i] = bufs[i][1:]
+		if len(bufs[i]) == 0 {
+			if err := refill(i); err != nil {
+				return nil, stats, err
+			}
+		}
+		if len(bufs[i]) == 0 {
+			lt.DeleteMin()
+		} else {
+			lt.ReplaceMin(uint64(bufs[i][0].Key))
+		}
+	}
+	out, err := w.Finish()
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.ReadOps = sys.Stats().ReadOps - readsBefore
+	stats.WriteOps = sys.Stats().WriteOps - writesBefore
+	return out, stats, nil
+}
+
+// Free releases every block of the run.
+func Free(sys *pdisk.System, r *Run) error {
+	for _, stripe := range r.stripes {
+		for _, addr := range stripe {
+			if err := sys.FreeBlock(addr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SortStats aggregates a full DSM sort.
+type SortStats struct {
+	RunFormationReads  int64
+	RunFormationWrites int64
+	MergePasses        int
+	Merges             int
+	MergeReadOps       int64
+	MergeWriteOps      int64
+	InitialRuns        int
+}
+
+// TotalOps returns all parallel I/O operations of the sort.
+func (s SortStats) TotalOps() int64 {
+	return s.RunFormationReads + s.RunFormationWrites + s.MergeReadOps + s.MergeWriteOps
+}
+
+// FormRuns performs DSM's run-formation pass: the striped input is read
+// with full parallelism, sorted one load at a time, and each load is
+// written out as a run in logical blocks.
+func FormRuns(sys *pdisk.System, file *runform.InputFile, load int) ([]*Run, error) {
+	if load < 1 {
+		return nil, fmt.Errorf("dsm: load %d", load)
+	}
+	rd := runform.NewReader(sys, file)
+	var runs []*Run
+	for {
+		chunk, err := rd.Read(load)
+		if err != nil {
+			return nil, err
+		}
+		if len(chunk) == 0 {
+			return runs, nil
+		}
+		sorted := make([]record.Record, len(chunk))
+		copy(sorted, chunk)
+		record.SortRecords(sorted)
+		w := NewWriter(sys, len(runs))
+		for _, rec := range sorted {
+			if err := w.Append(rec); err != nil {
+				return nil, err
+			}
+		}
+		run, err := w.Finish()
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, run)
+	}
+}
+
+// Sort externally sorts the striped input file with DSM: memory-load run
+// formation with loads of 'load' records, then passes of r-way merges. It
+// returns the final run.
+func Sort(sys *pdisk.System, file *runform.InputFile, load, r int) (*Run, SortStats, error) {
+	if r < 2 {
+		return nil, SortStats{}, fmt.Errorf("dsm: merge order %d, need >= 2", r)
+	}
+	var stats SortStats
+	before := sys.Stats()
+	runs, err := FormRuns(sys, file, load)
+	if err != nil {
+		return nil, stats, err
+	}
+	afterForm := sys.Stats()
+	stats.RunFormationReads = afterForm.ReadOps - before.ReadOps
+	stats.RunFormationWrites = afterForm.WriteOps - before.WriteOps
+	stats.InitialRuns = len(runs)
+	if len(runs) == 0 {
+		// Empty input: return an empty run.
+		out, err := NewWriter(sys, 0).Finish()
+		return out, stats, err
+	}
+	seq := len(runs)
+	for len(runs) > 1 {
+		stats.MergePasses++
+		next := make([]*Run, 0, (len(runs)+r-1)/r)
+		for off := 0; off < len(runs); off += r {
+			end := off + r
+			if end > len(runs) {
+				end = len(runs)
+			}
+			group := runs[off:end]
+			if len(group) == 1 {
+				next = append(next, group[0])
+				continue
+			}
+			merged, ms, err := Merge(sys, group, seq)
+			if err != nil {
+				return nil, stats, err
+			}
+			seq++
+			stats.Merges++
+			stats.MergeReadOps += ms.ReadOps
+			stats.MergeWriteOps += ms.WriteOps
+			for _, in := range group {
+				if err := Free(sys, in); err != nil {
+					return nil, stats, err
+				}
+			}
+			next = append(next, merged)
+		}
+		runs = next
+	}
+	return runs[0], stats, nil
+}
+
+// ReadAll reads a DSM run back (one logical block per operation) — a
+// verification helper.
+func ReadAll(sys *pdisk.System, r *Run) ([]record.Record, error) {
+	var out []record.Record
+	err := Stream(sys, r, func(rec record.Record) error {
+		out = append(out, rec)
+		return nil
+	})
+	return out, err
+}
+
+// Stream reads a DSM run back one logical block at a time, invoking fn on
+// every record without materialising the run.
+func Stream(sys *pdisk.System, r *Run, fn func(record.Record) error) error {
+	for s := 0; s < r.NumStripes(); s++ {
+		recs, err := readStripe(sys, r, s)
+		if err != nil {
+			return err
+		}
+		for _, rec := range recs {
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package fenwick
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The average-case generator performs one FindRank + Add per record; the
+// largest paper-scale instance draws 4×10⁷ records over 2500 runs.
+
+func BenchmarkFindRankAdd(b *testing.B) {
+	for _, n := range []int{64, 2500, 65536} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			w := make([]int64, n)
+			for i := range w {
+				w[i] = 1000
+			}
+			tr := FromSlice(w)
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j := tr.FindRank(rng.Int63n(tr.Total()))
+				tr.Add(j, -1)
+				if tr.Get(j) == 0 {
+					tr.Add(j, 1000) // keep the tree from draining
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1<<16:
+		return "n=64k"
+	case n >= 2500:
+		return "n=2500"
+	default:
+		return "n=64"
+	}
+}

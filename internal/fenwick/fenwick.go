@@ -1,0 +1,98 @@
+// Package fenwick implements a Fenwick (binary indexed) tree over int64
+// weights, with prefix sums, point updates and weighted-rank search.
+//
+// The average-case merge simulator uses it to draw the next run of the
+// merged output with probability proportional to that run's remaining record
+// count (the multivariate-hypergeometric step that realises the paper's
+// "every partition equally likely" input model), in O(log n) per draw.
+package fenwick
+
+import "fmt"
+
+// Tree is a Fenwick tree over n slots indexed 0..n-1. The zero value is
+// unusable; construct with New or FromSlice.
+type Tree struct {
+	tree []int64 // 1-based internal array
+	n    int
+}
+
+// New returns a tree with n zero-weight slots.
+func New(n int) *Tree {
+	if n < 0 {
+		panic(fmt.Sprintf("fenwick: negative size %d", n))
+	}
+	return &Tree{tree: make([]int64, n+1), n: n}
+}
+
+// FromSlice builds a tree initialised with the given weights in O(n).
+func FromSlice(w []int64) *Tree {
+	t := New(len(w))
+	copy(t.tree[1:], w)
+	for i := 1; i <= t.n; i++ {
+		if p := i + (i & -i); p <= t.n {
+			t.tree[p] += t.tree[i]
+		}
+	}
+	return t
+}
+
+// Len returns the number of slots.
+func (t *Tree) Len() int { return t.n }
+
+// Add adds delta to slot i.
+func (t *Tree) Add(i int, delta int64) {
+	if i < 0 || i >= t.n {
+		panic(fmt.Sprintf("fenwick: Add index %d out of range [0,%d)", i, t.n))
+	}
+	for j := i + 1; j <= t.n; j += j & -j {
+		t.tree[j] += delta
+	}
+}
+
+// PrefixSum returns the sum of slots 0..i inclusive; PrefixSum(-1) is 0.
+func (t *Tree) PrefixSum(i int) int64 {
+	if i >= t.n {
+		panic(fmt.Sprintf("fenwick: PrefixSum index %d out of range (n=%d)", i, t.n))
+	}
+	var s int64
+	for j := i + 1; j > 0; j -= j & -j {
+		s += t.tree[j]
+	}
+	return s
+}
+
+// Total returns the sum of all slots.
+func (t *Tree) Total() int64 {
+	if t.n == 0 {
+		return 0
+	}
+	return t.PrefixSum(t.n - 1)
+}
+
+// Get returns the weight of slot i.
+func (t *Tree) Get(i int) int64 {
+	return t.PrefixSum(i) - t.PrefixSum(i-1)
+}
+
+// FindRank returns the smallest index i such that PrefixSum(i) > target,
+// i.e. the slot into which a weighted draw of value target (0-based,
+// 0 <= target < Total) falls. It panics if target is out of range.
+func (t *Tree) FindRank(target int64) int {
+	if target < 0 || target >= t.Total() {
+		panic(fmt.Sprintf("fenwick: FindRank target %d out of range [0,%d)", target, t.Total()))
+	}
+	idx := 0
+	// Largest power of two <= n.
+	bit := 1
+	for bit<<1 <= t.n {
+		bit <<= 1
+	}
+	for ; bit > 0; bit >>= 1 {
+		next := idx + bit
+		if next <= t.n && t.tree[next] <= target {
+			idx = next
+			target -= t.tree[next]
+		}
+	}
+	return idx // 0-based slot
+}

@@ -1,0 +1,146 @@
+package fenwick
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(0)
+	if tr.Len() != 0 || tr.Total() != 0 {
+		t.Fatalf("empty tree Len=%d Total=%d", tr.Len(), tr.Total())
+	}
+}
+
+func TestAddAndPrefixSum(t *testing.T) {
+	tr := New(5)
+	tr.Add(0, 3)
+	tr.Add(2, 5)
+	tr.Add(4, 7)
+	wantPrefix := []int64{3, 3, 8, 8, 15}
+	for i, want := range wantPrefix {
+		if got := tr.PrefixSum(i); got != want {
+			t.Fatalf("PrefixSum(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if tr.PrefixSum(-1) != 0 {
+		t.Fatal("PrefixSum(-1) != 0")
+	}
+}
+
+func TestFromSliceMatchesAdds(t *testing.T) {
+	w := []int64{4, 0, 2, 9, 1, 1, 3}
+	a := FromSlice(w)
+	b := New(len(w))
+	for i, v := range w {
+		b.Add(i, v)
+	}
+	for i := range w {
+		if a.PrefixSum(i) != b.PrefixSum(i) {
+			t.Fatalf("FromSlice and Add disagree at %d: %d vs %d", i, a.PrefixSum(i), b.PrefixSum(i))
+		}
+		if a.Get(i) != w[i] {
+			t.Fatalf("Get(%d) = %d, want %d", i, a.Get(i), w[i])
+		}
+	}
+}
+
+func TestFindRank(t *testing.T) {
+	tr := FromSlice([]int64{2, 0, 3, 1})
+	// Cumulative: slot0 covers targets {0,1}, slot2 {2,3,4}, slot3 {5}.
+	wants := map[int64]int{0: 0, 1: 0, 2: 2, 3: 2, 4: 2, 5: 3}
+	for target, want := range wants {
+		if got := tr.FindRank(target); got != want {
+			t.Fatalf("FindRank(%d) = %d, want %d", target, got, want)
+		}
+	}
+}
+
+func TestFindRankNeverReturnsZeroWeightSlot(t *testing.T) {
+	tr := FromSlice([]int64{0, 5, 0, 0, 5, 0})
+	for target := int64(0); target < tr.Total(); target++ {
+		got := tr.FindRank(target)
+		if got != 1 && got != 4 {
+			t.Fatalf("FindRank(%d) = %d, a zero-weight slot", target, got)
+		}
+	}
+}
+
+func TestPropertyAgainstNaive(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%40 + 1
+		rng := rand.New(rand.NewSource(seed))
+		w := make([]int64, n)
+		for i := range w {
+			w[i] = int64(rng.Intn(8))
+		}
+		tr := FromSlice(w)
+		// Prefix sums match naive.
+		var acc int64
+		for i := 0; i < n; i++ {
+			acc += w[i]
+			if tr.PrefixSum(i) != acc {
+				return false
+			}
+		}
+		// FindRank matches naive scan for every target.
+		for target := int64(0); target < acc; target++ {
+			var run int64
+			naive := -1
+			for i := 0; i < n; i++ {
+				run += w[i]
+				if run > target {
+					naive = i
+					break
+				}
+			}
+			if tr.FindRank(target) != naive {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplingDrainsExactly(t *testing.T) {
+	// Simulate the sampler's usage: repeatedly draw, decrement; the tree
+	// must drain to zero with per-slot draws equal to initial weights.
+	w := []int64{5, 1, 7, 0, 3}
+	tr := FromSlice(w)
+	rng := rand.New(rand.NewSource(11))
+	drawn := make([]int64, len(w))
+	for tr.Total() > 0 {
+		i := tr.FindRank(rng.Int63n(tr.Total()))
+		drawn[i]++
+		tr.Add(i, -1)
+	}
+	for i := range w {
+		if drawn[i] != w[i] {
+			t.Fatalf("slot %d drawn %d times, want %d", i, drawn[i], w[i])
+		}
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	tr := New(3)
+	tr.Add(0, 1)
+	for name, fn := range map[string]func(){
+		"negative size": func() { New(-1) },
+		"add oob":       func() { tr.Add(3, 1) },
+		"rank oob":      func() { tr.FindRank(5) },
+		"prefix oob":    func() { tr.PrefixSum(3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

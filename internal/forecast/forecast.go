@@ -1,0 +1,130 @@
+// Package forecast implements the paper's forecasting data structure (FDS,
+// Section 4): for every disk i and run j it tracks K_{i,j}, the smallest key
+// in the "smallest block" of run j on disk i — the earliest-participating
+// block of that run on that disk which is not currently in internal memory.
+//
+// A parallel read consults Smallest(i) on every disk i to fetch exactly the
+// block with the globally smallest key on that disk. Updates come from two
+// sources, mirroring Sections 5.3 and the forecasting format:
+//
+//   - NoteRead: a block was read; its implanted key announces the run's next
+//     block on the same disk (block index + D).
+//   - Set (on virtual flush): a block in memory was forgotten; its own first
+//     key re-enters the structure. If several blocks of one run return to
+//     one disk, the earliest (smallest index) wins, which the paper states
+//     as "update with the smallest key among all blocks being flushed".
+//
+// Internally each disk keeps an indexed min-heap over runs so that reads,
+// flush re-insertions and minima are all O(log R).
+package forecast
+
+import (
+	"fmt"
+
+	"srmsort/internal/iheap"
+	"srmsort/internal/record"
+)
+
+// Entry identifies the smallest not-in-memory block of one run on one disk.
+type Entry struct {
+	Run      int
+	BlockIdx int
+	Key      record.Key
+}
+
+// FDS is the forecasting data structure for D disks and a fixed universe of
+// runs 0..R-1.
+type FDS struct {
+	d       int
+	heaps   []*iheap.Heap
+	blockOf [][]int32 // blockOf[disk][run] = block index of the tracked block, -1 if none
+}
+
+// New returns an empty FDS for d disks and runs runs.
+func New(d, runs int) *FDS {
+	if d < 1 || runs < 0 {
+		panic(fmt.Sprintf("forecast: New(%d, %d)", d, runs))
+	}
+	f := &FDS{
+		d:       d,
+		heaps:   make([]*iheap.Heap, d),
+		blockOf: make([][]int32, d),
+	}
+	for i := 0; i < d; i++ {
+		f.heaps[i] = iheap.New(runs)
+		f.blockOf[i] = make([]int32, runs)
+		for j := range f.blockOf[i] {
+			f.blockOf[i][j] = -1
+		}
+	}
+	return f
+}
+
+// Len returns the total number of (disk, run) entries currently tracked.
+func (f *FDS) Len() int {
+	n := 0
+	for _, h := range f.heaps {
+		n += h.Len()
+	}
+	return n
+}
+
+// Set records that block blockIdx of run run, whose smallest key is key, is
+// on disk disk and not in memory. If an entry for (disk, run) already
+// exists, the one with the smaller block index survives — re-registering a
+// flushed block therefore supersedes the later block the read path
+// announced, and vice versa is a no-op.
+func (f *FDS) Set(disk, run, blockIdx int, key record.Key) {
+	if key == record.MaxKey {
+		panic("forecast: Set with the MaxKey sentinel")
+	}
+	cur := f.blockOf[disk][run]
+	if cur >= 0 && int(cur) <= blockIdx {
+		if int(cur) == blockIdx && record.Key(f.heaps[disk].Priority(run)) != key {
+			panic(fmt.Sprintf("forecast: conflicting keys for run %d block %d on disk %d",
+				run, blockIdx, disk))
+		}
+		return
+	}
+	f.blockOf[disk][run] = int32(blockIdx)
+	f.heaps[disk].PushOrUpdate(run, uint64(key))
+}
+
+// NoteRead records that the tracked block of run run on disk disk — which
+// must be block readIdx — has just been read into memory. succKey is the
+// implanted forecast key of block readIdx+D; if it is MaxKey the run has no
+// further block on this disk (until a flush re-registers one).
+func (f *FDS) NoteRead(disk, run, readIdx int, succKey record.Key) {
+	cur := f.blockOf[disk][run]
+	if cur < 0 || int(cur) != readIdx {
+		panic(fmt.Sprintf("forecast: NoteRead(disk=%d run=%d idx=%d) but tracked idx=%d",
+			disk, run, readIdx, cur))
+	}
+	f.heaps[disk].Remove(run)
+	f.blockOf[disk][run] = -1
+	if succKey != record.MaxKey {
+		f.blockOf[disk][run] = int32(readIdx + f.d)
+		f.heaps[disk].Push(run, uint64(succKey))
+	}
+}
+
+// Smallest returns the entry with the smallest key on disk, and whether the
+// disk has any pending block at all.
+func (f *FDS) Smallest(disk int) (Entry, bool) {
+	h := f.heaps[disk]
+	if h.Len() == 0 {
+		return Entry{}, false
+	}
+	run, pri := h.Min()
+	return Entry{Run: run, BlockIdx: int(f.blockOf[disk][run]), Key: record.Key(pri)}, true
+}
+
+// Peek returns the tracked entry for (disk, run), if any — used by tests
+// and invariant checks.
+func (f *FDS) Peek(disk, run int) (Entry, bool) {
+	idx := f.blockOf[disk][run]
+	if idx < 0 {
+		return Entry{}, false
+	}
+	return Entry{Run: run, BlockIdx: int(idx), Key: record.Key(f.heaps[disk].Priority(run))}, true
+}

@@ -1,0 +1,146 @@
+package forecast
+
+import (
+	"testing"
+
+	"srmsort/internal/record"
+)
+
+func TestEmpty(t *testing.T) {
+	f := New(3, 5)
+	if f.Len() != 0 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	if _, ok := f.Smallest(0); ok {
+		t.Fatal("Smallest on empty disk reported an entry")
+	}
+}
+
+func TestSetAndSmallest(t *testing.T) {
+	f := New(2, 4)
+	f.Set(0, 1, 5, 100)
+	f.Set(0, 2, 3, 50)
+	f.Set(1, 0, 0, 75)
+	e, ok := f.Smallest(0)
+	if !ok || e.Run != 2 || e.BlockIdx != 3 || e.Key != 50 {
+		t.Fatalf("Smallest(0) = %+v, %v", e, ok)
+	}
+	e, ok = f.Smallest(1)
+	if !ok || e.Run != 0 || e.Key != 75 {
+		t.Fatalf("Smallest(1) = %+v, %v", e, ok)
+	}
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", f.Len())
+	}
+}
+
+func TestSetKeepsSmallerBlockIdx(t *testing.T) {
+	f := New(2, 2)
+	f.Set(0, 0, 6, 60) // read path announced block 6
+	f.Set(0, 0, 2, 20) // flush returns block 2: must win
+	e, _ := f.Peek(0, 0)
+	if e.BlockIdx != 2 || e.Key != 20 {
+		t.Fatalf("entry = %+v, want block 2 key 20", e)
+	}
+	f.Set(0, 0, 6, 60) // later block is a no-op while an earlier one is tracked
+	e, _ = f.Peek(0, 0)
+	if e.BlockIdx != 2 {
+		t.Fatalf("later Set overwrote earlier block: %+v", e)
+	}
+}
+
+func TestNoteReadAdvancesByD(t *testing.T) {
+	f := New(3, 2)
+	f.Set(1, 0, 4, 40)
+	f.NoteRead(1, 0, 4, 77) // block 4 read; successor is block 4+D=7 with key 77
+	e, ok := f.Peek(1, 0)
+	if !ok || e.BlockIdx != 7 || e.Key != 77 {
+		t.Fatalf("after NoteRead entry = %+v, %v", e, ok)
+	}
+}
+
+func TestNoteReadRunExhaustedOnDisk(t *testing.T) {
+	f := New(2, 1)
+	f.Set(0, 0, 8, 80)
+	f.NoteRead(0, 0, 8, record.MaxKey)
+	if _, ok := f.Peek(0, 0); ok {
+		t.Fatal("entry survived a MaxKey successor")
+	}
+	if _, ok := f.Smallest(0); ok {
+		t.Fatal("Smallest found a ghost entry")
+	}
+	// A flush may re-register an earlier block afterwards.
+	f.Set(0, 0, 8, 80)
+	if e, ok := f.Peek(0, 0); !ok || e.BlockIdx != 8 {
+		t.Fatalf("flush re-registration failed: %+v %v", e, ok)
+	}
+}
+
+func TestFlushThenReadCycle(t *testing.T) {
+	// Models: read block 2 (announce 5), read 5 (announce 8), flush {5},
+	// then re-read 5.
+	f := New(3, 1)
+	f.Set(0, 0, 2, 20)
+	f.NoteRead(0, 0, 2, 50)
+	f.NoteRead(0, 0, 5, 80)
+	// Virtual flush of block 5 (its first key 50 is known in memory).
+	f.Set(0, 0, 5, 50)
+	e, _ := f.Peek(0, 0)
+	if e.BlockIdx != 5 || e.Key != 50 {
+		t.Fatalf("after flush: %+v", e)
+	}
+	f.NoteRead(0, 0, 5, 80) // re-read announces block 8 again
+	e, _ = f.Peek(0, 0)
+	if e.BlockIdx != 8 || e.Key != 80 {
+		t.Fatalf("after re-read: %+v", e)
+	}
+}
+
+func TestMultiFlushKeepsEarliest(t *testing.T) {
+	// Two blocks of one run flushed to the same disk: smallest index wins
+	// (Section 5.3's "smallest key among all the blocks being flushed").
+	f := New(2, 1)
+	f.Set(0, 0, 6, 60)
+	f.Set(0, 0, 4, 40)
+	f.Set(0, 0, 2, 20)
+	e, _ := f.Peek(0, 0)
+	if e.BlockIdx != 2 || e.Key != 20 {
+		t.Fatalf("entry = %+v, want block 2", e)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := map[string]func(){
+		"bad new":          func() { New(0, 1) },
+		"sentinel set":     func() { New(1, 1).Set(0, 0, 0, record.MaxKey) },
+		"noteread absent":  func() { New(1, 1).NoteRead(0, 0, 0, 5) },
+		"noteread wrong":   func() { f := New(1, 1); f.Set(0, 0, 3, 30); f.NoteRead(0, 0, 4, 5) },
+		"conflicting keys": func() { f := New(1, 1); f.Set(0, 0, 3, 30); f.Set(0, 0, 3, 31) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSmallestAcrossManyRuns(t *testing.T) {
+	f := New(1, 100)
+	for r := 0; r < 100; r++ {
+		f.Set(0, r, r, record.Key(1000-r))
+	}
+	e, _ := f.Smallest(0)
+	if e.Run != 99 || e.Key != 901 {
+		t.Fatalf("Smallest = %+v", e)
+	}
+	f.NoteRead(0, 99, 99, record.MaxKey)
+	e, _ = f.Smallest(0)
+	if e.Run != 98 || e.Key != 902 {
+		t.Fatalf("after removal Smallest = %+v", e)
+	}
+}

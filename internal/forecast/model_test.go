@@ -1,0 +1,111 @@
+package forecast
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"srmsort/internal/record"
+)
+
+// naiveModel mirrors the FDS with brute force: a set of (disk, run,
+// blockIdx, key) entries, min-by-key per disk with run tie-break.
+type naiveModel struct {
+	entries map[[2]int][2]uint64 // (disk, run) -> (idx, key)
+}
+
+func newNaive() *naiveModel { return &naiveModel{entries: make(map[[2]int][2]uint64)} }
+
+func (n *naiveModel) set(disk, run, idx int, key record.Key) {
+	k := [2]int{disk, run}
+	if cur, ok := n.entries[k]; ok && int(cur[0]) <= idx {
+		return
+	}
+	n.entries[k] = [2]uint64{uint64(idx), uint64(key)}
+}
+
+func (n *naiveModel) noteRead(disk, run, d int, succ record.Key) {
+	k := [2]int{disk, run}
+	cur := n.entries[k]
+	delete(n.entries, k)
+	if succ != record.MaxKey {
+		n.entries[k] = [2]uint64{cur[0] + uint64(d), uint64(succ)}
+	}
+}
+
+func (n *naiveModel) smallest(disk int) (Entry, bool) {
+	best := Entry{Key: record.MaxKey, Run: 1 << 30}
+	found := false
+	for k, v := range n.entries {
+		if k[0] != disk {
+			continue
+		}
+		e := Entry{Run: k[1], BlockIdx: int(v[0]), Key: record.Key(v[1])}
+		if !found || e.Key < best.Key || (e.Key == best.Key && e.Run < best.Run) {
+			best = e
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Drive the FDS and the naive model with the same random operation
+// sequence (with FDS-legal preconditions) and compare minima throughout.
+func TestFDSMatchesNaiveModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const d, runs = 4, 6
+		fds := New(d, runs)
+		model := newNaive()
+		for step := 0; step < 300; step++ {
+			disk := rng.Intn(d)
+			run := rng.Intn(runs)
+			switch rng.Intn(3) {
+			case 0: // flush-style Set of some block
+				idx := rng.Intn(40)
+				key := record.Key(idx*100 + run) // consistent key per (run, idx)
+				// The FDS keeps the smaller index; mirror precondition-free.
+				if cur, ok := fds.Peek(disk, run); ok && cur.BlockIdx == idx {
+					// Same index must carry the same key; skip conflicts.
+					if cur.Key != key {
+						continue
+					}
+				}
+				fds.Set(disk, run, idx, key)
+				model.set(disk, run, idx, key)
+			case 1: // read of the tracked block, if any
+				e, ok := fds.Peek(disk, run)
+				if !ok {
+					continue
+				}
+				succ := record.MaxKey
+				if rng.Intn(2) == 0 {
+					succ = record.Key((e.BlockIdx+d)*100 + run)
+				}
+				fds.NoteRead(disk, run, e.BlockIdx, succ)
+				model.noteRead(disk, run, d, succ)
+			case 2: // compare minima on a random disk
+				got, ok1 := fds.Smallest(disk)
+				want, ok2 := model.smallest(disk)
+				if ok1 != ok2 {
+					return false
+				}
+				if ok1 && (got.Run != want.Run || got.BlockIdx != want.BlockIdx || got.Key != want.Key) {
+					return false
+				}
+			}
+		}
+		// Final full comparison.
+		for disk := 0; disk < d; disk++ {
+			got, ok1 := fds.Smallest(disk)
+			want, ok2 := model.smallest(disk)
+			if ok1 != ok2 || (ok1 && got != want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+// Package iheap provides an indexed binary min-heap over a fixed universe of
+// integer handles with uint64 priorities.
+//
+// Unlike container/heap it supports Update (decrease/increase-key) and
+// Remove by handle in O(log n), which the forecasting data structure needs:
+// each disk keeps the runs present on it in a heap ordered by the smallest
+// key of the run's earliest not-in-memory block, and every read or virtual
+// flush re-prioritises exactly one run.
+//
+// Ties are broken by handle so all orderings are deterministic.
+package iheap
+
+import "fmt"
+
+// Heap is an indexed min-heap over handles 0..universe-1. The zero value is
+// unusable; construct with New.
+type Heap struct {
+	items []entry // heap-ordered
+	pos   []int   // handle -> index in items, or -1 if absent
+}
+
+type entry struct {
+	handle int
+	pri    uint64
+}
+
+// New returns an empty heap able to hold handles 0..universe-1.
+func New(universe int) *Heap {
+	if universe < 0 {
+		panic(fmt.Sprintf("iheap: negative universe %d", universe))
+	}
+	pos := make([]int, universe)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return &Heap{pos: pos}
+}
+
+// Len returns the number of handles currently in the heap.
+func (h *Heap) Len() int { return len(h.items) }
+
+// Contains reports whether handle is in the heap.
+func (h *Heap) Contains(handle int) bool { return h.pos[handle] >= 0 }
+
+// Priority returns the priority of handle, which must be present.
+func (h *Heap) Priority(handle int) uint64 {
+	i := h.pos[handle]
+	if i < 0 {
+		panic(fmt.Sprintf("iheap: Priority of absent handle %d", handle))
+	}
+	return h.items[i].pri
+}
+
+// Push inserts handle with the given priority. It panics if the handle is
+// already present (use Update to change a priority).
+func (h *Heap) Push(handle int, pri uint64) {
+	if h.pos[handle] >= 0 {
+		panic(fmt.Sprintf("iheap: Push of handle %d already present", handle))
+	}
+	h.items = append(h.items, entry{handle, pri})
+	h.pos[handle] = len(h.items) - 1
+	h.up(len(h.items) - 1)
+}
+
+// Update changes the priority of a present handle, restoring heap order.
+func (h *Heap) Update(handle int, pri uint64) {
+	i := h.pos[handle]
+	if i < 0 {
+		panic(fmt.Sprintf("iheap: Update of absent handle %d", handle))
+	}
+	h.items[i].pri = pri
+	h.up(h.pos[handle])
+	h.down(h.pos[handle])
+}
+
+// PushOrUpdate inserts handle or, if present, changes its priority.
+func (h *Heap) PushOrUpdate(handle int, pri uint64) {
+	if h.pos[handle] >= 0 {
+		h.Update(handle, pri)
+	} else {
+		h.Push(handle, pri)
+	}
+}
+
+// Min returns the handle and priority at the top without removing it. It
+// panics on an empty heap.
+func (h *Heap) Min() (handle int, pri uint64) {
+	if len(h.items) == 0 {
+		panic("iheap: Min of empty heap")
+	}
+	return h.items[0].handle, h.items[0].pri
+}
+
+// PopMin removes and returns the minimum entry.
+func (h *Heap) PopMin() (handle int, pri uint64) {
+	handle, pri = h.Min()
+	h.Remove(handle)
+	return handle, pri
+}
+
+// Remove deletes handle from the heap; it must be present.
+func (h *Heap) Remove(handle int) {
+	i := h.pos[handle]
+	if i < 0 {
+		panic(fmt.Sprintf("iheap: Remove of absent handle %d", handle))
+	}
+	last := len(h.items) - 1
+	h.swap(i, last)
+	h.items = h.items[:last]
+	h.pos[handle] = -1
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+}
+
+func (h *Heap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.pri != b.pri {
+		return a.pri < b.pri
+	}
+	return a.handle < b.handle
+}
+
+func (h *Heap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i].handle] = i
+	h.pos[h.items[j].handle] = j
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

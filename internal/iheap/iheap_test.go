@@ -1,0 +1,180 @@
+package iheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopOrder(t *testing.T) {
+	h := New(10)
+	pris := []uint64{50, 10, 40, 20, 30}
+	for i, p := range pris {
+		h.Push(i, p)
+	}
+	want := []uint64{10, 20, 30, 40, 50}
+	for _, w := range want {
+		_, p := h.PopMin()
+		if p != w {
+			t.Fatalf("PopMin priority = %d, want %d", p, w)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d after draining", h.Len())
+	}
+}
+
+func TestTieBreakByHandle(t *testing.T) {
+	h := New(5)
+	h.Push(3, 7)
+	h.Push(1, 7)
+	h.Push(2, 7)
+	for _, want := range []int{1, 2, 3} {
+		got, _ := h.PopMin()
+		if got != want {
+			t.Fatalf("PopMin handle = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestUpdateBothDirections(t *testing.T) {
+	h := New(4)
+	h.Push(0, 10)
+	h.Push(1, 20)
+	h.Push(2, 30)
+	h.Update(2, 5) // decrease-key
+	if m, _ := h.Min(); m != 2 {
+		t.Fatalf("after decrease, Min = %d, want 2", m)
+	}
+	h.Update(2, 100) // increase-key
+	if m, _ := h.Min(); m != 0 {
+		t.Fatalf("after increase, Min = %d, want 0", m)
+	}
+	if h.Priority(2) != 100 {
+		t.Fatalf("Priority(2) = %d, want 100", h.Priority(2))
+	}
+}
+
+func TestRemoveMiddle(t *testing.T) {
+	h := New(6)
+	for i := 0; i < 6; i++ {
+		h.Push(i, uint64(10*i+10))
+	}
+	h.Remove(2)
+	h.Remove(0)
+	if h.Contains(2) || h.Contains(0) {
+		t.Fatal("removed handles still reported present")
+	}
+	var got []uint64
+	for h.Len() > 0 {
+		_, p := h.PopMin()
+		got = append(got, p)
+	}
+	want := []uint64{20, 40, 50, 60}
+	if len(got) != len(want) {
+		t.Fatalf("drained %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drained %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPushOrUpdate(t *testing.T) {
+	h := New(3)
+	h.PushOrUpdate(1, 9)
+	h.PushOrUpdate(1, 3)
+	if h.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", h.Len())
+	}
+	if h.Priority(1) != 3 {
+		t.Fatalf("Priority = %d, want 3", h.Priority(1))
+	}
+}
+
+func TestPanics(t *testing.T) {
+	h := New(2)
+	h.Push(0, 1)
+	cases := map[string]func(){
+		"double push":     func() { h.Push(0, 2) },
+		"update absent":   func() { h.Update(1, 2) },
+		"remove absent":   func() { h.Remove(1) },
+		"priority absent": func() { h.Priority(1) },
+		"min empty":       func() { New(1).Min() },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Randomised model check: interleave pushes, updates, removes, pops and
+// compare the min against a naive map-based model.
+func TestPropertyAgainstModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const universe = 24
+		h := New(universe)
+		model := map[int]uint64{}
+		for step := 0; step < 400; step++ {
+			op := rng.Intn(4)
+			handle := rng.Intn(universe)
+			pri := uint64(rng.Intn(50))
+			switch {
+			case op == 0 && !h.Contains(handle):
+				h.Push(handle, pri)
+				model[handle] = pri
+			case op == 1 && h.Contains(handle):
+				h.Update(handle, pri)
+				model[handle] = pri
+			case op == 2 && h.Contains(handle):
+				h.Remove(handle)
+				delete(model, handle)
+			case op == 3 && h.Len() > 0:
+				gotH, gotP := h.PopMin()
+				wantH, wantP := modelMin(model)
+				if gotH != wantH || gotP != wantP {
+					return false
+				}
+				delete(model, gotH)
+			}
+			if h.Len() != len(model) {
+				return false
+			}
+			if h.Len() > 0 {
+				gotH, gotP := h.Min()
+				wantH, wantP := modelMin(model)
+				if gotH != wantH || gotP != wantP {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func modelMin(m map[int]uint64) (handle int, pri uint64) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	handle, pri = -1, ^uint64(0)
+	for _, k := range keys {
+		if m[k] < pri {
+			handle, pri = k, m[k]
+		}
+	}
+	return handle, pri
+}

@@ -1,0 +1,128 @@
+// Package ltree implements a tournament tree of losers, Knuth's classical
+// structure for R-way internal merging (TAOCP vol. 3, Section 5.4.1 —
+// exactly the reference the paper gives for internal merge processing in
+// Section 5).
+//
+// Compared with a binary heap, the loser tree performs one root-to-leaf
+// pass of exactly ceil(log2 R) comparisons per emitted record regardless
+// of input order, which is why external sorters traditionally prefer it
+// for their inner loop. The API is shaped for merging: every player holds
+// one key; the winner is read with Min and replaced (the next record of
+// the same run) or retired (run exhausted) in O(log R).
+//
+// Ties are broken by player index, matching the iheap-based mergers, so
+// the two engines produce byte-identical merge output.
+package ltree
+
+import "fmt"
+
+// Infinite is the sentinel key of retired players.
+const Infinite = ^uint64(0)
+
+// Tree is a loser tree over players 0..n-1. Construct with New.
+type Tree struct {
+	n      int
+	keys   []uint64 // current key of each player; Infinite when retired
+	losers []int    // internal nodes: player index of the match loser; losers[0] is the winner
+	alive  int
+}
+
+// New builds a tree over the given initial keys (one per player). Players
+// whose runs are empty can be passed Infinite and count as retired.
+func New(keys []uint64) *Tree {
+	n := len(keys)
+	if n == 0 {
+		panic("ltree: no players")
+	}
+	t := &Tree{
+		n:      n,
+		keys:   append([]uint64(nil), keys...),
+		losers: make([]int, n),
+	}
+	for _, k := range keys {
+		if k != Infinite {
+			t.alive++
+		}
+	}
+	t.rebuild()
+	return t
+}
+
+// rebuild recomputes the whole tournament in O(n).
+func (t *Tree) rebuild() {
+	// Play the tournament bottom-up: winner[i] for internal node i of a
+	// complete binary tree with n leaves (players) at positions n..2n-1.
+	winner := make([]int, 2*t.n)
+	for i := 0; i < t.n; i++ {
+		winner[t.n+i] = i
+	}
+	for i := t.n - 1; i >= 1; i-- {
+		a, b := winner[2*i], winner[2*i+1]
+		w, l := t.play(a, b)
+		winner[i] = w
+		t.losers[i] = l
+	}
+	t.losers[0] = winner[1]
+}
+
+// play returns the (winner, loser) of a match; the smaller key wins, ties
+// go to the lower player index.
+func (t *Tree) play(a, b int) (w, l int) {
+	if t.keys[a] < t.keys[b] || (t.keys[a] == t.keys[b] && a < b) {
+		return a, b
+	}
+	return b, a
+}
+
+// Len returns the number of players still holding finite keys.
+func (t *Tree) Len() int { return t.alive }
+
+// Min returns the winning player and its key. It panics when every player
+// has retired.
+func (t *Tree) Min() (player int, key uint64) {
+	if t.alive == 0 {
+		panic("ltree: Min of empty tree")
+	}
+	w := t.losers[0]
+	return w, t.keys[w]
+}
+
+// ReplaceMin gives the current winner a new key (the next record of its
+// run) and replays its path to the root. The new key must not be smaller
+// than the replaced one in merging use, but the structure does not require
+// it.
+func (t *Tree) ReplaceMin(key uint64) {
+	if t.alive == 0 {
+		panic("ltree: ReplaceMin of empty tree")
+	}
+	w := t.losers[0]
+	if key == Infinite {
+		t.alive--
+	}
+	t.keys[w] = key
+	t.replay(w)
+}
+
+// DeleteMin retires the current winner (its run is exhausted).
+func (t *Tree) DeleteMin() {
+	t.ReplaceMin(Infinite)
+}
+
+// Key returns the current key of a player (Infinite if retired).
+func (t *Tree) Key(player int) uint64 {
+	if player < 0 || player >= t.n {
+		panic(fmt.Sprintf("ltree: player %d of %d", player, t.n))
+	}
+	return t.keys[player]
+}
+
+// replay re-runs the matches on player p's leaf-to-root path.
+func (t *Tree) replay(p int) {
+	winner := p
+	for node := (t.n + p) / 2; node >= 1; node /= 2 {
+		w, l := t.play(winner, t.losers[node])
+		t.losers[node] = l
+		winner = w
+	}
+	t.losers[0] = winner
+}

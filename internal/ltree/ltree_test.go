@@ -1,0 +1,228 @@
+package ltree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"srmsort/internal/iheap"
+)
+
+func TestSingleRunDrain(t *testing.T) {
+	tr := New([]uint64{5})
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	p, k := tr.Min()
+	if p != 0 || k != 5 {
+		t.Fatalf("Min = %d,%d", p, k)
+	}
+	tr.ReplaceMin(9)
+	if _, k := tr.Min(); k != 9 {
+		t.Fatalf("after replace, key = %d", k)
+	}
+	tr.DeleteMin()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after retirement", tr.Len())
+	}
+}
+
+func TestMergeThreeRuns(t *testing.T) {
+	runs := [][]uint64{
+		{1, 4, 7, 10},
+		{2, 5, 8},
+		{3, 6, 9, 11, 12},
+	}
+	pos := make([]int, len(runs))
+	keys := make([]uint64, len(runs))
+	for i, r := range runs {
+		keys[i] = r[0]
+		pos[i] = 1
+	}
+	tr := New(keys)
+	var out []uint64
+	for tr.Len() > 0 {
+		p, k := tr.Min()
+		out = append(out, k)
+		if pos[p] < len(runs[p]) {
+			tr.ReplaceMin(runs[p][pos[p]])
+			pos[p]++
+		} else {
+			tr.DeleteMin()
+		}
+	}
+	if len(out) != 12 {
+		t.Fatalf("merged %d keys", len(out))
+	}
+	for i := range out {
+		if out[i] != uint64(i+1) {
+			t.Fatalf("out[%d] = %d", i, out[i])
+		}
+	}
+}
+
+func TestInitialInfinitePlayers(t *testing.T) {
+	tr := New([]uint64{Infinite, 3, Infinite, 1})
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	if p, k := tr.Min(); p != 3 || k != 1 {
+		t.Fatalf("Min = %d,%d", p, k)
+	}
+}
+
+func TestTieBreakByPlayer(t *testing.T) {
+	tr := New([]uint64{7, 7, 7})
+	for want := 0; want < 3; want++ {
+		p, _ := tr.Min()
+		if p != want {
+			t.Fatalf("Min player = %d, want %d", p, want)
+		}
+		tr.DeleteMin()
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := map[string]func(){
+		"empty new":     func() { New(nil) },
+		"min empty":     func() { tr := New([]uint64{Infinite}); tr.Min() },
+		"replace empty": func() { tr := New([]uint64{Infinite}); tr.ReplaceMin(1) },
+		"key oob":       func() { New([]uint64{1}).Key(1) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// The loser tree and the indexed heap must produce identical merge
+// sequences (both break ties by player index).
+func TestMatchesIndexedHeap(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		nRuns := int(nRaw)%8 + 1
+		rng := rand.New(rand.NewSource(seed))
+		runs := make([][]uint64, nRuns)
+		for i := range runs {
+			n := rng.Intn(30)
+			runs[i] = make([]uint64, n)
+			for j := range runs[i] {
+				runs[i][j] = uint64(rng.Intn(40))
+			}
+			sort.Slice(runs[i], func(a, b int) bool { return runs[i][a] < runs[i][b] })
+		}
+
+		mergeLT := func() []uint64 {
+			keys := make([]uint64, nRuns)
+			pos := make([]int, nRuns)
+			for i, r := range runs {
+				if len(r) > 0 {
+					keys[i] = r[0]
+					pos[i] = 1
+				} else {
+					keys[i] = Infinite
+				}
+			}
+			tr := New(keys)
+			var out []uint64
+			for tr.Len() > 0 {
+				p, k := tr.Min()
+				out = append(out, k)
+				if pos[p] < len(runs[p]) {
+					tr.ReplaceMin(runs[p][pos[p]])
+					pos[p]++
+				} else {
+					tr.DeleteMin()
+				}
+			}
+			return out
+		}
+		mergeHeap := func() []uint64 {
+			h := iheap.New(nRuns)
+			pos := make([]int, nRuns)
+			for i, r := range runs {
+				if len(r) > 0 {
+					h.Push(i, r[0])
+					pos[i] = 1
+				}
+			}
+			var out []uint64
+			for h.Len() > 0 {
+				p, k := h.Min()
+				out = append(out, k)
+				if pos[p] < len(runs[p]) {
+					h.Update(p, runs[p][pos[p]])
+					pos[p]++
+				} else {
+					h.Remove(p)
+				}
+			}
+			return out
+		}
+
+		a, b := mergeLT(), mergeHeap()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return sort.SliceIsSorted(a, func(i, j int) bool { return a[i] < a[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeTournament(t *testing.T) {
+	const n = 1000
+	keys := make([]uint64, n)
+	rng := rand.New(rand.NewSource(9))
+	for i := range keys {
+		keys[i] = rng.Uint64() >> 1
+	}
+	tr := New(keys)
+	prev := uint64(0)
+	for tr.Len() > 0 {
+		_, k := tr.Min()
+		if k < prev {
+			t.Fatal("not monotone")
+		}
+		prev = k
+		tr.DeleteMin()
+	}
+}
+
+func BenchmarkReplaceMin(b *testing.B) {
+	const players = 512
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, players)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(1 << 30))
+	}
+	b.Run("ltree", func(b *testing.B) {
+		tr := New(keys)
+		for i := 0; i < b.N; i++ {
+			_, k := tr.Min()
+			tr.ReplaceMin(k + uint64(rng.Intn(64)))
+		}
+	})
+	b.Run("iheap", func(b *testing.B) {
+		h := iheap.New(players)
+		for i, k := range keys {
+			h.Push(i, k)
+		}
+		for i := 0; i < b.N; i++ {
+			p, k := h.Min()
+			h.Update(p, k+uint64(rng.Intn(64)))
+		}
+	})
+}

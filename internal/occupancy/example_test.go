@@ -1,0 +1,35 @@
+package occupancy_test
+
+import (
+	"fmt"
+
+	"srmsort/internal/occupancy"
+)
+
+// The Figure 1 instance: 12 balls in 5 cyclic chains over 4 bins, versus
+// the same 12 balls thrown independently.
+func ExampleExactDependentExpectation() {
+	chains := []int{4, 3, 2, 2, 1}
+	dep := occupancy.ExactDependentExpectation(chains, 4)
+	cls := occupancy.ExactClassicalExpectation(12, 4)
+	fmt.Printf("dependent %.4f <= classical %.4f: %v\n", dep, cls, dep <= cls)
+	// Output:
+	// dependent 4.0938 <= classical 4.8631: true
+}
+
+// Lemma 9: a chain of length aD+b splits into a chains of length D plus
+// one of length b without changing the occupancy distribution.
+func ExampleSplitChains() {
+	fmt.Println(occupancy.SplitChains([]int{9, 4, 1}, 4))
+	// Output:
+	// [4 4 1 4 1]
+}
+
+// The finite-D Theorem 2 bound is rigorous at any size.
+func ExampleFiniteBound() {
+	bound := occupancy.FiniteBound(250, 50) // k=5, D=50
+	est := occupancy.EstimateClassical(250, 50, 4000, 1)
+	fmt.Printf("bound %.0f dominates the Monte Carlo mean: %v\n", bound, est.Mean <= bound)
+	// Output:
+	// bound 14 dominates the Monte Carlo mean: true
+}

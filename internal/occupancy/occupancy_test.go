@@ -1,0 +1,326 @@
+package occupancy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassicalTrialBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		m := ClassicalMaxTrial(rng, 50, 7)
+		if m < (50+6)/7 || m > 50 {
+			t.Fatalf("classical max %d out of [8, 50]", m)
+		}
+	}
+}
+
+func TestDependentTrialConservesBalls(t *testing.T) {
+	// Max occupancy of one chain of length l is exactly ceil(l/D)
+	// regardless of where it lands.
+	rng := rand.New(rand.NewSource(2))
+	for _, tc := range []struct{ l, d, want int }{
+		{12, 4, 3}, {13, 4, 4}, {1, 4, 1}, {4, 4, 1}, {5, 4, 2}, {9, 3, 3},
+	} {
+		for i := 0; i < 20; i++ {
+			if got := DependentMaxTrial(rng, []int{tc.l}, tc.d); got != tc.want {
+				t.Fatalf("chain %d into %d bins: max %d, want %d", tc.l, tc.d, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestDependentMatchesNaive(t *testing.T) {
+	// The difference-array implementation must agree with a naive
+	// ball-by-ball placement driven by the same random choices.
+	f := func(seed int64, nRaw uint8, dRaw uint8) bool {
+		d := int(dRaw)%6 + 2
+		nChains := int(nRaw)%8 + 1
+		lenRng := rand.New(rand.NewSource(seed))
+		chains := make([]int, nChains)
+		for i := range chains {
+			chains[i] = lenRng.Intn(3*d) + 1
+		}
+		fast := DependentMaxTrial(rand.New(rand.NewSource(seed+99)), chains, d)
+		// Naive replay with identical draws.
+		rng := rand.New(rand.NewSource(seed + 99))
+		counts := make([]int, d)
+		for _, l := range chains {
+			s := 0
+			if l%d != 0 {
+				s = rng.Intn(d)
+			}
+			for i := 0; i < l; i++ {
+				counts[(s+i)%d]++
+			}
+		}
+		naive := 0
+		for _, c := range counts {
+			if c > naive {
+				naive = c
+			}
+		}
+		return fast == naive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateDeterministicAndSane(t *testing.T) {
+	a := EstimateClassical(100, 10, 500, 42)
+	b := EstimateClassical(100, 10, 500, 42)
+	if a != b {
+		t.Fatal("same seed gave different estimates")
+	}
+	if a.Mean < 10 || a.Mean > 30 {
+		t.Fatalf("C(100,10) estimate %v implausible", a)
+	}
+	if a.StdErr <= 0 || a.StdErr > 1 {
+		t.Fatalf("std err %v implausible", a.StdErr)
+	}
+}
+
+func TestOverheadVMatchesPaperTable1(t *testing.T) {
+	// Spot-check against the paper's Table 1 (one significant digit).
+	for _, tc := range []struct {
+		k, d int
+		want float64
+		tol  float64
+	}{
+		{5, 5, 1.6, 0.15},
+		{10, 10, 1.5, 0.12},
+		{50, 50, 1.3, 0.08},
+		{100, 5, 1.11, 0.04},
+	} {
+		got := OverheadV(tc.k, tc.d, 2000, 7)
+		if math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("v(k=%d, D=%d) = %.3f, paper reports %.2f", tc.k, tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestSplitChains(t *testing.T) {
+	got := SplitChains([]int{9, 4, 1, 8}, 4)
+	want := []int{4, 4, 1, 4, 1, 4, 4}
+	if len(got) != len(want) {
+		t.Fatalf("SplitChains = %v, want %v", got, want)
+	}
+	sum := 0
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SplitChains = %v, want %v", got, want)
+		}
+		sum += got[i]
+	}
+	if sum != 22 {
+		t.Fatalf("splitting changed the ball count: %d", sum)
+	}
+	for _, l := range got {
+		if l > 4 {
+			t.Fatalf("chain of length %d survives splitting", l)
+		}
+	}
+}
+
+func TestLemma9ExactEquivalence(t *testing.T) {
+	// Splitting long chains preserves the occupancy distribution exactly
+	// (Lemma 9): compare exact expectations.
+	cases := [][2]interface{}{}
+	_ = cases
+	for _, tc := range []struct {
+		chains []int
+		d      int
+	}{
+		{[]int{7}, 3},       // 7 = 2*3+1 -> {3,3,1}
+		{[]int{5, 4}, 2},    // -> {2,2,1, 2,2}
+		{[]int{9, 2, 6}, 4}, // -> {4,4,1, 2, 4,2}
+	} {
+		orig := ExactDependentExpectation(tc.chains, tc.d)
+		split := ExactDependentExpectation(SplitChains(tc.chains, tc.d), tc.d)
+		if math.Abs(orig-split) > 1e-9 {
+			t.Errorf("Lemma 9 violated for %v into %d bins: %.6f vs %.6f",
+				tc.chains, tc.d, orig, split)
+		}
+	}
+}
+
+func TestLemma9MonteCarloEquivalence(t *testing.T) {
+	// Same check at a size exact enumeration cannot reach.
+	chains := []int{23, 17, 9, 31, 5}
+	d := 6
+	a := EstimateDependent(chains, d, 20000, 3)
+	b := EstimateDependent(SplitChains(chains, d), d, 20000, 4)
+	if diff := math.Abs(a.Mean - b.Mean); diff > 4*(a.StdErr+b.StdErr) {
+		t.Fatalf("split and unsplit estimates differ: %v vs %v", a, b)
+	}
+}
+
+func TestFigure1DependentBelowClassical(t *testing.T) {
+	// The Figure 1 instance: N_b=12 balls, C=5 chains, D=4 bins. The
+	// paper's conjecture (Section 7.2): dependent expected max occupancy
+	// <= classical expected max occupancy.
+	chains := []int{4, 3, 2, 2, 1}
+	dep := ExactDependentExpectation(chains, 4)
+	cls := ExactClassicalExpectation(12, 4)
+	if dep > cls {
+		t.Fatalf("dependent %.4f > classical %.4f; conjecture violated on Figure 1 instance",
+			dep, cls)
+	}
+	if dep < 3.0 || cls > 12 {
+		t.Fatalf("implausible expectations dep=%.4f cls=%.4f", dep, cls)
+	}
+}
+
+func TestExactClassicalMatchesMonteCarlo(t *testing.T) {
+	exact := ExactClassicalExpectation(12, 4)
+	mc := EstimateClassical(12, 4, 40000, 9)
+	if math.Abs(exact-mc.Mean) > 5*mc.StdErr+0.01 {
+		t.Fatalf("exact %.4f vs MC %v", exact, mc)
+	}
+}
+
+func TestExactClassicalDegenerate(t *testing.T) {
+	if got := ExactClassicalExpectation(5, 1); got != 5 {
+		t.Fatalf("one bin: %.4f, want 5", got)
+	}
+	if got := ExactClassicalExpectation(0, 3); got != 0 {
+		t.Fatalf("zero balls: %.4f, want 0", got)
+	}
+}
+
+func TestExactDependentSingleChainExact(t *testing.T) {
+	// One chain of length l: expected max = ceil(l/D) exactly.
+	if got := ExactDependentExpectation([]int{7}, 3); got != 3 {
+		t.Fatalf("ceil(7/3) = %f, want 3", got)
+	}
+	if got := ExactDependentExpectation([]int{6}, 3); got != 2 {
+		t.Fatalf("ceil(6/3) = %f, want 2", got)
+	}
+}
+
+func TestBoundCase2Behaviour(t *testing.T) {
+	// The factor multiplying N_b/D must approach 1 from above as r grows.
+	d := 100
+	lnD := math.Log(float64(d))
+	prevFactor := math.Inf(1)
+	for _, r := range []float64{1, 2, 8, 32, 128, 1024, 1e6} {
+		bound := BoundCase2(r, d)
+		factor := bound / (r * lnD)
+		if factor < 1 {
+			t.Fatalf("r=%v: factor %v below 1", r, factor)
+		}
+		if factor > prevFactor {
+			t.Fatalf("r=%v: factor %v not decreasing (prev %v)", r, factor, prevFactor)
+		}
+		prevFactor = factor
+	}
+	if prevFactor > 1.01 {
+		t.Fatalf("factor at r=1e6 is %v, should be close to 1", prevFactor)
+	}
+}
+
+func TestBoundCase1Behaviour(t *testing.T) {
+	// Case 1 grows ~ ln D / ln ln D in D and only logarithmically in k.
+	b1 := BoundCase1(5, 1000)
+	b2 := BoundCase1(5, 100000)
+	if !(b2 > b1) || b1 < 1 {
+		t.Fatalf("case-1 bound not increasing in D: %v vs %v", b1, b2)
+	}
+	bk := BoundCase1(50, 1000)
+	if !(bk > b1) {
+		t.Fatalf("case-1 bound not increasing in k: %v vs %v", bk, b1)
+	}
+	if !math.IsNaN(BoundCase1(5, 8)) {
+		t.Fatal("case-1 bound should be NaN for tiny D")
+	}
+}
+
+func TestBoundForBallsSelectsCase(t *testing.T) {
+	d := 1000
+	lnD := math.Log(float64(d))
+	small := BoundForBalls(2, d) // k < ln D -> case 1
+	if math.Abs(small-BoundCase1(2, d)) > 1e-12 {
+		t.Fatal("BoundForBalls did not use case 1")
+	}
+	big := BoundForBalls(4*lnD, d) // k = 4 ln D -> case 2 with r=4
+	if math.Abs(big-BoundCase2(4, d)) > 1e-12 {
+		t.Fatal("BoundForBalls did not use case 2")
+	}
+}
+
+func TestDependentVsClassicalConjectureSweep(t *testing.T) {
+	// Monte Carlo sweep of the Section 7.2 conjecture: for equal ball
+	// counts, dependent max occupancy (chains) stays below classical.
+	for _, tc := range []struct {
+		k, d int
+	}{
+		{5, 5}, {10, 10}, {5, 50},
+	} {
+		chains := make([]int, tc.k*tc.d/5) // chains of length 5
+		for i := range chains {
+			chains[i] = 5
+		}
+		dep := EstimateDependent(chains, tc.d, 3000, 11)
+		cls := EstimateClassical(tc.k*tc.d, tc.d, 3000, 12)
+		if dep.Mean > cls.Mean+3*(dep.StdErr+cls.StdErr) {
+			t.Errorf("k=%d D=%d: dependent %v above classical %v", tc.k, tc.d, dep, cls)
+		}
+	}
+}
+
+// The finite-D bound is rigorous: it must dominate Monte Carlo estimates
+// of both classical and dependent maximum occupancy everywhere on the
+// paper's Table 1 grid (unlike the leading-order expansions, which drop
+// O(·) terms and undershoot at small D).
+func TestFiniteBoundDominatesMonteCarlo(t *testing.T) {
+	for _, k := range []int{5, 10, 50, 100} {
+		for _, d := range []int{5, 10, 50, 100} {
+			nb := k * d
+			bound := FiniteBound(nb, d)
+			cls := EstimateClassical(nb, d, 1500, int64(k*1000+d))
+			if cls.Mean > bound {
+				t.Errorf("k=%d D=%d: classical MC %.3f above finite bound %.3f", k, d, cls.Mean, bound)
+			}
+			chains := make([]int, nb/5)
+			for i := range chains {
+				chains[i] = 5
+			}
+			dep := EstimateDependent(chains, d, 1500, int64(k*2000+d))
+			if dep.Mean > bound {
+				t.Errorf("k=%d D=%d: dependent MC %.3f above finite bound %.3f", k, d, dep.Mean, bound)
+			}
+		}
+	}
+}
+
+func TestFiniteBoundSane(t *testing.T) {
+	// One bin: everything lands there.
+	if got := FiniteBound(17, 1); got != 17 {
+		t.Fatalf("FiniteBound(17,1) = %v", got)
+	}
+	// Never below the mean load, never above nb.
+	for _, tc := range []struct{ nb, d int }{{10, 10}, {1000, 10}, {12, 4}, {100000, 100}} {
+		b := FiniteBound(tc.nb, tc.d)
+		if b < float64(tc.nb)/float64(tc.d) || b > float64(tc.nb) {
+			t.Errorf("FiniteBound(%d,%d) = %v out of [mean, nb]", tc.nb, tc.d, b)
+		}
+	}
+	// Tighter than trivial: for many balls the bound should be within a
+	// small factor of the mean load.
+	if b := FiniteBound(100000, 100); b > 1.2*1000 {
+		t.Errorf("FiniteBound(1e5,100) = %v, too loose", b)
+	}
+}
+
+func TestFiniteBoundTighterThanAsymptoticAtSmallD(t *testing.T) {
+	// At D=5..10 the leading-order case-1 expression is NaN or undershoots;
+	// the finite bound must still be valid (checked above) and finite.
+	for _, d := range []int{5, 10} {
+		if b := FiniteBound(5*d, d); math.IsNaN(b) || math.IsInf(b, 0) {
+			t.Errorf("FiniteBound(5D, %d) = %v", d, b)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package ostree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The scheduler performs one CountLess and potentially one PopMax+Insert
+// cycle per parallel read; these benches size those costs.
+
+func BenchmarkInsertDelete(b *testing.B) {
+	tr := New(1)
+	rng := rand.New(rand.NewSource(2))
+	const resident = 4096
+	for i := 0; i < resident; i++ {
+		tr.Insert(Item{Key: rng.Uint64(), ID: i})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := Item{Key: rng.Uint64(), ID: resident + i}
+		tr.Insert(it)
+		tr.Delete(it)
+	}
+}
+
+func BenchmarkCountLess(b *testing.B) {
+	tr := New(3)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 4096; i++ {
+		tr.Insert(Item{Key: rng.Uint64(), ID: i})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.CountKeyLess(rng.Uint64())
+	}
+}
+
+func BenchmarkPopMaxReinsert(b *testing.B) {
+	tr := New(5)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 4096; i++ {
+		tr.Insert(Item{Key: rng.Uint64(), ID: i})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := tr.PopMax()
+		it.Key = rng.Uint64()
+		tr.Insert(it)
+	}
+}

@@ -1,0 +1,227 @@
+// Package ostree implements an order-statistic treap: a randomized balanced
+// BST over (key, id) pairs supporting O(log n) insert, delete, rank queries
+// and k-th selection.
+//
+// The SRM I/O scheduler uses it to maintain the set F_t of full non-leading
+// in-memory blocks ordered by first key (Definition 4 of the paper):
+// OutRank_t is one plus the number of F_t blocks ranked below the smallest
+// on-disk candidate, and Flush_t(j) evicts the j highest-ranked elements.
+//
+// Entries are ordered by key, with ties broken by id, so duplicate keys are
+// handled deterministically.
+package ostree
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Item is an element of the tree: an ordering key plus an opaque integer id
+// that callers use to identify the block the entry stands for.
+type Item struct {
+	Key uint64
+	ID  int
+}
+
+func (a Item) less(b Item) bool {
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	return a.ID < b.ID
+}
+
+type node struct {
+	item        Item
+	prio        uint32
+	size        int
+	left, right *node
+}
+
+func size(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *node) update() { n.size = size(n.left) + size(n.right) + 1 }
+
+// Tree is an order-statistic treap. Construct with New; the zero value is
+// not usable.
+type Tree struct {
+	root *node
+	rng  *rand.Rand
+}
+
+// New returns an empty tree whose treap priorities are drawn from a private
+// deterministic PRNG seeded with seed.
+func New(seed int64) *Tree {
+	return &Tree{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Len returns the number of items in the tree.
+func (t *Tree) Len() int { return size(t.root) }
+
+// Insert adds it to the tree. Inserting an item equal to one already present
+// (same key and id) panics: the scheduler tracks distinct blocks.
+func (t *Tree) Insert(it Item) {
+	if t.contains(t.root, it) {
+		panic(fmt.Sprintf("ostree: duplicate insert of %+v", it))
+	}
+	n := &node{item: it, prio: t.rng.Uint32(), size: 1}
+	l, r := split(t.root, it)
+	t.root = merge(merge(l, n), r)
+}
+
+// Delete removes the item equal to it; it panics if the item is absent.
+func (t *Tree) Delete(it Item) {
+	var deleted bool
+	t.root, deleted = del(t.root, it)
+	if !deleted {
+		panic(fmt.Sprintf("ostree: delete of absent item %+v", it))
+	}
+}
+
+// Contains reports whether the exact item is present.
+func (t *Tree) Contains(it Item) bool { return t.contains(t.root, it) }
+
+func (t *Tree) contains(n *node, it Item) bool {
+	for n != nil {
+		switch {
+		case it.less(n.item):
+			n = n.left
+		case n.item.less(it):
+			n = n.right
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// CountLess returns the number of items strictly smaller than it (by the
+// (key, id) order). With it = (key, 0...) this counts items whose key is
+// smaller than key, which is exactly the rank term the scheduler needs.
+func (t *Tree) CountLess(it Item) int {
+	count := 0
+	n := t.root
+	for n != nil {
+		if n.item.less(it) {
+			count += size(n.left) + 1
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	return count
+}
+
+// CountKeyLess returns the number of items whose key is strictly less than
+// key, regardless of id.
+func (t *Tree) CountKeyLess(key uint64) int {
+	return t.CountLess(Item{Key: key, ID: minInt})
+}
+
+const minInt = -int(^uint(0)>>1) - 1
+
+// Kth returns the item with rank k (1-based: k=1 is the smallest). It
+// panics if k is out of range.
+func (t *Tree) Kth(k int) Item {
+	if k < 1 || k > t.Len() {
+		panic(fmt.Sprintf("ostree: Kth(%d) out of range [1,%d]", k, t.Len()))
+	}
+	n := t.root
+	for {
+		ls := size(n.left)
+		switch {
+		case k <= ls:
+			n = n.left
+		case k == ls+1:
+			return n.item
+		default:
+			k -= ls + 1
+			n = n.right
+		}
+	}
+}
+
+// Max returns the largest item; it panics on an empty tree.
+func (t *Tree) Max() Item { return t.Kth(t.Len()) }
+
+// Min returns the smallest item; it panics on an empty tree.
+func (t *Tree) Min() Item { return t.Kth(1) }
+
+// PopMax removes and returns the largest item.
+func (t *Tree) PopMax() Item {
+	it := t.Max()
+	t.Delete(it)
+	return it
+}
+
+// Items returns all items in ascending order (for tests and traces).
+func (t *Tree) Items() []Item {
+	out := make([]Item, 0, t.Len())
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		out = append(out, n.item)
+		walk(n.right)
+	}
+	walk(t.root)
+	return out
+}
+
+// split partitions n into (< it) and (>= it) subtrees.
+func split(n *node, it Item) (l, r *node) {
+	if n == nil {
+		return nil, nil
+	}
+	if n.item.less(it) {
+		n.right, r = split(n.right, it)
+		n.update()
+		return n, r
+	}
+	l, n.left = split(n.left, it)
+	n.update()
+	return l, n
+}
+
+func merge(l, r *node) *node {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case l.prio > r.prio:
+		l.right = merge(l.right, r)
+		l.update()
+		return l
+	default:
+		r.left = merge(l, r.left)
+		r.update()
+		return r
+	}
+}
+
+func del(n *node, it Item) (*node, bool) {
+	if n == nil {
+		return nil, false
+	}
+	switch {
+	case it.less(n.item):
+		var ok bool
+		n.left, ok = del(n.left, it)
+		n.update()
+		return n, ok
+	case n.item.less(it):
+		var ok bool
+		n.right, ok = del(n.right, it)
+		n.update()
+		return n, ok
+	default:
+		return merge(n.left, n.right), true
+	}
+}

@@ -1,0 +1,188 @@
+package ostree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertAndOrder(t *testing.T) {
+	tr := New(1)
+	for _, k := range []uint64{30, 10, 50, 20, 40} {
+		tr.Insert(Item{Key: k, ID: int(k)})
+	}
+	items := tr.Items()
+	want := []uint64{10, 20, 30, 40, 50}
+	for i, it := range items {
+		if it.Key != want[i] {
+			t.Fatalf("Items()[%d].Key = %d, want %d", i, it.Key, want[i])
+		}
+	}
+}
+
+func TestKthMinMax(t *testing.T) {
+	tr := New(2)
+	for i := 1; i <= 9; i++ {
+		tr.Insert(Item{Key: uint64(i * 10), ID: i})
+	}
+	if tr.Min().Key != 10 || tr.Max().Key != 90 {
+		t.Fatalf("Min=%d Max=%d", tr.Min().Key, tr.Max().Key)
+	}
+	for k := 1; k <= 9; k++ {
+		if got := tr.Kth(k).Key; got != uint64(k*10) {
+			t.Fatalf("Kth(%d) = %d, want %d", k, got, k*10)
+		}
+	}
+}
+
+func TestCountLessAndCountKeyLess(t *testing.T) {
+	tr := New(3)
+	for _, k := range []uint64{5, 10, 10, 15} {
+		tr.Insert(Item{Key: k, ID: tr.Len()})
+	}
+	if got := tr.CountKeyLess(10); got != 1 {
+		t.Fatalf("CountKeyLess(10) = %d, want 1", got)
+	}
+	if got := tr.CountKeyLess(11); got != 3 {
+		t.Fatalf("CountKeyLess(11) = %d, want 3", got)
+	}
+	if got := tr.CountKeyLess(100); got != 4 {
+		t.Fatalf("CountKeyLess(100) = %d, want 4", got)
+	}
+	if got := tr.CountKeyLess(0); got != 0 {
+		t.Fatalf("CountKeyLess(0) = %d, want 0", got)
+	}
+}
+
+func TestPopMaxDrains(t *testing.T) {
+	tr := New(4)
+	keys := []uint64{3, 1, 4, 1, 5, 9, 2, 6}
+	for i, k := range keys {
+		tr.Insert(Item{Key: k, ID: i})
+	}
+	var got []uint64
+	for tr.Len() > 0 {
+		got = append(got, tr.PopMax().Key)
+	}
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	for i := range sorted {
+		if got[i] != sorted[i] {
+			t.Fatalf("PopMax sequence %v, want %v", got, sorted)
+		}
+	}
+}
+
+func TestDuplicateKeysDistinctIDs(t *testing.T) {
+	tr := New(5)
+	tr.Insert(Item{Key: 7, ID: 1})
+	tr.Insert(Item{Key: 7, ID: 2})
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	tr.Delete(Item{Key: 7, ID: 1})
+	if !tr.Contains(Item{Key: 7, ID: 2}) || tr.Contains(Item{Key: 7, ID: 1}) {
+		t.Fatal("wrong duplicate-key entry deleted")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	tr := New(6)
+	tr.Insert(Item{Key: 1, ID: 1})
+	cases := map[string]func(){
+		"dup insert":    func() { tr.Insert(Item{Key: 1, ID: 1}) },
+		"absent delete": func() { tr.Delete(Item{Key: 2, ID: 2}) },
+		"kth oob":       func() { tr.Kth(2) },
+		"kth zero":      func() { tr.Kth(0) },
+		"empty max":     func() { New(0).Max() },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Model check against a sorted slice.
+func TestPropertyAgainstModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New(seed ^ 0x5eed)
+		var model []Item
+		find := func(it Item) int {
+			for i, m := range model {
+				if m == it {
+					return i
+				}
+			}
+			return -1
+		}
+		for step := 0; step < 300; step++ {
+			op := rng.Intn(3)
+			it := Item{Key: uint64(rng.Intn(40)), ID: rng.Intn(8)}
+			switch op {
+			case 0:
+				if find(it) < 0 {
+					tr.Insert(it)
+					model = append(model, it)
+					sort.Slice(model, func(i, j int) bool { return model[i].less(model[j]) })
+				}
+			case 1:
+				if i := find(it); i >= 0 {
+					tr.Delete(it)
+					model = append(model[:i], model[i+1:]...)
+				}
+			case 2:
+				if tr.Len() != len(model) {
+					return false
+				}
+				if len(model) == 0 {
+					continue
+				}
+				k := rng.Intn(len(model)) + 1
+				if tr.Kth(k) != model[k-1] {
+					return false
+				}
+				probe := uint64(rng.Intn(45))
+				naive := 0
+				for _, m := range model {
+					if m.Key < probe {
+						naive++
+					}
+				}
+				if tr.CountKeyLess(probe) != naive {
+					return false
+				}
+			}
+		}
+		return tr.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeBalance(t *testing.T) {
+	// Insert ascending keys (worst case for a plain BST) and make sure
+	// selection still works across the whole range; indirectly exercises
+	// treap balancing.
+	tr := New(7)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		tr.Insert(Item{Key: uint64(i), ID: i})
+	}
+	for _, k := range []int{1, n / 4, n / 2, n} {
+		if got := tr.Kth(k); got.Key != uint64(k-1) {
+			t.Fatalf("Kth(%d).Key = %d, want %d", k, got.Key, k-1)
+		}
+	}
+	if tr.CountKeyLess(n/2) != n/2 {
+		t.Fatalf("CountKeyLess(%d) = %d", n/2, tr.CountKeyLess(n/2))
+	}
+}

@@ -1,0 +1,109 @@
+package pdisk
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"srmsort/internal/record"
+)
+
+// Many goroutines hammer one System concurrently (as concurrent merges in
+// a parallel pass do); counters must stay exact and contents uncorrupted.
+// Run with -race for the full effect.
+func TestConcurrentOpsExactCounters(t *testing.T) {
+	const (
+		d       = 8
+		workers = 16
+		opsEach = 200
+	)
+	sys := mustSystem(t, d, 4)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				// Each op touches every disk once.
+				writes := make([]BlockWrite, d)
+				for disk := 0; disk < d; disk++ {
+					addr := sys.Alloc(disk)
+					writes[disk] = BlockWrite{
+						Addr:  addr,
+						Block: blk(record.Key(w*1000000 + i*100 + disk)),
+					}
+				}
+				if err := sys.WriteBlocks(writes); err != nil {
+					errs <- err
+					return
+				}
+				addrs := make([]BlockAddr, d)
+				for disk := 0; disk < d; disk++ {
+					addrs[disk] = writes[disk].Addr
+				}
+				got, err := sys.ReadBlocks(addrs)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for disk := 0; disk < d; disk++ {
+					if got[disk].Records[0].Key != writes[disk].Block.Records[0].Key {
+						errs <- fmt.Errorf("worker %d op %d disk %d: corrupted block", w, i, disk)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := sys.Stats()
+	wantOps := int64(workers * opsEach)
+	if st.WriteOps != wantOps || st.ReadOps != wantOps {
+		t.Fatalf("ops: %d writes, %d reads; want %d each", st.WriteOps, st.ReadOps, wantOps)
+	}
+	if st.BlocksWritten != wantOps*d || st.BlocksRead != wantOps*d {
+		t.Fatalf("blocks: %d written, %d read; want %d each", st.BlocksWritten, st.BlocksRead, wantOps*d)
+	}
+	for disk := 0; disk < d; disk++ {
+		if st.PerDiskWrites[disk] != wantOps || st.PerDiskReads[disk] != wantOps {
+			t.Fatalf("disk %d: %d writes, %d reads; want %d each",
+				disk, st.PerDiskWrites[disk], st.PerDiskReads[disk], wantOps)
+		}
+	}
+	if st.ReadBalance() != 1.0 || st.WriteBalance() != 1.0 {
+		t.Fatalf("balance: %v read, %v write; want 1.0", st.ReadBalance(), st.WriteBalance())
+	}
+}
+
+// Concurrent Alloc must never hand out the same address twice.
+func TestConcurrentAllocDistinct(t *testing.T) {
+	sys := mustSystem(t, 4, 2)
+	const workers, each = 8, 500
+	results := make(chan BlockAddr, workers*each)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				results <- sys.Alloc(i % 4)
+			}
+		}()
+	}
+	wg.Wait()
+	close(results)
+	seen := map[BlockAddr]bool{}
+	for a := range results {
+		if seen[a] {
+			t.Fatalf("address %v allocated twice", a)
+		}
+		seen[a] = true
+	}
+}

@@ -1,0 +1,77 @@
+package pdisk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrInjected is the base error of all FaultStore failures; test code can
+// errors.Is against it.
+var ErrInjected = errors.New("pdisk: injected fault")
+
+// FaultStore wraps a Store and injects failures on a schedule, so tests
+// can drive the error paths of every algorithm: a sort must surface a
+// failed transfer as an error (never a panic, never silent corruption).
+//
+// Failure schedules are counted per operation kind: the n-th Read (or
+// Write, or Free) fails and every later one succeeds again, mimicking a
+// transient device error.
+type FaultStore struct {
+	inner Store
+
+	mu          sync.Mutex
+	reads       int64
+	writes      int64
+	frees       int64
+	FailReadAt  int64 // 1-based read count to fail; 0 = never
+	FailWriteAt int64
+	FailFreeAt  int64
+}
+
+// NewFaultStore wraps inner; configure the Fail*At fields before use.
+func NewFaultStore(inner Store) *FaultStore {
+	return &FaultStore{inner: inner}
+}
+
+// Read implements Store.
+func (f *FaultStore) Read(addr BlockAddr) (StoredBlock, error) {
+	f.mu.Lock()
+	f.reads++
+	n := f.reads
+	fail := f.FailReadAt > 0 && n == f.FailReadAt
+	f.mu.Unlock()
+	if fail {
+		return StoredBlock{}, fmt.Errorf("%w: read #%d at %v", ErrInjected, n, addr)
+	}
+	return f.inner.Read(addr)
+}
+
+// Write implements Store.
+func (f *FaultStore) Write(addr BlockAddr, b StoredBlock) error {
+	f.mu.Lock()
+	f.writes++
+	n := f.writes
+	fail := f.FailWriteAt > 0 && n == f.FailWriteAt
+	f.mu.Unlock()
+	if fail {
+		return fmt.Errorf("%w: write #%d at %v", ErrInjected, n, addr)
+	}
+	return f.inner.Write(addr, b)
+}
+
+// Free implements Store.
+func (f *FaultStore) Free(addr BlockAddr) error {
+	f.mu.Lock()
+	f.frees++
+	n := f.frees
+	fail := f.FailFreeAt > 0 && n == f.FailFreeAt
+	f.mu.Unlock()
+	if fail {
+		return fmt.Errorf("%w: free #%d at %v", ErrInjected, n, addr)
+	}
+	return f.inner.Free(addr)
+}
+
+// Close implements Store.
+func (f *FaultStore) Close() error { return f.inner.Close() }

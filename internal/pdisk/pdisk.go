@@ -1,0 +1,342 @@
+// Package pdisk implements the Vitter–Shriver D-disk parallel I/O model that
+// both SRM and DSM run on.
+//
+// Secondary storage is D independent disks holding blocks of B records. One
+// I/O operation transfers at most one block to or from each of the D disks
+// simultaneously; the System enforces this invariant and counts every
+// operation, which is exactly the cost unit of the paper's Theorem 1 and
+// Tables 1-4.
+//
+// Blocks live in a Store — in-memory (MemStore) for experiments, or
+// file-backed (FileStore) to demonstrate the same algorithms moving real
+// bytes. An optional Ruemmler–Wilkes-style TimeModel converts operation
+// counts into estimated wall-clock time.
+package pdisk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"srmsort/internal/record"
+)
+
+// BlockAddr names one block slot: a disk number in [0, D) and a
+// nonnegative block index on that disk.
+type BlockAddr struct {
+	Disk  int
+	Index int
+}
+
+func (a BlockAddr) String() string { return fmt.Sprintf("d%d:%d", a.Disk, a.Index) }
+
+// StoredBlock is the unit of transfer: up to B records plus the implanted
+// forecasting keys of the paper's Section 4 (D keys in a run's block 0, one
+// key in every later block, none in blocks written without forecasting,
+// e.g. by DSM).
+type StoredBlock struct {
+	Records  record.Block
+	Forecast []record.Key
+}
+
+// Clone returns a deep copy, so store contents can never be aliased by
+// callers.
+func (b StoredBlock) Clone() StoredBlock {
+	c := StoredBlock{Records: b.Records.Clone()}
+	if b.Forecast != nil {
+		c.Forecast = append([]record.Key(nil), b.Forecast...)
+	}
+	return c
+}
+
+// Store is the persistence layer under a System: a block container indexed
+// by BlockAddr. Implementations must return errors (not panic) for missing
+// blocks so the simulator surfaces scheduling bugs as test failures.
+type Store interface {
+	// Write stores b at addr, overwriting any previous block.
+	Write(addr BlockAddr, b StoredBlock) error
+	// Read returns a copy of the block at addr.
+	Read(addr BlockAddr) (StoredBlock, error)
+	// Free releases the block at addr; freeing an absent block is an error.
+	Free(addr BlockAddr) error
+	// Close releases all resources held by the store.
+	Close() error
+}
+
+// Stats counts the I/O traffic of a System. ReadOps and WriteOps are the
+// paper's I/O operations: each moves up to D blocks in parallel.
+type Stats struct {
+	ReadOps       int64
+	WriteOps      int64
+	BlocksRead    int64
+	BlocksWritten int64
+	PerDiskReads  []int64
+	PerDiskWrites []int64
+	// SimTime is the estimated elapsed I/O time in seconds under the
+	// system's TimeModel (zero if no model is attached).
+	SimTime float64
+}
+
+// Ops returns the total number of parallel I/O operations.
+func (s Stats) Ops() int64 { return s.ReadOps + s.WriteOps }
+
+// ReadParallelism returns the average number of blocks moved per read
+// operation — D for perfectly parallel reads.
+func (s Stats) ReadParallelism() float64 {
+	if s.ReadOps == 0 {
+		return 0
+	}
+	return float64(s.BlocksRead) / float64(s.ReadOps)
+}
+
+// WriteParallelism returns the average number of blocks moved per write
+// operation.
+func (s Stats) WriteParallelism() float64 {
+	if s.WriteOps == 0 {
+		return 0
+	}
+	return float64(s.BlocksWritten) / float64(s.WriteOps)
+}
+
+// ReadBalance returns the busiest disk's share of block reads relative to
+// a perfectly even spread: 1.0 means all disks carried equal traffic,
+// D means one disk carried everything. SRM's randomized layout keeps this
+// near 1; the fixed adversarial layout drives it toward D.
+func (s Stats) ReadBalance() float64 { return balance(s.PerDiskReads, s.BlocksRead) }
+
+// WriteBalance is ReadBalance for writes.
+func (s Stats) WriteBalance() float64 { return balance(s.PerDiskWrites, s.BlocksWritten) }
+
+func balance(perDisk []int64, total int64) float64 {
+	if total == 0 || len(perDisk) == 0 {
+		return 0
+	}
+	var max int64
+	for _, c := range perDisk {
+		if c > max {
+			max = c
+		}
+	}
+	even := float64(total) / float64(len(perDisk))
+	return float64(max) / even
+}
+
+// System is a D-disk parallel I/O system with block size B records.
+//
+// A System is safe for concurrent use: operations are serialised by an
+// internal mutex (two merges sharing the disks interleave their operations,
+// as they would on real hardware), while within one operation the D
+// per-disk transfers run on their own goroutines — the disks really are
+// independent.
+type System struct {
+	mu    sync.Mutex
+	d, b  int
+	store Store
+	model *TimeModel
+	stats Stats
+	next  []int // per-disk bump allocator for fresh block indexes
+}
+
+// Config describes a System.
+type Config struct {
+	D int // number of disks, >= 1
+	B int // block size in records, >= 1
+	// Store backs the disks; nil means a fresh MemStore.
+	Store Store
+	// Model, if non-nil, accumulates estimated I/O time in Stats.SimTime.
+	Model *TimeModel
+}
+
+// NewSystem constructs a System, validating the configuration.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.D < 1 {
+		return nil, fmt.Errorf("pdisk: D = %d, need >= 1", cfg.D)
+	}
+	if cfg.B < 1 {
+		return nil, fmt.Errorf("pdisk: B = %d, need >= 1", cfg.B)
+	}
+	st := cfg.Store
+	if st == nil {
+		st = NewMemStore()
+	}
+	return &System{
+		d:     cfg.D,
+		b:     cfg.B,
+		store: st,
+		model: cfg.Model,
+		stats: Stats{
+			PerDiskReads:  make([]int64, cfg.D),
+			PerDiskWrites: make([]int64, cfg.D),
+		},
+		next: make([]int, cfg.D),
+	}, nil
+}
+
+// D returns the number of disks.
+func (s *System) D() int { return s.d }
+
+// B returns the block size in records.
+func (s *System) B() int { return s.b }
+
+// Stats returns a snapshot of the accumulated I/O statistics.
+func (s *System) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.stats
+	out.PerDiskReads = append([]int64(nil), s.stats.PerDiskReads...)
+	out.PerDiskWrites = append([]int64(nil), s.stats.PerDiskWrites...)
+	return out
+}
+
+// ResetStats zeroes the counters (the allocator and store are untouched).
+func (s *System) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = Stats{
+		PerDiskReads:  make([]int64, s.d),
+		PerDiskWrites: make([]int64, s.d),
+	}
+}
+
+// Alloc returns a fresh, never-before-used block index on disk.
+func (s *System) Alloc(disk int) BlockAddr {
+	if disk < 0 || disk >= s.d {
+		panic(fmt.Sprintf("pdisk: Alloc on disk %d of %d", disk, s.d))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := s.next[disk]
+	s.next[disk]++
+	return BlockAddr{Disk: disk, Index: idx}
+}
+
+// BlockWrite pairs a destination address with the block to store there.
+type BlockWrite struct {
+	Addr  BlockAddr
+	Block StoredBlock
+}
+
+// ErrDiskConflict is returned when one parallel operation addresses the same
+// disk twice — the fundamental rule of the D-disk model.
+var ErrDiskConflict = errors.New("pdisk: more than one block on the same disk in a single I/O operation")
+
+func (s *System) checkAddrs(addrs []BlockAddr) error {
+	if len(addrs) == 0 {
+		return errors.New("pdisk: empty I/O operation")
+	}
+	if len(addrs) > s.d {
+		return fmt.Errorf("pdisk: %d blocks in one operation with D=%d disks", len(addrs), s.d)
+	}
+	seen := make([]bool, s.d)
+	for _, a := range addrs {
+		if a.Disk < 0 || a.Disk >= s.d {
+			return fmt.Errorf("pdisk: address %v out of range (D=%d)", a, s.d)
+		}
+		if a.Index < 0 {
+			return fmt.Errorf("pdisk: negative block index %v", a)
+		}
+		if seen[a.Disk] {
+			return fmt.Errorf("%w (disk %d)", ErrDiskConflict, a.Disk)
+		}
+		seen[a.Disk] = true
+	}
+	return nil
+}
+
+// ReadBlocks performs one parallel read operation fetching every addressed
+// block (at most one per disk) and returns them in request order. The
+// per-disk transfers run concurrently, one goroutine per disk involved.
+func (s *System) ReadBlocks(addrs []BlockAddr) ([]StoredBlock, error) {
+	if err := s.checkAddrs(addrs); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StoredBlock, len(addrs))
+	errs := make([]error, len(addrs))
+	var wg sync.WaitGroup
+	for i, a := range addrs {
+		wg.Add(1)
+		go func(i int, a BlockAddr) {
+			defer wg.Done()
+			blk, err := s.store.Read(a)
+			if err != nil {
+				errs[i] = fmt.Errorf("pdisk: read %v: %w", a, err)
+				return
+			}
+			out[i] = blk
+		}(i, a)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range addrs {
+		s.stats.PerDiskReads[a.Disk]++
+	}
+	s.stats.ReadOps++
+	s.stats.BlocksRead += int64(len(addrs))
+	if s.model != nil {
+		s.stats.SimTime += s.model.OpSeconds(s.b)
+	}
+	return out, nil
+}
+
+// WriteBlocks performs one parallel write operation storing every block (at
+// most one per disk). Records in each block must be at most B and sorted.
+func (s *System) WriteBlocks(writes []BlockWrite) error {
+	addrs := make([]BlockAddr, len(writes))
+	for i, w := range writes {
+		addrs[i] = w.Addr
+	}
+	if err := s.checkAddrs(addrs); err != nil {
+		return err
+	}
+	for _, w := range writes {
+		if len(w.Block.Records) > s.b {
+			return fmt.Errorf("pdisk: block of %d records exceeds B=%d at %v",
+				len(w.Block.Records), s.b, w.Addr)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	errs := make([]error, len(writes))
+	var wg sync.WaitGroup
+	for i, w := range writes {
+		wg.Add(1)
+		go func(i int, w BlockWrite) {
+			defer wg.Done()
+			if err := s.store.Write(w.Addr, w.Block.Clone()); err != nil {
+				errs[i] = fmt.Errorf("pdisk: write %v: %w", w.Addr, err)
+			}
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, w := range writes {
+		s.stats.PerDiskWrites[w.Addr.Disk]++
+	}
+	s.stats.WriteOps++
+	s.stats.BlocksWritten += int64(len(writes))
+	if s.model != nil {
+		s.stats.SimTime += s.model.OpSeconds(s.b)
+	}
+	return nil
+}
+
+// FreeBlock releases a block's storage without performing (or counting) any
+// I/O: space reclamation is bookkeeping, not data transfer.
+func (s *System) FreeBlock(addr BlockAddr) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store.Free(addr)
+}
+
+// Close closes the underlying store.
+func (s *System) Close() error { return s.store.Close() }

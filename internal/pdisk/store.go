@@ -1,0 +1,235 @@
+package pdisk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"srmsort/internal/record"
+)
+
+// MemStore is the default Store: a per-disk map of blocks held in process
+// memory. It is the store the experiments run on (the paper's own
+// evaluation is likewise a simulation). It is safe for concurrent use —
+// the System fans one operation's transfers out to per-disk goroutines.
+type MemStore struct {
+	mu    sync.RWMutex
+	disks map[int]map[int]StoredBlock
+}
+
+// NewMemStore returns an empty in-memory block store.
+func NewMemStore() *MemStore {
+	return &MemStore{disks: make(map[int]map[int]StoredBlock)}
+}
+
+// Write implements Store.
+func (m *MemStore) Write(addr BlockAddr, b StoredBlock) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.disks[addr.Disk]
+	if !ok {
+		d = make(map[int]StoredBlock)
+		m.disks[addr.Disk] = d
+	}
+	d[addr.Index] = b
+	return nil
+}
+
+// Read implements Store.
+func (m *MemStore) Read(addr BlockAddr) (StoredBlock, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	b, ok := m.disks[addr.Disk][addr.Index]
+	if !ok {
+		return StoredBlock{}, fmt.Errorf("no block at %v", addr)
+	}
+	return b.Clone(), nil
+}
+
+// Free implements Store.
+func (m *MemStore) Free(addr BlockAddr) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.disks[addr.Disk]
+	if !ok {
+		return fmt.Errorf("free of absent block %v", addr)
+	}
+	if _, ok := d[addr.Index]; !ok {
+		return fmt.Errorf("free of absent block %v", addr)
+	}
+	delete(d, addr.Index)
+	return nil
+}
+
+// Close implements Store.
+func (m *MemStore) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.disks = nil
+	return nil
+}
+
+// Blocks returns the number of blocks currently resident (for tests).
+func (m *MemStore) Blocks() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n := 0
+	for _, d := range m.disks {
+		n += len(d)
+	}
+	return n
+}
+
+// FileStore keeps each simulated disk in its own file of fixed-size slots,
+// demonstrating that the algorithms move real, serialised bytes. The slot
+// layout is:
+//
+//	uint32 record count | uint32 forecast count |
+//	B * 16 bytes of records | maxForecast * 8 bytes of keys
+//
+// maxForecast must be at least D for SRM runs (block 0 implants D keys).
+type FileStore struct {
+	mu          sync.Mutex
+	dir         string
+	b           int
+	maxForecast int
+	slotBytes   int64
+	files       map[int]*os.File
+}
+
+// NewFileStore creates a file-backed store under dir (one file per disk,
+// created lazily). b is the block size in records; maxForecast the largest
+// number of forecast keys any block carries.
+func NewFileStore(dir string, b, maxForecast int) (*FileStore, error) {
+	if b < 1 {
+		return nil, fmt.Errorf("pdisk: FileStore block size %d", b)
+	}
+	if maxForecast < 0 {
+		return nil, fmt.Errorf("pdisk: FileStore maxForecast %d", maxForecast)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &FileStore{
+		dir:         dir,
+		b:           b,
+		maxForecast: maxForecast,
+		slotBytes:   8 + int64(b)*record.Bytes + int64(maxForecast)*8,
+		files:       make(map[int]*os.File),
+	}, nil
+}
+
+// file returns the (lazily opened) backing file of a disk. ReadAt/WriteAt
+// on the returned handle are safe concurrently.
+func (f *FileStore) file(disk int) (*os.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if fh, ok := f.files[disk]; ok {
+		return fh, nil
+	}
+	fh, err := os.OpenFile(filepath.Join(f.dir, fmt.Sprintf("disk%03d.dat", disk)),
+		os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	f.files[disk] = fh
+	return fh, nil
+}
+
+// Write implements Store.
+func (f *FileStore) Write(addr BlockAddr, b StoredBlock) error {
+	if len(b.Records) > f.b {
+		return fmt.Errorf("block of %d records exceeds slot capacity %d", len(b.Records), f.b)
+	}
+	if len(b.Forecast) > f.maxForecast {
+		return fmt.Errorf("block carries %d forecast keys, slot capacity %d", len(b.Forecast), f.maxForecast)
+	}
+	fh, err := f.file(addr.Disk)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, f.slotBytes)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(len(b.Records)))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(b.Forecast)))
+	off := 8
+	for _, r := range b.Records {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(r.Key))
+		binary.LittleEndian.PutUint64(buf[off+8:], r.Val)
+		off += record.Bytes
+	}
+	off = 8 + f.b*record.Bytes
+	for _, k := range b.Forecast {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(k))
+		off += 8
+	}
+	_, err = fh.WriteAt(buf, int64(addr.Index)*f.slotBytes)
+	return err
+}
+
+// Read implements Store.
+func (f *FileStore) Read(addr BlockAddr) (StoredBlock, error) {
+	fh, err := f.file(addr.Disk)
+	if err != nil {
+		return StoredBlock{}, err
+	}
+	buf := make([]byte, f.slotBytes)
+	if _, err := fh.ReadAt(buf, int64(addr.Index)*f.slotBytes); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return StoredBlock{}, fmt.Errorf("no block at %v", addr)
+		}
+		return StoredBlock{}, err
+	}
+	nRec := binary.LittleEndian.Uint32(buf[0:])
+	nFc := binary.LittleEndian.Uint32(buf[4:])
+	if int(nRec) > f.b || int(nFc) > f.maxForecast {
+		return StoredBlock{}, fmt.Errorf("corrupt slot header at %v (nRec=%d nFc=%d)", addr, nRec, nFc)
+	}
+	out := StoredBlock{Records: make(record.Block, nRec)}
+	off := 8
+	for i := range out.Records {
+		out.Records[i] = record.Record{
+			Key: record.Key(binary.LittleEndian.Uint64(buf[off:])),
+			Val: binary.LittleEndian.Uint64(buf[off+8:]),
+		}
+		off += record.Bytes
+	}
+	if nFc > 0 {
+		out.Forecast = make([]record.Key, nFc)
+		off = 8 + f.b*record.Bytes
+		for i := range out.Forecast {
+			out.Forecast[i] = record.Key(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+	}
+	return out, nil
+}
+
+// Free implements Store. File slots are left in place (the space is
+// reclaimed when the store closes); the call only validates the address.
+func (f *FileStore) Free(addr BlockAddr) error {
+	if addr.Disk < 0 || addr.Index < 0 {
+		return fmt.Errorf("free of invalid address %v", addr)
+	}
+	return nil
+}
+
+// Close closes and removes every disk file.
+func (f *FileStore) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var firstErr error
+	for _, fh := range f.files {
+		name := fh.Name()
+		if err := fh.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := os.Remove(name); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	f.files = nil
+	return firstErr
+}

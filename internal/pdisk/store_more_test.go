@@ -1,0 +1,132 @@
+package pdisk
+
+import (
+	"errors"
+	"testing"
+
+	"srmsort/internal/record"
+)
+
+func TestFaultStoreInPackage(t *testing.T) {
+	fs := NewFaultStore(NewMemStore())
+	fs.FailWriteAt = 2
+	fs.FailReadAt = 2
+	fs.FailFreeAt = 1
+	a := BlockAddr{Disk: 0, Index: 0}
+	if err := fs.Write(a, blk(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write(BlockAddr{Disk: 0, Index: 1}, blk(2)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write #2 err = %v", err)
+	}
+	if _, err := fs.Read(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Read(a); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read #2 err = %v", err)
+	}
+	if _, err := fs.Read(a); err != nil {
+		t.Fatalf("read #3 should recover: %v", err)
+	}
+	if err := fs.Free(a); !errors.Is(err, ErrInjected) {
+		t.Fatalf("free #1 err = %v", err)
+	}
+	if err := fs.Free(a); err != nil {
+		t.Fatalf("free #2 should recover: %v", err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemAccessorsAndClose(t *testing.T) {
+	s := mustSystem(t, 3, 7)
+	if s.D() != 3 || s.B() != 7 {
+		t.Fatalf("D=%d B=%d", s.D(), s.B())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemStoreBlocksAndClose(t *testing.T) {
+	m := NewMemStore()
+	if err := m.Write(BlockAddr{Disk: 0, Index: 0}, blk(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(BlockAddr{Disk: 1, Index: 0}, blk(2)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Blocks() != 2 {
+		t.Fatalf("Blocks = %d", m.Blocks())
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckAddrsEdgeCases(t *testing.T) {
+	s := mustSystem(t, 2, 2)
+	if _, err := s.ReadBlocks(nil); err == nil {
+		t.Fatal("empty op accepted")
+	}
+	if _, err := s.ReadBlocks([]BlockAddr{{0, 0}, {1, 0}, {0, 1}}); err == nil {
+		t.Fatal("more blocks than disks accepted")
+	}
+	if _, err := s.ReadBlocks([]BlockAddr{{Disk: 5, Index: 0}}); err == nil {
+		t.Fatal("out-of-range disk accepted")
+	}
+	if _, err := s.ReadBlocks([]BlockAddr{{Disk: 0, Index: -1}}); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}
+
+func TestNewFileStoreValidation(t *testing.T) {
+	if _, err := NewFileStore(t.TempDir(), 0, 1); err == nil {
+		t.Fatal("B=0 accepted")
+	}
+	if _, err := NewFileStore(t.TempDir(), 1, -1); err == nil {
+		t.Fatal("negative forecast accepted")
+	}
+}
+
+func TestFileStoreFreeValidates(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if err := fs.Free(BlockAddr{Disk: -1}); err == nil {
+		t.Fatal("invalid free accepted")
+	}
+	if err := fs.Free(BlockAddr{Disk: 0, Index: 3}); err != nil {
+		t.Fatalf("valid free rejected: %v", err)
+	}
+}
+
+func TestParallelismZeroOps(t *testing.T) {
+	var st Stats
+	if st.ReadParallelism() != 0 || st.WriteParallelism() != 0 {
+		t.Fatal("zero-op parallelism not zero")
+	}
+	if st.Ops() != 0 {
+		t.Fatal("Ops not zero")
+	}
+}
+
+func TestTimeModelPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero transfer rate accepted")
+		}
+	}()
+	(&TimeModel{AvgSeekMS: 1, RotationMS: 1}).OpSeconds(10)
+}
+
+func TestStoredBlockCloneNilForecast(t *testing.T) {
+	b := StoredBlock{Records: record.Block{{Key: 1}}}
+	c := b.Clone()
+	if c.Forecast != nil {
+		t.Fatal("nil forecast became non-nil")
+	}
+}

@@ -1,0 +1,235 @@
+package psv
+
+import (
+	"fmt"
+
+	"srmsort/internal/pdisk"
+	"srmsort/internal/record"
+	"srmsort/internal/runform"
+	"srmsort/internal/runio"
+)
+
+// TransposeStats reports one transposition stage.
+type TransposeStats struct {
+	ReadOps  int64
+	WriteOps int64
+	// MaxStaged is the high-water mark of staged blocks, which reaches
+	// Θ(D²) blocks — the Ω(D²B) memory requirement the paper points out.
+	MaxStaged int
+}
+
+// Transpose converts up to D striped runs into single-disk runs (run j of
+// the group goes to disk (j + offset) mod D), the realignment pass a PSV
+// mergesort needs between merge levels.
+//
+// It reads one stripe (D consecutive blocks, all destined for one disk) per
+// operation, round-robin over the runs, and writes one block to every
+// destination disk per operation once the staging queues cover all
+// destinations — full parallelism in both directions at the cost of D
+// stripes (D² blocks) of staging memory.
+func Transpose(sys *pdisk.System, runs []*runio.Run, offset int) ([]*DiskRun, TransposeStats, error) {
+	d := sys.D()
+	if len(runs) == 0 {
+		return nil, TransposeStats{}, fmt.Errorf("psv: transpose of zero runs")
+	}
+	if len(runs) > d {
+		return nil, TransposeStats{}, fmt.Errorf("psv: %d runs exceed D=%d destinations", len(runs), d)
+	}
+	var stats TransposeStats
+
+	type dest struct {
+		run    *DiskRun
+		queue  []record.Block
+		source *runio.Run
+		cursor int // next source block index
+	}
+	dests := make([]*dest, len(runs))
+	for j, r := range runs {
+		dests[j] = &dest{
+			run:    &DiskRun{ID: r.ID, Disk: (j + offset) % d},
+			source: r,
+		}
+	}
+
+	readStripe := func(dd *dest) error {
+		end := dd.cursor + d
+		if end > dd.source.NumBlocks() {
+			end = dd.source.NumBlocks()
+		}
+		addrs := make([]pdisk.BlockAddr, 0, end-dd.cursor)
+		for i := dd.cursor; i < end; i++ {
+			addrs = append(addrs, dd.source.Addr(i))
+		}
+		blocks, err := sys.ReadBlocks(addrs)
+		if err != nil {
+			return err
+		}
+		stats.ReadOps++
+		for _, b := range blocks {
+			dd.queue = append(dd.queue, b.Records)
+		}
+		dd.cursor = end
+		return nil
+	}
+	writeRound := func() error {
+		var writes []pdisk.BlockWrite
+		for _, dd := range dests {
+			if len(dd.queue) == 0 {
+				continue
+			}
+			blk := dd.queue[0]
+			dd.queue = dd.queue[1:]
+			addr := sys.Alloc(dd.run.Disk)
+			writes = append(writes, pdisk.BlockWrite{
+				Addr:  addr,
+				Block: pdisk.StoredBlock{Records: blk},
+			})
+			dd.run.indexes = append(dd.run.indexes, int32(addr.Index))
+			dd.run.Records += len(blk)
+		}
+		if len(writes) == 0 {
+			return nil
+		}
+		if err := sys.WriteBlocks(writes); err != nil {
+			return err
+		}
+		stats.WriteOps++
+		return nil
+	}
+
+	for {
+		progressed := false
+		// Fill: one stripe from every run that has data left and whose
+		// queue is below one stripe.
+		for _, dd := range dests {
+			if dd.cursor < dd.source.NumBlocks() && len(dd.queue) < d {
+				if err := readStripe(dd); err != nil {
+					return nil, stats, err
+				}
+				progressed = true
+			}
+		}
+		staged := 0
+		for _, dd := range dests {
+			staged += len(dd.queue)
+		}
+		if staged > stats.MaxStaged {
+			stats.MaxStaged = staged
+		}
+		// Drain: one block to every destination with staged data.
+		if staged > 0 {
+			if err := writeRound(); err != nil {
+				return nil, stats, err
+			}
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+
+	out := make([]*DiskRun, len(dests))
+	for j, dd := range dests {
+		if dd.run.Records != dd.source.Records {
+			return nil, stats, fmt.Errorf("psv: transpose lost records on run %d (%d vs %d)",
+				dd.source.ID, dd.run.Records, dd.source.Records)
+		}
+		out[j] = dd.run
+	}
+	return out, stats, nil
+}
+
+// SortStats aggregates a full PSV mergesort.
+type SortStats struct {
+	RunFormationReads  int64
+	RunFormationWrites int64
+	MergeLevels        int
+	Merges             int
+	MergeReadOps       int64
+	MergeWriteOps      int64
+	TransposeReadOps   int64
+	TransposeWriteOps  int64
+	Stalls             int64
+	InitialRuns        int
+}
+
+// TotalOps returns all parallel I/O operations of the sort, transpositions
+// included.
+func (s SortStats) TotalOps() int64 {
+	return s.RunFormationReads + s.RunFormationWrites +
+		s.MergeReadOps + s.MergeWriteOps +
+		s.TransposeReadOps + s.TransposeWriteOps
+}
+
+// Sort externally sorts the striped input file with a PSV-style mergesort:
+// striped memory-load run formation, then a transposition to one-disk
+// runs, then levels of D-way merges (striped output) each followed by a
+// transposition of the outputs. bufBlocks is the per-run lookahead buffer
+// of the merge.
+func Sort(sys *pdisk.System, file *runform.InputFile, load, bufBlocks int) (*runio.Run, SortStats, error) {
+	var stats SortStats
+	d := sys.D()
+	before := sys.Stats()
+
+	formed, err := runform.MemoryLoad(sys, file, load, runio.StaggeredPlacement{D: d}, 0)
+	if err != nil {
+		return nil, stats, err
+	}
+	after := sys.Stats()
+	stats.RunFormationReads = after.ReadOps - before.ReadOps
+	stats.RunFormationWrites = after.WriteOps - before.WriteOps
+	stats.InitialRuns = len(formed.Runs)
+	striped := formed.Runs
+	if len(striped) == 0 {
+		w := runio.NewWriter(sys, 0, 0)
+		empty, err := w.Finish()
+		return empty, stats, err
+	}
+	seq := formed.NextSeq
+
+	for len(striped) > 1 {
+		stats.MergeLevels++
+		var next []*runio.Run
+		for off := 0; off < len(striped); off += d {
+			end := off + d
+			if end > len(striped) {
+				end = len(striped)
+			}
+			group := striped[off:end]
+			if len(group) == 1 {
+				next = append(next, group[0])
+				continue
+			}
+			// Transposition: striped runs -> one-disk runs.
+			diskRuns, ts, err := Transpose(sys, group, off)
+			if err != nil {
+				return nil, stats, err
+			}
+			stats.TransposeReadOps += ts.ReadOps
+			stats.TransposeWriteOps += ts.WriteOps
+			for _, in := range group {
+				if err := runio.Free(sys, in); err != nil {
+					return nil, stats, err
+				}
+			}
+			// The D-way merge back to a striped run.
+			merged, ms, err := Merge(sys, diskRuns, bufBlocks, seq, seq%d)
+			if err != nil {
+				return nil, stats, err
+			}
+			seq++
+			stats.Merges++
+			stats.MergeReadOps += ms.ReadOps
+			stats.MergeWriteOps += ms.WriteOps
+			stats.Stalls += ms.Stalls
+			for _, in := range diskRuns {
+				if err := FreeDiskRun(sys, in); err != nil {
+					return nil, stats, err
+				}
+			}
+			next = append(next, merged)
+		}
+		striped = next
+	}
+	return striped[0], stats, nil
+}

@@ -1,0 +1,274 @@
+// Package record defines the record, key and block types shared by every
+// layer of the SRM reproduction, together with the input generators used by
+// the tests and by the paper's experiments.
+//
+// A record is a fixed-size (Key, Val) pair. Only the key participates in
+// ordering; Val is an opaque payload that the tests use to verify that
+// sorting permutes rather than rewrites the input. Keys are uint64 and, as
+// in the paper, assumed distinct inside a single merge (generators guarantee
+// distinctness; the merge itself breaks ties deterministically by run index
+// so duplicate keys are still sorted correctly).
+package record
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Key is the sort key of a record. The zero key is valid; MaxKey is reserved
+// as an "infinity" sentinel by the forecasting machinery and is never
+// produced by the generators.
+type Key uint64
+
+// MaxKey is the sentinel key larger than any key a generator produces. The
+// run writer implants it as the forecast key of blocks near the end of a
+// run, where no successor block exists.
+const MaxKey = Key(^uint64(0))
+
+// Record is a fixed-size sortable record: 8 bytes of key and 8 bytes of
+// payload, mirroring the "records with keys" of the paper without committing
+// to a particular record length (the I/O model counts records, not bytes).
+type Record struct {
+	Key Key
+	Val uint64
+}
+
+// Less orders records by key. Generators produce distinct keys, so no
+// tie-break is needed here; merge layers that may see duplicates impose
+// their own secondary order.
+func (r Record) Less(s Record) bool { return r.Key < s.Key }
+
+// Bytes is the encoded size of one record, used by the file-backed block
+// store and the disk time model.
+const Bytes = 16
+
+// Block is a slice of records; a full block has exactly B records. Partial
+// trailing blocks occur at the end of runs whose length is not a multiple
+// of B.
+type Block []Record
+
+// FirstKey returns the smallest key in the block, which is its first key
+// because blocks are always cut from sorted runs.
+func (b Block) FirstKey() Key {
+	if len(b) == 0 {
+		return MaxKey
+	}
+	return b[0].Key
+}
+
+// LastKey returns the largest key in the block.
+func (b Block) LastKey() Key {
+	if len(b) == 0 {
+		return MaxKey
+	}
+	return b[len(b)-1].Key
+}
+
+// IsSorted reports whether the block's records are in nondecreasing key
+// order.
+func (b Block) IsSorted() bool {
+	return sort.SliceIsSorted(b, func(i, j int) bool { return b[i].Key < b[j].Key })
+}
+
+// Clone returns a deep copy of the block. Stores hand out clones so callers
+// cannot alias disk contents.
+func (b Block) Clone() Block {
+	c := make(Block, len(b))
+	copy(c, b)
+	return c
+}
+
+// SortRecords sorts records in place by key, breaking key ties by Val so the
+// result is deterministic even for degenerate inputs with duplicate keys.
+func SortRecords(rs []Record) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Key != rs[j].Key {
+			return rs[i].Key < rs[j].Key
+		}
+		return rs[i].Val < rs[j].Val
+	})
+}
+
+// IsSortedRecords reports whether rs is in nondecreasing key order.
+func IsSortedRecords(rs []Record) bool {
+	return sort.SliceIsSorted(rs, func(i, j int) bool { return rs[i].Key < rs[j].Key })
+}
+
+// Checksum folds the multiset of records into an order-independent
+// signature. Two record sequences have equal checksums if they are
+// permutations of each other, with overwhelming probability; the tests use
+// it to check that sorting preserves the multiset.
+func Checksum(rs []Record) (sum uint64) {
+	for _, r := range rs {
+		h := uint64(r.Key)*0x9e3779b97f4a7c15 + r.Val*0xc2b2ae3d27d4eb4f
+		h ^= h >> 29
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 32
+		sum += h
+	}
+	return sum
+}
+
+// Generator produces test and experiment inputs with a private PRNG stream,
+// so concurrent experiments never contend or interleave.
+type Generator struct {
+	rng *rand.Rand
+}
+
+// NewGenerator returns a deterministic generator seeded with seed.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Random returns n records with distinct pseudo-random keys and Val set to
+// the record's position in the returned slice.
+func (g *Generator) Random(n int) []Record {
+	keys := g.distinctKeys(n)
+	rs := make([]Record, n)
+	for i, k := range keys {
+		rs[i] = Record{Key: k, Val: uint64(i)}
+	}
+	return rs
+}
+
+// Sorted returns n records already in ascending key order.
+func (g *Generator) Sorted(n int) []Record {
+	rs := g.Random(n)
+	SortRecords(rs)
+	return rs
+}
+
+// Reversed returns n records in strictly descending key order — the
+// adversarial input for run formation (every memory load becomes its own
+// run; replacement selection degenerates to runs of length M).
+func (g *Generator) Reversed(n int) []Record {
+	rs := g.Sorted(n)
+	for i, j := 0, len(rs)-1; i < j; i, j = i+1, j-1 {
+		rs[i], rs[j] = rs[j], rs[i]
+	}
+	return rs
+}
+
+// NearlySorted returns n sorted records with roughly n*fraction random
+// adjacent-window swaps applied, modelling partially ordered inputs.
+func (g *Generator) NearlySorted(n int, fraction float64) []Record {
+	rs := g.Sorted(n)
+	swaps := int(float64(n) * fraction)
+	for s := 0; s < swaps; s++ {
+		i := g.rng.Intn(n)
+		j := i + 1 + g.rng.Intn(16)
+		if j >= n {
+			j = n - 1
+		}
+		rs[i], rs[j] = rs[j], rs[i]
+	}
+	return rs
+}
+
+// WithDuplicates returns n records whose keys are drawn from a universe of
+// size max(1, n/dupFactor), so keys repeat ~dupFactor times on average.
+func (g *Generator) WithDuplicates(n, dupFactor int) []Record {
+	if dupFactor < 1 {
+		dupFactor = 1
+	}
+	universe := n / dupFactor
+	if universe < 1 {
+		universe = 1
+	}
+	rs := make([]Record, n)
+	for i := range rs {
+		rs[i] = Record{Key: Key(g.rng.Intn(universe)), Val: uint64(i)}
+	}
+	return rs
+}
+
+// distinctKeys returns n distinct pseudo-random keys, none equal to MaxKey.
+func (g *Generator) distinctKeys(n int) []Key {
+	seen := make(map[Key]struct{}, n)
+	keys := make([]Key, 0, n)
+	for len(keys) < n {
+		k := Key(g.rng.Uint64())
+		if k == MaxKey {
+			continue
+		}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// UniformPartitionRuns generates the paper's average-case merge input
+// (Section 9.3): a uniformly random partition of the set {1, ..., L*numRuns}
+// into numRuns disjoint subsets of size L, each subset sorted to form a run.
+// Every partition is equally likely. The keys are exactly 1..L*numRuns, so
+// the merged output is the identity sequence — convenient for verification.
+func (g *Generator) UniformPartitionRuns(numRuns, runLen int) [][]Record {
+	n := numRuns * runLen
+	labels := make([]int, n)
+	idx := 0
+	for r := 0; r < numRuns; r++ {
+		for i := 0; i < runLen; i++ {
+			labels[idx] = r
+			idx++
+		}
+	}
+	// A uniform shuffle of the fixed label multiset makes every
+	// assignment of global ranks to runs (i.e. every partition into
+	// equal-size subsets) equally likely.
+	g.rng.Shuffle(n, func(i, j int) { labels[i], labels[j] = labels[j], labels[i] })
+	runs := make([][]Record, numRuns)
+	for r := range runs {
+		runs[r] = make([]Record, 0, runLen)
+	}
+	for pos, r := range labels {
+		runs[r] = append(runs[r], Record{Key: Key(pos + 1), Val: uint64(pos)})
+	}
+	return runs
+}
+
+// SplitIntoSortedRuns slices rs into numRuns nearly equal contiguous pieces
+// and sorts each piece, producing arbitrary (not average-case-distributed)
+// sorted runs for merge tests.
+func (g *Generator) SplitIntoSortedRuns(rs []Record, numRuns int) [][]Record {
+	if numRuns < 1 {
+		panic(fmt.Sprintf("record: SplitIntoSortedRuns numRuns=%d", numRuns))
+	}
+	runs := make([][]Record, 0, numRuns)
+	per := (len(rs) + numRuns - 1) / numRuns
+	for off := 0; off < len(rs); off += per {
+		end := off + per
+		if end > len(rs) {
+			end = len(rs)
+		}
+		run := make([]Record, end-off)
+		copy(run, rs[off:end])
+		SortRecords(run)
+		runs = append(runs, run)
+	}
+	return runs
+}
+
+// Blocks cuts a sorted run into blocks of b records; the final block may be
+// partial. It panics if the run is not sorted, because the striped layout
+// and forecasting format are only meaningful for sorted runs.
+func Blocks(run []Record, b int) []Block {
+	if b < 1 {
+		panic(fmt.Sprintf("record: block size %d", b))
+	}
+	if !IsSortedRecords(run) {
+		panic("record: Blocks called with an unsorted run")
+	}
+	blocks := make([]Block, 0, (len(run)+b-1)/b)
+	for off := 0; off < len(run); off += b {
+		end := off + b
+		if end > len(run) {
+			end = len(run)
+		}
+		blocks = append(blocks, Block(run[off:end]))
+	}
+	return blocks
+}

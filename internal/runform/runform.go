@@ -1,0 +1,284 @@
+// Package runform implements the initial run-formation pass of external
+// mergesort (paper Section 2.1).
+//
+// The input file lives striped across the D disks and is read with full
+// parallelism, one stripe of D blocks per I/O operation. Two strategies
+// produce the initial sorted runs:
+//
+//   - MemoryLoad: sort one load of 'load' records at a time. The paper
+//     sorts half-memoryloads (load = M/2) "so as to overlap computation
+//     with I/O", giving 2N/M runs of length M/2.
+//   - ReplacementSelection: the classical heap-based technique [Knuth 73]
+//     that produces about N/M runs of expected length ~2M on random inputs
+//     (exactly M-record runs on reverse-sorted inputs).
+//
+// Either way every run is written in the striped, forecast-formatted layout
+// of package runio, starting on the disk its Placement assigns.
+package runform
+
+import (
+	"fmt"
+
+	"srmsort/internal/iheap"
+	"srmsort/internal/pdisk"
+	"srmsort/internal/record"
+	"srmsort/internal/runio"
+)
+
+// InputFile is an unsorted file striped block-by-block over the disks:
+// block g lives on disk g mod D, so a stripe of D consecutive blocks is
+// read in one parallel I/O operation.
+type InputFile struct {
+	Records int
+	addrs   []pdisk.BlockAddr
+}
+
+// NumBlocks returns the number of blocks in the file.
+func (f *InputFile) NumBlocks() int { return len(f.addrs) }
+
+// Loader streams an unsorted input file onto the disk system block by
+// block, buffering at most one stripe (D blocks) — so arbitrarily large
+// inputs can be loaded without materialising them in memory. The write
+// operations it performs are setup, not sorting cost; callers normally
+// ResetStats afterwards (the paper's cost formulas start with the
+// run-formation read pass).
+type Loader struct {
+	sys      *pdisk.System
+	file     *InputFile
+	cur      record.Block
+	writes   []pdisk.BlockWrite
+	finished bool
+}
+
+// NewLoader returns a Loader writing to sys.
+func NewLoader(sys *pdisk.System) *Loader {
+	return &Loader{sys: sys, file: &InputFile{}}
+}
+
+// Append adds one input record.
+func (l *Loader) Append(r record.Record) error {
+	if l.finished {
+		panic("runform: Append after Finish")
+	}
+	l.cur = append(l.cur, r)
+	l.file.Records++
+	if len(l.cur) == l.sys.B() {
+		return l.cutBlock()
+	}
+	return nil
+}
+
+func (l *Loader) cutBlock() error {
+	disk := len(l.file.addrs) % l.sys.D()
+	addr := l.sys.Alloc(disk)
+	l.writes = append(l.writes, pdisk.BlockWrite{
+		Addr:  addr,
+		Block: pdisk.StoredBlock{Records: l.cur},
+	})
+	l.file.addrs = append(l.file.addrs, addr)
+	l.cur = nil
+	if len(l.writes) == l.sys.D() {
+		return l.flush()
+	}
+	return nil
+}
+
+func (l *Loader) flush() error {
+	if len(l.writes) == 0 {
+		return nil
+	}
+	if err := l.sys.WriteBlocks(l.writes); err != nil {
+		return err
+	}
+	l.writes = nil
+	return nil
+}
+
+// Finish flushes the partial tail and returns the file descriptor.
+func (l *Loader) Finish() (*InputFile, error) {
+	if l.finished {
+		panic("runform: double Finish")
+	}
+	l.finished = true
+	if len(l.cur) > 0 {
+		if err := l.cutBlock(); err != nil {
+			return nil, err
+		}
+	}
+	if err := l.flush(); err != nil {
+		return nil, err
+	}
+	return l.file, nil
+}
+
+// LoadInput writes records onto the disk system as a striped input file —
+// the convenience form of Loader for in-memory inputs.
+func LoadInput(sys *pdisk.System, records []record.Record) (*InputFile, error) {
+	l := NewLoader(sys)
+	for _, r := range records {
+		if err := l.Append(r); err != nil {
+			return nil, err
+		}
+	}
+	return l.Finish()
+}
+
+// Reader streams the input file stripe by stripe with full read
+// parallelism (one I/O operation per stripe of D blocks). Both SRM and DSM
+// run formation consume the input through it.
+type Reader struct {
+	sys  *pdisk.System
+	file *InputFile
+	next int // next block index to fetch
+	buf  []record.Record
+}
+
+// NewReader returns a Reader positioned at the start of the file.
+func NewReader(sys *pdisk.System, file *InputFile) *Reader {
+	return &Reader{sys: sys, file: file}
+}
+
+// more refills the buffer with one stripe; it reports false at EOF.
+func (r *Reader) more() (bool, error) {
+	if r.next >= len(r.file.addrs) {
+		return false, nil
+	}
+	end := r.next + r.sys.D()
+	if end > len(r.file.addrs) {
+		end = len(r.file.addrs)
+	}
+	blocks, err := r.sys.ReadBlocks(r.file.addrs[r.next:end])
+	if err != nil {
+		return false, err
+	}
+	r.next = end
+	for _, b := range blocks {
+		r.buf = append(r.buf, b.Records...)
+	}
+	return true, nil
+}
+
+// Read returns up to n records from the file, fetching stripes as needed.
+// It returns an empty slice at EOF.
+func (r *Reader) Read(n int) ([]record.Record, error) {
+	for len(r.buf) < n {
+		ok, err := r.more()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+	}
+	if n > len(r.buf) {
+		n = len(r.buf)
+	}
+	out := r.buf[:n]
+	r.buf = r.buf[n:]
+	return out, nil
+}
+
+// Result is the outcome of run formation.
+type Result struct {
+	Runs []*runio.Run
+	// NextSeq is the run sequence counter after formation, to be passed
+	// on to the merge phase's placement.
+	NextSeq int
+}
+
+// MemoryLoad forms initial runs by sorting 'load' records at a time. The
+// paper's default is load = M/2.
+func MemoryLoad(sys *pdisk.System, file *InputFile, load int, placement runio.Placement, seqStart int) (Result, error) {
+	if load < 1 {
+		return Result{}, fmt.Errorf("runform: load %d", load)
+	}
+	r := NewReader(sys, file)
+	res := Result{NextSeq: seqStart}
+	for {
+		chunk, err := r.Read(load)
+		if err != nil {
+			return Result{}, err
+		}
+		if len(chunk) == 0 {
+			break
+		}
+		sorted := make([]record.Record, len(chunk))
+		copy(sorted, chunk)
+		record.SortRecords(sorted)
+		run, err := runio.WriteRun(sys, res.NextSeq, placement.StartDisk(res.NextSeq), sorted)
+		if err != nil {
+			return Result{}, err
+		}
+		res.NextSeq++
+		res.Runs = append(res.Runs, run)
+	}
+	return res, nil
+}
+
+// ReplacementSelection forms initial runs with a selection heap of
+// heapSize records. Records smaller than the last key emitted to the
+// current run are tagged for the next run; when the current generation
+// drains, a new run begins. Random inputs yield runs of expected length
+// about 2*heapSize.
+func ReplacementSelection(sys *pdisk.System, file *InputFile, heapSize int, placement runio.Placement, seqStart int) (Result, error) {
+	if heapSize < 1 {
+		return Result{}, fmt.Errorf("runform: heap size %d", heapSize)
+	}
+	rd := NewReader(sys, file)
+	res := Result{NextSeq: seqStart}
+
+	// The heap orders records by (generation, key): generation g+1 records
+	// wait until the current run finishes. Handles index a fixed arena of
+	// heapSize slots; priorities pack the generation parity with the key's
+	// high bits unavailable, so we keep an explicit generation array and
+	// rebuild between runs instead. Simpler and still O(n log m): one heap
+	// per generation.
+	cur := make([]record.Record, 0, heapSize)
+	fill, err := rd.Read(heapSize)
+	if err != nil {
+		return Result{}, err
+	}
+	cur = append(cur, fill...)
+	var pendingNext []record.Record
+
+	for len(cur) > 0 {
+		h := iheap.New(len(cur))
+		arena := make([]record.Record, len(cur))
+		copy(arena, cur)
+		for i, r := range arena {
+			h.Push(i, uint64(r.Key))
+		}
+		w := runio.NewWriter(sys, res.NextSeq, placement.StartDisk(res.NextSeq))
+		var wrote int
+		for h.Len() > 0 {
+			i, _ := h.PopMin()
+			out := arena[i]
+			if err := w.Append(out); err != nil {
+				return Result{}, err
+			}
+			wrote++
+			// Refill the freed slot from the input if possible.
+			repl, err := rd.Read(1)
+			if err != nil {
+				return Result{}, err
+			}
+			if len(repl) == 1 {
+				if repl[0].Key >= out.Key {
+					arena[i] = repl[0]
+					h.Push(i, uint64(repl[0].Key))
+				} else {
+					pendingNext = append(pendingNext, repl[0])
+				}
+			}
+		}
+		run, err := w.Finish()
+		if err != nil {
+			return Result{}, err
+		}
+		res.NextSeq++
+		res.Runs = append(res.Runs, run)
+		cur = pendingNext
+		pendingNext = nil
+	}
+	return res, nil
+}

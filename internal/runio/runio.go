@@ -1,0 +1,299 @@
+// Package runio implements the paper's disk layout for sorted runs
+// (Section 3) and the forecasting format (Section 4).
+//
+// A run is striped cyclically over the D disks: if block 0 lives on disk
+// d_r, block i lives on disk (d_r + i) mod D. Consecutive blocks therefore
+// occupy distinct disks, and any D consecutive blocks form one stripe that
+// is written with a single, perfectly parallel I/O operation — this is how
+// SRM obtains its optimal write behaviour, and why output runs can feed the
+// next merge pass with no transposition.
+//
+// Every block carries implanted forecasting keys: block 0 announces the
+// first keys of blocks 1..D, and block i>0 announces the first key of block
+// i+D — exactly the information the forecasting data structure needs to
+// always know the smallest not-in-memory block of the run on every disk.
+// (The paper's text says block 0 carries k_{r,0..D-1}; we shift by one so
+// k_{r,D} — the key of block 0's same-disk successor — is announced too,
+// which the FDS invariant requires. See DESIGN.md.)
+package runio
+
+import (
+	"fmt"
+	"math/rand"
+
+	"srmsort/internal/pdisk"
+	"srmsort/internal/record"
+)
+
+// Run describes one sorted run resident on the parallel disk system.
+type Run struct {
+	// ID is the caller-assigned run identifier (unique within a merge).
+	ID int
+	// StartDisk is d_r, the disk holding block 0.
+	StartDisk int
+	// Records is the total number of records in the run.
+	Records int
+	// D is the number of disks the run is striped over.
+	D int
+	// indexes[i] is the on-disk block index of block i.
+	indexes []int32
+}
+
+// NumBlocks returns the number of blocks in the run.
+func (r *Run) NumBlocks() int { return len(r.indexes) }
+
+// Disk returns the disk holding block i.
+func (r *Run) Disk(i int) int { return (r.StartDisk + i) % r.D }
+
+// Addr returns the disk address of block i.
+func (r *Run) Addr(i int) pdisk.BlockAddr {
+	if i < 0 || i >= len(r.indexes) {
+		panic(fmt.Sprintf("runio: block %d of run %d with %d blocks", i, r.ID, len(r.indexes)))
+	}
+	return pdisk.BlockAddr{Disk: r.Disk(i), Index: int(r.indexes[i])}
+}
+
+// Placement chooses the starting disk d_r of each run.
+type Placement interface {
+	// StartDisk returns the disk for the seq-th run created (seq counts
+	// from 0 across the whole sort, so staggering continues across merge
+	// passes).
+	StartDisk(seq int) int
+}
+
+// RandomPlacement draws each starting disk independently and uniformly —
+// SRM's only use of randomness (Section 3).
+type RandomPlacement struct {
+	D   int
+	Rng *rand.Rand
+}
+
+// StartDisk implements Placement.
+func (p *RandomPlacement) StartDisk(int) int { return p.Rng.Intn(p.D) }
+
+// StaggeredPlacement is the deterministic variant of Section 8: run r
+// starts on disk r mod D, so consecutive runs begin staggered across the
+// disks.
+type StaggeredPlacement struct {
+	D int
+}
+
+// StartDisk implements Placement.
+func (p StaggeredPlacement) StartDisk(seq int) int { return seq % p.D }
+
+// FixedPlacement starts every run on the same disk — the adversarial layout
+// the paper warns about ("the R leading blocks ... may always lie on the
+// same disk"); used by tests and the worst-case demos.
+type FixedPlacement struct {
+	Disk int
+}
+
+// StartDisk implements Placement.
+func (p FixedPlacement) StartDisk(int) int { return p.Disk }
+
+// Writer streams one sorted run to disk in the striped, forecast-formatted
+// layout. It buffers at most 2D blocks (the paper's M_W output buffer): a
+// block can be emitted only once the first key of its same-disk successor
+// (block i+D) is known, and blocks are emitted in full stripes of D for
+// perfect write parallelism.
+type Writer struct {
+	sys       *pdisk.System
+	run       *Run
+	lastKey   record.Key
+	started   bool
+	cur       record.Block   // records of the block being formed
+	pending   []record.Block // formed, not yet written blocks
+	pendBase  int            // run-block number of pending[0]
+	firstKeys []record.Key   // first key of every formed block (indexed by block number)
+	finished  bool
+	writeOps  int64
+}
+
+// NewWriter starts a new run with the given id on startDisk.
+func NewWriter(sys *pdisk.System, id, startDisk int) *Writer {
+	if startDisk < 0 || startDisk >= sys.D() {
+		panic(fmt.Sprintf("runio: start disk %d of %d", startDisk, sys.D()))
+	}
+	return &Writer{
+		sys: sys,
+		run: &Run{ID: id, StartDisk: startDisk, D: sys.D()},
+	}
+}
+
+// Append adds the next record of the run. Records must arrive in
+// nondecreasing key order; a violation is a caller bug and panics.
+func (w *Writer) Append(r record.Record) error {
+	if w.finished {
+		panic("runio: Append after Finish")
+	}
+	if w.started && r.Key < w.lastKey {
+		panic(fmt.Sprintf("runio: run %d records out of order (%d after %d)",
+			w.run.ID, r.Key, w.lastKey))
+	}
+	w.started = true
+	w.lastKey = r.Key
+	if len(w.cur) == 0 {
+		w.firstKeys = append(w.firstKeys, r.Key)
+	}
+	w.cur = append(w.cur, r)
+	w.run.Records++
+	if len(w.cur) == w.sys.B() {
+		w.pending = append(w.pending, w.cur)
+		w.cur = nil
+		return w.drain(false)
+	}
+	return nil
+}
+
+// Finish flushes all buffered blocks (padding forecasts with MaxKey where no
+// successor exists) and returns the completed run descriptor.
+func (w *Writer) Finish() (*Run, error) {
+	if w.finished {
+		panic("runio: double Finish")
+	}
+	w.finished = true
+	if len(w.cur) > 0 {
+		w.pending = append(w.pending, w.cur)
+		w.cur = nil
+	}
+	if err := w.drain(true); err != nil {
+		return nil, err
+	}
+	return w.run, nil
+}
+
+// forecastFor builds the implanted keys of run block i. It may only be
+// called when the necessary successor first keys are known (or the run is
+// finished, in which case missing successors forecast MaxKey).
+func (w *Writer) forecastFor(i int) []record.Key {
+	d := w.sys.D()
+	key := func(j int) record.Key {
+		if j < len(w.firstKeys) {
+			return w.firstKeys[j]
+		}
+		return record.MaxKey
+	}
+	if i == 0 {
+		fc := make([]record.Key, d)
+		for j := 1; j <= d; j++ {
+			fc[j-1] = key(j)
+		}
+		return fc
+	}
+	return []record.Key{key(i + d)}
+}
+
+// drain writes out every pending block whose forecast is determined, in
+// stripes of D. Unless final is set, it keeps blocks whose successor block
+// i+D has not been formed yet.
+func (w *Writer) drain(final bool) error {
+	d := w.sys.D()
+	for {
+		// Number of leading pending blocks that are emittable.
+		ready := 0
+		for ready < len(w.pending) {
+			blockNum := w.pendBase + ready
+			if !final && blockNum+d >= len(w.firstKeys) {
+				break // successor's first key not yet known
+			}
+			ready++
+		}
+		if ready == 0 {
+			return nil
+		}
+		if ready < d && !final {
+			return nil // wait for a full stripe
+		}
+		stripe := ready
+		if stripe > d {
+			stripe = d
+		}
+		writes := make([]pdisk.BlockWrite, stripe)
+		for j := 0; j < stripe; j++ {
+			blockNum := w.pendBase + j
+			disk := w.run.Disk(blockNum)
+			addr := w.sys.Alloc(disk)
+			writes[j] = pdisk.BlockWrite{
+				Addr: addr,
+				Block: pdisk.StoredBlock{
+					Records:  w.pending[j],
+					Forecast: w.forecastFor(blockNum),
+				},
+			}
+			w.run.indexes = append(w.run.indexes, int32(addr.Index))
+		}
+		if err := w.sys.WriteBlocks(writes); err != nil {
+			return err
+		}
+		w.writeOps++
+		w.pending = w.pending[stripe:]
+		w.pendBase += stripe
+		if !final && len(w.pending) < d {
+			return nil
+		}
+		if final && len(w.pending) == 0 {
+			return nil
+		}
+	}
+}
+
+// WriteOps returns the number of parallel write operations this writer has
+// performed — exact even when several writers share one System
+// concurrently, unlike a System-level stats delta.
+func (w *Writer) WriteOps() int64 { return w.writeOps }
+
+// WriteRun stores an entire in-memory sorted run and returns its descriptor
+// — a convenience for tests and run-formation code that already has the
+// records materialised.
+func WriteRun(sys *pdisk.System, id, startDisk int, records []record.Record) (*Run, error) {
+	w := NewWriter(sys, id, startDisk)
+	for _, r := range records {
+		if err := w.Append(r); err != nil {
+			return nil, err
+		}
+	}
+	return w.Finish()
+}
+
+// ReadAll reads a run back sequentially (one block per I/O operation) and
+// returns its records — a verification helper, not a merge path.
+func ReadAll(sys *pdisk.System, run *Run) ([]record.Record, error) {
+	out := make([]record.Record, 0, run.Records)
+	for i := 0; i < run.NumBlocks(); i++ {
+		blks, err := sys.ReadBlocks([]pdisk.BlockAddr{run.Addr(i)})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, blks[0].Records...)
+	}
+	return out, nil
+}
+
+// Stream reads a run back sequentially (one block per I/O operation),
+// invoking fn on every record in order, without materialising the run —
+// the out-of-core counterpart of ReadAll.
+func Stream(sys *pdisk.System, run *Run, fn func(record.Record) error) error {
+	for i := 0; i < run.NumBlocks(); i++ {
+		blks, err := sys.ReadBlocks([]pdisk.BlockAddr{run.Addr(i)})
+		if err != nil {
+			return err
+		}
+		for _, r := range blks[0].Records {
+			if err := fn(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Free releases every block of the run (no I/O is counted; reclamation is
+// bookkeeping).
+func Free(sys *pdisk.System, run *Run) error {
+	for i := 0; i < run.NumBlocks(); i++ {
+		if err := sys.FreeBlock(run.Addr(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

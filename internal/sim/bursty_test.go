@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"srmsort/internal/record"
+)
+
+func TestGenerateBurstyIsValidPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const numRuns, blocks, b = 6, 20, 4
+	runs := GenerateBursty(rng, 3, numRuns, blocks, b, 16)
+	seen := map[record.Key]bool{}
+	for _, r := range runs {
+		if r.NumBlocks() != blocks {
+			t.Fatalf("run has %d blocks, want %d", r.NumBlocks(), blocks)
+		}
+		for i := 0; i < r.NumBlocks(); i++ {
+			if r.First[i] > r.Last[i] {
+				t.Fatal("block boundaries inverted")
+			}
+			if i > 0 && r.First[i] <= r.Last[i-1] {
+				t.Fatal("blocks not increasing within run")
+			}
+			if seen[r.First[i]] {
+				t.Fatal("duplicate boundary")
+			}
+			seen[r.First[i]] = true
+		}
+	}
+}
+
+func TestGenerateBurstyMeanOneIsUniformLike(t *testing.T) {
+	// meanBurst=1 must behave like the uniform-partition sampler: each
+	// draw starts a fresh burst of length 1.
+	rng := rand.New(rand.NewSource(2))
+	runs := GenerateBursty(rng, 4, 16, 30, 4, 1)
+	for _, r := range runs {
+		r.StartDisk = rng.Intn(4)
+	}
+	stats, err := Merge(runs, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := stats.OverheadV(4); v > 1.3 {
+		t.Fatalf("meanBurst=1 overhead %v too high for an average-case-like input", v)
+	}
+}
+
+func TestBurstyMergesCorrectlyAndWithinBound(t *testing.T) {
+	// Even under extreme burstiness the Lemma 6/8 bound holds and the
+	// merge completes.
+	for _, burst := range []int{4, 32, 256} {
+		rng := rand.New(rand.NewSource(int64(burst)))
+		runs := GenerateBursty(rng, 4, 12, 40, 4, burst)
+		for _, r := range runs {
+			r.StartDisk = rng.Intn(4)
+		}
+		bound := PhaseBound(runs, 4)
+		stats, err := Merge(runs, 4, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.ReadOps > bound {
+			t.Fatalf("burst=%d: reads %d exceed bound %d", burst, stats.ReadOps, bound)
+		}
+	}
+}
+
+func TestBurstyStressesPrefetcher(t *testing.T) {
+	// Bursty interleavings should cost at least as much as uniform ones
+	// (averaged over several instances).
+	const trials = 5
+	var uniform, bursty float64
+	for i := int64(0); i < trials; i++ {
+		rng := rand.New(rand.NewSource(100 + i))
+		u := GenerateAverageCase(rng, 5, 25, 40, 4)
+		for _, r := range u {
+			r.StartDisk = rng.Intn(5)
+		}
+		us, err := Merge(u, 5, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uniform += us.OverheadV(5)
+
+		rng2 := rand.New(rand.NewSource(200 + i))
+		bu := GenerateBursty(rng2, 5, 25, 40, 4, 64)
+		for _, r := range bu {
+			r.StartDisk = rng2.Intn(5)
+		}
+		bs, err := Merge(bu, 5, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bursty += bs.OverheadV(5)
+	}
+	if bursty < uniform*0.95 {
+		t.Fatalf("bursty inputs cheaper than uniform: %.3f vs %.3f", bursty/trials, uniform/trials)
+	}
+	t.Logf("mean v: uniform %.3f, bursty %.3f", uniform/trials, bursty/trials)
+}

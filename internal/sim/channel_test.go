@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func genPlaced(t *testing.T, seed int64, d, numRuns, blocks, b int) []*Run {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	runs := GenerateAverageCase(rng, d, numRuns, blocks, b)
+	for _, r := range runs {
+		r.StartDisk = rng.Intn(d)
+	}
+	return runs
+}
+
+func TestChannelFullWidthEqualsMerge(t *testing.T) {
+	runs := genPlaced(t, 1, 6, 18, 40, 4)
+	a, err := Merge(runs, 6, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MergeChannel(runs, 6, 6, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("channel=D diverged from Merge:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestChannelValidation(t *testing.T) {
+	runs := genPlaced(t, 2, 4, 4, 5, 2)
+	if _, err := MergeChannel(runs, 4, 0, 4); err == nil {
+		t.Fatal("channel 0 accepted")
+	}
+	if _, err := MergeChannel(runs, 4, 5, 4); err == nil {
+		t.Fatal("channel > D accepted")
+	}
+}
+
+func TestChannelWidthOne(t *testing.T) {
+	// With a one-block channel every block costs one operation: reads
+	// equal at least totalBlocks, and the merge still completes.
+	runs := genPlaced(t, 3, 4, 8, 20, 4)
+	stats, err := MergeChannel(runs, 4, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReadOps < int64(stats.TotalBlocks) {
+		t.Fatalf("reads %d below the one-block-channel minimum %d",
+			stats.ReadOps, stats.TotalBlocks)
+	}
+	if stats.WriteOps != int64(stats.TotalBlocks) {
+		t.Fatalf("writes %d, want %d", stats.WriteOps, stats.TotalBlocks)
+	}
+}
+
+func TestChannelReadsMonotoneInWidth(t *testing.T) {
+	// Narrower channels can only increase the number of operations.
+	runs := genPlaced(t, 4, 8, 24, 40, 4)
+	var prev int64 = 1 << 62
+	for _, w := range []int{1, 2, 4, 8} {
+		stats, err := MergeChannel(runs, 8, w, 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.ReadOps > prev {
+			t.Fatalf("width %d: reads %d exceed narrower channel's %d", w, stats.ReadOps, prev)
+		}
+		prev = stats.ReadOps
+	}
+}
+
+func TestChannelKeepsBusyWithSpareDisks(t *testing.T) {
+	// The paper's point about the hybrid model: with D' > D (more disks
+	// than channel lanes), the channel can stay busy — per-op parallelism
+	// approaches the channel width even though each disk is sometimes
+	// idle. Reads should therefore be close to totalBlocks/channel, not
+	// totalBlocks/1.
+	d, w := 16, 4
+	runs := genPlaced(t, 5, d, 32, 50, 4)
+	stats, err := MergeChannel(runs, d, w, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minimum := float64(stats.TotalBlocks) / float64(w)
+	if got := float64(stats.ReadOps); got > 1.25*minimum {
+		t.Fatalf("reads %v exceed 1.25x the channel minimum %v — channel underutilised", got, minimum)
+	}
+}

@@ -1,0 +1,29 @@
+package sim_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"srmsort/internal/sim"
+)
+
+// Simulate one paper-style merge: R = kD = 50 average-case runs on D = 10
+// disks with randomized placement, and report the overhead factor v —
+// the Table 3 experiment in miniature.
+func ExampleMerge() {
+	rng := rand.New(rand.NewSource(7))
+	runs := sim.GenerateAverageCase(rng, 10, 50, 100, 4)
+	for _, r := range runs {
+		r.StartDisk = rng.Intn(10)
+	}
+	stats, err := sim.Merge(runs, 10, 50)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("blocks %d, reads %d, v = %.2f, bound holds: %v\n",
+		stats.TotalBlocks, stats.ReadOps, stats.OverheadV(10),
+		stats.ReadOps <= sim.PhaseBound(runs, 10))
+	// Output:
+	// blocks 5000, reads 550, v = 1.10, bound holds: true
+}

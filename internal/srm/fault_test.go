@@ -1,0 +1,115 @@
+package srm
+
+import (
+	"errors"
+	"testing"
+
+	"srmsort/internal/pdisk"
+	"srmsort/internal/record"
+	"srmsort/internal/runform"
+	"srmsort/internal/runio"
+)
+
+// Every injected device failure must surface as an error from the sort —
+// never a panic, never silently wrong output. Sweep the failure point
+// across the whole schedule.
+func TestInjectedFaultsSurfaceAsErrors(t *testing.T) {
+	all := record.NewGenerator(41).Random(600)
+
+	countOps := func() (reads, writes int64) {
+		sys, err := pdisk.NewSystem(pdisk.Config{D: 3, B: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		file, err := runform.LoadInput(sys, all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		formed, err := runform.MemoryLoad(sys, file, 50, runio.StaggeredPlacement{D: 3}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := SortRuns(sys, formed.Runs, 4, runio.StaggeredPlacement{D: 3}, formed.NextSeq); err != nil {
+			t.Fatal(err)
+		}
+		st := sys.Stats()
+		return st.BlocksRead, st.BlocksWritten
+	}
+	totalReads, totalWrites := countOps()
+
+	tryWithFault := func(failReadAt, failWriteAt int64) error {
+		fs := pdisk.NewFaultStore(pdisk.NewMemStore())
+		fs.FailReadAt = failReadAt
+		fs.FailWriteAt = failWriteAt
+		sys, err := pdisk.NewSystem(pdisk.Config{D: 3, B: 4, Store: fs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		file, err := runform.LoadInput(sys, all)
+		if err != nil {
+			return err
+		}
+		formed, err := runform.MemoryLoad(sys, file, 50, runio.StaggeredPlacement{D: 3}, 0)
+		if err != nil {
+			return err
+		}
+		_, _, _, err = SortRuns(sys, formed.Runs, 4, runio.StaggeredPlacement{D: 3}, formed.NextSeq)
+		return err
+	}
+
+	// Sample failure points across the schedule (block-level counters,
+	// including the input-loading writes).
+	for _, at := range []int64{1, 2, totalReads / 3, totalReads / 2, totalReads} {
+		if at < 1 {
+			continue
+		}
+		err := tryWithFault(at, 0)
+		if err == nil {
+			t.Fatalf("read fault at %d vanished", at)
+		}
+		if !errors.Is(err, pdisk.ErrInjected) {
+			t.Fatalf("read fault at %d wrapped away: %v", at, err)
+		}
+	}
+	for _, at := range []int64{1, totalWrites / 2, totalWrites} {
+		if at < 1 {
+			continue
+		}
+		err := tryWithFault(0, at)
+		if err == nil {
+			t.Fatalf("write fault at %d vanished", at)
+		}
+		if !errors.Is(err, pdisk.ErrInjected) {
+			t.Fatalf("write fault at %d wrapped away: %v", at, err)
+		}
+	}
+}
+
+// A fault-free FaultStore must be transparent.
+func TestFaultStoreTransparentWhenIdle(t *testing.T) {
+	all := record.NewGenerator(42).Random(300)
+	fs := pdisk.NewFaultStore(pdisk.NewMemStore())
+	sys, err := pdisk.NewSystem(pdisk.Config{D: 2, B: 4, Store: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, err := runform.LoadInput(sys, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	formed, err := runform.MemoryLoad(sys, file, 40, runio.StaggeredPlacement{D: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, _, _, err := SortRuns(sys, formed.Runs, 3, runio.StaggeredPlacement{D: 2}, formed.NextSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := runio.ReadAll(sys, final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !record.IsSortedRecords(got) || record.Checksum(got) != record.Checksum(all) {
+		t.Fatal("sort through idle FaultStore wrong")
+	}
+}

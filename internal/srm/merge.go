@@ -1,0 +1,432 @@
+// Package srm implements the paper's contribution: the Simple Randomized
+// Mergesort merge procedure (Sections 5-6) and the full external mergesort
+// built on it.
+//
+// The merge combines R striped runs using:
+//
+//   - the forecasting data structure (package forecast) to know, for every
+//     disk, the smallest not-in-memory block on that disk;
+//   - parallel reads (ParRead, Definition 5) that fetch that block from
+//     every disk in a single I/O operation;
+//   - virtual flushing (Flush, Definition 6) that evicts the
+//     farthest-in-the-future blocks from memory with no I/O when a read
+//     needs room;
+//   - a run writer (package runio) that emits the output run in stripes of
+//     D forecast-formatted blocks with perfect write parallelism.
+//
+// The I/O schedule follows Section 5.5 exactly: whenever the I/O system is
+// free (the previous read's blocks have drained out of the M_D landing
+// zone, i.e. |F_t| ≤ R+D) and there are blocks left on disk, a ParRead is
+// issued — preceded, when the prefetch space is over budget and an on-disk
+// block ranks below the in-memory surplus (OutRank_t ≤ extra), by the
+// virtual flush Flush_t(extra − OutRank_t + 1).
+package srm
+
+import (
+	"fmt"
+
+	"srmsort/internal/forecast"
+	"srmsort/internal/iheap"
+	"srmsort/internal/membuf"
+	"srmsort/internal/pdisk"
+	"srmsort/internal/record"
+	"srmsort/internal/runio"
+	"srmsort/internal/trace"
+)
+
+// MergeStats reports what one merge did, in the paper's cost units.
+type MergeStats struct {
+	// ReadOps is the total number of parallel read operations, including
+	// the InitialReads.
+	ReadOps int64
+	// WriteOps is the number of parallel write operations of the output.
+	WriteOps int64
+	// InitialReads is I_0, the reads of Step 1 that load the R leading
+	// blocks.
+	InitialReads int64
+	// Flushes is the number of Flush_t invocations.
+	Flushes int64
+	// BlocksFlushed is the total number of blocks virtually flushed.
+	BlocksFlushed int64
+	// BlocksReread counts reads of blocks that had been flushed earlier —
+	// the only I/O penalty flushing can cause.
+	BlocksReread int64
+	// MaxPrefetched is the high-water mark of |F_t| (at most R+2D).
+	MaxPrefetched int
+	// RecordsOut is the number of records in the merged output run.
+	RecordsOut int
+}
+
+// merger holds the state of one in-progress merge. Run handles are indices
+// into the runs slice.
+type merger struct {
+	sys  *pdisk.System
+	r    int // merge order capacity (memory is provisioned for R runs)
+	d    int
+	runs []*runio.Run
+	fds  *forecast.FDS
+	mem  *membuf.Manager
+	out  *runio.Writer
+
+	lead      []record.Block // unconsumed tail of each run's leading block
+	leadIdx   []int          // block index of the current leading block
+	need      []int          // block index awaited while stalled
+	stalled   []bool
+	heap      *iheap.Heap // active runs keyed by their current record's key
+	stallHeap *iheap.Heap // stalled runs keyed by their awaited block's first key
+	exhausted int
+
+	flushed map[[2]int]bool // blocks that were flushed at least once
+	stats   MergeStats
+
+	sink trace.Sink // nil when tracing is off
+	seq  int
+}
+
+// emit sends an event to the trace sink, if any.
+func (m *merger) emit(kind trace.Kind, outRank int, blocks ...trace.BlockRef) {
+	if m.sink == nil {
+		return
+	}
+	m.sink.Observe(trace.Event{
+		Kind:     kind,
+		Seq:      m.seq,
+		Blocks:   blocks,
+		Occupied: m.mem.Occupied(),
+		OutRank:  outRank,
+	})
+	m.seq++
+}
+
+// ref builds a trace.BlockRef for block idx of run handle h.
+func (m *merger) ref(h, idx int, key record.Key) trace.BlockRef {
+	return trace.BlockRef{Run: h, Idx: idx, Disk: m.runs[h].Disk(idx), Key: key}
+}
+
+// Merge merges the given runs (at most r of them — r is the merge order the
+// memory was provisioned for) into a single output run written with id
+// outID starting on disk outStartDisk. It returns the output run and the
+// merge statistics.
+func Merge(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk int) (*runio.Run, MergeStats, error) {
+	return MergeTraced(sys, runs, r, outID, outStartDisk, nil)
+}
+
+// MergeTraced is Merge with a trace sink attached: every parallel read,
+// virtual flush, depletion, stall and promotion is reported as a
+// trace.Event, in schedule order. Pass a trace.Checker to verify the
+// paper's scheduling invariants online, or a trace.Recorder to render the
+// schedule.
+func MergeTraced(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk int, sink trace.Sink) (*runio.Run, MergeStats, error) {
+	if len(runs) == 0 {
+		return nil, MergeStats{}, fmt.Errorf("srm: merge of zero runs")
+	}
+	if len(runs) > r {
+		return nil, MergeStats{}, fmt.Errorf("srm: %d runs exceed merge order R=%d", len(runs), r)
+	}
+	for _, run := range runs {
+		if run.NumBlocks() == 0 {
+			return nil, MergeStats{}, fmt.Errorf("srm: run %d is empty", run.ID)
+		}
+	}
+	m := &merger{
+		sys:       sys,
+		r:         r,
+		d:         sys.D(),
+		runs:      runs,
+		fds:       forecast.New(sys.D(), len(runs)),
+		mem:       membuf.New(r, sys.D()),
+		out:       runio.NewWriter(sys, outID, outStartDisk),
+		lead:      make([]record.Block, len(runs)),
+		leadIdx:   make([]int, len(runs)),
+		need:      make([]int, len(runs)),
+		stalled:   make([]bool, len(runs)),
+		heap:      iheap.New(len(runs)),
+		stallHeap: iheap.New(len(runs)),
+		flushed:   make(map[[2]int]bool),
+		sink:      sink,
+	}
+	if err := m.loadInitialBlocks(); err != nil {
+		return nil, MergeStats{}, err
+	}
+	for m.exhausted < len(m.runs) {
+		reads, err := m.pumpIO()
+		if err != nil {
+			return nil, MergeStats{}, err
+		}
+		consumed, err := m.consumeUntilBlockEvent()
+		if err != nil {
+			return nil, MergeStats{}, err
+		}
+		if reads == 0 && consumed == 0 && m.exhausted < len(m.runs) {
+			panic(fmt.Sprintf(
+				"srm: schedule deadlock (Lemma 1 violated): |F|=%d R=%d D=%d stalled-heap=%d fds=%d",
+				m.mem.Occupied(), m.r, m.d, m.heap.Len(), m.fds.Len()))
+		}
+	}
+	outRun, err := m.out.Finish()
+	if err != nil {
+		return nil, MergeStats{}, err
+	}
+	m.stats.MaxPrefetched = m.mem.MaxOccupied
+	m.stats.RecordsOut = outRun.Records
+	m.stats.WriteOps = m.out.WriteOps()
+	return outRun, m.stats, nil
+}
+
+// loadInitialBlocks is Step 1 of the algorithm: read block 0 of every run
+// into M_L with parallel reads (I_0 operations), and seed the FDS from the
+// D forecast keys implanted in each block 0.
+func (m *merger) loadInitialBlocks() error {
+	pending := make([][]int, m.d) // per disk: run handles whose block 0 lives there
+	for h, run := range m.runs {
+		pending[run.Disk(0)] = append(pending[run.Disk(0)], h)
+	}
+	for {
+		var addrs []pdisk.BlockAddr
+		var handles []int
+		for disk := 0; disk < m.d; disk++ {
+			if len(pending[disk]) == 0 {
+				continue
+			}
+			h := pending[disk][0]
+			pending[disk] = pending[disk][1:]
+			addrs = append(addrs, m.runs[h].Addr(0))
+			handles = append(handles, h)
+		}
+		if len(addrs) == 0 {
+			break
+		}
+		blocks, err := m.sys.ReadBlocks(addrs)
+		if err != nil {
+			return err
+		}
+		m.stats.InitialReads++
+		m.stats.ReadOps++
+		if m.sink != nil {
+			refs := make([]trace.BlockRef, len(blocks))
+			for i, blk := range blocks {
+				refs[i] = m.ref(handles[i], 0, blk.Records.FirstKey())
+			}
+			m.emit(trace.EventParRead, 0, refs...)
+		}
+		for i, blk := range blocks {
+			h := handles[i]
+			if len(blk.Forecast) != m.d {
+				panic(fmt.Sprintf("srm: block 0 of run %d carries %d forecast keys, want D=%d",
+					m.runs[h].ID, len(blk.Forecast), m.d))
+			}
+			for t := 1; t <= m.d; t++ {
+				if key := blk.Forecast[t-1]; key != record.MaxKey {
+					m.fds.Set(m.runs[h].Disk(t), h, t, key)
+				}
+			}
+			m.lead[h] = blk.Records
+			m.leadIdx[h] = 0
+			m.mem.LeadingAcquired()
+			m.heap.Push(h, uint64(blk.Records[0].Key))
+			m.emit(trace.EventPromote, 0, m.ref(h, 0, blk.Records.FirstKey()))
+		}
+	}
+	return nil
+}
+
+// pumpIO issues parallel reads for as long as the schedule of Section 5.5
+// allows: the M_D landing zone has drained (|F_t| ≤ R+D) and some block
+// remains on disk. Case 2c virtually flushes before reading. It returns the
+// number of read operations performed.
+func (m *merger) pumpIO() (int, error) {
+	reads := 0
+	for m.fds.Len() > 0 && m.mem.Occupied() <= m.r+m.d {
+		if occupied := m.mem.Occupied(); occupied > m.r {
+			extra := occupied - m.r // 1..D
+			minS := m.smallestOnDisk()
+			outRank := m.mem.CountLessBlock(minS.Key, minS.Run, minS.BlockIdx) + 1
+			if outRank <= extra {
+				m.flush(extra-outRank+1, outRank)
+			}
+		}
+		if err := m.parRead(); err != nil {
+			return reads, err
+		}
+		reads++
+	}
+	return reads, nil
+}
+
+// smallestOnDisk returns the smallest block of S_t — the set of per-disk
+// smallest on-disk blocks — under the composite (key, run, idx) total
+// order that the rank structure uses (ties on key alone would let flush
+// victims oscillate with the fetched block; see membuf). pumpIO only calls
+// it when the FDS is nonempty.
+func (m *merger) smallestOnDisk() forecast.Entry {
+	var best forecast.Entry
+	found := false
+	for disk := 0; disk < m.d; disk++ {
+		e, ok := m.fds.Smallest(disk)
+		if !ok {
+			continue
+		}
+		if !found || e.Key < best.Key ||
+			(e.Key == best.Key && (e.Run < best.Run ||
+				(e.Run == best.Run && e.BlockIdx < best.BlockIdx))) {
+			best = e
+			found = true
+		}
+	}
+	if !found {
+		panic("srm: smallestOnDisk with empty FDS")
+	}
+	return best
+}
+
+// flush performs Flush_t(n): forget the n highest-ranked prefetched blocks
+// and hand their keys back to the FDS. No I/O happens.
+func (m *merger) flush(n, outRank int) {
+	victims := m.mem.FlushVictims(n)
+	m.stats.Flushes++
+	m.stats.BlocksFlushed += int64(len(victims))
+	refs := make([]trace.BlockRef, 0, len(victims))
+	for _, v := range victims {
+		disk := m.runs[v.Run].Disk(v.Idx)
+		m.fds.Set(disk, v.Run, v.Idx, v.FirstKey())
+		m.flushed[[2]int{v.Run, v.Idx}] = true
+		refs = append(refs, m.ref(v.Run, v.Idx, v.FirstKey()))
+	}
+	m.emit(trace.EventFlush, outRank, refs...)
+}
+
+// parRead performs ParRead_t: from every disk with a pending block, read
+// the smallest one, in a single parallel I/O operation.
+func (m *merger) parRead() error {
+	var addrs []pdisk.BlockAddr
+	var entries []forecast.Entry
+	for disk := 0; disk < m.d; disk++ {
+		e, ok := m.fds.Smallest(disk)
+		if !ok {
+			continue
+		}
+		addrs = append(addrs, m.runs[e.Run].Addr(e.BlockIdx))
+		entries = append(entries, e)
+	}
+	if len(addrs) == 0 {
+		panic("srm: parRead with empty FDS")
+	}
+	blocks, err := m.sys.ReadBlocks(addrs)
+	if err != nil {
+		return err
+	}
+	m.stats.ReadOps++
+	var readRefs, promoted []trace.BlockRef
+	for i, blk := range blocks {
+		e := entries[i]
+		if m.mem.Has(e.Run, e.BlockIdx) {
+			panic(fmt.Sprintf("srm: re-read of in-memory block run=%d idx=%d", e.Run, e.BlockIdx))
+		}
+		if len(blk.Forecast) != 1 {
+			panic(fmt.Sprintf("srm: block %d of run %d carries %d forecast keys, want 1",
+				e.BlockIdx, m.runs[e.Run].ID, len(blk.Forecast)))
+		}
+		if got := blk.Records.FirstKey(); got != e.Key {
+			panic(fmt.Sprintf("srm: FDS predicted key %d for run %d block %d, block starts with %d",
+				e.Key, e.Run, e.BlockIdx, got))
+		}
+		succKey := blk.Forecast[0]
+		m.fds.NoteRead(addrs[i].Disk, e.Run, e.BlockIdx, succKey)
+		if m.flushed[[2]int{e.Run, e.BlockIdx}] {
+			m.stats.BlocksReread++
+		}
+		if m.sink != nil {
+			readRefs = append(readRefs, m.ref(e.Run, e.BlockIdx, blk.Records.FirstKey()))
+		}
+		if m.stalled[e.Run] && m.need[e.Run] == e.BlockIdx {
+			// Exchange 2 of Section 5.1: the read block is the leading
+			// block of a stalled run; it moves straight to M_L.
+			m.lead[e.Run] = blk.Records
+			m.leadIdx[e.Run] = e.BlockIdx
+			m.stalled[e.Run] = false
+			m.stallHeap.Remove(e.Run)
+			m.mem.LeadingAcquired()
+			m.heap.Push(e.Run, uint64(blk.Records[0].Key))
+			if m.sink != nil {
+				promoted = append(promoted, m.ref(e.Run, e.BlockIdx, blk.Records.FirstKey()))
+			}
+			continue
+		}
+		m.mem.Insert(&membuf.Block{
+			Run:     e.Run,
+			Idx:     e.BlockIdx,
+			Records: blk.Records,
+			SuccKey: succKey,
+		})
+	}
+	if m.sink != nil {
+		m.emit(trace.EventParRead, 0, readRefs...)
+		for _, p := range promoted {
+			m.emit(trace.EventPromote, 0, p)
+		}
+	}
+	return nil
+}
+
+// consumeUntilBlockEvent runs the internal merge until one leading block is
+// depleted (a block event: memory occupancy, and hence read feasibility,
+// changes only then), or until the next record of the merge belongs to a
+// stalled run — internal merge processing then "has to wait" (Section 5)
+// for a ParRead to deliver that run's leading block. It returns the number
+// of records written.
+func (m *merger) consumeUntilBlockEvent() (int, error) {
+	consumed := 0
+	for m.heap.Len() > 0 {
+		h, hKey := m.heap.Min()
+		if m.stallHeap.Len() > 0 {
+			if _, sKey := m.stallHeap.Min(); sKey < hKey {
+				// The globally next record is on disk in a stalled run's
+				// awaited block; the merge must wait for I/O.
+				return consumed, nil
+			}
+		}
+		rec := m.lead[h][0]
+		if err := m.out.Append(rec); err != nil {
+			return consumed, err
+		}
+		consumed++
+		m.lead[h] = m.lead[h][1:]
+		if len(m.lead[h]) > 0 {
+			m.heap.Update(h, uint64(m.lead[h][0].Key))
+			continue
+		}
+		// Block event: the leading block of run h is depleted.
+		m.mem.LeadingReleased()
+		m.heap.Remove(h)
+		m.emit(trace.EventDeplete, 0, m.ref(h, m.leadIdx[h], rec.Key))
+		next := m.leadIdx[h] + 1
+		switch {
+		case next >= m.runs[h].NumBlocks():
+			m.exhausted++
+		case m.mem.Has(h, next):
+			// Exchange 1 of Section 5.1: promote the successor from M_R.
+			b := m.mem.Take(h, next)
+			m.lead[h] = b.Records
+			m.leadIdx[h] = next
+			m.mem.LeadingAcquired()
+			m.heap.Push(h, uint64(b.Records[0].Key))
+			m.emit(trace.EventPromote, 0, m.ref(h, next, b.FirstKey()))
+		default:
+			// The successor is still on disk: the run stalls until a
+			// ParRead delivers it. Its first key is what the FDS tracks
+			// for this (disk, run) pair — every earlier block of the run
+			// on that disk has been consumed already.
+			e, ok := m.fds.Peek(m.runs[h].Disk(next), h)
+			if !ok || e.BlockIdx != next {
+				panic(fmt.Sprintf("srm: stalled run %d needs block %d but FDS tracks %+v (ok=%v)",
+					h, next, e, ok))
+			}
+			m.stalled[h] = true
+			m.need[h] = next
+			m.stallHeap.Push(h, uint64(e.Key))
+			m.emit(trace.EventStall, 0, m.ref(h, next, e.Key))
+		}
+		return consumed, nil
+	}
+	return consumed, nil
+}

@@ -1,0 +1,84 @@
+package srm
+
+import (
+	"fmt"
+
+	"srmsort/internal/pdisk"
+	"srmsort/internal/runio"
+)
+
+// SortStats aggregates the cost of all merge passes of a sort (run
+// formation is accounted separately by the caller, as in the paper's
+// formulas).
+type SortStats struct {
+	// MergePasses is the number of passes over the data after run
+	// formation.
+	MergePasses int
+	// Merges is the total number of individual merges performed.
+	Merges int
+	// ReadOps and WriteOps total the parallel I/O operations of all
+	// merges.
+	ReadOps  int64
+	WriteOps int64
+	// Flushes, BlocksFlushed and BlocksReread total the flush activity.
+	Flushes       int64
+	BlocksFlushed int64
+	BlocksReread  int64
+}
+
+func (s *SortStats) add(ms MergeStats) {
+	s.Merges++
+	s.ReadOps += ms.ReadOps
+	s.WriteOps += ms.WriteOps
+	s.Flushes += ms.Flushes
+	s.BlocksFlushed += ms.BlocksFlushed
+	s.BlocksReread += ms.BlocksReread
+}
+
+// SortRuns repeatedly merges the given sorted runs, r at a time, until one
+// run remains, which it returns. Placement chooses each output run's
+// starting disk; run sequence numbering starts at seqStart and the final
+// value is returned so callers can keep one global sequence across run
+// formation and merging (the staggered placement of Section 8 depends on
+// it). Input runs are freed as soon as their merge completes.
+func SortRuns(sys *pdisk.System, runs []*runio.Run, r int, placement runio.Placement, seqStart int) (*runio.Run, SortStats, int, error) {
+	if r < 2 {
+		return nil, SortStats{}, seqStart, fmt.Errorf("srm: merge order R=%d, need >= 2", r)
+	}
+	if len(runs) == 0 {
+		return nil, SortStats{}, seqStart, fmt.Errorf("srm: no runs to sort")
+	}
+	var stats SortStats
+	seq := seqStart
+	for len(runs) > 1 {
+		stats.MergePasses++
+		next := make([]*runio.Run, 0, (len(runs)+r-1)/r)
+		for off := 0; off < len(runs); off += r {
+			end := off + r
+			if end > len(runs) {
+				end = len(runs)
+			}
+			group := runs[off:end]
+			if len(group) == 1 {
+				// A singleton group passes through unchanged; re-merging
+				// it would waste a full read+write of the run.
+				next = append(next, group[0])
+				continue
+			}
+			merged, ms, err := Merge(sys, group, r, seq, placement.StartDisk(seq))
+			if err != nil {
+				return nil, stats, seq, err
+			}
+			seq++
+			stats.add(ms)
+			for _, in := range group {
+				if err := runio.Free(sys, in); err != nil {
+					return nil, stats, seq, err
+				}
+			}
+			next = append(next, merged)
+		}
+		runs = next
+	}
+	return runs[0], stats, seq, nil
+}

@@ -1,0 +1,30 @@
+package timesim_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"srmsort/internal/sim"
+	"srmsort/internal/timesim"
+)
+
+// Time one merge in a CPU-bound regime: overlap hides the I/O entirely,
+// so the makespan is within a whisker of the pure computation demand.
+func ExampleMerge() {
+	rng := rand.New(rand.NewSource(5))
+	runs := sim.GenerateAverageCase(rng, 4, 16, 50, 8)
+	for _, r := range runs {
+		r.StartDisk = rng.Intn(4)
+	}
+	res, err := timesim.Merge(runs, 4, 16, timesim.Params{
+		B: 8, OpSeconds: 1e-4, CPUPerRecord: 1e-4, Overlap: true,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("cpu-bound: %v, efficiency >= 99%%: %v\n",
+		res.CPUBusy > res.IOBusy, res.Efficiency() >= 0.99)
+	// Output:
+	// cpu-bound: true, efficiency >= 99%: true
+}

@@ -1,0 +1,148 @@
+package timesim
+
+import (
+	"math/rand"
+	"testing"
+
+	"srmsort/internal/sim"
+)
+
+func genRuns(t testing.TB, seed int64, d, numRuns, blocks, b int) []*sim.Run {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	runs := sim.GenerateAverageCase(rng, d, numRuns, blocks, b)
+	for _, r := range runs {
+		r.StartDisk = rng.Intn(d)
+	}
+	return runs
+}
+
+func TestValidation(t *testing.T) {
+	runs := genRuns(t, 1, 2, 2, 4, 2)
+	if _, err := Merge(nil, 2, 4, Params{B: 2, OpSeconds: 1}); err == nil {
+		t.Fatal("zero runs accepted")
+	}
+	if _, err := Merge(runs, 2, 1, Params{B: 2, OpSeconds: 1}); err == nil {
+		t.Fatal("merge-order overflow accepted")
+	}
+	if _, err := Merge(runs, 2, 4, Params{B: 0, OpSeconds: 1}); err == nil {
+		t.Fatal("B=0 accepted")
+	}
+	if _, err := Merge(runs, 2, 4, Params{B: 2}); err == nil {
+		t.Fatal("OpSeconds=0 accepted")
+	}
+}
+
+func TestMakespanBounds(t *testing.T) {
+	for _, tc := range []struct {
+		cpu float64
+	}{{1e-7}, {1e-5}, {1e-3}} {
+		runs := genRuns(t, 2, 4, 16, 40, 8)
+		p := Params{B: 8, OpSeconds: 1e-2, CPUPerRecord: tc.cpu, Overlap: true}
+		res, err := Merge(runs, 4, 16, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lower := res.CPUBusy
+		if res.IOBusy > lower {
+			lower = res.IOBusy
+		}
+		if res.Makespan < lower-1e-9 {
+			t.Fatalf("cpu=%v: makespan %v below max(cpu,io) %v", tc.cpu, res.Makespan, lower)
+		}
+		if res.Makespan > res.CPUBusy+res.IOBusy+1e-9 {
+			t.Fatalf("cpu=%v: makespan %v above serial sum %v", tc.cpu, res.Makespan, res.CPUBusy+res.IOBusy)
+		}
+	}
+}
+
+func TestSerialModeSumsResources(t *testing.T) {
+	runs := genRuns(t, 3, 4, 12, 30, 4)
+	p := Params{B: 4, OpSeconds: 1e-2, CPUPerRecord: 1e-5, Overlap: false}
+	res, err := Merge(runs, 4, 12, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without overlap the CPU blocks on every operation: makespan is
+	// essentially CPU + IO.
+	want := res.CPUBusy + res.IOBusy
+	if res.Makespan < 0.95*want {
+		t.Fatalf("serial makespan %v well below cpu+io %v", res.Makespan, want)
+	}
+}
+
+func TestOverlapHidesIO(t *testing.T) {
+	// CPU-bound regime: with overlap, prefetching should hide nearly all
+	// I/O latency behind merging — efficiency close to 1.
+	runs := genRuns(t, 4, 4, 20, 50, 8)
+	cpuHeavy := Params{B: 8, OpSeconds: 1e-4, CPUPerRecord: 1e-5, Overlap: true}
+	res, err := Merge(runs, 4, 20, cpuHeavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPUBusy < res.IOBusy {
+		t.Fatalf("test regime wrong: cpu %v not dominant over io %v", res.CPUBusy, res.IOBusy)
+	}
+	if eff := res.Efficiency(); eff < 0.95 {
+		t.Fatalf("overlap efficiency %v < 0.95 (makespan %v, cpu %v, io %v, stall %v)",
+			eff, res.Makespan, res.CPUBusy, res.IOBusy, res.CPUStall)
+	}
+	// The same workload without overlap is strictly slower.
+	serial := cpuHeavy
+	serial.Overlap = false
+	sres, err := Merge(runs, 4, 20, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Makespan <= res.Makespan {
+		t.Fatalf("serial %v not slower than overlapped %v", sres.Makespan, res.Makespan)
+	}
+}
+
+func TestIOBoundRegime(t *testing.T) {
+	// With negligible CPU work the makespan approaches the I/O demand.
+	runs := genRuns(t, 5, 4, 16, 40, 4)
+	p := Params{B: 4, OpSeconds: 1e-2, CPUPerRecord: 1e-9, Overlap: true}
+	res, err := Merge(runs, 4, 16, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan > 1.05*res.IOBusy {
+		t.Fatalf("io-bound makespan %v above 1.05x IOBusy %v", res.Makespan, res.IOBusy)
+	}
+}
+
+func TestOpCountsMatchUntimedSimulator(t *testing.T) {
+	// Timing must not change the schedule: operation counts equal the
+	// untimed simulator's on the same input.
+	runs := genRuns(t, 6, 5, 15, 30, 4)
+	timed, err := Merge(runs, 5, 15, Params{B: 4, OpSeconds: 1e-3, CPUPerRecord: 1e-6, Overlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	untimed, err := sim.Merge(runs, 5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timed.ReadOps != untimed.ReadOps {
+		t.Fatalf("timed reads %d != untimed %d", timed.ReadOps, untimed.ReadOps)
+	}
+	if timed.WriteOps != untimed.WriteOps {
+		t.Fatalf("timed writes %d != untimed %d", timed.WriteOps, untimed.WriteOps)
+	}
+}
+
+func TestStallAccounting(t *testing.T) {
+	runs := genRuns(t, 7, 4, 12, 25, 4)
+	res, err := Merge(runs, 4, 12, Params{B: 4, OpSeconds: 1e-2, CPUPerRecord: 1e-8, Overlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In the io-bound regime nearly the whole makespan is stall.
+	if res.CPUStall > res.Makespan {
+		t.Fatalf("stall %v exceeds makespan %v", res.CPUStall, res.Makespan)
+	}
+	if res.CPUStall < 0.5*res.Makespan {
+		t.Fatalf("io-bound run reports implausibly low stall %v of %v", res.CPUStall, res.Makespan)
+	}
+}

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"fmt"
+
+	"srmsort/internal/record"
+)
+
+// Checker is a Sink that validates the paper's scheduling invariants
+// online. Construct with NewChecker; after the merge, call Err for the
+// first violation found (nil if the schedule was clean).
+type Checker struct {
+	d   int
+	err error
+
+	// inMem[run][idx]: block is in memory as a prefetched (F_t) block.
+	inMem map[[2]int]record.Key
+	// leading[run] is the run's current leading block index (-1 none).
+	leading map[int]int
+	// flushedTo[run][idx] remembers the disk a flushed block must be
+	// re-read from.
+	flushedTo map[[2]int]int
+	// readCount counts reads per block for the re-read accounting.
+	readCount map[[2]int]int
+}
+
+// NewChecker returns a Checker for a merge over d disks.
+func NewChecker(d int) *Checker {
+	return &Checker{
+		d:         d,
+		inMem:     make(map[[2]int]record.Key),
+		leading:   make(map[int]int),
+		flushedTo: make(map[[2]int]int),
+		readCount: make(map[[2]int]int),
+	}
+}
+
+// Err returns the first invariant violation observed, or nil.
+func (c *Checker) Err() error { return c.err }
+
+func (c *Checker) fail(format string, args ...interface{}) {
+	if c.err == nil {
+		c.err = fmt.Errorf("trace: "+format, args...)
+	}
+}
+
+// Rereads returns how many block reads were repeats (post-flush re-reads).
+func (c *Checker) Rereads() int64 {
+	var n int64
+	for _, cnt := range c.readCount {
+		n += int64(cnt - 1)
+	}
+	return n
+}
+
+// Observe implements Sink.
+func (c *Checker) Observe(e Event) {
+	if c.err != nil {
+		return
+	}
+	switch e.Kind {
+	case EventParRead:
+		c.checkParRead(e)
+	case EventFlush:
+		c.checkFlush(e)
+	case EventDeplete:
+		b := e.Blocks[0]
+		if cur, ok := c.leading[b.Run]; !ok || cur != b.Idx {
+			c.fail("deplete of run %d block %d which is not its leading block", b.Run, b.Idx)
+			return
+		}
+		delete(c.leading, b.Run)
+	case EventStall:
+		// nothing to track: the awaited block is validated when promoted
+	case EventPromote:
+		b := e.Blocks[0]
+		if cur, ok := c.leading[b.Run]; ok {
+			c.fail("promote of run %d block %d while block %d is still leading", b.Run, b.Idx, cur)
+			return
+		}
+		// The block leaves the prefetched set if it was there (block 0 of
+		// each run never was: it is loaded straight into M_L).
+		delete(c.inMem, [2]int{b.Run, b.Idx})
+		c.leading[b.Run] = b.Idx
+	}
+}
+
+func (c *Checker) checkParRead(e Event) {
+	seen := make(map[int]bool, len(e.Blocks))
+	for _, b := range e.Blocks {
+		if seen[b.Disk] {
+			c.fail("read %d touches disk %d twice", e.Seq, b.Disk)
+			return
+		}
+		seen[b.Disk] = true
+		key := [2]int{b.Run, b.Idx}
+		if _, ok := c.inMem[key]; ok {
+			c.fail("read %d fetches run %d block %d which is already in memory", e.Seq, b.Run, b.Idx)
+			return
+		}
+		if disk, wasFlushed := c.flushedTo[key]; wasFlushed && disk != b.Disk {
+			c.fail("run %d block %d flushed to disk %d but re-read from disk %d",
+				b.Run, b.Idx, disk, b.Disk)
+			return
+		}
+		c.readCount[key]++
+		// Blocks arriving for a stalled run become leading via a Promote
+		// event emitted right after the read; until then they count as
+		// prefetched.
+		c.inMem[key] = b.Key
+		delete(c.flushedTo, key)
+	}
+}
+
+func (c *Checker) checkFlush(e Event) {
+	// Lemma 2 / Definition 6: victims must be the |victims| highest-keyed
+	// blocks among all prefetched blocks, and never leading blocks.
+	victimSet := make(map[[2]int]bool, len(e.Blocks))
+	minVictim := record.MaxKey
+	for _, b := range e.Blocks {
+		key := [2]int{b.Run, b.Idx}
+		if cur, ok := c.leading[b.Run]; ok && cur == b.Idx {
+			c.fail("flush %d evicts the leading block of run %d", e.Seq, b.Run)
+			return
+		}
+		if _, ok := c.inMem[key]; !ok {
+			c.fail("flush %d evicts run %d block %d which is not in memory", e.Seq, b.Run, b.Idx)
+			return
+		}
+		victimSet[key] = true
+		if b.Key < minVictim {
+			minVictim = b.Key
+		}
+	}
+	for key, k := range c.inMem {
+		if victimSet[key] {
+			continue
+		}
+		if k > minVictim {
+			c.fail("flush %d spared run %d block %d (key %d) while evicting key %d — victims are not the top-ranked set",
+				e.Seq, key[0], key[1], k, minVictim)
+			return
+		}
+	}
+	for _, b := range e.Blocks {
+		key := [2]int{b.Run, b.Idx}
+		delete(c.inMem, key)
+		c.flushedTo[key] = b.Disk
+	}
+}

@@ -1,0 +1,146 @@
+// Package trace records the I/O schedule of an SRM merge as a stream of
+// structured events and provides online checkers for the paper's
+// scheduling invariants.
+//
+// The merger (package srm) emits an event for every parallel read, virtual
+// flush, block depletion, stall and promotion. A Recorder collects them; a
+// Checker validates, while the merge runs, the properties the analysis
+// rests on:
+//
+//   - Lemma 2: a flush evicts only the highest-ranked blocks of F_t — the
+//     R + OutRank_t − 1 lowest-ranked survive;
+//   - leading blocks are never flushed;
+//   - a parallel read touches each disk at most once;
+//   - flushed blocks are re-read from their original disk;
+//   - Lemma 3/5 (phase accounting): after the read that closes phase j,
+//     no block with participation index ≤ jR remains unread.
+//
+// Events are plain values; rendering (cmd/simmerge -trace) and checking
+// are separate consumers of the same stream.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"srmsort/internal/record"
+)
+
+// Kind enumerates event types.
+type Kind int
+
+const (
+	// EventParRead is one parallel read operation (Definition 5).
+	EventParRead Kind = iota
+	// EventFlush is one virtual flush operation (Definition 6).
+	EventFlush
+	// EventDeplete marks a leading block fully consumed.
+	EventDeplete
+	// EventStall marks a run waiting for an on-disk block.
+	EventStall
+	// EventPromote marks a block becoming its run's leading block: block 0
+	// at load time, a prefetched block at depletion of its predecessor, or
+	// a just-read block unstalling its run.
+	EventPromote
+)
+
+// String returns the event kind's name.
+func (k Kind) String() string {
+	switch k {
+	case EventParRead:
+		return "par-read"
+	case EventFlush:
+		return "flush"
+	case EventDeplete:
+		return "deplete"
+	case EventStall:
+		return "stall"
+	case EventPromote:
+		return "promote"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// BlockRef identifies one block of one run within a merge, with the disk
+// it lives on and a key: the block's first key for reads, flushes, stalls
+// and promotions, or the final consumed key for depletions.
+type BlockRef struct {
+	Run  int
+	Idx  int
+	Disk int
+	Key  record.Key
+}
+
+// Event is one step of the merge schedule.
+type Event struct {
+	Kind Kind
+	// Seq is the 0-based event sequence number.
+	Seq int
+	// Blocks lists the blocks involved: the blocks fetched by a ParRead,
+	// the victims of a Flush (highest rank first), or the single block of
+	// a Deplete/Stall/Unstall.
+	Blocks []BlockRef
+	// Occupied is |F_t| after the event.
+	Occupied int
+	// OutRank is the scheduler's OutRank_t at a Flush (0 otherwise).
+	OutRank int
+}
+
+// Sink consumes events as the merge produces them.
+type Sink interface {
+	Observe(Event)
+}
+
+// Multi fans one event stream out to several sinks.
+func Multi(sinks ...Sink) Sink { return multi(sinks) }
+
+type multi []Sink
+
+func (m multi) Observe(e Event) {
+	for _, s := range m {
+		s.Observe(e)
+	}
+}
+
+// Recorder is a Sink that stores every event.
+type Recorder struct {
+	Events []Event
+}
+
+// Observe implements Sink.
+func (r *Recorder) Observe(e Event) { r.Events = append(r.Events, e) }
+
+// Count returns how many events of the given kind were recorded.
+func (r *Recorder) Count(k Kind) int {
+	n := 0
+	for _, e := range r.Events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Render writes a human-readable trace to w.
+func (r *Recorder) Render(w io.Writer) error {
+	for _, e := range r.Events {
+		if _, err := fmt.Fprintf(w, "%5d %-9s |F|=%-4d", e.Seq, e.Kind, e.Occupied); err != nil {
+			return err
+		}
+		if e.Kind == EventFlush {
+			if _, err := fmt.Fprintf(w, " outrank=%d", e.OutRank); err != nil {
+				return err
+			}
+		}
+		for _, b := range e.Blocks {
+			if _, err := fmt.Fprintf(w, "  r%d.b%d@d%d(%d)", b.Run, b.Idx, b.Disk, b.Key); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		EventParRead: "par-read",
+		EventFlush:   "flush",
+		EventDeplete: "deplete",
+		EventStall:   "stall",
+		EventPromote: "promote",
+		Kind(99):     "Kind(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestRecorderAndRender(t *testing.T) {
+	r := &Recorder{}
+	r.Observe(Event{Kind: EventParRead, Seq: 0, Blocks: []BlockRef{{Run: 1, Idx: 2, Disk: 3, Key: 42}}})
+	r.Observe(Event{Kind: EventFlush, Seq: 1, OutRank: 5})
+	if r.Count(EventParRead) != 1 || r.Count(EventFlush) != 1 || r.Count(EventStall) != 0 {
+		t.Fatalf("counts wrong: %+v", r.Events)
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "par-read") || !strings.Contains(out, "r1.b2@d3(42)") ||
+		!strings.Contains(out, "outrank=5") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := &Recorder{}, &Recorder{}
+	m := Multi(a, b)
+	m.Observe(Event{Kind: EventStall})
+	if len(a.Events) != 1 || len(b.Events) != 1 {
+		t.Fatal("Multi did not fan out")
+	}
+}
+
+func TestCheckerAcceptsCleanSchedule(t *testing.T) {
+	c := NewChecker(2)
+	// Load block 0 of two runs, promote both, read successors, deplete,
+	// promote, flush the far-future block, re-read it from its disk.
+	c.Observe(Event{Kind: EventParRead, Blocks: []BlockRef{
+		{Run: 0, Idx: 0, Disk: 0, Key: 10}, {Run: 1, Idx: 0, Disk: 1, Key: 20}}})
+	c.Observe(Event{Kind: EventPromote, Blocks: []BlockRef{{Run: 0, Idx: 0, Disk: 0, Key: 10}}})
+	c.Observe(Event{Kind: EventPromote, Blocks: []BlockRef{{Run: 1, Idx: 0, Disk: 1, Key: 20}}})
+	c.Observe(Event{Kind: EventParRead, Blocks: []BlockRef{
+		{Run: 0, Idx: 1, Disk: 1, Key: 30}, {Run: 1, Idx: 1, Disk: 0, Key: 90}}})
+	c.Observe(Event{Kind: EventFlush, OutRank: 1, Blocks: []BlockRef{{Run: 1, Idx: 1, Disk: 0, Key: 90}}})
+	c.Observe(Event{Kind: EventParRead, Blocks: []BlockRef{{Run: 1, Idx: 1, Disk: 0, Key: 90}}})
+	c.Observe(Event{Kind: EventDeplete, Blocks: []BlockRef{{Run: 0, Idx: 0, Disk: 0, Key: 10}}})
+	c.Observe(Event{Kind: EventPromote, Blocks: []BlockRef{{Run: 0, Idx: 1, Disk: 1, Key: 30}}})
+	if err := c.Err(); err != nil {
+		t.Fatalf("clean schedule rejected: %v", err)
+	}
+	if c.Rereads() != 1 {
+		t.Fatalf("Rereads = %d, want 1", c.Rereads())
+	}
+}
+
+func TestCheckerCatchesDoubleDisk(t *testing.T) {
+	c := NewChecker(2)
+	c.Observe(Event{Kind: EventParRead, Blocks: []BlockRef{
+		{Run: 0, Idx: 0, Disk: 0, Key: 1}, {Run: 1, Idx: 0, Disk: 0, Key: 2}}})
+	if c.Err() == nil {
+		t.Fatal("double-disk read accepted")
+	}
+}
+
+func TestCheckerCatchesReadOfResident(t *testing.T) {
+	c := NewChecker(2)
+	e := Event{Kind: EventParRead, Blocks: []BlockRef{{Run: 0, Idx: 1, Disk: 0, Key: 5}}}
+	c.Observe(e)
+	c.Observe(e)
+	if c.Err() == nil {
+		t.Fatal("re-read of an in-memory block accepted")
+	}
+}
+
+func TestCheckerCatchesFlushOfLeading(t *testing.T) {
+	c := NewChecker(2)
+	c.Observe(Event{Kind: EventParRead, Blocks: []BlockRef{{Run: 0, Idx: 3, Disk: 0, Key: 5}}})
+	c.Observe(Event{Kind: EventPromote, Blocks: []BlockRef{{Run: 0, Idx: 3, Disk: 0, Key: 5}}})
+	c.Observe(Event{Kind: EventFlush, Blocks: []BlockRef{{Run: 0, Idx: 3, Disk: 0, Key: 5}}})
+	if c.Err() == nil {
+		t.Fatal("flush of a leading block accepted")
+	}
+}
+
+func TestCheckerCatchesNonTopRankedFlush(t *testing.T) {
+	c := NewChecker(2)
+	c.Observe(Event{Kind: EventParRead, Blocks: []BlockRef{
+		{Run: 0, Idx: 1, Disk: 0, Key: 10}, {Run: 1, Idx: 1, Disk: 1, Key: 99}}})
+	// Flushing the key-10 block while key-99 stays resident violates
+	// Lemma 2 (victims must be the highest-ranked).
+	c.Observe(Event{Kind: EventFlush, Blocks: []BlockRef{{Run: 0, Idx: 1, Disk: 0, Key: 10}}})
+	if c.Err() == nil {
+		t.Fatal("non-top-ranked flush accepted")
+	}
+}
+
+func TestCheckerCatchesWrongDiskReread(t *testing.T) {
+	c := NewChecker(2)
+	c.Observe(Event{Kind: EventParRead, Blocks: []BlockRef{{Run: 0, Idx: 1, Disk: 0, Key: 10}}})
+	c.Observe(Event{Kind: EventFlush, Blocks: []BlockRef{{Run: 0, Idx: 1, Disk: 0, Key: 10}}})
+	c.Observe(Event{Kind: EventParRead, Blocks: []BlockRef{{Run: 0, Idx: 1, Disk: 1, Key: 10}}})
+	if c.Err() == nil {
+		t.Fatal("re-read from the wrong disk accepted")
+	}
+}
+
+func TestCheckerCatchesDepleteOfNonLeading(t *testing.T) {
+	c := NewChecker(2)
+	c.Observe(Event{Kind: EventDeplete, Blocks: []BlockRef{{Run: 0, Idx: 2, Disk: 0, Key: 5}}})
+	if c.Err() == nil {
+		t.Fatal("deplete of a non-leading block accepted")
+	}
+}
+
+func TestCheckerStopsAtFirstError(t *testing.T) {
+	c := NewChecker(1)
+	c.Observe(Event{Kind: EventDeplete, Blocks: []BlockRef{{Run: 0, Idx: 2}}})
+	first := c.Err()
+	c.Observe(Event{Kind: EventDeplete, Blocks: []BlockRef{{Run: 1, Idx: 3}}})
+	if c.Err() != first {
+		t.Fatal("checker overwrote the first error")
+	}
+}

@@ -1,0 +1,389 @@
+// Package srmsort is a from-scratch reproduction of
+//
+//	R. Barve, E. Grove, J. S. Vitter,
+//	"Simple Randomized Mergesort on Parallel Disks", SPAA 1996
+//	(extended version: Duke CS-1996-15).
+//
+// It provides external mergesort on a simulated D-disk parallel I/O system
+// (one block of B records per disk per I/O operation), with four
+// algorithms:
+//
+//   - SRM — the paper's Simple Randomized Mergesort: runs striped
+//     cyclically with uniformly random starting disks, forecast-driven
+//     parallel reads, virtual flushing, and perfect write parallelism.
+//   - SRMDeterministic — the Section 8 variant with staggered (run mod D)
+//     starting disks and no randomness.
+//   - DSM — disk-striped mergesort, the baseline SRM is measured against.
+//   - PSV — the Pai–Schaffer–Varman comparator of Section 2.1: one run
+//     per disk plus a transposition pass per merge level.
+//
+// Sort reports exhaustive I/O statistics in the paper's cost unit (parallel
+// I/O operations), plus an optional wall-clock estimate under a
+// Ruemmler–Wilkes-style disk time model. The companion packages under
+// internal/ implement the substrates (disk model, run layout, forecasting,
+// memory management, occupancy theory) and the benchmark harness reproduces
+// every table and figure of the paper's evaluation; see DESIGN.md and
+// EXPERIMENTS.md.
+package srmsort
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"srmsort/internal/analysis"
+	"srmsort/internal/dsm"
+	"srmsort/internal/pdisk"
+	"srmsort/internal/psv"
+	"srmsort/internal/record"
+	"srmsort/internal/runform"
+	"srmsort/internal/runio"
+	"srmsort/internal/srm"
+)
+
+// Record is a fixed-size sortable record: records are ordered by Key; Val
+// is an opaque payload carried alongside (duplicate keys are permitted and
+// sorted stably with respect to nothing in particular — any permutation of
+// equal keys is a valid sort).
+type Record struct {
+	Key uint64
+	Val uint64
+}
+
+// Algorithm selects the sorting algorithm.
+type Algorithm int
+
+const (
+	// SRM is the paper's Simple Randomized Mergesort.
+	SRM Algorithm = iota
+	// SRMDeterministic is the Section 8 variant with staggered starting
+	// disks instead of random ones.
+	SRMDeterministic
+	// DSM is disk-striped mergesort, the baseline.
+	DSM
+	// PSV is the Pai–Schaffer–Varman mergesort (Section 2.1 prior work):
+	// one run per disk (merge order fixed at D) with a transposition pass
+	// between merge levels. Included as a comparator.
+	PSV
+)
+
+// String returns the algorithm's name.
+func (a Algorithm) String() string {
+	switch a {
+	case SRM:
+		return "SRM"
+	case SRMDeterministic:
+		return "SRM-deterministic"
+	case DSM:
+		return "DSM"
+	case PSV:
+		return "PSV"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// RunFormation selects how initial runs are formed.
+type RunFormation int
+
+const (
+	// HalfMemoryLoads sorts M/2 records at a time (the paper's default,
+	// chosen so computation can overlap I/O): 2N/M runs of length M/2.
+	HalfMemoryLoads RunFormation = iota
+	// ReplacementSelection produces about N/M runs of expected length ~2M
+	// on random inputs [Knuth 73].
+	ReplacementSelection
+)
+
+// DiskModel estimates wall-clock time per I/O operation; see
+// Mid1990sDisk and ModernDisk for presets.
+type DiskModel = pdisk.TimeModel
+
+// Mid1990sDisk returns disk parameters typical of the paper's era.
+func Mid1990sDisk() *DiskModel { return pdisk.Mid1990sDisk() }
+
+// ModernDisk returns disk parameters of a contemporary 7200 rpm drive.
+func ModernDisk() *DiskModel { return pdisk.ModernDisk() }
+
+// Config describes the machine and algorithm for one sort.
+type Config struct {
+	// D is the number of disks (>= 1; >= 2 for meaningful parallelism).
+	D int
+	// B is the block size in records (>= 1).
+	B int
+	// Memory is the internal memory size M in records. If zero, it is
+	// derived from K via the paper's sizing M = (2K+4)·D·B + K·D².
+	Memory int
+	// K, when Memory is zero, sets memory via the paper's k = R/D
+	// parameter ("2k is roughly the number of memory blocks per disk").
+	K int
+	// Algorithm selects SRM (default), SRMDeterministic, DSM or PSV.
+	Algorithm Algorithm
+	// RunFormation selects the initial-run strategy (SRM variants only;
+	// DSM always uses half memoryloads).
+	RunFormation RunFormation
+	// Seed drives SRM's randomized placement. The same seed reproduces
+	// the same I/O schedule exactly.
+	Seed int64
+	// Model, if non-nil, accumulates an estimated I/O time in
+	// Stats.SimTime.
+	Model *DiskModel
+	// FileBacked stores blocks in temporary files instead of memory,
+	// demonstrating real serialised I/O. Directory is created under
+	// TempDir (or the OS default if empty) and removed afterwards.
+	FileBacked bool
+	TempDir    string
+	// Workers > 1 executes the independent merges of each pass on that
+	// many goroutines (-1 means GOMAXPROCS); 0 or 1 runs serially. The
+	// result and all I/O statistics are identical either way — only the
+	// host wall-clock changes. SRM variants only.
+	Workers int
+}
+
+// Stats reports everything a sort did, in the paper's cost units.
+type Stats struct {
+	Algorithm Algorithm
+	// Geometry: disks, block size, memory (records) and merge order.
+	D, B, M, R int
+	// InitialRuns is the number of runs produced by run formation.
+	InitialRuns int
+	// MergePasses is the number of merge passes after run formation.
+	MergePasses int
+	// RunFormationReads/Writes are the I/O operations of the formation
+	// pass; MergeReads/Writes those of all merge passes.
+	RunFormationReads  int64
+	RunFormationWrites int64
+	MergeReads         int64
+	MergeWrites        int64
+	// Flushes, BlocksFlushed, BlocksReread describe SRM's virtual
+	// flushing (zero for DSM and PSV).
+	Flushes       int64
+	BlocksFlushed int64
+	BlocksReread  int64
+	// TransposeOps counts PSV's realignment operations (included in
+	// MergeReads/MergeWrites; zero for the other algorithms).
+	TransposeOps int64
+	// ReadParallelism and WriteParallelism are average blocks moved per
+	// operation (D is perfect).
+	ReadParallelism  float64
+	WriteParallelism float64
+	// ReadBalance and WriteBalance are the busiest disk's share of block
+	// traffic relative to an even spread (1.0 = perfectly balanced, D =
+	// one disk carried everything). SRM's randomized layout keeps reads
+	// near 1.
+	ReadBalance  float64
+	WriteBalance float64
+	// SimTime is the estimated I/O time in seconds under Config.Model.
+	SimTime float64
+}
+
+// TotalOps returns all parallel I/O operations of the sort.
+func (s Stats) TotalOps() int64 {
+	return s.RunFormationReads + s.RunFormationWrites + s.MergeReads + s.MergeWrites
+}
+
+// MergeOrder returns the merge order R the configuration yields, and the
+// derived memory size, without sorting.
+func (c Config) MergeOrder() (r, m int, err error) {
+	if c.D < 1 {
+		return 0, 0, fmt.Errorf("srmsort: D = %d, need >= 1", c.D)
+	}
+	if c.B < 1 {
+		return 0, 0, fmt.Errorf("srmsort: B = %d, need >= 1", c.B)
+	}
+	m = c.Memory
+	if m == 0 {
+		if c.K < 1 {
+			return 0, 0, errors.New("srmsort: set Memory or K")
+		}
+		m = analysis.MemoryForK(c.K, c.D, c.B)
+	}
+	switch c.Algorithm {
+	case DSM:
+		r = analysis.DSMMergeOrder(m, c.D, c.B)
+	case PSV:
+		r = c.D // one run per disk, independent of memory
+		if bufBlocks := (m/c.B - 2*c.D) / c.D; bufBlocks < 1 {
+			return r, m, fmt.Errorf("srmsort: memory M=%d records leaves no PSV lookahead buffers; increase Memory/K", m)
+		}
+		if r < 2 {
+			return r, m, fmt.Errorf("srmsort: PSV needs D >= 2 disks")
+		}
+		return r, m, nil
+	default:
+		r = analysis.SRMMergeOrder(m, c.D, c.B)
+	}
+	if r < 2 {
+		return r, m, fmt.Errorf("srmsort: memory M=%d records yields merge order R=%d (<2); increase Memory/K", m, r)
+	}
+	return r, m, nil
+}
+
+// newSystem builds the disk system of a sort, returning a cleanup function
+// that removes any file-backed storage.
+func (c Config) newSystem() (*pdisk.System, func(), error) {
+	var store pdisk.Store
+	cleanupDir := func() {}
+	if c.FileBacked {
+		dir, err := os.MkdirTemp(c.TempDir, "srmsort-disks-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		cleanupDir = func() { os.RemoveAll(dir) }
+		fs, err := pdisk.NewFileStore(dir, c.B, c.D)
+		if err != nil {
+			cleanupDir()
+			return nil, nil, err
+		}
+		store = fs
+	}
+	sys, err := pdisk.NewSystem(pdisk.Config{D: c.D, B: c.B, Store: store, Model: c.Model})
+	if err != nil {
+		cleanupDir()
+		return nil, nil, err
+	}
+	return sys, func() { sys.Close(); cleanupDir() }, nil
+}
+
+// runAlgorithm performs the sort proper (run formation + merge passes) and
+// returns a streaming iterator over the final sorted run. The caller must
+// snapshot Stats-level I/O figures before draining the iterator, because
+// reading the result back out is verification, not sorting cost.
+func runAlgorithm(sys *pdisk.System, file *runform.InputFile, cfg Config, m, r int, stats *Stats) (func(func(record.Record) error) error, error) {
+	switch cfg.Algorithm {
+	case DSM:
+		return sortDSM(sys, file, m, r, stats)
+	case PSV:
+		return sortPSV(sys, file, m, stats)
+	default:
+		return sortSRM(sys, file, m, r, cfg, stats)
+	}
+}
+
+// Sort externally sorts records under the given configuration and returns
+// the sorted records along with full I/O statistics. The input slice is not
+// modified.
+func Sort(records []Record, cfg Config) ([]Record, Stats, error) {
+	r, m, err := cfg.MergeOrder()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	stats := Stats{Algorithm: cfg.Algorithm, D: cfg.D, B: cfg.B, M: m, R: r}
+
+	sys, cleanup, err := cfg.newSystem()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	defer cleanup()
+
+	loader := runform.NewLoader(sys)
+	for _, rec := range records {
+		if err := loader.Append(record.Record{Key: record.Key(rec.Key), Val: rec.Val}); err != nil {
+			return nil, Stats{}, err
+		}
+	}
+	file, err := loader.Finish()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	sys.ResetStats() // loading the input is setup, not sorting cost
+
+	emit, err := runAlgorithm(sys, file, cfg, m, r, &stats)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+
+	// Snapshot the I/O figures before reading the result back out —
+	// verification traffic is not sorting cost.
+	final := sys.Stats()
+	stats.ReadParallelism = final.ReadParallelism()
+	stats.WriteParallelism = final.WriteParallelism()
+	stats.ReadBalance = final.ReadBalance()
+	stats.WriteBalance = final.WriteBalance()
+	stats.SimTime = final.SimTime
+
+	result := make([]Record, 0, len(records))
+	if err := emit(func(rec record.Record) error {
+		result = append(result, Record{Key: uint64(rec.Key), Val: rec.Val})
+		return nil
+	}); err != nil {
+		return nil, Stats{}, err
+	}
+	return result, stats, nil
+}
+
+func sortSRM(sys *pdisk.System, file *runform.InputFile, m, r int, cfg Config, stats *Stats) (func(func(record.Record) error) error, error) {
+	var placement runio.Placement
+	if cfg.Algorithm == SRMDeterministic {
+		placement = runio.StaggeredPlacement{D: cfg.D}
+	} else {
+		placement = &runio.RandomPlacement{D: cfg.D, Rng: rand.New(rand.NewSource(cfg.Seed))}
+	}
+
+	var formed runform.Result
+	var err error
+	if cfg.RunFormation == ReplacementSelection {
+		formed, err = runform.ReplacementSelection(sys, file, m, placement, 0)
+	} else {
+		formed, err = runform.MemoryLoad(sys, file, (m+1)/2, placement, 0)
+	}
+	if err != nil {
+		return nil, err
+	}
+	afterForm := sys.Stats()
+	stats.RunFormationReads = afterForm.ReadOps
+	stats.RunFormationWrites = afterForm.WriteOps
+	stats.InitialRuns = len(formed.Runs)
+	if len(formed.Runs) == 0 {
+		return func(func(record.Record) error) error { return nil }, nil
+	}
+
+	var final *runio.Run
+	var sortStats srm.SortStats
+	if cfg.Workers > 1 || cfg.Workers < 0 {
+		final, sortStats, _, err = srm.SortRunsParallel(sys, formed.Runs, r, placement, formed.NextSeq, cfg.Workers)
+	} else {
+		final, sortStats, _, err = srm.SortRuns(sys, formed.Runs, r, placement, formed.NextSeq)
+	}
+	if err != nil {
+		return nil, err
+	}
+	stats.MergePasses = sortStats.MergePasses
+	stats.MergeReads = sortStats.ReadOps
+	stats.MergeWrites = sortStats.WriteOps
+	stats.Flushes = sortStats.Flushes
+	stats.BlocksFlushed = sortStats.BlocksFlushed
+	stats.BlocksReread = sortStats.BlocksReread
+	return func(fn func(record.Record) error) error { return runio.Stream(sys, final, fn) }, nil
+}
+
+func sortPSV(sys *pdisk.System, file *runform.InputFile, m int, stats *Stats) (func(func(record.Record) error) error, error) {
+	bufBlocks := (m/sys.B() - 2*sys.D()) / sys.D()
+	final, ps, err := psv.Sort(sys, file, (m+1)/2, bufBlocks)
+	if err != nil {
+		return nil, err
+	}
+	stats.RunFormationReads = ps.RunFormationReads
+	stats.RunFormationWrites = ps.RunFormationWrites
+	stats.InitialRuns = ps.InitialRuns
+	stats.MergePasses = ps.MergeLevels
+	stats.MergeReads = ps.MergeReadOps + ps.TransposeReadOps
+	stats.MergeWrites = ps.MergeWriteOps + ps.TransposeWriteOps
+	stats.TransposeOps = ps.TransposeReadOps + ps.TransposeWriteOps
+	return func(fn func(record.Record) error) error { return runio.Stream(sys, final, fn) }, nil
+}
+
+func sortDSM(sys *pdisk.System, file *runform.InputFile, m, r int, stats *Stats) (func(func(record.Record) error) error, error) {
+	final, ds, err := dsm.Sort(sys, file, (m+1)/2, r)
+	if err != nil {
+		return nil, err
+	}
+	stats.RunFormationReads = ds.RunFormationReads
+	stats.RunFormationWrites = ds.RunFormationWrites
+	stats.InitialRuns = ds.InitialRuns
+	stats.MergePasses = ds.MergePasses
+	stats.MergeReads = ds.MergeReadOps
+	stats.MergeWrites = ds.MergeWriteOps
+	return func(fn func(record.Record) error) error { return dsm.Stream(sys, final, fn) }, nil
+}

@@ -1,0 +1,46 @@
+package srmsort
+
+import "testing"
+
+// Large-scale end-to-end stress: two million records through the full SRM
+// pipeline with file-backed disks and parallel pass execution — the
+// closest the test suite comes to the library's production configuration.
+// Skipped under -short.
+func TestStressLargeSortFileBacked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large stress sort")
+	}
+	const n = 2_000_000
+	in := benchRecords(n, 1234)
+	out, stats, err := Sort(in, Config{
+		D: 16, B: 256, K: 4,
+		Seed:       9,
+		FileBacked: true,
+		TempDir:    t.TempDir(),
+		Workers:    -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n {
+		t.Fatalf("output has %d records", len(out))
+	}
+	for i := 1; i < n; i++ {
+		if out[i-1].Key > out[i].Key {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+	// Sanity on the cost profile: with R=64 and 80 initial runs the
+	// sort takes exactly 2 merge passes, and write parallelism stays near
+	// D through multi-gigarecord-scale striping.
+	if stats.MergePasses != 2 {
+		t.Fatalf("merge passes = %d, want 2", stats.MergePasses)
+	}
+	if stats.WriteParallelism < 15 {
+		t.Fatalf("write parallelism %.2f, want near 16", stats.WriteParallelism)
+	}
+	if stats.ReadBalance > 1.1 {
+		t.Fatalf("read balance %.3f, want near 1", stats.ReadBalance)
+	}
+	t.Logf("stats: %+v", stats)
+}
