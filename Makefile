@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench tables tables-full verify
+.PHONY: all build test race bench check tables tables-full verify
 
 all: build test
 
@@ -12,6 +12,13 @@ test:
 	go test ./...
 
 race:
+	go test -race ./...
+
+# The full gate: compile everything, vet, then the whole suite under the
+# race detector (the async pipeline's equivalence tests are only
+# meaningful raced).
+check: build
+	go vet ./...
 	go test -race ./...
 
 bench:

@@ -1,0 +1,114 @@
+package srmsort
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// The async pipeline's contract is indistinguishability: for every
+// algorithm, disk count and worker count, Config.Async must change neither
+// a byte of output nor a single I/O statistic. This is the public-API
+// enforcement of the equivalence the internal packages prove piecewise.
+func TestAsyncEquivalence(t *testing.T) {
+	in := benchRecords(4000, 12345)
+	encode := func(recs []Record) []byte {
+		var buf bytes.Buffer
+		if err := WriteRecords(&buf, recs); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	for _, alg := range []Algorithm{SRM, SRMDeterministic, DSM} {
+		for _, d := range []int{1, 2, 4, 8} {
+			workerSets := []int{0}
+			if alg != DSM {
+				workerSets = []int{1, 2, -1}
+			}
+			for _, workers := range workerSets {
+				name := fmt.Sprintf("%s/D=%d/workers=%d", alg, d, workers)
+				t.Run(name, func(t *testing.T) {
+					cfg := Config{D: d, B: 4, K: 2, Algorithm: alg, Seed: 42, Workers: workers}
+
+					syncOut, syncStats, err := Sort(in, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg.Async = true
+					asyncOut, asyncStats, err := Sort(in, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					if !bytes.Equal(encode(syncOut), encode(asyncOut)) {
+						t.Fatal("async output differs from sync output")
+					}
+					if syncStats != asyncStats {
+						t.Fatalf("stats diverge:\nsync  %+v\nasync %+v", syncStats, asyncStats)
+					}
+					if syncStats.TotalOps() != asyncStats.TotalOps() {
+						t.Fatalf("op counts diverge: %d vs %d", syncStats.TotalOps(), asyncStats.TotalOps())
+					}
+				})
+			}
+		}
+	}
+}
+
+// SortStream with Async must round-trip the wire format unchanged too.
+func TestAsyncSortStreamEquivalence(t *testing.T) {
+	in := benchRecords(3000, 777)
+	var wire bytes.Buffer
+	if err := WriteRecords(&wire, in); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(async bool) ([]byte, Stats) {
+		var out bytes.Buffer
+		stats, err := SortStream(bytes.NewReader(wire.Bytes()), &out,
+			Config{D: 4, B: 4, K: 2, Seed: 5, Async: async})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes(), stats
+	}
+	syncBytes, syncStats := run(false)
+	asyncBytes, asyncStats := run(true)
+	if !bytes.Equal(syncBytes, asyncBytes) {
+		t.Fatal("async stream output differs from sync")
+	}
+	if syncStats != asyncStats {
+		t.Fatalf("stream stats diverge:\nsync  %+v\nasync %+v", syncStats, asyncStats)
+	}
+}
+
+// A file-backed async sort through the public API must leave no goroutines
+// (disk workers) behind once Sort returns — Sort owns the system's whole
+// lifecycle.
+func TestAsyncFileBackedNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	in := benchRecords(2000, 31)
+	for i := 0; i < 2; i++ {
+		out, _, err := Sort(in, Config{
+			D: 4, B: 8, K: 2, Seed: 9, Async: true, FileBacked: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 1; j < len(out); j++ {
+			if out[j-1].Key > out[j].Key {
+				t.Fatalf("not sorted at %d", j)
+			}
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d running, want <= %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

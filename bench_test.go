@@ -341,3 +341,90 @@ func BenchmarkOverlapMakespan(b *testing.B) {
 		})
 	}
 }
+
+// TestOverlapAsyncBeatsSync pins the acceptance criterion of the async
+// pipeline: under the paper-era disk model the overlapped schedule's
+// simulated makespan is strictly below the serial one for every D >= 2
+// (for D = 1 it must merely never be worse). Queue-depth bounds matching
+// pdisk's async layer must preserve the win.
+func TestOverlapAsyncBeatsSync(t *testing.T) {
+	for _, d := range []int{1, 2, 4, 8} {
+		rng := rand.New(rand.NewSource(int64(17 + d)))
+		runs := sim.GenerateAverageCase(rng, d, 4*d, 80, 16)
+		for _, r := range runs {
+			r.StartDisk = rng.Intn(d)
+		}
+		op := pdisk.Mid1990sDisk().OpSeconds(16)
+		base := timesim.Params{B: 16, OpSeconds: op, CPUPerRecord: 2e-6}
+
+		measure := func(overlap bool, depth int) timesim.Result {
+			p := base
+			p.Overlap = overlap
+			p.QueueDepth = depth
+			res, err := timesim.Merge(runs, d, 4*d, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		sync := measure(false, 0)
+		async := measure(true, pdisk.DefaultAsyncQueueDepth)
+		if sync.ReadOps != async.ReadOps || sync.WriteOps != async.WriteOps {
+			t.Fatalf("D=%d: op counts diverge (%d/%d vs %d/%d)",
+				d, sync.ReadOps, sync.WriteOps, async.ReadOps, async.WriteOps)
+		}
+		if async.Makespan > sync.Makespan {
+			t.Fatalf("D=%d: async makespan %.4fs exceeds sync %.4fs", d, async.Makespan, sync.Makespan)
+		}
+		if d >= 2 && async.Makespan >= sync.Makespan {
+			t.Fatalf("D=%d: async makespan %.4fs not strictly below sync %.4fs",
+				d, async.Makespan, sync.Makespan)
+		}
+	}
+}
+
+// BenchmarkOverlapSyncVsAsync measures the async pipeline both ways per
+// disk count: the model-s metric is the timesim makespan of one merge
+// (serial vs overlapped with pdisk's default queue depth), and the wall
+// time is a real file-backed end-to-end Sort with and without
+// Config.Async — same bytes, same op counts, different clock.
+func BenchmarkOverlapSyncVsAsync(b *testing.B) {
+	in := benchRecords(100_000, 7)
+	for _, d := range []int{1, 2, 4, 8} {
+		rng := rand.New(rand.NewSource(int64(d)))
+		runs := sim.GenerateAverageCase(rng, d, 4*d, 80, 16)
+		for _, r := range runs {
+			r.StartDisk = rng.Intn(d)
+		}
+		op := pdisk.Mid1990sDisk().OpSeconds(16)
+		for _, async := range []bool{false, true} {
+			mode := "sync"
+			if async {
+				mode = "async"
+			}
+			b.Run(fmt.Sprintf("D=%d/%s", d, mode), func(b *testing.B) {
+				var model timesim.Result
+				var ops int64
+				for i := 0; i < b.N; i++ {
+					var err error
+					model, err = timesim.Merge(runs, d, 4*d, timesim.Params{
+						B: 16, OpSeconds: op, CPUPerRecord: 2e-6,
+						Overlap: async, QueueDepth: pdisk.DefaultAsyncQueueDepth,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					_, stats, err := Sort(in, Config{
+						D: d, B: 32, K: 2, Seed: 3, Async: async, FileBacked: true,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					ops = stats.TotalOps()
+				}
+				b.ReportMetric(model.Makespan, "model-s")
+				b.ReportMetric(float64(ops), "io-ops")
+			})
+		}
+	}
+}

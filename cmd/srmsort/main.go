@@ -5,7 +5,7 @@
 // Usage:
 //
 //	srmsort -n 1000000 -d 8 -b 64 -k 4 [-alg srm|srm-det|dsm|psv] [-workers N]
-//	        [-input random|sorted|reverse|dups] [-runform load|rs]
+//	        [-async] [-input random|sorted|reverse|dups] [-runform load|rs]
 //	        [-model none|1996|modern] [-file] [-seed N] [-verify]
 //
 // Example — compare SRM and DSM on the same input:
@@ -39,6 +39,7 @@ func main() {
 		file    = flag.Bool("file", false, "store blocks in temporary files instead of memory")
 		seed    = flag.Int64("seed", 1, "random seed (placement and input)")
 		workers = flag.Int("workers", 0, "goroutines for a pass's merges (SRM only; -1 = GOMAXPROCS)")
+		async   = flag.Bool("async", false, "overlap I/O with merging (SRM/DSM; identical output and I/O statistics)")
 		verify  = flag.Bool("verify", true, "verify the output is sorted")
 		inFile  = flag.String("infile", "", "read wire-format records from this file instead of generating (-n ignored)")
 		outFile = flag.String("outfile", "", "write the sorted wire-format records to this file")
@@ -47,7 +48,7 @@ func main() {
 
 	cfg := srmsort.Config{
 		D: *d, B: *b, K: *k, Memory: *mem,
-		Seed: *seed, FileBacked: *file, Workers: *workers,
+		Seed: *seed, FileBacked: *file, Workers: *workers, Async: *async,
 	}
 	switch *alg {
 	case "srm":

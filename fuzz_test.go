@@ -85,3 +85,78 @@ func FuzzRecordWire(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReadRecords feeds arbitrary byte streams to the wire decoder: it must
+// accept exactly the streams whose length is a whole number of records and
+// never panic on anything.
+func FuzzReadRecords(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add(make([]byte, 15))
+	f.Add(make([]byte, 16))
+	f.Add(make([]byte, 31))
+	f.Add(make([]byte, 4096))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadRecords(bytes.NewReader(data))
+		if len(data)%RecordWireSize != 0 {
+			if err == nil {
+				t.Fatalf("stream of %d bytes (not a record multiple) accepted", len(data))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("well-formed stream of %d bytes rejected: %v", len(data), err)
+		}
+		if len(recs) != len(data)/RecordWireSize {
+			t.Fatalf("%d bytes decoded to %d records", len(data), len(recs))
+		}
+		var buf bytes.Buffer
+		if err := WriteRecords(&buf, recs); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatal("decode/encode round trip altered the stream")
+		}
+	})
+}
+
+// FuzzSortStreamAsync is FuzzSortStream through the overlapped pipeline:
+// malformed streams error (never panic, never hang a disk worker), and
+// well-formed streams sort to the same bytes the synchronous configuration
+// produces.
+func FuzzSortStreamAsync(f *testing.F) {
+	f.Add([]byte{})
+	one := make([]byte, 16)
+	one[0] = 9
+	f.Add(one)
+	two := make([]byte, 32)
+	two[0] = 200
+	two[16] = 100
+	two[24] = 1
+	f.Add(two)
+	f.Add(make([]byte, 17))
+	f.Add(make([]byte, 160))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg := Config{D: 3, B: 2, K: 2, Seed: 1, Async: true}
+		var out bytes.Buffer
+		_, err := SortStream(bytes.NewReader(data), &out, cfg)
+		if len(data)%RecordWireSize != 0 {
+			if err == nil {
+				t.Fatalf("malformed stream of %d bytes accepted", len(data))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("well-formed stream of %d bytes rejected: %v", len(data), err)
+		}
+		cfg.Async = false
+		var syncOut bytes.Buffer
+		if _, err := SortStream(bytes.NewReader(data), &syncOut, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), syncOut.Bytes()) {
+			t.Fatal("async stream output differs from sync")
+		}
+	})
+}

@@ -50,11 +50,26 @@ type Writer struct {
 	buf     []record.Record
 	lastKey record.Key
 	started bool
+
+	// Write-behind state (async mode): at most one logical block is in
+	// flight, the striped analogue of SRM's M_W double buffer.
+	async    bool
+	inflight *pdisk.WriteFuture
 }
 
 // NewWriter starts a new striped run with the given id.
 func NewWriter(sys *pdisk.System, id int) *Writer {
 	return &Writer{sys: sys, run: &Run{ID: id}}
+}
+
+// NewWriterAsync is NewWriter with write-behind: each logical block is
+// issued asynchronously and awaited only when the next one is ready (or at
+// Finish). Emitted stripes and operation counts are identical to the
+// synchronous writer's.
+func NewWriterAsync(sys *pdisk.System, id int) *Writer {
+	w := NewWriter(sys, id)
+	w.async = true
+	return w
 }
 
 // Append adds the next record; records must arrive in nondecreasing key
@@ -94,16 +109,34 @@ func (w *Writer) flush() error {
 		writes = append(writes, pdisk.BlockWrite{Addr: addr, Block: pdisk.StoredBlock{Records: blk}})
 		addrs = append(addrs, addr)
 	}
-	if err := w.sys.WriteBlocks(writes); err != nil {
+	if w.async {
+		if err := w.awaitInflight(); err != nil {
+			return err
+		}
+		w.inflight = w.sys.WriteBlocksAsync(writes)
+	} else if err := w.sys.WriteBlocks(writes); err != nil {
 		return err
 	}
 	w.run.stripes = append(w.run.stripes, addrs)
 	return nil
 }
 
+// awaitInflight completes the write-behind stripe, if any.
+func (w *Writer) awaitInflight() error {
+	if w.inflight == nil {
+		return nil
+	}
+	fut := w.inflight
+	w.inflight = nil
+	return fut.Wait()
+}
+
 // Finish flushes the final partial logical block and returns the run.
 func (w *Writer) Finish() (*Run, error) {
 	if err := w.flush(); err != nil {
+		return nil, err
+	}
+	if err := w.awaitInflight(); err != nil {
 		return nil, err
 	}
 	return w.run, nil
@@ -133,6 +166,59 @@ type MergeStats struct {
 // with striped disks). The number of read operations is precisely the total
 // number of logical input blocks.
 func Merge(sys *pdisk.System, runs []*Run, outID int) (*Run, MergeStats, error) {
+	return mergeRuns(sys, runs, outID, false)
+}
+
+// MergeAsync is Merge with overlapped I/O: each run's next logical block is
+// prefetched while the current one is consumed (the double buffering DSM's
+// memory budget of 2 logical blocks per run provides for), and output
+// stripes are written behind the merge. Every stripe is still read exactly
+// once and written exactly once, so statistics and output are identical to
+// Merge's.
+func MergeAsync(sys *pdisk.System, runs []*Run, outID int) (*Run, MergeStats, error) {
+	return mergeRuns(sys, runs, outID, true)
+}
+
+// stripePrefetcher hands out one run's logical blocks in order, keeping the
+// next one in flight — the run's second read buffer.
+type stripePrefetcher struct {
+	sys  *pdisk.System
+	run  *Run
+	next int // stripe the in-flight future (if any) will deliver
+	fut  *pdisk.ReadFuture
+}
+
+// fetch returns the records of the next stripe and issues the read of the
+// one after. The caller must not call it past the last stripe.
+func (p *stripePrefetcher) fetch() ([]record.Record, error) {
+	if p.fut == nil {
+		p.fut = p.sys.ReadBlocksAsync(p.run.stripes[p.next])
+	}
+	blocks, err := p.fut.Wait()
+	p.fut = nil
+	if err != nil {
+		return nil, err
+	}
+	p.next++
+	if p.next < p.run.NumStripes() {
+		p.fut = p.sys.ReadBlocksAsync(p.run.stripes[p.next])
+	}
+	var out []record.Record
+	for _, b := range blocks {
+		out = append(out, b.Records...)
+	}
+	return out, nil
+}
+
+// drain collects an abandoned in-flight read (error-path cleanup).
+func (p *stripePrefetcher) drain() {
+	if p.fut != nil {
+		p.fut.Wait()
+		p.fut = nil
+	}
+}
+
+func mergeRuns(sys *pdisk.System, runs []*Run, outID int, async bool) (*Run, MergeStats, error) {
 	if len(runs) == 0 {
 		return nil, MergeStats{}, fmt.Errorf("dsm: merge of zero runs")
 	}
@@ -142,9 +228,29 @@ func Merge(sys *pdisk.System, runs []*Run, outID int) (*Run, MergeStats, error) 
 
 	bufs := make([][]record.Record, len(runs))
 	nextStripe := make([]int, len(runs))
+	var prefetchers []*stripePrefetcher
+	if async {
+		prefetchers = make([]*stripePrefetcher, len(runs))
+		for i, r := range runs {
+			prefetchers[i] = &stripePrefetcher{sys: sys, run: r}
+		}
+		// On any return, no read may be left in flight: an unwaited future
+		// is an unaccounted operation and a live reference to worker state.
+		defer func() {
+			for _, p := range prefetchers {
+				p.drain()
+			}
+		}()
+	}
 	refill := func(i int) error {
 		for len(bufs[i]) == 0 && nextStripe[i] < runs[i].NumStripes() {
-			recs, err := readStripe(sys, runs[i], nextStripe[i])
+			var recs []record.Record
+			var err error
+			if async {
+				recs, err = prefetchers[i].fetch()
+			} else {
+				recs, err = readStripe(sys, runs[i], nextStripe[i])
+			}
 			if err != nil {
 				return err
 			}
@@ -168,6 +274,9 @@ func Merge(sys *pdisk.System, runs []*Run, outID int) (*Run, MergeStats, error) 
 	}
 	lt := ltree.New(keys)
 	w := NewWriter(sys, outID)
+	if async {
+		w.async = true
+	}
 	for lt.Len() > 0 {
 		i, _ := lt.Min()
 		if err := w.Append(bufs[i][0]); err != nil {
@@ -226,6 +335,16 @@ func (s SortStats) TotalOps() int64 {
 // with full parallelism, sorted one load at a time, and each load is
 // written out as a run in logical blocks.
 func FormRuns(sys *pdisk.System, file *runform.InputFile, load int) ([]*Run, error) {
+	return formRuns(sys, file, load, false)
+}
+
+// FormRunsAsync is FormRuns with each load's output stripes written behind
+// the in-memory sort of the next load.
+func FormRunsAsync(sys *pdisk.System, file *runform.InputFile, load int) ([]*Run, error) {
+	return formRuns(sys, file, load, true)
+}
+
+func formRuns(sys *pdisk.System, file *runform.InputFile, load int, async bool) ([]*Run, error) {
 	if load < 1 {
 		return nil, fmt.Errorf("dsm: load %d", load)
 	}
@@ -243,6 +362,7 @@ func FormRuns(sys *pdisk.System, file *runform.InputFile, load int) ([]*Run, err
 		copy(sorted, chunk)
 		record.SortRecords(sorted)
 		w := NewWriter(sys, len(runs))
+		w.async = async
 		for _, rec := range sorted {
 			if err := w.Append(rec); err != nil {
 				return nil, err
@@ -260,12 +380,24 @@ func FormRuns(sys *pdisk.System, file *runform.InputFile, load int) ([]*Run, err
 // formation with loads of 'load' records, then passes of r-way merges. It
 // returns the final run.
 func Sort(sys *pdisk.System, file *runform.InputFile, load, r int) (*Run, SortStats, error) {
+	return sortFile(sys, file, load, r, false)
+}
+
+// SortAsync is Sort with overlapped I/O throughout: run formation writes
+// behind the in-memory sorts, and every merge prefetches input stripes and
+// writes output behind the merge. Output and statistics are identical to
+// Sort's.
+func SortAsync(sys *pdisk.System, file *runform.InputFile, load, r int) (*Run, SortStats, error) {
+	return sortFile(sys, file, load, r, true)
+}
+
+func sortFile(sys *pdisk.System, file *runform.InputFile, load, r int, async bool) (*Run, SortStats, error) {
 	if r < 2 {
 		return nil, SortStats{}, fmt.Errorf("dsm: merge order %d, need >= 2", r)
 	}
 	var stats SortStats
 	before := sys.Stats()
-	runs, err := FormRuns(sys, file, load)
+	runs, err := formRuns(sys, file, load, async)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -292,7 +424,7 @@ func Sort(sys *pdisk.System, file *runform.InputFile, load, r int) (*Run, SortSt
 				next = append(next, group[0])
 				continue
 			}
-			merged, ms, err := Merge(sys, group, seq)
+			merged, ms, err := mergeRuns(sys, group, seq, async)
 			if err != nil {
 				return nil, stats, err
 			}
@@ -328,6 +460,26 @@ func ReadAll(sys *pdisk.System, r *Run) ([]record.Record, error) {
 func Stream(sys *pdisk.System, r *Run, fn func(record.Record) error) error {
 	for s := 0; s < r.NumStripes(); s++ {
 		recs, err := readStripe(sys, r, s)
+		if err != nil {
+			return err
+		}
+		for _, rec := range recs {
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// StreamAsync is Stream with single-stripe readahead: logical block s+1 is
+// in flight while fn consumes block s. The operation count is identical to
+// Stream's.
+func StreamAsync(sys *pdisk.System, r *Run, fn func(record.Record) error) error {
+	p := &stripePrefetcher{sys: sys, run: r}
+	defer p.drain()
+	for s := 0; s < r.NumStripes(); s++ {
+		recs, err := p.fetch()
 		if err != nil {
 			return err
 		}

@@ -135,6 +135,15 @@ type System struct {
 	model *TimeModel
 	stats Stats
 	next  []int // per-disk bump allocator for fresh block indexes
+
+	// Async I/O layer (see async.go): per-disk worker goroutines fed by
+	// bounded queues, started lazily on the first ReadBlocksAsync /
+	// WriteBlocksAsync call and stopped by Close.
+	asyncMu     sync.Mutex
+	queues      []chan diskReq
+	asyncWG     sync.WaitGroup
+	asyncClosed bool
+	queueDepth  int
 }
 
 // Config describes a System.
@@ -145,6 +154,10 @@ type Config struct {
 	Store Store
 	// Model, if non-nil, accumulates estimated I/O time in Stats.SimTime.
 	Model *TimeModel
+	// AsyncQueueDepth bounds the in-flight requests per disk of the async
+	// I/O layer; 0 means DefaultAsyncQueueDepth. Issuing past the bound
+	// blocks until the disk's worker drains (backpressure).
+	AsyncQueueDepth int
 }
 
 // NewSystem constructs a System, validating the configuration.
@@ -168,7 +181,8 @@ func NewSystem(cfg Config) (*System, error) {
 			PerDiskReads:  make([]int64, cfg.D),
 			PerDiskWrites: make([]int64, cfg.D),
 		},
-		next: make([]int, cfg.D),
+		next:       make([]int, cfg.D),
+		queueDepth: cfg.AsyncQueueDepth,
 	}, nil
 }
 
@@ -338,5 +352,9 @@ func (s *System) FreeBlock(addr BlockAddr) error {
 	return s.store.Free(addr)
 }
 
-// Close closes the underlying store.
-func (s *System) Close() error { return s.store.Close() }
+// Close stops the async disk workers (waiting for any in-flight requests
+// to finish) and then closes the underlying store.
+func (s *System) Close() error {
+	s.stopWorkers()
+	return s.store.Close()
+}

@@ -107,6 +107,13 @@ type Writer struct {
 	firstKeys []record.Key   // first key of every formed block (indexed by block number)
 	finished  bool
 	writeOps  int64
+
+	// Write-behind state (async mode): the stripe currently in flight.
+	// The paper sizes M_W at 2D blocks precisely so one stripe can flush
+	// while the merge fills the other; one in-flight stripe is that
+	// double buffer.
+	async    bool
+	inflight *pdisk.WriteFuture
 }
 
 // NewWriter starts a new run with the given id on startDisk.
@@ -118,6 +125,17 @@ func NewWriter(sys *pdisk.System, id, startDisk int) *Writer {
 		sys: sys,
 		run: &Run{ID: id, StartDisk: startDisk, D: sys.D()},
 	}
+}
+
+// NewWriterAsync is NewWriter with write-behind: each full stripe is
+// issued asynchronously and only awaited when the next stripe is ready
+// (or at Finish), so the producing merge overlaps output I/O with
+// computation. Emitted stripes, operation counts and the resulting run
+// are identical to the synchronous writer's.
+func NewWriterAsync(sys *pdisk.System, id, startDisk int) *Writer {
+	w := NewWriter(sys, id, startDisk)
+	w.async = true
+	return w
 }
 
 // Append adds the next record of the run. Records must arrive in
@@ -159,7 +177,20 @@ func (w *Writer) Finish() (*Run, error) {
 	if err := w.drain(true); err != nil {
 		return nil, err
 	}
+	if err := w.awaitInflight(); err != nil {
+		return nil, err
+	}
 	return w.run, nil
+}
+
+// awaitInflight completes the write-behind stripe, if any.
+func (w *Writer) awaitInflight() error {
+	if w.inflight == nil {
+		return nil
+	}
+	fut := w.inflight
+	w.inflight = nil
+	return fut.Wait()
 }
 
 // forecastFor builds the implanted keys of run block i. It may only be
@@ -222,7 +253,14 @@ func (w *Writer) drain(final bool) error {
 			}
 			w.run.indexes = append(w.run.indexes, int32(addr.Index))
 		}
-		if err := w.sys.WriteBlocks(writes); err != nil {
+		if w.async {
+			// Wait for the previous stripe (the other half of M_W) before
+			// issuing this one: at most one stripe is ever in flight.
+			if err := w.awaitInflight(); err != nil {
+				return err
+			}
+			w.inflight = w.sys.WriteBlocksAsync(writes)
+		} else if err := w.sys.WriteBlocks(writes); err != nil {
 			return err
 		}
 		w.writeOps++
@@ -277,6 +315,32 @@ func Stream(sys *pdisk.System, run *Run, fn func(record.Record) error) error {
 		blks, err := sys.ReadBlocks([]pdisk.BlockAddr{run.Addr(i)})
 		if err != nil {
 			return err
+		}
+		for _, r := range blks[0].Records {
+			if err := fn(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// StreamAsync is Stream with single-block readahead: block i+1 is in
+// flight while fn consumes block i, hiding device latency behind the
+// caller's processing. The operation count is identical to Stream's (one
+// read per block).
+func StreamAsync(sys *pdisk.System, run *Run, fn func(record.Record) error) error {
+	if run.NumBlocks() == 0 {
+		return nil
+	}
+	fut := sys.ReadBlocksAsync([]pdisk.BlockAddr{run.Addr(0)})
+	for i := 0; i < run.NumBlocks(); i++ {
+		blks, err := fut.Wait()
+		if err != nil {
+			return err
+		}
+		if i+1 < run.NumBlocks() {
+			fut = sys.ReadBlocksAsync([]pdisk.BlockAddr{run.Addr(i + 1)})
 		}
 		for _, r := range blks[0].Records {
 			if err := fn(r); err != nil {

@@ -117,33 +117,9 @@ func Merge(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk int) (*r
 // paper's scheduling invariants online, or a trace.Recorder to render the
 // schedule.
 func MergeTraced(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk int, sink trace.Sink) (*runio.Run, MergeStats, error) {
-	if len(runs) == 0 {
-		return nil, MergeStats{}, fmt.Errorf("srm: merge of zero runs")
-	}
-	if len(runs) > r {
-		return nil, MergeStats{}, fmt.Errorf("srm: %d runs exceed merge order R=%d", len(runs), r)
-	}
-	for _, run := range runs {
-		if run.NumBlocks() == 0 {
-			return nil, MergeStats{}, fmt.Errorf("srm: run %d is empty", run.ID)
-		}
-	}
-	m := &merger{
-		sys:       sys,
-		r:         r,
-		d:         sys.D(),
-		runs:      runs,
-		fds:       forecast.New(sys.D(), len(runs)),
-		mem:       membuf.New(r, sys.D()),
-		out:       runio.NewWriter(sys, outID, outStartDisk),
-		lead:      make([]record.Block, len(runs)),
-		leadIdx:   make([]int, len(runs)),
-		need:      make([]int, len(runs)),
-		stalled:   make([]bool, len(runs)),
-		heap:      iheap.New(len(runs)),
-		stallHeap: iheap.New(len(runs)),
-		flushed:   make(map[[2]int]bool),
-		sink:      sink,
+	m, err := newMerger(sys, runs, r, runio.NewWriter(sys, outID, outStartDisk), sink)
+	if err != nil {
+		return nil, MergeStats{}, err
 	}
 	if err := m.loadInitialBlocks(); err != nil {
 		return nil, MergeStats{}, err
@@ -163,6 +139,44 @@ func MergeTraced(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk in
 				m.mem.Occupied(), m.r, m.d, m.heap.Len(), m.fds.Len()))
 		}
 	}
+	return m.finish()
+}
+
+// newMerger validates the merge inputs and assembles the shared state of
+// the sync and async merge loops.
+func newMerger(sys *pdisk.System, runs []*runio.Run, r int, out *runio.Writer, sink trace.Sink) (*merger, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("srm: merge of zero runs")
+	}
+	if len(runs) > r {
+		return nil, fmt.Errorf("srm: %d runs exceed merge order R=%d", len(runs), r)
+	}
+	for _, run := range runs {
+		if run.NumBlocks() == 0 {
+			return nil, fmt.Errorf("srm: run %d is empty", run.ID)
+		}
+	}
+	return &merger{
+		sys:       sys,
+		r:         r,
+		d:         sys.D(),
+		runs:      runs,
+		fds:       forecast.New(sys.D(), len(runs)),
+		mem:       membuf.New(r, sys.D()),
+		out:       out,
+		lead:      make([]record.Block, len(runs)),
+		leadIdx:   make([]int, len(runs)),
+		need:      make([]int, len(runs)),
+		stalled:   make([]bool, len(runs)),
+		heap:      iheap.New(len(runs)),
+		stallHeap: iheap.New(len(runs)),
+		flushed:   make(map[[2]int]bool),
+		sink:      sink,
+	}, nil
+}
+
+// finish completes the output run and assembles the merge statistics.
+func (m *merger) finish() (*runio.Run, MergeStats, error) {
 	outRun, err := m.out.Finish()
 	if err != nil {
 		return nil, MergeStats{}, err
@@ -209,23 +223,7 @@ func (m *merger) loadInitialBlocks() error {
 			}
 			m.emit(trace.EventParRead, 0, refs...)
 		}
-		for i, blk := range blocks {
-			h := handles[i]
-			if len(blk.Forecast) != m.d {
-				panic(fmt.Sprintf("srm: block 0 of run %d carries %d forecast keys, want D=%d",
-					m.runs[h].ID, len(blk.Forecast), m.d))
-			}
-			for t := 1; t <= m.d; t++ {
-				if key := blk.Forecast[t-1]; key != record.MaxKey {
-					m.fds.Set(m.runs[h].Disk(t), h, t, key)
-				}
-			}
-			m.lead[h] = blk.Records
-			m.leadIdx[h] = 0
-			m.mem.LeadingAcquired()
-			m.heap.Push(h, uint64(blk.Records[0].Key))
-			m.emit(trace.EventPromote, 0, m.ref(h, 0, blk.Records.FirstKey()))
-		}
+		m.seedFromLeadingBlocks(handles, blocks)
 	}
 	return nil
 }
@@ -237,20 +235,28 @@ func (m *merger) loadInitialBlocks() error {
 func (m *merger) pumpIO() (int, error) {
 	reads := 0
 	for m.fds.Len() > 0 && m.mem.Occupied() <= m.r+m.d {
-		if occupied := m.mem.Occupied(); occupied > m.r {
-			extra := occupied - m.r // 1..D
-			minS := m.smallestOnDisk()
-			outRank := m.mem.CountLessBlock(minS.Key, minS.Run, minS.BlockIdx) + 1
-			if outRank <= extra {
-				m.flush(extra-outRank+1, outRank)
-			}
-		}
+		m.maybeFlush()
 		if err := m.parRead(); err != nil {
 			return reads, err
 		}
 		reads++
 	}
 	return reads, nil
+}
+
+// maybeFlush applies case 2c of the Section 5.5 schedule: when the
+// prefetch space is over budget and an on-disk block ranks below the
+// in-memory surplus, virtually flush the surplus difference before the
+// next read.
+func (m *merger) maybeFlush() {
+	if occupied := m.mem.Occupied(); occupied > m.r {
+		extra := occupied - m.r // 1..D
+		minS := m.smallestOnDisk()
+		outRank := m.mem.CountLessBlock(minS.Key, minS.Run, minS.BlockIdx) + 1
+		if outRank <= extra {
+			m.flush(extra-outRank+1, outRank)
+		}
+	}
 }
 
 // smallestOnDisk returns the smallest block of S_t — the set of per-disk
@@ -298,6 +304,19 @@ func (m *merger) flush(n, outRank int) {
 // parRead performs ParRead_t: from every disk with a pending block, read
 // the smallest one, in a single parallel I/O operation.
 func (m *merger) parRead() error {
+	addrs, entries := m.chooseParRead()
+	blocks, err := m.sys.ReadBlocks(addrs)
+	if err != nil {
+		return err
+	}
+	m.landParRead(blocks, addrs, entries)
+	return nil
+}
+
+// chooseParRead selects the blocks of ParRead_t — the smallest pending
+// block of every disk — without touching any state: the choice is a pure
+// function of the FDS, so sync and async execution make identical picks.
+func (m *merger) chooseParRead() ([]pdisk.BlockAddr, []forecast.Entry) {
 	var addrs []pdisk.BlockAddr
 	var entries []forecast.Entry
 	for disk := 0; disk < m.d; disk++ {
@@ -311,10 +330,13 @@ func (m *merger) parRead() error {
 	if len(addrs) == 0 {
 		panic("srm: parRead with empty FDS")
 	}
-	blocks, err := m.sys.ReadBlocks(addrs)
-	if err != nil {
-		return err
-	}
+	return addrs, entries
+}
+
+// landParRead applies a completed ParRead to the merge state: FDS
+// updates, stalled-run promotions, M_D insertions and statistics. It is
+// the single landing path of both the sync and the async merge loop.
+func (m *merger) landParRead(blocks []pdisk.StoredBlock, addrs []pdisk.BlockAddr, entries []forecast.Entry) {
 	m.stats.ReadOps++
 	var readRefs, promoted []trace.BlockRef
 	for i, blk := range blocks {
@@ -365,7 +387,6 @@ func (m *merger) parRead() error {
 			m.emit(trace.EventPromote, 0, p)
 		}
 	}
-	return nil
 }
 
 // consumeUntilBlockEvent runs the internal merge until one leading block is
@@ -399,34 +420,42 @@ func (m *merger) consumeUntilBlockEvent() (int, error) {
 		m.mem.LeadingReleased()
 		m.heap.Remove(h)
 		m.emit(trace.EventDeplete, 0, m.ref(h, m.leadIdx[h], rec.Key))
-		next := m.leadIdx[h] + 1
-		switch {
-		case next >= m.runs[h].NumBlocks():
-			m.exhausted++
-		case m.mem.Has(h, next):
-			// Exchange 1 of Section 5.1: promote the successor from M_R.
-			b := m.mem.Take(h, next)
-			m.lead[h] = b.Records
-			m.leadIdx[h] = next
-			m.mem.LeadingAcquired()
-			m.heap.Push(h, uint64(b.Records[0].Key))
-			m.emit(trace.EventPromote, 0, m.ref(h, next, b.FirstKey()))
-		default:
-			// The successor is still on disk: the run stalls until a
-			// ParRead delivers it. Its first key is what the FDS tracks
-			// for this (disk, run) pair — every earlier block of the run
-			// on that disk has been consumed already.
-			e, ok := m.fds.Peek(m.runs[h].Disk(next), h)
-			if !ok || e.BlockIdx != next {
-				panic(fmt.Sprintf("srm: stalled run %d needs block %d but FDS tracks %+v (ok=%v)",
-					h, next, e, ok))
-			}
-			m.stalled[h] = true
-			m.need[h] = next
-			m.stallHeap.Push(h, uint64(e.Key))
-			m.emit(trace.EventStall, 0, m.ref(h, next, e.Key))
-		}
+		m.blockEvent(h)
 		return consumed, nil
 	}
 	return consumed, nil
+}
+
+// blockEvent resolves the depletion of run h's leading block: the run is
+// exhausted, its successor is promoted from M_R (Exchange 1 of Section
+// 5.1), or the run stalls awaiting a ParRead. The caller has already
+// released the M_L slot and removed h from the active heap.
+func (m *merger) blockEvent(h int) {
+	next := m.leadIdx[h] + 1
+	switch {
+	case next >= m.runs[h].NumBlocks():
+		m.exhausted++
+	case m.mem.Has(h, next):
+		// Exchange 1 of Section 5.1: promote the successor from M_R.
+		b := m.mem.Take(h, next)
+		m.lead[h] = b.Records
+		m.leadIdx[h] = next
+		m.mem.LeadingAcquired()
+		m.heap.Push(h, uint64(b.Records[0].Key))
+		m.emit(trace.EventPromote, 0, m.ref(h, next, b.FirstKey()))
+	default:
+		// The successor is still on disk: the run stalls until a
+		// ParRead delivers it. Its first key is what the FDS tracks
+		// for this (disk, run) pair — every earlier block of the run
+		// on that disk has been consumed already.
+		e, ok := m.fds.Peek(m.runs[h].Disk(next), h)
+		if !ok || e.BlockIdx != next {
+			panic(fmt.Sprintf("srm: stalled run %d needs block %d but FDS tracks %+v (ok=%v)",
+				h, next, e, ok))
+		}
+		m.stalled[h] = true
+		m.need[h] = next
+		m.stallHeap.Push(h, uint64(e.Key))
+		m.emit(trace.EventStall, 0, m.ref(h, next, e.Key))
+	}
 }

@@ -22,6 +22,18 @@ import (
 // work starts, so the result (final run contents, per-merge statistics,
 // total operation counts) is identical to the serial SortRuns run for run.
 func SortRunsParallel(sys *pdisk.System, runs []*runio.Run, r int, placement runio.Placement, seqStart, workers int) (*runio.Run, SortStats, int, error) {
+	return sortRunsParallel(sys, runs, r, placement, seqStart, workers, false)
+}
+
+// SortRunsParallelAsync is SortRunsParallel with every merge performed by
+// MergeAsync: concurrent merges of disjoint groups, each overlapping its
+// own I/O with merging. Results are identical to the serial, synchronous
+// SortRuns.
+func SortRunsParallelAsync(sys *pdisk.System, runs []*runio.Run, r int, placement runio.Placement, seqStart, workers int) (*runio.Run, SortStats, int, error) {
+	return sortRunsParallel(sys, runs, r, placement, seqStart, workers, true)
+}
+
+func sortRunsParallel(sys *pdisk.System, runs []*runio.Run, r int, placement runio.Placement, seqStart, workers int, async bool) (*runio.Run, SortStats, int, error) {
 	if r < 2 {
 		return nil, SortStats{}, seqStart, fmt.Errorf("srm: merge order R=%d, need >= 2", r)
 	}
@@ -72,7 +84,7 @@ func SortRunsParallel(sys *pdisk.System, runs []*runio.Run, r int, placement run
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				j.out, j.ms, j.err = Merge(sys, j.group, r, j.seq, j.start)
+				j.out, j.ms, j.err = mergeFn(async)(sys, j.group, r, j.seq, j.start)
 				if j.err != nil {
 					return
 				}

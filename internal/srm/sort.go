@@ -26,6 +26,15 @@ type SortStats struct {
 	BlocksReread  int64
 }
 
+// mergeFn selects the merge procedure of one sort: the synchronous
+// schedule or its overlapped equivalent.
+func mergeFn(async bool) func(*pdisk.System, []*runio.Run, int, int, int) (*runio.Run, MergeStats, error) {
+	if async {
+		return MergeAsync
+	}
+	return Merge
+}
+
 func (s *SortStats) add(ms MergeStats) {
 	s.Merges++
 	s.ReadOps += ms.ReadOps
@@ -42,6 +51,17 @@ func (s *SortStats) add(ms MergeStats) {
 // formation and merging (the staggered placement of Section 8 depends on
 // it). Input runs are freed as soon as their merge completes.
 func SortRuns(sys *pdisk.System, runs []*runio.Run, r int, placement runio.Placement, seqStart int) (*runio.Run, SortStats, int, error) {
+	return sortRuns(sys, runs, r, placement, seqStart, false)
+}
+
+// SortRunsAsync is SortRuns with every merge performed by MergeAsync, so
+// reads, writes and internal merging overlap. Output runs and statistics
+// are identical to SortRuns' (see async.go).
+func SortRunsAsync(sys *pdisk.System, runs []*runio.Run, r int, placement runio.Placement, seqStart int) (*runio.Run, SortStats, int, error) {
+	return sortRuns(sys, runs, r, placement, seqStart, true)
+}
+
+func sortRuns(sys *pdisk.System, runs []*runio.Run, r int, placement runio.Placement, seqStart int, async bool) (*runio.Run, SortStats, int, error) {
 	if r < 2 {
 		return nil, SortStats{}, seqStart, fmt.Errorf("srm: merge order R=%d, need >= 2", r)
 	}
@@ -65,7 +85,7 @@ func SortRuns(sys *pdisk.System, runs []*runio.Run, r int, placement runio.Place
 				next = append(next, group[0])
 				continue
 			}
-			merged, ms, err := Merge(sys, group, r, seq, placement.StartDisk(seq))
+			merged, ms, err := mergeFn(async)(sys, group, r, seq, placement.StartDisk(seq))
 			if err != nil {
 				return nil, stats, seq, err
 			}

@@ -41,6 +41,13 @@ type Params struct {
 	// Overlap enables the concurrent control flows; with false, every
 	// I/O operation blocks the CPU (the naive serial implementation).
 	Overlap bool
+	// QueueDepth bounds the I/O channel backlog in overlap mode: issuing
+	// an operation while QueueDepth operations are already queued blocks
+	// the issuing flow until the backlog drains below the bound — the
+	// timed analogue of pdisk's bounded async queues. 0 means unbounded.
+	// QueueDepth 1 is classic double buffering; the makespan decreases
+	// monotonically with depth (serial ≥ depth 1 ≥ depth k ≥ unbounded).
+	QueueDepth int
 }
 
 // Result reports the timing outcome.
@@ -205,6 +212,13 @@ func (m *timedMerger) loadInitialBlocks() {
 // precondition holds, i.e. at the current CPU time) and returns its
 // completion time.
 func (m *timedMerger) issueOp() float64 {
+	if m.p.Overlap && m.p.QueueDepth > 0 {
+		// Backpressure: with QueueDepth operations already queued, the
+		// issuing flow blocks until the channel drains below the bound.
+		if lag := m.ioFree - float64(m.p.QueueDepth)*m.p.OpSeconds; lag > m.cpu {
+			m.waitUntil(lag)
+		}
+	}
 	start := m.ioFree
 	if m.cpu > start {
 		start = m.cpu

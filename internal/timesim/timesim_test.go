@@ -146,3 +146,43 @@ func TestStallAccounting(t *testing.T) {
 		t.Fatalf("io-bound run reports implausibly low stall %v of %v", res.CPUStall, res.Makespan)
 	}
 }
+
+// Queue-depth backpressure must interpolate monotonically between the
+// serial schedule and unbounded overlap, with identical operation counts
+// at every depth.
+func TestQueueDepthMonotonic(t *testing.T) {
+	runs := genRuns(t, 9, 4, 12, 40, 4)
+	base := Params{B: 4, OpSeconds: 1e-2, CPUPerRecord: 4e-5}
+
+	makespan := func(overlap bool, depth int) (float64, int64) {
+		p := base
+		p.Overlap = overlap
+		p.QueueDepth = depth
+		res, err := Merge(runs, 4, 12, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan, res.ReadOps + res.WriteOps
+	}
+
+	serial, serialOps := makespan(false, 0)
+	depth1, ops1 := makespan(true, 1)
+	depth4, ops4 := makespan(true, 4)
+	unbounded, opsU := makespan(true, 0)
+
+	if serialOps != ops1 || ops1 != ops4 || ops4 != opsU {
+		t.Fatalf("op counts vary with queue depth: %d %d %d %d", serialOps, ops1, ops4, opsU)
+	}
+	if depth1 > serial {
+		t.Fatalf("depth 1 (%.4f) slower than serial (%.4f)", depth1, serial)
+	}
+	if depth4 > depth1 {
+		t.Fatalf("depth 4 (%.4f) slower than depth 1 (%.4f)", depth4, depth1)
+	}
+	if unbounded > depth4 {
+		t.Fatalf("unbounded (%.4f) slower than depth 4 (%.4f)", unbounded, depth4)
+	}
+	if unbounded >= serial {
+		t.Fatalf("overlap (%.4f) not faster than serial (%.4f)", unbounded, serial)
+	}
+}

@@ -139,6 +139,15 @@ type Config struct {
 	// result and all I/O statistics are identical either way — only the
 	// host wall-clock changes. SRM variants only.
 	Workers int
+	// Async overlaps I/O with computation: parallel reads are issued
+	// asynchronously and merged records are consumed while blocks are in
+	// flight, and output stripes are written behind the merge — the
+	// paper's two concurrent control flows (Section 5). The result and
+	// every I/O statistic are identical to the synchronous execution (a
+	// property the test suite enforces); only host wall-clock and, with
+	// overlap-aware time models, simulated time change. SRM variants and
+	// DSM; PSV always runs synchronously.
+	Async bool
 }
 
 // Stats reports everything a sort did, in the paper's cost units.
@@ -253,7 +262,7 @@ func (c Config) newSystem() (*pdisk.System, func(), error) {
 func runAlgorithm(sys *pdisk.System, file *runform.InputFile, cfg Config, m, r int, stats *Stats) (func(func(record.Record) error) error, error) {
 	switch cfg.Algorithm {
 	case DSM:
-		return sortDSM(sys, file, m, r, stats)
+		return sortDSM(sys, file, m, r, cfg.Async, stats)
 	case PSV:
 		return sortPSV(sys, file, m, stats)
 	default:
@@ -341,9 +350,14 @@ func sortSRM(sys *pdisk.System, file *runform.InputFile, m, r int, cfg Config, s
 
 	var final *runio.Run
 	var sortStats srm.SortStats
-	if cfg.Workers > 1 || cfg.Workers < 0 {
+	switch {
+	case cfg.Async && (cfg.Workers > 1 || cfg.Workers < 0):
+		final, sortStats, _, err = srm.SortRunsParallelAsync(sys, formed.Runs, r, placement, formed.NextSeq, cfg.Workers)
+	case cfg.Async:
+		final, sortStats, _, err = srm.SortRunsAsync(sys, formed.Runs, r, placement, formed.NextSeq)
+	case cfg.Workers > 1 || cfg.Workers < 0:
 		final, sortStats, _, err = srm.SortRunsParallel(sys, formed.Runs, r, placement, formed.NextSeq, cfg.Workers)
-	} else {
+	default:
 		final, sortStats, _, err = srm.SortRuns(sys, formed.Runs, r, placement, formed.NextSeq)
 	}
 	if err != nil {
@@ -355,6 +369,9 @@ func sortSRM(sys *pdisk.System, file *runform.InputFile, m, r int, cfg Config, s
 	stats.Flushes = sortStats.Flushes
 	stats.BlocksFlushed = sortStats.BlocksFlushed
 	stats.BlocksReread = sortStats.BlocksReread
+	if cfg.Async {
+		return func(fn func(record.Record) error) error { return runio.StreamAsync(sys, final, fn) }, nil
+	}
 	return func(fn func(record.Record) error) error { return runio.Stream(sys, final, fn) }, nil
 }
 
@@ -374,8 +391,15 @@ func sortPSV(sys *pdisk.System, file *runform.InputFile, m int, stats *Stats) (f
 	return func(fn func(record.Record) error) error { return runio.Stream(sys, final, fn) }, nil
 }
 
-func sortDSM(sys *pdisk.System, file *runform.InputFile, m, r int, stats *Stats) (func(func(record.Record) error) error, error) {
-	final, ds, err := dsm.Sort(sys, file, (m+1)/2, r)
+func sortDSM(sys *pdisk.System, file *runform.InputFile, m, r int, async bool, stats *Stats) (func(func(record.Record) error) error, error) {
+	var final *dsm.Run
+	var ds dsm.SortStats
+	var err error
+	if async {
+		final, ds, err = dsm.SortAsync(sys, file, (m+1)/2, r)
+	} else {
+		final, ds, err = dsm.Sort(sys, file, (m+1)/2, r)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -385,5 +409,8 @@ func sortDSM(sys *pdisk.System, file *runform.InputFile, m, r int, stats *Stats)
 	stats.MergePasses = ds.MergePasses
 	stats.MergeReads = ds.MergeReadOps
 	stats.MergeWrites = ds.MergeWriteOps
+	if async {
+		return func(fn func(record.Record) error) error { return dsm.StreamAsync(sys, final, fn) }, nil
+	}
 	return func(fn func(record.Record) error) error { return dsm.Stream(sys, final, fn) }, nil
 }
