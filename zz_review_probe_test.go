@@ -1,0 +1,26 @@
+package srmsort
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestReviewProbeFlush(t *testing.T) {
+	totF, totRr := int64(0), int64(0)
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		in := make([]Record, 3000)
+		for i := range in {
+			in[i] = Record{Key: uint64(rng.Intn(150)), Val: uint64(i)}
+		}
+		for _, d := range []int{2, 4} {
+			_, ss, err := Sort(in, Config{D: d, B: 3, K: 2, Algorithm: SRM, Seed: seed, Async: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			totF += ss.Flushes
+			totRr += ss.BlocksReread
+		}
+	}
+	t.Logf("total flushes=%d reread=%d", totF, totRr)
+}

@@ -1,0 +1,45 @@
+package srmsort
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestReviewStressEquiv(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 500 + rng.Intn(4000)
+		in := make([]Record, n)
+		for i := range in {
+			in[i] = Record{Key: uint64(rng.Intn(200)), Val: uint64(i)} // duplicate-heavy
+		}
+		for _, alg := range []Algorithm{SRM, SRMDeterministic} {
+			for _, d := range []int{2, 3, 4, 5} {
+				for _, b := range []int{2, 3, 5} {
+					cfg := Config{D: d, B: b, K: 2, Algorithm: alg, Seed: seed}
+					so, ss, err := Sort(in, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg.Async = true
+					ao, as, err := Sort(in, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var sb, ab bytes.Buffer
+					WriteRecords(&sb, so)
+					WriteRecords(&ab, ao)
+					if !bytes.Equal(sb.Bytes(), ab.Bytes()) {
+						t.Fatalf("output diverges seed=%d alg=%v D=%d B=%d", seed, alg, d, b)
+					}
+					if ss != as {
+						t.Fatalf("stats diverge seed=%d alg=%v D=%d B=%d\nsync  %+v\nasync %+v", seed, alg, d, b, ss, as)
+					}
+					_ = fmt.Sprintf("")
+				}
+			}
+		}
+	}
+}
