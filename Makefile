@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench check tables tables-full verify
+.PHONY: all build test race bench check fmt-check tables tables-full verify
 
 all: build test
 
@@ -14,12 +14,17 @@ test:
 race:
 	go test -race ./...
 
-# The full gate: compile everything, vet, then the whole suite under the
-# race detector (the async pipeline's equivalence tests are only
-# meaningful raced).
-check: build
+# The full gate: formatting, compile everything, vet, then the whole
+# suite under the race detector (the async pipeline's equivalence tests
+# are only meaningful raced).
+check: fmt-check build
 	go vet ./...
 	go test -race ./...
+
+# Fail (listing the offenders) if any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 bench:
 	go test -bench=. -benchmem ./...

@@ -3,6 +3,7 @@ package srmsort
 import (
 	"bytes"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"testing"
 	"time"
@@ -85,6 +86,32 @@ func TestAsyncSortStreamEquivalence(t *testing.T) {
 	}
 }
 
+// Duplicate-heavy keys with a tiny block size starve the forecast data
+// structure and force virtual flushes; the async pipeline must take that
+// path too, and take it often. (Folded in from the review-probe test.)
+func TestAsyncFlushHeavyWorkload(t *testing.T) {
+	var flushes, reread int64
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		in := make([]Record, 3000)
+		for i := range in {
+			in[i] = Record{Key: uint64(rng.Intn(150)), Val: uint64(i)}
+		}
+		for _, d := range []int{2, 4} {
+			_, stats, err := Sort(in, Config{D: d, B: 3, K: 2, Algorithm: SRM, Seed: seed, Async: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			flushes += stats.Flushes
+			reread += stats.BlocksReread
+		}
+	}
+	if flushes == 0 {
+		t.Fatal("duplicate-heavy workload triggered no virtual flushes")
+	}
+	t.Logf("total flushes=%d reread=%d", flushes, reread)
+}
+
 // A file-backed async sort through the public API must leave no goroutines
 // (disk workers) behind once Sort returns — Sort owns the system's whole
 // lifecycle.
@@ -93,7 +120,7 @@ func TestAsyncFileBackedNoLeak(t *testing.T) {
 	in := benchRecords(2000, 31)
 	for i := 0; i < 2; i++ {
 		out, _, err := Sort(in, Config{
-			D: 4, B: 8, K: 2, Seed: 9, Async: true, FileBacked: true,
+			D: 4, B: 8, K: 2, Seed: 9, Async: true, Backend: FileBackend,
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -415,7 +415,7 @@ func BenchmarkOverlapSyncVsAsync(b *testing.B) {
 						b.Fatal(err)
 					}
 					_, stats, err := Sort(in, Config{
-						D: d, B: 32, K: 2, Seed: 3, Async: async, FileBacked: true,
+						D: d, B: 32, K: 2, Seed: 3, Async: async, Backend: FileBackend,
 					})
 					if err != nil {
 						b.Fatal(err)

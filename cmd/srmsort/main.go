@@ -6,7 +6,8 @@
 //
 //	srmsort -n 1000000 -d 8 -b 64 -k 4 [-alg srm|srm-det|dsm|psv] [-workers N]
 //	        [-async] [-input random|sorted|reverse|dups] [-runform load|rs]
-//	        [-model none|1996|modern] [-file] [-seed N] [-verify]
+//	        [-model none|1996|modern] [-backend mem|file] [-dir DIR]
+//	        [-seed N] [-verify]
 //
 // Example — compare SRM and DSM on the same input:
 //
@@ -36,7 +37,9 @@ func main() {
 		input   = flag.String("input", "random", "input distribution: random, sorted, reverse, dups")
 		runform = flag.String("runform", "load", "run formation: load (half memoryloads), rs (replacement selection)")
 		model   = flag.String("model", "none", "disk time model: none, 1996, modern")
-		file    = flag.Bool("file", false, "store blocks in temporary files instead of memory")
+		backend = flag.String("backend", "mem", "storage backend: mem (in-process), file (real disk files)")
+		dir     = flag.String("dir", "", "directory for -backend file disk files (default: fresh temp dir)")
+		file    = flag.Bool("file", false, "deprecated alias for -backend file")
 		seed    = flag.Int64("seed", 1, "random seed (placement and input)")
 		workers = flag.Int("workers", 0, "goroutines for a pass's merges (SRM only; -1 = GOMAXPROCS)")
 		async   = flag.Bool("async", false, "overlap I/O with merging (SRM/DSM; identical output and I/O statistics)")
@@ -48,7 +51,15 @@ func main() {
 
 	cfg := srmsort.Config{
 		D: *d, B: *b, K: *k, Memory: *mem,
-		Seed: *seed, FileBacked: *file, Workers: *workers, Async: *async,
+		Seed: *seed, Dir: *dir, Workers: *workers, Async: *async,
+	}
+	switch {
+	case *backend == "file" || *file:
+		cfg.Backend = srmsort.FileBackend
+	case *backend == "mem":
+		cfg.Backend = srmsort.MemBackend
+	default:
+		fatal("unknown -backend %q", *backend)
 	}
 	switch *alg {
 	case "srm":
@@ -120,8 +131,8 @@ func main() {
 		}
 	}
 
-	fmt.Printf("%s sorted %d records   (D=%d, B=%d, M=%d records, R=%d)\n",
-		stats.Algorithm, *n, stats.D, stats.B, stats.M, stats.R)
+	fmt.Printf("%s sorted %d records   (D=%d, B=%d, M=%d records, R=%d, %s backend)\n",
+		stats.Algorithm, *n, stats.D, stats.B, stats.M, stats.R, cfg.Backend)
 	fmt.Printf("  initial runs:        %d (%s)\n", stats.InitialRuns, *runform)
 	fmt.Printf("  merge passes:        %d\n", stats.MergePasses)
 	fmt.Printf("  run formation I/O:   %d reads + %d writes\n",

@@ -136,11 +136,17 @@ func TestSortAsyncInjectedFaults(t *testing.T) {
 		name string
 		set  func(*pdisk.FaultStore, pdisk.Stats)
 	}{
-		{"read", func(fs *pdisk.FaultStore, s pdisk.Stats) { fs.FailReadAt = s.BlocksRead + 120 }},
-		{"write", func(fs *pdisk.FaultStore, s pdisk.Stats) { fs.FailWriteAt = s.BlocksWritten + 120 }},
-		{"free", func(fs *pdisk.FaultStore, s pdisk.Stats) { fs.FailFreeAt = 1 }},
+		{"read", func(fs *pdisk.FaultStore, s pdisk.Stats) {
+			fs.Configure(pdisk.FaultConfig{FailReadAt: s.BlocksRead + 120})
+		}},
+		{"write", func(fs *pdisk.FaultStore, s pdisk.Stats) {
+			fs.Configure(pdisk.FaultConfig{FailWriteAt: s.BlocksWritten + 120})
+		}},
+		{"free", func(fs *pdisk.FaultStore, s pdisk.Stats) {
+			fs.Configure(pdisk.FaultConfig{FailFreeAt: 1})
+		}},
 	} {
-		fs := pdisk.NewFaultStore(pdisk.NewMemStore())
+		fs := pdisk.NewFaultStore(pdisk.NewMemStore(), pdisk.FaultConfig{})
 		sys, err := pdisk.NewSystem(pdisk.Config{D: 3, B: 4, Store: fs})
 		if err != nil {
 			t.Fatal(err)

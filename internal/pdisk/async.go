@@ -94,14 +94,14 @@ func (s *System) diskWorker(q chan diskReq) {
 	defer s.asyncWG.Done()
 	for req := range q {
 		if req.write {
-			err := s.store.Write(req.addr, req.block)
+			err := s.store.WriteBlock(req.addr, req.block)
 			if err != nil {
 				err = fmt.Errorf("pdisk: write %v: %w", req.addr, err)
 			}
 			req.done <- diskRes{slot: req.slot, err: err}
 			continue
 		}
-		blk, err := s.store.Read(req.addr)
+		blk, err := s.store.ReadBlock(req.addr)
 		if err != nil {
 			err = fmt.Errorf("pdisk: read %v: %w", req.addr, err)
 		}
@@ -110,13 +110,20 @@ func (s *System) diskWorker(q chan diskReq) {
 }
 
 // stopWorkers shuts the async layer down and waits for in-flight requests
-// to finish. Idempotent; later async issues return ErrClosed.
+// to finish. Idempotent; later async issues return ErrClosed. Taking
+// issueMu exclusively first means no issuer still holds a queue reference
+// mid-enqueue when the queues close — a concurrent Close can never turn
+// an issue into a send on a closed channel. Issuers blocked on a full
+// queue hold issueMu shared, so stopWorkers waits behind them while the
+// (still running) workers drain the backlog.
 func (s *System) stopWorkers() {
+	s.issueMu.Lock()
 	s.asyncMu.Lock()
 	s.asyncClosed = true
 	qs := s.queues
 	s.queues = nil
 	s.asyncMu.Unlock()
+	s.issueMu.Unlock()
 	for _, q := range qs {
 		close(q)
 	}
@@ -143,6 +150,8 @@ func (s *System) ReadBlocksAsync(addrs []BlockAddr) *ReadFuture {
 		f.err = err
 		return f
 	}
+	s.issueMu.RLock()
+	defer s.issueMu.RUnlock()
 	qs, err := s.ensureWorkers()
 	if err != nil {
 		f.err = err
@@ -202,22 +211,14 @@ type WriteFuture struct {
 // as the call returns — the write-behind contract the M_W double buffer
 // relies on.
 func (s *System) WriteBlocksAsync(writes []BlockWrite) *WriteFuture {
-	addrs := make([]BlockAddr, len(writes))
-	for i, w := range writes {
-		addrs[i] = w.Addr
-	}
+	addrs, err := s.checkWrites(writes)
 	f := &WriteFuture{sys: s, addrs: addrs}
-	if err := s.checkAddrs(addrs); err != nil {
+	if err != nil {
 		f.err = err
 		return f
 	}
-	for _, w := range writes {
-		if len(w.Block.Records) > s.b {
-			f.err = fmt.Errorf("pdisk: block of %d records exceeds B=%d at %v",
-				len(w.Block.Records), s.b, w.Addr)
-			return f
-		}
-	}
+	s.issueMu.RLock()
+	defer s.issueMu.RUnlock()
 	qs, err := s.ensureWorkers()
 	if err != nil {
 		f.err = err

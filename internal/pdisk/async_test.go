@@ -157,8 +157,7 @@ func TestAsyncWaitIdempotent(t *testing.T) {
 func TestAsyncFaultsSurfaceAndWorkersStop(t *testing.T) {
 	base := runtime.NumGoroutine()
 
-	fs := NewFaultStore(NewMemStore())
-	fs.FailReadAt = 2
+	fs := NewFaultStore(NewMemStore(), FaultConfig{FailReadAt: 2})
 	sys, err := NewSystem(Config{D: 2, B: 2, Store: fs})
 	if err != nil {
 		t.Fatal(err)

@@ -3,74 +3,153 @@ package pdisk
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
+	"time"
 )
 
 // ErrInjected is the base error of all FaultStore failures; test code can
 // errors.Is against it.
 var ErrInjected = errors.New("pdisk: injected fault")
 
-// FaultStore wraps a Store and injects failures on a schedule, so tests
-// can drive the error paths of every algorithm: a sort must surface a
-// failed transfer as an error (never a panic, never silent corruption).
+// FaultConfig schedules a FaultStore's injections. Two mechanisms
+// compose, both deterministic:
 //
-// Failure schedules are counted per operation kind: the n-th Read (or
-// Write, or Free) fails and every later one succeeds again, mimicking a
-// transient device error.
-type FaultStore struct {
-	inner Store
+//   - Counted faults: the FailReadAt-th read (1-based; likewise writes
+//     and frees) fails and every later one succeeds again, mimicking a
+//     transient device error at an exact point in the schedule.
+//   - Seeded faults and latency: each operation kind draws from its own
+//     rand stream derived from Seed, so the fate of the n-th read is a
+//     pure function of (Seed, n) — independent of how reads interleave
+//     with writes, frees or other goroutines. ReadFailProb (etc.) is the
+//     per-operation failure probability; MaxLatency > 0 adds a uniform
+//     [0, MaxLatency) delay to every operation, modelling a slow device.
+type FaultConfig struct {
+	Seed int64
 
-	mu          sync.Mutex
-	reads       int64
-	writes      int64
-	frees       int64
 	FailReadAt  int64 // 1-based read count to fail; 0 = never
 	FailWriteAt int64
 	FailFreeAt  int64
+
+	ReadFailProb  float64
+	WriteFailProb float64
+	FreeFailProb  float64
+
+	MaxLatency time.Duration
 }
 
-// NewFaultStore wraps inner; configure the Fail*At fields before use.
-func NewFaultStore(inner Store) *FaultStore {
-	return &FaultStore{inner: inner}
+// FaultStore wraps a Store and injects failures and latency on a
+// deterministic schedule, so tests can drive the error paths of every
+// algorithm on every backend: a sort must surface a failed transfer as an
+// error (never a panic, never silent corruption).
+type FaultStore struct {
+	inner Store
+
+	mu     sync.Mutex
+	cfg    FaultConfig
+	counts [3]int64
+	rngs   [3]*rand.Rand
 }
 
-// Read implements Store.
-func (f *FaultStore) Read(addr BlockAddr) (StoredBlock, error) {
+// operation kinds, indexing FaultStore counters and rand streams.
+const (
+	opRead = iota
+	opWrite
+	opFree
+)
+
+var opNames = [3]string{"read", "write", "free"}
+
+// NewFaultStore wraps inner under the given schedule; Configure can
+// re-arm it later (counters keep running across Configure calls, so a
+// test can let setup traffic through and then arm a fault).
+func NewFaultStore(inner Store, cfg FaultConfig) *FaultStore {
+	f := &FaultStore{inner: inner}
+	f.Configure(cfg)
+	return f
+}
+
+// Configure replaces the fault schedule. The per-kind rand streams are
+// re-derived from cfg.Seed; operation counters are preserved.
+func (f *FaultStore) Configure(cfg FaultConfig) {
 	f.mu.Lock()
-	f.reads++
-	n := f.reads
-	fail := f.FailReadAt > 0 && n == f.FailReadAt
+	defer f.mu.Unlock()
+	f.cfg = cfg
+	for kind := range f.rngs {
+		f.rngs[kind] = rand.New(rand.NewSource(cfg.Seed + int64(kind)))
+	}
+}
+
+// decide counts one operation of the given kind and returns its fate:
+// an injected delay and/or error.
+func (f *FaultStore) decide(kind int, addr BlockAddr) (time.Duration, error) {
+	f.mu.Lock()
+	f.counts[kind]++
+	n := f.counts[kind]
+	failAt := [3]int64{f.cfg.FailReadAt, f.cfg.FailWriteAt, f.cfg.FailFreeAt}[kind]
+	prob := [3]float64{f.cfg.ReadFailProb, f.cfg.WriteFailProb, f.cfg.FreeFailProb}[kind]
+	fail := failAt > 0 && n == failAt
+	if prob > 0 && f.rngs[kind].Float64() < prob {
+		fail = true
+	}
+	var delay time.Duration
+	if f.cfg.MaxLatency > 0 {
+		delay = time.Duration(f.rngs[kind].Int63n(int64(f.cfg.MaxLatency)))
+	}
 	f.mu.Unlock()
 	if fail {
-		return StoredBlock{}, fmt.Errorf("%w: read #%d at %v", ErrInjected, n, addr)
+		return delay, fmt.Errorf("%w: %s #%d at %v", ErrInjected, opNames[kind], n, addr)
 	}
-	return f.inner.Read(addr)
+	return delay, nil
 }
 
-// Write implements Store.
-func (f *FaultStore) Write(addr BlockAddr, b StoredBlock) error {
-	f.mu.Lock()
-	f.writes++
-	n := f.writes
-	fail := f.FailWriteAt > 0 && n == f.FailWriteAt
-	f.mu.Unlock()
-	if fail {
-		return fmt.Errorf("%w: write #%d at %v", ErrInjected, n, addr)
+// ReadBlock implements Store.
+func (f *FaultStore) ReadBlock(addr BlockAddr) (StoredBlock, error) {
+	delay, err := f.decide(opRead, addr)
+	if delay > 0 {
+		time.Sleep(delay)
 	}
-	return f.inner.Write(addr, b)
+	if err != nil {
+		return StoredBlock{}, err
+	}
+	return f.inner.ReadBlock(addr)
+}
+
+// WriteBlock implements Store.
+func (f *FaultStore) WriteBlock(addr BlockAddr, b StoredBlock) error {
+	delay, err := f.decide(opWrite, addr)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err != nil {
+		return err
+	}
+	return f.inner.WriteBlock(addr, b)
 }
 
 // Free implements Store.
 func (f *FaultStore) Free(addr BlockAddr) error {
-	f.mu.Lock()
-	f.frees++
-	n := f.frees
-	fail := f.FailFreeAt > 0 && n == f.FailFreeAt
-	f.mu.Unlock()
-	if fail {
-		return fmt.Errorf("%w: free #%d at %v", ErrInjected, n, addr)
+	delay, err := f.decide(opFree, addr)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err != nil {
+		return err
 	}
 	return f.inner.Free(addr)
+}
+
+// Usage implements Store.
+func (f *FaultStore) Usage() Usage { return f.inner.Usage() }
+
+// Frontier forwards allocation recovery to the wrapped store when it
+// supports it, so a FaultStore over a reopened FileStore still protects
+// recovered blocks from reallocation.
+func (f *FaultStore) Frontier(disk int) int {
+	if fs, ok := f.inner.(FrontierStore); ok {
+		return fs.Frontier(disk)
+	}
+	return 0
 }
 
 // Close implements Store.

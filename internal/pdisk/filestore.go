@@ -1,0 +1,396 @@
+package pdisk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"srmsort/internal/record"
+)
+
+// FileStore keeps each simulated disk in a pair of preallocated files, so
+// the algorithms move real, serialised bytes through the OS:
+//
+//   - diskNNN.dat — the data file: record payloads only, block i's records
+//     at byte offset i*B*16 (record.Bytes = 16). A fully written run is a
+//     plain array of records on disk.
+//   - diskNNN.idx — the meta sidecar: one fixed slot per block holding
+//     occupancy, record count, forecast count and the implanted forecast
+//     keys of the paper's Section 4.
+//
+// Both files grow in preallocation chunks (Truncate) ahead of the write
+// frontier, transfers are positional reads/writes (pread/pwrite), and
+// Close fsyncs before closing. Files are left on disk by Close — a store
+// can be reopened over the same directory with NewFileStore, which
+// recovers occupancy from the meta files (the crash-consistency story) —
+// and are deleted only by an explicit Remove.
+type FileStore struct {
+	dir         string
+	b           int
+	maxForecast int
+	dataSlot    int64 // bytes per block in the data file: B * record.Bytes
+	metaSlot    int64 // bytes per block in the meta file
+
+	mu     sync.Mutex
+	disks  map[int]*diskFiles
+	closed bool
+}
+
+// diskFiles is the backing state of one simulated disk.
+type diskFiles struct {
+	data, meta *os.File
+	alloc      int    // slots preallocated in both files
+	present    []bool // per-slot occupancy, mirrored in the meta file
+	resident   int64
+}
+
+const (
+	// preallocSlots is the file-growth quantum: whenever a write lands
+	// beyond the allocated region, both files are extended to the next
+	// multiple of this many slots.
+	preallocSlots = 512
+
+	metaHeaderBytes = 12 // uint32 state | uint32 nRec | uint32 nFc
+
+	slotAbsent  = 0
+	slotPresent = 1
+)
+
+// NewFileStore creates (or reopens) a file-backed store under dir, one
+// data+meta file pair per disk. b is the block size in records;
+// maxForecast the largest number of forecast keys any block carries (D
+// for SRM runs — block 0 implants D keys). Existing disk files in dir are
+// recovered: their occupancy is rebuilt from the meta sidecars, so blocks
+// written by a previous store instance read back intact.
+func NewFileStore(dir string, b, maxForecast int) (*FileStore, error) {
+	if b < 1 {
+		return nil, fmt.Errorf("pdisk: FileStore block size %d", b)
+	}
+	if maxForecast < 0 {
+		return nil, fmt.Errorf("pdisk: FileStore maxForecast %d", maxForecast)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f := &FileStore{
+		dir:         dir,
+		b:           b,
+		maxForecast: maxForecast,
+		dataSlot:    int64(b) * record.Bytes,
+		metaSlot:    metaHeaderBytes + int64(maxForecast)*8,
+		disks:       make(map[int]*diskFiles),
+	}
+	if err := f.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+func (f *FileStore) dataPath(disk int) string {
+	return filepath.Join(f.dir, fmt.Sprintf("disk%03d.dat", disk))
+}
+
+func (f *FileStore) metaPath(disk int) string {
+	return filepath.Join(f.dir, fmt.Sprintf("disk%03d.idx", disk))
+}
+
+// recover opens any disk files already present in dir and rebuilds their
+// occupancy from the meta sidecars.
+func (f *FileStore) recover() error {
+	names, err := filepath.Glob(filepath.Join(f.dir, "disk*.dat"))
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		var disk int
+		if _, err := fmt.Sscanf(filepath.Base(name), "disk%d.dat", &disk); err != nil {
+			continue
+		}
+		df, err := f.openDisk(disk)
+		if err != nil {
+			return err
+		}
+		fi, err := df.meta.Stat()
+		if err != nil {
+			return err
+		}
+		df.alloc = int(fi.Size() / f.metaSlot)
+		df.present = make([]bool, df.alloc)
+		buf := make([]byte, f.metaSlot)
+		for i := 0; i < df.alloc; i++ {
+			if _, err := df.meta.ReadAt(buf[:4], int64(i)*f.metaSlot); err != nil {
+				return fmt.Errorf("pdisk: recover %s slot %d: %w", f.metaPath(disk), i, err)
+			}
+			if binary.LittleEndian.Uint32(buf) == slotPresent {
+				df.present[i] = true
+				df.resident++
+			}
+		}
+	}
+	return nil
+}
+
+// openDisk opens (creating if absent) the file pair of one disk and
+// registers it. Caller holds no locks or the store lock; recovery and
+// disk both serialise through f.mu in their callers' paths.
+func (f *FileStore) openDisk(disk int) (*diskFiles, error) {
+	data, err := os.OpenFile(f.dataPath(disk), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := os.OpenFile(f.metaPath(disk), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		data.Close()
+		return nil, err
+	}
+	df := &diskFiles{data: data, meta: meta}
+	f.disks[disk] = df
+	return df, nil
+}
+
+// disk returns the backing state of a disk, opening it on first use, and
+// guarantees index < alloc by preallocating ahead of the write frontier
+// when grow is true.
+func (f *FileStore) disk(disk, index int, grow bool) (*diskFiles, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, fmt.Errorf("pdisk: FileStore used after Close")
+	}
+	df, ok := f.disks[disk]
+	if !ok {
+		if !grow {
+			return nil, fmt.Errorf("no block at %v", BlockAddr{Disk: disk, Index: index})
+		}
+		var err error
+		if df, err = f.openDisk(disk); err != nil {
+			return nil, err
+		}
+	}
+	if index >= df.alloc {
+		if !grow {
+			return nil, fmt.Errorf("no block at %v", BlockAddr{Disk: disk, Index: index})
+		}
+		alloc := (index/preallocSlots + 1) * preallocSlots
+		if err := df.data.Truncate(int64(alloc) * f.dataSlot); err != nil {
+			return nil, err
+		}
+		if err := df.meta.Truncate(int64(alloc) * f.metaSlot); err != nil {
+			return nil, err
+		}
+		grown := make([]bool, alloc)
+		copy(grown, df.present)
+		df.present = grown
+		df.alloc = alloc
+	}
+	return df, nil
+}
+
+// WriteBlock implements Store: pwrite of the records at index*B*16 in the
+// data file, then of the occupancy slot in the meta file.
+func (f *FileStore) WriteBlock(addr BlockAddr, b StoredBlock) error {
+	if addr.Disk < 0 || addr.Index < 0 {
+		return fmt.Errorf("write to invalid address %v", addr)
+	}
+	if len(b.Records) > f.b {
+		return fmt.Errorf("block of %d records exceeds slot capacity %d", len(b.Records), f.b)
+	}
+	if len(b.Forecast) > f.maxForecast {
+		return fmt.Errorf("block carries %d forecast keys, slot capacity %d", len(b.Forecast), f.maxForecast)
+	}
+	df, err := f.disk(addr.Disk, addr.Index, true)
+	if err != nil {
+		return err
+	}
+
+	data := make([]byte, len(b.Records)*record.Bytes)
+	for i, r := range b.Records {
+		binary.LittleEndian.PutUint64(data[i*record.Bytes:], uint64(r.Key))
+		binary.LittleEndian.PutUint64(data[i*record.Bytes+8:], r.Val)
+	}
+	if _, err := df.data.WriteAt(data, int64(addr.Index)*f.dataSlot); err != nil {
+		return err
+	}
+
+	meta := make([]byte, f.metaSlot)
+	binary.LittleEndian.PutUint32(meta[0:], slotPresent)
+	binary.LittleEndian.PutUint32(meta[4:], uint32(len(b.Records)))
+	binary.LittleEndian.PutUint32(meta[8:], uint32(len(b.Forecast)))
+	for i, k := range b.Forecast {
+		binary.LittleEndian.PutUint64(meta[metaHeaderBytes+i*8:], uint64(k))
+	}
+	if _, err := df.meta.WriteAt(meta, int64(addr.Index)*f.metaSlot); err != nil {
+		return err
+	}
+
+	f.mu.Lock()
+	if !df.present[addr.Index] {
+		df.present[addr.Index] = true
+		df.resident++
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+// ReadBlock implements Store: pread of the meta slot, then of exactly the
+// occupied prefix of the data slot.
+func (f *FileStore) ReadBlock(addr BlockAddr) (StoredBlock, error) {
+	if addr.Disk < 0 || addr.Index < 0 {
+		return StoredBlock{}, fmt.Errorf("no block at %v", addr)
+	}
+	df, err := f.disk(addr.Disk, addr.Index, false)
+	if err != nil {
+		return StoredBlock{}, err
+	}
+	f.mu.Lock()
+	present := df.present[addr.Index]
+	f.mu.Unlock()
+	if !present {
+		return StoredBlock{}, fmt.Errorf("no block at %v", addr)
+	}
+
+	meta := make([]byte, f.metaSlot)
+	if _, err := df.meta.ReadAt(meta, int64(addr.Index)*f.metaSlot); err != nil {
+		return StoredBlock{}, err
+	}
+	state := binary.LittleEndian.Uint32(meta[0:])
+	nRec := binary.LittleEndian.Uint32(meta[4:])
+	nFc := binary.LittleEndian.Uint32(meta[8:])
+	if state != slotPresent || int(nRec) > f.b || int(nFc) > f.maxForecast {
+		return StoredBlock{}, fmt.Errorf("corrupt slot header at %v (state=%d nRec=%d nFc=%d)", addr, state, nRec, nFc)
+	}
+
+	out := StoredBlock{}
+	if nRec > 0 {
+		data := make([]byte, int(nRec)*record.Bytes)
+		if _, err := df.data.ReadAt(data, int64(addr.Index)*f.dataSlot); err != nil {
+			return StoredBlock{}, err
+		}
+		out.Records = make(record.Block, nRec)
+		for i := range out.Records {
+			out.Records[i] = record.Record{
+				Key: record.Key(binary.LittleEndian.Uint64(data[i*record.Bytes:])),
+				Val: binary.LittleEndian.Uint64(data[i*record.Bytes+8:]),
+			}
+		}
+	}
+	if nFc > 0 {
+		out.Forecast = make([]record.Key, nFc)
+		for i := range out.Forecast {
+			out.Forecast[i] = record.Key(binary.LittleEndian.Uint64(meta[metaHeaderBytes+i*8:]))
+		}
+	}
+	return out, nil
+}
+
+// Free implements Store: the slot is marked absent in memory and in the
+// meta file (so a reopened store agrees); file space is reclaimed only by
+// Remove.
+func (f *FileStore) Free(addr BlockAddr) error {
+	if addr.Disk < 0 || addr.Index < 0 {
+		return fmt.Errorf("free of invalid address %v", addr)
+	}
+	f.mu.Lock()
+	df, ok := f.disks[addr.Disk]
+	if !ok || addr.Index >= len(df.present) || !df.present[addr.Index] {
+		f.mu.Unlock()
+		return fmt.Errorf("free of absent block %v", addr)
+	}
+	df.present[addr.Index] = false
+	df.resident--
+	f.mu.Unlock()
+
+	var zero [4]byte // slotAbsent
+	_, err := df.meta.WriteAt(zero[:], int64(addr.Index)*f.metaSlot)
+	return err
+}
+
+// Frontier implements FrontierStore: the lowest index strictly above
+// every occupied slot of disk, so NewSystem allocates past whatever a
+// previous store instance (or a crash it survived) left behind.
+func (f *FileStore) Frontier(disk int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	df, ok := f.disks[disk]
+	if !ok {
+		return 0
+	}
+	for i := len(df.present) - 1; i >= 0; i-- {
+		if df.present[i] {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Usage implements Store. Blocks counts occupied slots; Bytes the
+// preallocated file space of both files of every disk.
+func (f *FileStore) Usage() Usage {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var u Usage
+	for _, df := range f.disks {
+		u.Blocks += df.resident
+		u.Bytes += int64(df.alloc) * (f.dataSlot + f.metaSlot)
+	}
+	return u
+}
+
+// Sync fsyncs every disk file without closing the store.
+func (f *FileStore) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var firstErr error
+	for _, df := range f.disks {
+		if err := df.data.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := df.meta.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close fsyncs and closes every disk file, leaving them on disk so the
+// store can be reopened (or inspected) later. Idempotent.
+func (f *FileStore) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	var firstErr error
+	for _, df := range f.disks {
+		for _, fh := range []*os.File{df.data, df.meta} {
+			if err := fh.Sync(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err := fh.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// Remove closes the store (if still open) and deletes its disk files.
+// The directory itself is left in place.
+func (f *FileStore) Remove() error {
+	firstErr := f.Close()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for disk := range f.disks {
+		for _, name := range []string{f.dataPath(disk), f.metaPath(disk)} {
+			if err := os.Remove(name); err != nil && !os.IsNotExist(err) && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	f.disks = nil
+	return firstErr
+}

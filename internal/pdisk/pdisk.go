@@ -7,10 +7,15 @@
 // operation, which is exactly the cost unit of the paper's Theorem 1 and
 // Tables 1-4.
 //
-// Blocks live in a Store — in-memory (MemStore) for experiments, or
-// file-backed (FileStore) to demonstrate the same algorithms moving real
-// bytes. An optional Ruemmler–Wilkes-style TimeModel converts operation
-// counts into estimated wall-clock time.
+// The System itself is a thin coordinator: it owns statistics, address
+// checking, block allocation and the async worker pipeline, and delegates
+// all persistence to a pluggable Store backend — in-memory (MemStore, the
+// default) for experiments, file-backed (FileStore) to sort real bytes on
+// real storage, or fault-injecting (FaultStore) to drive error paths. The
+// algorithms above are backend-blind: the same sort produces byte-identical
+// output and identical Stats on every backend. An optional
+// Ruemmler–Wilkes-style TimeModel converts operation counts into estimated
+// wall-clock time.
 package pdisk
 
 import (
@@ -49,78 +54,6 @@ func (b StoredBlock) Clone() StoredBlock {
 	return c
 }
 
-// Store is the persistence layer under a System: a block container indexed
-// by BlockAddr. Implementations must return errors (not panic) for missing
-// blocks so the simulator surfaces scheduling bugs as test failures.
-type Store interface {
-	// Write stores b at addr, overwriting any previous block.
-	Write(addr BlockAddr, b StoredBlock) error
-	// Read returns a copy of the block at addr.
-	Read(addr BlockAddr) (StoredBlock, error)
-	// Free releases the block at addr; freeing an absent block is an error.
-	Free(addr BlockAddr) error
-	// Close releases all resources held by the store.
-	Close() error
-}
-
-// Stats counts the I/O traffic of a System. ReadOps and WriteOps are the
-// paper's I/O operations: each moves up to D blocks in parallel.
-type Stats struct {
-	ReadOps       int64
-	WriteOps      int64
-	BlocksRead    int64
-	BlocksWritten int64
-	PerDiskReads  []int64
-	PerDiskWrites []int64
-	// SimTime is the estimated elapsed I/O time in seconds under the
-	// system's TimeModel (zero if no model is attached).
-	SimTime float64
-}
-
-// Ops returns the total number of parallel I/O operations.
-func (s Stats) Ops() int64 { return s.ReadOps + s.WriteOps }
-
-// ReadParallelism returns the average number of blocks moved per read
-// operation — D for perfectly parallel reads.
-func (s Stats) ReadParallelism() float64 {
-	if s.ReadOps == 0 {
-		return 0
-	}
-	return float64(s.BlocksRead) / float64(s.ReadOps)
-}
-
-// WriteParallelism returns the average number of blocks moved per write
-// operation.
-func (s Stats) WriteParallelism() float64 {
-	if s.WriteOps == 0 {
-		return 0
-	}
-	return float64(s.BlocksWritten) / float64(s.WriteOps)
-}
-
-// ReadBalance returns the busiest disk's share of block reads relative to
-// a perfectly even spread: 1.0 means all disks carried equal traffic,
-// D means one disk carried everything. SRM's randomized layout keeps this
-// near 1; the fixed adversarial layout drives it toward D.
-func (s Stats) ReadBalance() float64 { return balance(s.PerDiskReads, s.BlocksRead) }
-
-// WriteBalance is ReadBalance for writes.
-func (s Stats) WriteBalance() float64 { return balance(s.PerDiskWrites, s.BlocksWritten) }
-
-func balance(perDisk []int64, total int64) float64 {
-	if total == 0 || len(perDisk) == 0 {
-		return 0
-	}
-	var max int64
-	for _, c := range perDisk {
-		if c > max {
-			max = c
-		}
-	}
-	even := float64(total) / float64(len(perDisk))
-	return float64(max) / even
-}
-
 // System is a D-disk parallel I/O system with block size B records.
 //
 // A System is safe for concurrent use: operations are serialised by an
@@ -140,10 +73,14 @@ type System struct {
 	// bounded queues, started lazily on the first ReadBlocksAsync /
 	// WriteBlocksAsync call and stopped by Close.
 	asyncMu     sync.Mutex
+	issueMu     sync.RWMutex // held (shared) across enqueue, (exclusive) by shutdown
 	queues      []chan diskReq
 	asyncWG     sync.WaitGroup
 	asyncClosed bool
 	queueDepth  int
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Config describes a System.
@@ -172,6 +109,13 @@ func NewSystem(cfg Config) (*System, error) {
 	if st == nil {
 		st = NewMemStore()
 	}
+	next := make([]int, cfg.D)
+	if fs, ok := st.(FrontierStore); ok {
+		// A reopened backend may already hold blocks; allocate past them.
+		for i := range next {
+			next[i] = fs.Frontier(i)
+		}
+	}
 	return &System{
 		d:     cfg.D,
 		b:     cfg.B,
@@ -181,7 +125,7 @@ func NewSystem(cfg Config) (*System, error) {
 			PerDiskReads:  make([]int64, cfg.D),
 			PerDiskWrites: make([]int64, cfg.D),
 		},
-		next:       make([]int, cfg.D),
+		next:       next,
 		queueDepth: cfg.AsyncQueueDepth,
 	}, nil
 }
@@ -210,6 +154,13 @@ func (s *System) ResetStats() {
 		PerDiskReads:  make([]int64, s.d),
 		PerDiskWrites: make([]int64, s.d),
 	}
+}
+
+// StoreUsage returns the backend's current capacity accounting.
+func (s *System) StoreUsage() Usage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store.Usage()
 }
 
 // Alloc returns a fresh, never-before-used block index on disk.
@@ -257,6 +208,47 @@ func (s *System) checkAddrs(addrs []BlockAddr) error {
 	return nil
 }
 
+// checkWrites validates a write operation's addresses and block sizes,
+// returning the address list.
+func (s *System) checkWrites(writes []BlockWrite) ([]BlockAddr, error) {
+	addrs := make([]BlockAddr, len(writes))
+	for i, w := range writes {
+		addrs[i] = w.Addr
+	}
+	if err := s.checkAddrs(addrs); err != nil {
+		return nil, err
+	}
+	for _, w := range writes {
+		if len(w.Block.Records) > s.b {
+			return nil, fmt.Errorf("pdisk: block of %d records exceeds B=%d at %v",
+				len(w.Block.Records), s.b, w.Addr)
+		}
+	}
+	return addrs, nil
+}
+
+// fanout runs n per-disk transfers concurrently — one goroutine each, the
+// disks really are independent — and returns the first failure in request
+// order.
+func fanout(n int, transfer func(i int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = transfer(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ReadBlocks performs one parallel read operation fetching every addressed
 // block (at most one per disk) and returns them in request order. The
 // per-disk transfers run concurrently, one goroutine per disk involved.
@@ -267,80 +259,40 @@ func (s *System) ReadBlocks(addrs []BlockAddr) ([]StoredBlock, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]StoredBlock, len(addrs))
-	errs := make([]error, len(addrs))
-	var wg sync.WaitGroup
-	for i, a := range addrs {
-		wg.Add(1)
-		go func(i int, a BlockAddr) {
-			defer wg.Done()
-			blk, err := s.store.Read(a)
-			if err != nil {
-				errs[i] = fmt.Errorf("pdisk: read %v: %w", a, err)
-				return
-			}
-			out[i] = blk
-		}(i, a)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err := fanout(len(addrs), func(i int) error {
+		blk, err := s.store.ReadBlock(addrs[i])
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("pdisk: read %v: %w", addrs[i], err)
 		}
+		out[i] = blk
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, a := range addrs {
-		s.stats.PerDiskReads[a.Disk]++
-	}
-	s.stats.ReadOps++
-	s.stats.BlocksRead += int64(len(addrs))
-	if s.model != nil {
-		s.stats.SimTime += s.model.OpSeconds(s.b)
-	}
+	s.accountReadLocked(addrs)
 	return out, nil
 }
 
 // WriteBlocks performs one parallel write operation storing every block (at
 // most one per disk). Records in each block must be at most B and sorted.
 func (s *System) WriteBlocks(writes []BlockWrite) error {
-	addrs := make([]BlockAddr, len(writes))
-	for i, w := range writes {
-		addrs[i] = w.Addr
-	}
-	if err := s.checkAddrs(addrs); err != nil {
+	addrs, err := s.checkWrites(writes)
+	if err != nil {
 		return err
-	}
-	for _, w := range writes {
-		if len(w.Block.Records) > s.b {
-			return fmt.Errorf("pdisk: block of %d records exceeds B=%d at %v",
-				len(w.Block.Records), s.b, w.Addr)
-		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	errs := make([]error, len(writes))
-	var wg sync.WaitGroup
-	for i, w := range writes {
-		wg.Add(1)
-		go func(i int, w BlockWrite) {
-			defer wg.Done()
-			if err := s.store.Write(w.Addr, w.Block.Clone()); err != nil {
-				errs[i] = fmt.Errorf("pdisk: write %v: %w", w.Addr, err)
-			}
-		}(i, w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	err = fanout(len(writes), func(i int) error {
+		if err := s.store.WriteBlock(writes[i].Addr, writes[i].Block.Clone()); err != nil {
+			return fmt.Errorf("pdisk: write %v: %w", writes[i].Addr, err)
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-	for _, w := range writes {
-		s.stats.PerDiskWrites[w.Addr.Disk]++
-	}
-	s.stats.WriteOps++
-	s.stats.BlocksWritten += int64(len(writes))
-	if s.model != nil {
-		s.stats.SimTime += s.model.OpSeconds(s.b)
-	}
+	s.accountWriteLocked(addrs)
 	return nil
 }
 
@@ -352,9 +304,42 @@ func (s *System) FreeBlock(addr BlockAddr) error {
 	return s.store.Free(addr)
 }
 
-// Close stops the async disk workers (waiting for any in-flight requests
-// to finish) and then closes the underlying store.
+// accountReadLocked counts one completed parallel read operation; the
+// caller holds s.mu.
+func (s *System) accountReadLocked(addrs []BlockAddr) {
+	for _, a := range addrs {
+		s.stats.PerDiskReads[a.Disk]++
+	}
+	s.stats.ReadOps++
+	s.stats.BlocksRead += int64(len(addrs))
+	if s.model != nil {
+		s.stats.SimTime += s.model.OpSeconds(s.b)
+	}
+}
+
+// accountWriteLocked counts one completed parallel write operation; the
+// caller holds s.mu.
+func (s *System) accountWriteLocked(addrs []BlockAddr) {
+	for _, a := range addrs {
+		s.stats.PerDiskWrites[a.Disk]++
+	}
+	s.stats.WriteOps++
+	s.stats.BlocksWritten += int64(len(addrs))
+	if s.model != nil {
+		s.stats.SimTime += s.model.OpSeconds(s.b)
+	}
+}
+
+// Close stops the async disk workers — draining every in-flight request —
+// and then closes the underlying store. Close is idempotent and safe to
+// call concurrently with in-flight async operations: requests already
+// issued complete (their Waits return normally), later issues return
+// ErrClosed, and the backend is closed only after the workers have
+// stopped.
 func (s *System) Close() error {
-	s.stopWorkers()
-	return s.store.Close()
+	s.closeOnce.Do(func() {
+		s.stopWorkers()
+		s.closeErr = s.store.Close()
+	})
+	return s.closeErr
 }

@@ -263,7 +263,7 @@ func TestFileStoreMissingBlock(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer fs.Close()
-	if _, err := fs.Read(BlockAddr{Disk: 0, Index: 5}); err == nil {
+	if _, err := fs.ReadBlock(BlockAddr{Disk: 0, Index: 5}); err == nil {
 		t.Fatal("read of absent file slot succeeded")
 	}
 }
@@ -274,12 +274,12 @@ func TestFileStoreRejectsOversize(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer fs.Close()
-	if err := fs.Write(BlockAddr{}, blk(1, 2, 3)); err == nil {
+	if err := fs.WriteBlock(BlockAddr{}, blk(1, 2, 3)); err == nil {
 		t.Fatal("accepted oversize records")
 	}
 	b := blk(1)
 	b.Forecast = []record.Key{1, 2}
-	if err := fs.Write(BlockAddr{}, b); err == nil {
+	if err := fs.WriteBlock(BlockAddr{}, b); err == nil {
 		t.Fatal("accepted oversize forecast")
 	}
 }

@@ -1,23 +1,76 @@
 package pdisk
 
 import (
-	"encoding/binary"
 	"fmt"
-	"io"
-	"os"
-	"path/filepath"
 	"sync"
 
 	"srmsort/internal/record"
 )
 
+// Store is the persistence backend beneath a System: a block container
+// indexed by BlockAddr. The System is a thin coordinator — it owns
+// statistics, address checking and the async worker pipeline — and
+// delegates every byte of persistence to its Store, so the same merge
+// algorithms run unchanged on process memory (MemStore), real files
+// (FileStore) or a fault-injecting wrapper (FaultStore).
+//
+// Implementations must be safe for concurrent use (the System fans one
+// operation's transfers out to per-disk goroutines) and must return errors
+// — never panic — for missing blocks, so the simulator surfaces scheduling
+// bugs as test failures on every backend alike.
+type Store interface {
+	// WriteBlock stores b at addr, overwriting any previous block. The
+	// block is owned by the store after the call (the System clones on
+	// behalf of its callers).
+	WriteBlock(addr BlockAddr, b StoredBlock) error
+	// ReadBlock returns a copy of the block at addr; reading an absent
+	// block is an error.
+	ReadBlock(addr BlockAddr) (StoredBlock, error)
+	// Free releases the block at addr; freeing an absent block is an
+	// error on every backend (double frees are scheduling bugs).
+	Free(addr BlockAddr) error
+	// Usage reports the store's current capacity accounting.
+	Usage() Usage
+	// Close releases all resources held by the store. Close is
+	// idempotent.
+	Close() error
+}
+
+// FrontierStore is optionally implemented by backends that can reopen
+// pre-existing state (FileStore, and FaultStore wrapping one): Frontier
+// reports the lowest block index strictly above every occupied slot on a
+// disk. NewSystem seeds its per-disk bump allocator from it, so a System
+// built over a reopened store never hands out an address that would
+// clobber a recovered block.
+type FrontierStore interface {
+	Store
+	Frontier(disk int) int
+}
+
+// Usage is a Store's capacity accounting: how many blocks are resident
+// and how many bytes of backing storage they occupy. For MemStore, Bytes
+// is the encoded size of the resident blocks; for FileStore it is the
+// preallocated file space (slots are fixed-size, so Bytes >= the resident
+// payload).
+type Usage struct {
+	Blocks int64
+	Bytes  int64
+}
+
+// storedBytes is the encoded size of one block, the unit of MemStore's
+// byte accounting and FileStore's data-slot sizing.
+func storedBytes(b StoredBlock) int64 {
+	return int64(len(b.Records))*record.Bytes + int64(len(b.Forecast))*8
+}
+
 // MemStore is the default Store: a per-disk map of blocks held in process
 // memory. It is the store the experiments run on (the paper's own
-// evaluation is likewise a simulation). It is safe for concurrent use —
-// the System fans one operation's transfers out to per-disk goroutines.
+// evaluation is likewise a simulation).
 type MemStore struct {
-	mu    sync.RWMutex
-	disks map[int]map[int]StoredBlock
+	mu     sync.RWMutex
+	disks  map[int]map[int]StoredBlock
+	blocks int64
+	bytes  int64
 }
 
 // NewMemStore returns an empty in-memory block store.
@@ -25,8 +78,8 @@ func NewMemStore() *MemStore {
 	return &MemStore{disks: make(map[int]map[int]StoredBlock)}
 }
 
-// Write implements Store.
-func (m *MemStore) Write(addr BlockAddr, b StoredBlock) error {
+// WriteBlock implements Store.
+func (m *MemStore) WriteBlock(addr BlockAddr, b StoredBlock) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	d, ok := m.disks[addr.Disk]
@@ -34,12 +87,18 @@ func (m *MemStore) Write(addr BlockAddr, b StoredBlock) error {
 		d = make(map[int]StoredBlock)
 		m.disks[addr.Disk] = d
 	}
+	if old, ok := d[addr.Index]; ok {
+		m.bytes -= storedBytes(old)
+	} else {
+		m.blocks++
+	}
 	d[addr.Index] = b
+	m.bytes += storedBytes(b)
 	return nil
 }
 
-// Read implements Store.
-func (m *MemStore) Read(addr BlockAddr) (StoredBlock, error) {
+// ReadBlock implements Store.
+func (m *MemStore) ReadBlock(addr BlockAddr) (StoredBlock, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	b, ok := m.disks[addr.Disk][addr.Index]
@@ -57,11 +116,21 @@ func (m *MemStore) Free(addr BlockAddr) error {
 	if !ok {
 		return fmt.Errorf("free of absent block %v", addr)
 	}
-	if _, ok := d[addr.Index]; !ok {
+	b, ok := d[addr.Index]
+	if !ok {
 		return fmt.Errorf("free of absent block %v", addr)
 	}
 	delete(d, addr.Index)
+	m.blocks--
+	m.bytes -= storedBytes(b)
 	return nil
+}
+
+// Usage implements Store.
+func (m *MemStore) Usage() Usage {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return Usage{Blocks: m.blocks, Bytes: m.bytes}
 }
 
 // Close implements Store.
@@ -69,167 +138,11 @@ func (m *MemStore) Close() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.disks = nil
+	m.blocks, m.bytes = 0, 0
 	return nil
 }
 
 // Blocks returns the number of blocks currently resident (for tests).
 func (m *MemStore) Blocks() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	n := 0
-	for _, d := range m.disks {
-		n += len(d)
-	}
-	return n
-}
-
-// FileStore keeps each simulated disk in its own file of fixed-size slots,
-// demonstrating that the algorithms move real, serialised bytes. The slot
-// layout is:
-//
-//	uint32 record count | uint32 forecast count |
-//	B * 16 bytes of records | maxForecast * 8 bytes of keys
-//
-// maxForecast must be at least D for SRM runs (block 0 implants D keys).
-type FileStore struct {
-	mu          sync.Mutex
-	dir         string
-	b           int
-	maxForecast int
-	slotBytes   int64
-	files       map[int]*os.File
-}
-
-// NewFileStore creates a file-backed store under dir (one file per disk,
-// created lazily). b is the block size in records; maxForecast the largest
-// number of forecast keys any block carries.
-func NewFileStore(dir string, b, maxForecast int) (*FileStore, error) {
-	if b < 1 {
-		return nil, fmt.Errorf("pdisk: FileStore block size %d", b)
-	}
-	if maxForecast < 0 {
-		return nil, fmt.Errorf("pdisk: FileStore maxForecast %d", maxForecast)
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
-	}
-	return &FileStore{
-		dir:         dir,
-		b:           b,
-		maxForecast: maxForecast,
-		slotBytes:   8 + int64(b)*record.Bytes + int64(maxForecast)*8,
-		files:       make(map[int]*os.File),
-	}, nil
-}
-
-// file returns the (lazily opened) backing file of a disk. ReadAt/WriteAt
-// on the returned handle are safe concurrently.
-func (f *FileStore) file(disk int) (*os.File, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if fh, ok := f.files[disk]; ok {
-		return fh, nil
-	}
-	fh, err := os.OpenFile(filepath.Join(f.dir, fmt.Sprintf("disk%03d.dat", disk)),
-		os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, err
-	}
-	f.files[disk] = fh
-	return fh, nil
-}
-
-// Write implements Store.
-func (f *FileStore) Write(addr BlockAddr, b StoredBlock) error {
-	if len(b.Records) > f.b {
-		return fmt.Errorf("block of %d records exceeds slot capacity %d", len(b.Records), f.b)
-	}
-	if len(b.Forecast) > f.maxForecast {
-		return fmt.Errorf("block carries %d forecast keys, slot capacity %d", len(b.Forecast), f.maxForecast)
-	}
-	fh, err := f.file(addr.Disk)
-	if err != nil {
-		return err
-	}
-	buf := make([]byte, f.slotBytes)
-	binary.LittleEndian.PutUint32(buf[0:], uint32(len(b.Records)))
-	binary.LittleEndian.PutUint32(buf[4:], uint32(len(b.Forecast)))
-	off := 8
-	for _, r := range b.Records {
-		binary.LittleEndian.PutUint64(buf[off:], uint64(r.Key))
-		binary.LittleEndian.PutUint64(buf[off+8:], r.Val)
-		off += record.Bytes
-	}
-	off = 8 + f.b*record.Bytes
-	for _, k := range b.Forecast {
-		binary.LittleEndian.PutUint64(buf[off:], uint64(k))
-		off += 8
-	}
-	_, err = fh.WriteAt(buf, int64(addr.Index)*f.slotBytes)
-	return err
-}
-
-// Read implements Store.
-func (f *FileStore) Read(addr BlockAddr) (StoredBlock, error) {
-	fh, err := f.file(addr.Disk)
-	if err != nil {
-		return StoredBlock{}, err
-	}
-	buf := make([]byte, f.slotBytes)
-	if _, err := fh.ReadAt(buf, int64(addr.Index)*f.slotBytes); err != nil {
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return StoredBlock{}, fmt.Errorf("no block at %v", addr)
-		}
-		return StoredBlock{}, err
-	}
-	nRec := binary.LittleEndian.Uint32(buf[0:])
-	nFc := binary.LittleEndian.Uint32(buf[4:])
-	if int(nRec) > f.b || int(nFc) > f.maxForecast {
-		return StoredBlock{}, fmt.Errorf("corrupt slot header at %v (nRec=%d nFc=%d)", addr, nRec, nFc)
-	}
-	out := StoredBlock{Records: make(record.Block, nRec)}
-	off := 8
-	for i := range out.Records {
-		out.Records[i] = record.Record{
-			Key: record.Key(binary.LittleEndian.Uint64(buf[off:])),
-			Val: binary.LittleEndian.Uint64(buf[off+8:]),
-		}
-		off += record.Bytes
-	}
-	if nFc > 0 {
-		out.Forecast = make([]record.Key, nFc)
-		off = 8 + f.b*record.Bytes
-		for i := range out.Forecast {
-			out.Forecast[i] = record.Key(binary.LittleEndian.Uint64(buf[off:]))
-			off += 8
-		}
-	}
-	return out, nil
-}
-
-// Free implements Store. File slots are left in place (the space is
-// reclaimed when the store closes); the call only validates the address.
-func (f *FileStore) Free(addr BlockAddr) error {
-	if addr.Disk < 0 || addr.Index < 0 {
-		return fmt.Errorf("free of invalid address %v", addr)
-	}
-	return nil
-}
-
-// Close closes and removes every disk file.
-func (f *FileStore) Close() error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	var firstErr error
-	for _, fh := range f.files {
-		name := fh.Name()
-		if err := fh.Close(); err != nil && firstErr == nil {
-			firstErr = err
-		}
-		if err := os.Remove(name); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	f.files = nil
-	return firstErr
+	return int(m.Usage().Blocks)
 }

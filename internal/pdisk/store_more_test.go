@@ -3,29 +3,31 @@ package pdisk
 import (
 	"errors"
 	"testing"
+	"time"
 
 	"srmsort/internal/record"
 )
 
 func TestFaultStoreInPackage(t *testing.T) {
-	fs := NewFaultStore(NewMemStore())
-	fs.FailWriteAt = 2
-	fs.FailReadAt = 2
-	fs.FailFreeAt = 1
+	fs := NewFaultStore(NewMemStore(), FaultConfig{
+		FailWriteAt: 2,
+		FailReadAt:  2,
+		FailFreeAt:  1,
+	})
 	a := BlockAddr{Disk: 0, Index: 0}
-	if err := fs.Write(a, blk(1)); err != nil {
+	if err := fs.WriteBlock(a, blk(1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Write(BlockAddr{Disk: 0, Index: 1}, blk(2)); !errors.Is(err, ErrInjected) {
+	if err := fs.WriteBlock(BlockAddr{Disk: 0, Index: 1}, blk(2)); !errors.Is(err, ErrInjected) {
 		t.Fatalf("write #2 err = %v", err)
 	}
-	if _, err := fs.Read(a); err != nil {
+	if _, err := fs.ReadBlock(a); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Read(a); !errors.Is(err, ErrInjected) {
+	if _, err := fs.ReadBlock(a); !errors.Is(err, ErrInjected) {
 		t.Fatalf("read #2 err = %v", err)
 	}
-	if _, err := fs.Read(a); err != nil {
+	if _, err := fs.ReadBlock(a); err != nil {
 		t.Fatalf("read #3 should recover: %v", err)
 	}
 	if err := fs.Free(a); !errors.Is(err, ErrInjected) {
@@ -36,6 +38,73 @@ func TestFaultStoreInPackage(t *testing.T) {
 	}
 	if err := fs.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Seed-driven probabilistic faults are deterministic: two stores with the
+// same seed inject on exactly the same operations, a different seed on a
+// different schedule, and the n-th read's fate does not depend on how
+// many writes interleave.
+func TestFaultStoreSeededDeterministic(t *testing.T) {
+	fates := func(seed int64, interleaveWrites bool) []bool {
+		fs := NewFaultStore(NewMemStore(), FaultConfig{Seed: seed, ReadFailProb: 0.3})
+		a := BlockAddr{Disk: 0, Index: 0}
+		if err := fs.WriteBlock(a, blk(1)); err != nil {
+			t.Fatal(err)
+		}
+		var out []bool
+		for i := 0; i < 40; i++ {
+			if interleaveWrites {
+				if err := fs.WriteBlock(a, blk(2)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			_, err := fs.ReadBlock(a)
+			if err != nil && !errors.Is(err, ErrInjected) {
+				t.Fatalf("unexpected error kind: %v", err)
+			}
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	base := fates(7, false)
+	again := fates(7, false)
+	interleaved := fates(7, true)
+	other := fates(8, false)
+	injected := 0
+	for i := range base {
+		if base[i] != again[i] || base[i] != interleaved[i] {
+			t.Fatalf("read #%d fate not deterministic", i+1)
+		}
+		if base[i] {
+			injected++
+		}
+	}
+	if injected == 0 {
+		t.Fatal("ReadFailProb=0.3 injected nothing in 40 reads")
+	}
+	same := 0
+	for i := range base {
+		if base[i] == other[i] {
+			same++
+		}
+	}
+	if same == len(base) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// MaxLatency must delay operations without failing them.
+func TestFaultStoreLatencyOnly(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(), FaultConfig{Seed: 1, MaxLatency: time.Millisecond})
+	a := BlockAddr{Disk: 0, Index: 0}
+	if err := fs.WriteBlock(a, blk(1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := fs.ReadBlock(a); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 
@@ -51,14 +120,30 @@ func TestSystemAccessorsAndClose(t *testing.T) {
 
 func TestMemStoreBlocksAndClose(t *testing.T) {
 	m := NewMemStore()
-	if err := m.Write(BlockAddr{Disk: 0, Index: 0}, blk(1)); err != nil {
+	if err := m.WriteBlock(BlockAddr{Disk: 0, Index: 0}, blk(1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Write(BlockAddr{Disk: 1, Index: 0}, blk(2)); err != nil {
+	if err := m.WriteBlock(BlockAddr{Disk: 1, Index: 0}, blk(2)); err != nil {
 		t.Fatal(err)
 	}
 	if m.Blocks() != 2 {
 		t.Fatalf("Blocks = %d", m.Blocks())
+	}
+	if u := m.Usage(); u.Blocks != 2 || u.Bytes != 2*16 {
+		t.Fatalf("Usage = %+v, want 2 blocks / 32 bytes", u)
+	}
+	// Overwriting must not double-count; freeing must release.
+	if err := m.WriteBlock(BlockAddr{Disk: 0, Index: 0}, blk(3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if u := m.Usage(); u.Blocks != 2 || u.Bytes != 3*16 {
+		t.Fatalf("Usage after overwrite = %+v, want 2 blocks / 48 bytes", u)
+	}
+	if err := m.Free(BlockAddr{Disk: 1, Index: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if u := m.Usage(); u.Blocks != 1 || u.Bytes != 2*16 {
+		t.Fatalf("Usage after free = %+v, want 1 block / 32 bytes", u)
 	}
 	if err := m.Close(); err != nil {
 		t.Fatal(err)
@@ -99,8 +184,19 @@ func TestFileStoreFreeValidates(t *testing.T) {
 	if err := fs.Free(BlockAddr{Disk: -1}); err == nil {
 		t.Fatal("invalid free accepted")
 	}
-	if err := fs.Free(BlockAddr{Disk: 0, Index: 3}); err != nil {
+	// Freeing an absent block is an error on every backend.
+	if err := fs.Free(BlockAddr{Disk: 0, Index: 3}); err == nil {
+		t.Fatal("free of absent block accepted")
+	}
+	a := BlockAddr{Disk: 0, Index: 3}
+	if err := fs.WriteBlock(a, blk(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Free(a); err != nil {
 		t.Fatalf("valid free rejected: %v", err)
+	}
+	if err := fs.Free(a); err == nil {
+		t.Fatal("double free accepted")
 	}
 }
 

@@ -1,0 +1,65 @@
+package runio
+
+import (
+	"reflect"
+	"testing"
+
+	"srmsort/internal/pdisk"
+	"srmsort/internal/record"
+	"srmsort/internal/storetest"
+)
+
+// Run round-trips (write, stream sync and async) behave identically
+// on every store backend, in both records and I/O statistics.
+func TestRunRoundTripBackendEquivalence(t *testing.T) {
+	const d, b = 4, 4
+	recs := record.NewGenerator(11).Sorted(333)
+
+	type result struct {
+		sync, async []record.Record
+		stats       pdisk.Stats
+	}
+	run := func(t *testing.T, f storetest.Factory) result {
+		sys := f.NewSystem(t, d, b)
+		defer sys.Close()
+		r, err := WriteRun(sys, 0, 1, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got result
+		if err := Stream(sys, r, func(rec record.Record) error {
+			got.sync = append(got.sync, rec)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := StreamAsync(sys, r, func(rec record.Record) error {
+			got.async = append(got.async, rec)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		got.stats = sys.Stats()
+		return got
+	}
+
+	var base *result
+	var baseName string
+	for _, f := range storetest.Factories(b, d) {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			got := run(t, f)
+			if !reflect.DeepEqual(got.sync, recs) || !reflect.DeepEqual(got.async, recs) {
+				t.Fatal("streamed records differ from what was written")
+			}
+			if base == nil {
+				base = &got
+				baseName = f.Name
+				return
+			}
+			if !reflect.DeepEqual(base.stats, got.stats) {
+				t.Fatalf("stats diverge from %s:\n%+v\nvs\n%+v", baseName, base.stats, got.stats)
+			}
+		})
+	}
+}

@@ -77,9 +77,13 @@ func TestMergeAsyncEquivalence(t *testing.T) {
 		placement func(d int) func() runio.Placement
 	}{
 		{"D1-staggered", 1, 4, 400, 6, 8, false,
-			func(d int) func() runio.Placement { return func() runio.Placement { return runio.StaggeredPlacement{D: d} } }},
+			func(d int) func() runio.Placement {
+				return func() runio.Placement { return runio.StaggeredPlacement{D: d} }
+			}},
 		{"D2-staggered", 2, 4, 800, 8, 8, false,
-			func(d int) func() runio.Placement { return func() runio.Placement { return runio.StaggeredPlacement{D: d} } }},
+			func(d int) func() runio.Placement {
+				return func() runio.Placement { return runio.StaggeredPlacement{D: d} }
+			}},
 		{"D4-random", 4, 8, 3000, 12, 12, false,
 			func(d int) func() runio.Placement {
 				return func() runio.Placement { return &runio.RandomPlacement{D: d, Rng: rand.New(rand.NewSource(7))} }
@@ -89,9 +93,13 @@ func TestMergeAsyncEquivalence(t *testing.T) {
 				return func() runio.Placement { return &runio.RandomPlacement{D: d, Rng: rand.New(rand.NewSource(11))} }
 			}},
 		{"D4-fixed-adversarial", 4, 4, 1200, 8, 8, false,
-			func(d int) func() runio.Placement { return func() runio.Placement { return runio.FixedPlacement{Disk: 0} } }},
+			func(d int) func() runio.Placement {
+				return func() runio.Placement { return runio.FixedPlacement{Disk: 0} }
+			}},
 		{"D8-staggered", 8, 4, 4000, 16, 16, false,
-			func(d int) func() runio.Placement { return func() runio.Placement { return runio.StaggeredPlacement{D: d} } }},
+			func(d int) func() runio.Placement {
+				return func() runio.Placement { return runio.StaggeredPlacement{D: d} }
+			}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -235,7 +243,7 @@ func TestMergeAsyncInjectedFaults(t *testing.T) {
 	// points inside the merge must be offset by the traffic writeRuns
 	// generates. Measure both with a clean run.
 	clean := func() (setupReads, setupWrites, mergeReads, mergeWrites int64) {
-		fs := pdisk.NewFaultStore(pdisk.NewMemStore())
+		fs := pdisk.NewFaultStore(pdisk.NewMemStore(), pdisk.FaultConfig{})
 		sys, err := pdisk.NewSystem(pdisk.Config{D: 4, B: 4, Store: fs})
 		if err != nil {
 			t.Fatal(err)
@@ -253,15 +261,14 @@ func TestMergeAsyncInjectedFaults(t *testing.T) {
 	setupReads, setupWrites, mergeReads, mergeWrites := clean()
 
 	try := func(failReadAt, failWriteAt int64) error {
-		fs := pdisk.NewFaultStore(pdisk.NewMemStore())
+		fs := pdisk.NewFaultStore(pdisk.NewMemStore(), pdisk.FaultConfig{})
 		sys, err := pdisk.NewSystem(pdisk.Config{D: 4, B: 4, Store: fs})
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer sys.Close()
 		descs := writeRuns(t, sys, runs, runio.StaggeredPlacement{D: 4})
-		fs.FailReadAt = failReadAt
-		fs.FailWriteAt = failWriteAt
+		fs.Configure(pdisk.FaultConfig{FailReadAt: failReadAt, FailWriteAt: failWriteAt})
 		_, _, err = MergeAsync(sys, descs, 10, 1000, 0)
 		return err
 	}
@@ -293,13 +300,13 @@ func TestSortRunsAsyncFreeFault(t *testing.T) {
 	all := g.Random(800)
 	runs := g.SplitIntoSortedRuns(all, 8)
 
-	fs := pdisk.NewFaultStore(pdisk.NewMemStore())
+	fs := pdisk.NewFaultStore(pdisk.NewMemStore(), pdisk.FaultConfig{})
 	sys, err := pdisk.NewSystem(pdisk.Config{D: 2, B: 4, Store: fs})
 	if err != nil {
 		t.Fatal(err)
 	}
 	descs := writeRuns(t, sys, runs, runio.StaggeredPlacement{D: 2})
-	fs.FailFreeAt = 1
+	fs.Configure(pdisk.FaultConfig{FailFreeAt: 1})
 	_, _, _, err = SortRunsAsync(sys, descs, 4, runio.StaggeredPlacement{D: 2}, len(runs))
 	if !errors.Is(err, pdisk.ErrInjected) {
 		t.Fatalf("free fault: %v, want ErrInjected", err)

@@ -38,9 +38,10 @@ func TestInjectedFaultsSurfaceAsErrors(t *testing.T) {
 	totalReads, totalWrites := countOps()
 
 	tryWithFault := func(failReadAt, failWriteAt int64) error {
-		fs := pdisk.NewFaultStore(pdisk.NewMemStore())
-		fs.FailReadAt = failReadAt
-		fs.FailWriteAt = failWriteAt
+		fs := pdisk.NewFaultStore(pdisk.NewMemStore(), pdisk.FaultConfig{
+			FailReadAt:  failReadAt,
+			FailWriteAt: failWriteAt,
+		})
 		sys, err := pdisk.NewSystem(pdisk.Config{D: 3, B: 4, Store: fs})
 		if err != nil {
 			t.Fatal(err)
@@ -88,7 +89,7 @@ func TestInjectedFaultsSurfaceAsErrors(t *testing.T) {
 // A fault-free FaultStore must be transparent.
 func TestFaultStoreTransparentWhenIdle(t *testing.T) {
 	all := record.NewGenerator(42).Random(300)
-	fs := pdisk.NewFaultStore(pdisk.NewMemStore())
+	fs := pdisk.NewFaultStore(pdisk.NewMemStore(), pdisk.FaultConfig{})
 	sys, err := pdisk.NewSystem(pdisk.Config{D: 2, B: 4, Store: fs})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,60 @@
+// Package storetest provides the backend matrix shared by every
+// backend-parameterized test in the repository: one factory per Store
+// implementation, so the merge algorithms' test suites can assert that
+// the storage substrate is genuinely swappable — identical sorted output
+// and identical I/O statistics on every backend.
+package storetest
+
+import (
+	"testing"
+
+	"srmsort/internal/pdisk"
+)
+
+// Factory creates a fresh, empty Store of one backend kind. New may use
+// t for temp directories and fatal setup errors.
+type Factory struct {
+	Name string
+	New  func(t testing.TB) pdisk.Store
+}
+
+// Factories returns the full backend matrix for blocks of b records
+// carrying at most maxForecast forecast keys (pass the system's D for
+// SRM workloads: a run's block 0 implants D keys).
+func Factories(b, maxForecast int) []Factory {
+	return []Factory{
+		{
+			Name: "mem",
+			New:  func(testing.TB) pdisk.Store { return pdisk.NewMemStore() },
+		},
+		{
+			Name: "file",
+			New: func(t testing.TB) pdisk.Store {
+				fs, err := pdisk.NewFileStore(t.TempDir(), b, maxForecast)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return fs
+			},
+		},
+		{
+			// A passive FaultStore wrapper: the fault-injection layer must
+			// be perfectly transparent when idle.
+			Name: "fault",
+			New: func(testing.TB) pdisk.Store {
+				return pdisk.NewFaultStore(pdisk.NewMemStore(), pdisk.FaultConfig{Seed: 1})
+			},
+		},
+	}
+}
+
+// NewSystem builds a System of d disks and block size b over the
+// factory's store.
+func (f Factory) NewSystem(t testing.TB, d, b int) *pdisk.System {
+	t.Helper()
+	sys, err := pdisk.NewSystem(pdisk.Config{D: d, B: b, Store: f.New(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}

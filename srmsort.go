@@ -96,6 +96,23 @@ const (
 	ReplacementSelection
 )
 
+// Backend selects the storage substrate blocks live on during a sort.
+// Every algorithm, sync or async, produces byte-identical output and
+// identical I/O statistics on every backend — the storage layer is
+// swappable beneath the merge logic (a property the backend equivalence
+// suite enforces).
+type Backend string
+
+const (
+	// MemBackend holds blocks in process memory — the default, and the
+	// store the paper-reproduction experiments run on.
+	MemBackend Backend = "mem"
+	// FileBackend holds blocks in preallocated per-disk files
+	// (pdisk.FileStore): the sort moves real serialised bytes through
+	// the OS, so inputs larger than RAM sort out of core.
+	FileBackend Backend = "file"
+)
+
 // DiskModel estimates wall-clock time per I/O operation; see
 // Mid1990sDisk and ModernDisk for presets.
 type DiskModel = pdisk.TimeModel
@@ -129,11 +146,22 @@ type Config struct {
 	// Model, if non-nil, accumulates an estimated I/O time in
 	// Stats.SimTime.
 	Model *DiskModel
-	// FileBacked stores blocks in temporary files instead of memory,
-	// demonstrating real serialised I/O. Directory is created under
-	// TempDir (or the OS default if empty) and removed afterwards.
+	// Backend selects the storage substrate: MemBackend (the default
+	// when empty) or FileBackend. The choice changes neither the output
+	// nor any I/O statistic — only where the blocks physically live.
+	Backend Backend
+	// Dir is the directory holding FileBackend's disk files. Empty means
+	// a fresh temporary directory (under TempDir, or the OS default),
+	// removed when the sort finishes. A user-supplied Dir is created if
+	// absent and kept; only the store's scratch files are removed.
+	Dir string
+	// FileBacked is the legacy spelling of Backend: FileBackend.
+	//
+	// Deprecated: set Backend instead.
 	FileBacked bool
-	TempDir    string
+	// TempDir is the parent directory for the temporary store directory
+	// when Dir is empty.
+	TempDir string
 	// Workers > 1 executes the independent merges of each pass on that
 	// many goroutines (-1 means GOMAXPROCS); 0 or 1 runs serially. The
 	// result and all I/O statistics are identical either way — only the
@@ -229,30 +257,57 @@ func (c Config) MergeOrder() (r, m int, err error) {
 	return r, m, nil
 }
 
-// newSystem builds the disk system of a sort, returning a cleanup function
-// that removes any file-backed storage.
+// backend resolves the effective storage backend, folding the deprecated
+// FileBacked flag in.
+func (c Config) backend() Backend {
+	if c.Backend != "" {
+		return c.Backend
+	}
+	if c.FileBacked {
+		return FileBackend
+	}
+	return MemBackend
+}
+
+// newSystem builds the disk system of a sort on the configured backend,
+// returning a cleanup function that removes any file-backed scratch
+// storage.
 func (c Config) newSystem() (*pdisk.System, func(), error) {
 	var store pdisk.Store
-	cleanupDir := func() {}
-	if c.FileBacked {
-		dir, err := os.MkdirTemp(c.TempDir, "srmsort-disks-*")
-		if err != nil {
-			return nil, nil, err
+	cleanupStore := func() {}
+	switch c.backend() {
+	case MemBackend:
+		// pdisk defaults to a fresh MemStore.
+	case FileBackend:
+		dir := c.Dir
+		if dir == "" {
+			tmp, err := os.MkdirTemp(c.TempDir, "srmsort-disks-*")
+			if err != nil {
+				return nil, nil, err
+			}
+			cleanupStore = func() { os.RemoveAll(tmp) }
+			dir = tmp
 		}
-		cleanupDir = func() { os.RemoveAll(dir) }
 		fs, err := pdisk.NewFileStore(dir, c.B, c.D)
 		if err != nil {
-			cleanupDir()
+			cleanupStore()
 			return nil, nil, err
 		}
 		store = fs
+		if c.Dir != "" {
+			// A user-supplied directory is kept; only the store's
+			// scratch files go.
+			cleanupStore = func() { fs.Remove() }
+		}
+	default:
+		return nil, nil, fmt.Errorf("srmsort: unknown backend %q", c.Backend)
 	}
 	sys, err := pdisk.NewSystem(pdisk.Config{D: c.D, B: c.B, Store: store, Model: c.Model})
 	if err != nil {
-		cleanupDir()
+		cleanupStore()
 		return nil, nil, err
 	}
-	return sys, func() { sys.Close(); cleanupDir() }, nil
+	return sys, func() { sys.Close(); cleanupStore() }, nil
 }
 
 // runAlgorithm performs the sort proper (run formation + merge passes) and

@@ -158,6 +158,8 @@ func TestSortReplacementSelection(t *testing.T) {
 	}
 }
 
+// The deprecated FileBacked/TempDir spelling must keep selecting the file
+// backend (compat pin; new code uses Backend/Dir).
 func TestSortFileBacked(t *testing.T) {
 	in := randomRecords(2000, 7)
 	out, stats, err := Sort(in, Config{D: 3, B: 8, K: 3, FileBacked: true, TempDir: t.TempDir()})

@@ -63,7 +63,7 @@ func ReadRecords(r io.Reader) ([]Record, error) {
 // The sort is fully out of core: records flow from r onto the simulated
 // disks one stripe at a time and from the final run to w one block at a
 // time, so host memory stays O(M + store). Combined with
-// Config.FileBacked this sorts inputs larger than RAM.
+// Config.Backend: FileBackend this sorts inputs larger than RAM.
 func SortStream(r io.Reader, w io.Writer, cfg Config) (Stats, error) {
 	mergeR, m, err := cfg.MergeOrder()
 	if err != nil {

@@ -100,7 +100,7 @@ func TestSortStreamOutOfCoreFileBacked(t *testing.T) {
 	}
 	var out bytes.Buffer
 	stats, err := SortStream(&enc, &out, Config{
-		D: 4, B: 32, K: 2, Seed: 5, FileBacked: true, TempDir: t.TempDir(),
+		D: 4, B: 32, K: 2, Seed: 5, Backend: FileBackend, Dir: t.TempDir(),
 	})
 	if err != nil {
 		t.Fatal(err)

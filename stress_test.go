@@ -1,6 +1,59 @@
 package srmsort
 
-import "testing"
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Randomized sync-vs-async sweep over duplicate-heavy inputs and many
+// (algorithm, D, B) shapes — the fuzz-flavoured cousin of
+// TestAsyncEquivalence. (Folded in from the review-stress test.) -short
+// trims the seed count.
+func TestStressSyncAsyncEquivalence(t *testing.T) {
+	seeds := int64(30)
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 500 + rng.Intn(4000)
+		in := make([]Record, n)
+		for i := range in {
+			in[i] = Record{Key: uint64(rng.Intn(200)), Val: uint64(i)} // duplicate-heavy
+		}
+		for _, alg := range []Algorithm{SRM, SRMDeterministic} {
+			for _, d := range []int{2, 3, 4, 5} {
+				for _, b := range []int{2, 3, 5} {
+					cfg := Config{D: d, B: b, K: 2, Algorithm: alg, Seed: seed}
+					syncOut, syncStats, err := Sort(in, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg.Async = true
+					asyncOut, asyncStats, err := Sort(in, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var sb, ab bytes.Buffer
+					if err := WriteRecords(&sb, syncOut); err != nil {
+						t.Fatal(err)
+					}
+					if err := WriteRecords(&ab, asyncOut); err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(sb.Bytes(), ab.Bytes()) {
+						t.Fatalf("output diverges seed=%d alg=%v D=%d B=%d", seed, alg, d, b)
+					}
+					if syncStats != asyncStats {
+						t.Fatalf("stats diverge seed=%d alg=%v D=%d B=%d\nsync  %+v\nasync %+v",
+							seed, alg, d, b, syncStats, asyncStats)
+					}
+				}
+			}
+		}
+	}
+}
 
 // Large-scale end-to-end stress: two million records through the full SRM
 // pipeline with file-backed disks and parallel pass execution — the
@@ -14,10 +67,10 @@ func TestStressLargeSortFileBacked(t *testing.T) {
 	in := benchRecords(n, 1234)
 	out, stats, err := Sort(in, Config{
 		D: 16, B: 256, K: 4,
-		Seed:       9,
-		FileBacked: true,
-		TempDir:    t.TempDir(),
-		Workers:    -1,
+		Seed:    9,
+		Backend: FileBackend,
+		Dir:     t.TempDir(),
+		Workers: -1,
 	})
 	if err != nil {
 		t.Fatal(err)
