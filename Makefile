@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench check fmt-check tables tables-full verify
+.PHONY: all build test race bench bench-all bench-smoke aliascheck check fmt-check tables tables-full verify
 
 all: build test
 
@@ -14,20 +14,41 @@ test:
 race:
 	go test -race ./...
 
-# The full gate: formatting, compile everything, vet, then the whole
-# suite under the race detector (the async pipeline's equivalence tests
-# are only meaningful raced).
+# The full gate: formatting, compile everything, vet, the whole suite
+# under the race detector (the async pipeline's equivalence tests are only
+# meaningful raced), the zero-copy aliasing guard, and one iteration of
+# the end-to-end sort benchmark so the harness can never rot unexercised.
 check: fmt-check build
 	go vet ./...
 	go test -race ./...
+	go test -tags=aliascheck ./internal/pdisk/ ./internal/srm/
+	go test -run='^$$' -bench=SortEndToEnd -benchtime=1x .
+
+# The whole suite with MemStore's zero-copy mutation guard armed: every
+# block read is checksum-audited, so any merge path that mutates a block
+# it does not own panics.
+aliascheck:
+	go test -tags=aliascheck ./...
 
 # Fail (listing the offenders) if any file is not gofmt-clean.
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# The measured end-to-end sort benchmark (alg x backend x D). Writes
+# BENCH_sort.json with ns/record, B/record and allocs/record per cell —
+# the perf trajectory future PRs regress against (see EXPERIMENTS.md).
 bench:
+	go test -run='^$$' -bench=SortEndToEnd -benchmem . | tee bench_sort_output.txt
+	go run ./cmd/benchjson -o BENCH_sort.json bench_sort_output.txt
+
+# Every benchmark in the repository (micro and end-to-end).
+bench-all:
 	go test -bench=. -benchmem ./...
+
+# One iteration per cell: proves the harness runs, measures nothing.
+bench-smoke:
+	go test -run='^$$' -bench=SortEndToEnd -benchtime=1x .
 
 tables:
 	go run ./cmd/tables

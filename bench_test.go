@@ -9,6 +9,7 @@ package srmsort
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"srmsort/internal/analysis"
@@ -179,6 +180,51 @@ func BenchmarkEndToEnd(b *testing.B) {
 			b.ReportMetric(float64(ops), "io-ops")
 			b.ReportMetric(float64(len(in))/float64(b.Elapsed().Seconds()*float64(b.N)), "recs/s")
 		})
+	}
+}
+
+// BenchmarkSortEndToEnd is the hot-path regression matrix: every sorting
+// algorithm on every storage backend across disk counts, with per-record
+// CPU-cost metrics (ns/rec, B/rec, allocs/rec) alongside the standard
+// per-op figures. `make bench` runs exactly this matrix and converts the
+// output into BENCH_sort.json, the perf trajectory EXPERIMENTS.md tracks;
+// future kernel changes regress against those numbers.
+func BenchmarkSortEndToEnd(b *testing.B) {
+	const n = 200_000
+	in := benchRecords(n, 42)
+	for _, alg := range []Algorithm{SRM, DSM, PSV} {
+		for _, backend := range []Backend{MemBackend, FileBackend} {
+			for _, d := range []int{1, 2, 4, 8} {
+				if alg == PSV && d < 2 {
+					continue // PSV needs >= 2 disks
+				}
+				name := fmt.Sprintf("alg=%s/backend=%s/D=%d", alg, backend, d)
+				b.Run(name, func(b *testing.B) {
+					b.ReportAllocs()
+					var before, after runtime.MemStats
+					runtime.GC()
+					runtime.ReadMemStats(&before)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						out, _, err := Sort(in, Config{
+							D: d, B: 64, K: 4, Algorithm: alg, Seed: 11, Backend: backend,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						if len(out) != n {
+							b.Fatalf("sorted %d of %d records", len(out), n)
+						}
+					}
+					b.StopTimer()
+					runtime.ReadMemStats(&after)
+					recs := float64(n) * float64(b.N)
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/recs, "ns/rec")
+					b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/recs, "B/rec")
+					b.ReportMetric(float64(after.Mallocs-before.Mallocs)/recs, "allocs/rec")
+				})
+			}
+		}
 	}
 }
 

@@ -1,0 +1,112 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// array, one object per benchmark line, so perf numbers can be archived
+// (BENCH_sort.json) and diffed across commits by machines instead of
+// eyeballs.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=SortEndToEnd -benchmem . | benchjson -o BENCH_sort.json
+//	benchjson -o BENCH_sort.json bench_output.txt
+//
+// Every `value unit` pair after the iteration count is kept verbatim under
+// its unit name ("ns/op", "B/op", "allocs/op", "ns/rec", ...), so custom
+// b.ReportMetric units flow through unchanged.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default: stdout)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	results, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	enc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parse extracts every benchmark result line from r. Non-benchmark lines
+// (headers, PASS, ok) are skipped; malformed benchmark lines are errors.
+func parse(r io.Reader) ([]result, error) {
+	var results []result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			return nil, fmt.Errorf("malformed benchmark line: %q", line)
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("iteration count in %q: %v", line, err)
+		}
+		res := result{
+			Name:       fields[0],
+			Iterations: iters,
+			Metrics:    make(map[string]float64),
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("metric value in %q: %v", line, err)
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		results = append(results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
+	}
+	return results, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -7,7 +7,13 @@
 //	srmsort -n 1000000 -d 8 -b 64 -k 4 [-alg srm|srm-det|dsm|psv] [-workers N]
 //	        [-async] [-input random|sorted|reverse|dups] [-runform load|rs]
 //	        [-model none|1996|modern] [-backend mem|file] [-dir DIR]
-//	        [-seed N] [-verify]
+//	        [-seed N] [-verify] [-cpuprofile FILE] [-memprofile FILE]
+//
+// The profile flags capture pprof data for the sort itself: -cpuprofile
+// starts CPU profiling immediately before the sort and stops it right
+// after (input generation and output verification are outside the
+// window); -memprofile writes an allocation profile taken right after the
+// sort completes. Inspect either with `go tool pprof`.
 //
 // Example — compare SRM and DSM on the same input:
 //
@@ -20,7 +26,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"sort"
+	"runtime"
+	"runtime/pprof"
+	"slices"
 	"time"
 
 	"srmsort"
@@ -46,6 +54,8 @@ func main() {
 		verify  = flag.Bool("verify", true, "verify the output is sorted")
 		inFile  = flag.String("infile", "", "read wire-format records from this file instead of generating (-n ignored)")
 		outFile = flag.String("outfile", "", "write the sorted wire-format records to this file")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the sort to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile taken after the sort to this file")
 	)
 	flag.Parse()
 
@@ -106,15 +116,49 @@ func main() {
 	} else {
 		records = generate(*input, *n, *seed)
 	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("-cpuprofile: %v", err)
+		}
+	}
 	start := time.Now()
 	out, stats, err := srmsort.Sort(records, cfg)
+	if *cpuProf != "" {
+		pprof.StopCPUProfile()
+	}
 	if err != nil {
 		fatal("%v", err)
 	}
 	elapsed := time.Since(start)
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatal("%v", err)
+		}
+		runtime.GC() // flush pending frees so the profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal("-memprofile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("%v", err)
+		}
+	}
 
 	if *verify {
-		if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i].Key < out[j].Key }) {
+		if !slices.IsSortedFunc(out, func(a, b srmsort.Record) int {
+			switch {
+			case a.Key < b.Key:
+				return -1
+			case a.Key > b.Key:
+				return 1
+			}
+			return 0
+		}) {
 			fatal("output is NOT sorted")
 		}
 	}

@@ -3,6 +3,12 @@ package srmsort
 import (
 	"bytes"
 	"testing"
+
+	"srmsort/internal/ltree"
+	"srmsort/internal/pdisk"
+	"srmsort/internal/record"
+	"srmsort/internal/runio"
+	"srmsort/internal/srm"
 )
 
 // FuzzSortStream feeds arbitrary byte streams through the wire decoder and
@@ -116,6 +122,196 @@ func FuzzReadRecords(f *testing.F) {
 		}
 		if !bytes.Equal(buf.Bytes(), data) {
 			t.Fatal("decode/encode round trip altered the stream")
+		}
+	})
+}
+
+// perRecordMerge is the pre-gallop reference kernel: one loser-tree
+// round-trip per record, ties broken by run index. The galloped kernels
+// must reproduce its output byte for byte.
+func perRecordMerge(runs [][]record.Record) []record.Record {
+	lt := ltree.NewRetired(len(runs))
+	heads := make([]int, len(runs))
+	total := 0
+	for i, r := range runs {
+		total += len(r)
+		if len(r) > 0 {
+			lt.Push(i, uint64(r[0].Key))
+		}
+	}
+	out := make([]record.Record, 0, total)
+	for lt.Len() > 0 {
+		i, _ := lt.Min()
+		out = append(out, runs[i][heads[i]])
+		heads[i]++
+		if heads[i] == len(runs[i]) {
+			lt.Remove(i)
+		} else {
+			lt.Update(i, uint64(runs[i][heads[i]].Key))
+		}
+	}
+	return out
+}
+
+// gallopMerge is the bulk-emission kernel in isolation: each winner emits
+// the span below the runner-up's key (ties to the lower run index) in one
+// append, additionally clipped at artificial block boundaries of blockLen
+// records — early clipping must be harmless, exactly as the real kernels'
+// stall and block-event bounds are.
+func gallopMerge(runs [][]record.Record, blockLen int) []record.Record {
+	lt := ltree.NewRetired(len(runs))
+	bufs := make([][]record.Record, len(runs))
+	consumed := make([]int, len(runs))
+	total := 0
+	for i, r := range runs {
+		total += len(r)
+		bufs[i] = r
+		if len(r) > 0 {
+			lt.Push(i, uint64(r[0].Key))
+		}
+	}
+	out := make([]record.Record, 0, total)
+	for lt.Len() > 0 {
+		i, _ := lt.Min()
+		span := blockLen - consumed[i]%blockLen
+		if span > len(bufs[i]) {
+			span = len(bufs[i])
+		}
+		if ch, chKey, ok := lt.Challenger(); ok {
+			if n := record.CountBelow(bufs[i][:span], record.Key(chKey), i < ch); n < span {
+				span = n
+			}
+		}
+		out = append(out, bufs[i][:span]...)
+		consumed[i] += span
+		bufs[i] = bufs[i][span:]
+		if len(bufs[i]) == 0 {
+			lt.Remove(i)
+		} else {
+			lt.Update(i, uint64(bufs[i][0].Key))
+		}
+	}
+	return out
+}
+
+// FuzzGallopMergeEquiv drives the galloped bulk-emission logic against the
+// per-record reference kernel on adversarial run shapes: tiny key
+// universes (runs of duplicate keys spanning block boundaries), MaxKey
+// records (which collide with the loser tree's legacy Infinite sentinel —
+// the explicit retired state must keep them live), and block lengths down
+// to 1 (every span a single record). It then merges the same runs through
+// the full SRM machinery — sync and async, whose outputs must agree with
+// each other and hold the same multiset in sorted order.
+func FuzzGallopMergeEquiv(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(3), uint8(2), uint8(2))
+	f.Add([]byte{5, 5, 5, 5, 5, 5}, uint8(2), uint8(1), uint8(3))
+	f.Add([]byte{255, 255, 0, 255, 1}, uint8(2), uint8(2), uint8(1))
+	f.Add([]byte{}, uint8(1), uint8(4), uint8(4))
+
+	f.Fuzz(func(t *testing.T, data []byte, numRunsRaw, dRaw, blkRaw uint8) {
+		numRuns := 1 + int(numRunsRaw%8)
+		d := 1 + int(dRaw%4)
+		blockLen := 1 + int(blkRaw%4)
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		// One byte per record: a tiny key universe forces duplicate keys;
+		// byte 255 maps to MaxKey to exercise the Infinite collision.
+		recs := make([]record.Record, len(data))
+		for i, by := range data {
+			k := record.Key(by)
+			if by == 255 {
+				k = record.MaxKey
+			}
+			recs[i] = record.Record{Key: k, Val: uint64(i)}
+		}
+		gen := record.NewGenerator(1)
+		runs := gen.SplitIntoSortedRuns(recs, numRuns)
+		if len(runs) == 0 {
+			return
+		}
+
+		want := perRecordMerge(runs)
+		got := gallopMerge(runs, blockLen)
+		if len(got) != len(want) {
+			t.Fatalf("gallop emitted %d records, reference %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("record %d: gallop %+v, reference %+v", i, got[i], want[i])
+			}
+		}
+
+		// Full-kernel pass: SRM merge of the same runs, sync and async.
+		// MaxKey first keys collide with the forecast sentinel in the FDS,
+		// so clip those runs for the end-to-end leg (the in-memory legs
+		// above already cover MaxKey records).
+		var diskRuns [][]record.Record
+		for _, r := range runs {
+			for len(r) > 0 && r[len(r)-1].Key == record.MaxKey {
+				r = r[:len(r)-1]
+			}
+			if len(r) > 0 {
+				diskRuns = append(diskRuns, r)
+			}
+		}
+		if len(diskRuns) == 0 {
+			return
+		}
+		wantOut := perRecordMerge(diskRuns)
+		var outs [2][]record.Record
+		for _, async := range []bool{false, true} {
+			sys, err := pdisk.NewSystem(pdisk.Config{D: d, B: blockLen, Store: pdisk.NewMemStore()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var stored []*runio.Run
+			for id, r := range diskRuns {
+				run, err := runio.WriteRun(sys, id, id%d, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stored = append(stored, run)
+			}
+			var merged *runio.Run
+			if async {
+				merged, _, err = srm.MergeAsync(sys, stored, len(stored), 1000, 0)
+			} else {
+				merged, _, err = srm.Merge(sys, stored, len(stored), 1000, 0)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotOut, err := runio.ReadAll(sys, merged)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(gotOut) != len(wantOut) {
+				t.Fatalf("async=%v: merged %d records, want %d", async, len(gotOut), len(wantOut))
+			}
+			// SRM's stall guard may emit an equal-keyed record of a higher-
+			// indexed active run before a stalled lower-indexed one, so only
+			// key order (not Val order) must match the reference exactly.
+			for i := range wantOut {
+				if gotOut[i].Key != wantOut[i].Key {
+					t.Fatalf("async=%v: key %d is %d, want %d", async, i, gotOut[i].Key, wantOut[i].Key)
+				}
+			}
+			if record.Checksum(gotOut) != record.Checksum(wantOut) {
+				t.Fatalf("async=%v: merged output is not a permutation of the input", async)
+			}
+			if async {
+				outs[1] = gotOut
+			} else {
+				outs[0] = gotOut
+			}
+			sys.Close()
+		}
+		// Sync and async must agree byte for byte, Vals included.
+		for i := range outs[0] {
+			if outs[0][i] != outs[1][i] {
+				t.Fatalf("record %d: sync %+v, async %+v", i, outs[0][i], outs[1][i])
+			}
 		}
 	})
 }

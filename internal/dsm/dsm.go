@@ -88,6 +88,38 @@ func (w *Writer) Append(r record.Record) error {
 	return nil
 }
 
+// AppendBlock bulk-appends a sorted span of records — one galloped merge
+// emission — copying it into the logical-block buffer in one pass instead
+// of one Append call per record. The ordering panic survives as a
+// span-boundary check; spans are slices of sorted stripes, so internal
+// order is the caller's invariant.
+func (w *Writer) AppendBlock(rs []record.Record) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	if w.started && rs[0].Key < w.lastKey {
+		panic(fmt.Sprintf("dsm: run %d records out of order", w.run.ID))
+	}
+	w.started = true
+	w.lastKey = rs[len(rs)-1].Key
+	logical := w.sys.D() * w.sys.B()
+	for len(rs) > 0 {
+		n := logical - len(w.buf)
+		if n > len(rs) {
+			n = len(rs)
+		}
+		w.buf = append(w.buf, rs[:n]...)
+		w.run.Records += n
+		rs = rs[n:]
+		if len(w.buf) == logical {
+			if err := w.flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // flush writes one logical block (up to D*B records) in a single parallel
 // I/O operation.
 func (w *Writer) flush() error {
@@ -279,10 +311,20 @@ func mergeRuns(sys *pdisk.System, runs []*Run, outID int, async bool) (*Run, Mer
 	}
 	for lt.Len() > 0 {
 		i, _ := lt.Min()
-		if err := w.Append(bufs[i][0]); err != nil {
+		// Galloped emission: run i keeps winning while its key is below the
+		// runner-up's (or equal with the lower run index), and the
+		// runner-up's key cannot change while i wins — so the whole span is
+		// located by binary search and emitted in one bulk call.
+		span := len(bufs[i])
+		if ch, chKey, ok := lt.Challenger(); ok {
+			if n := record.CountBelow(bufs[i], record.Key(chKey), i < ch); n < span {
+				span = n
+			}
+		}
+		if err := w.AppendBlock(bufs[i][:span]); err != nil {
 			return nil, stats, err
 		}
-		bufs[i] = bufs[i][1:]
+		bufs[i] = bufs[i][span:]
 		if len(bufs[i]) == 0 {
 			if err := refill(i); err != nil {
 				return nil, stats, err

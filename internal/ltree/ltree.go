@@ -10,21 +10,39 @@
 // one key; the winner is read with Min and replaced (the next record of
 // the same run) or retired (run exhausted) in O(log R).
 //
+// Beyond the classical winner-only operations, the tree supports the
+// dynamic membership the SRM merge needs — Push re-activates a retired
+// player (a stalled run whose leading block arrived) and Remove retires an
+// arbitrary one — and Challenger exposes the runner-up, which bounds how
+// many records the winner may emit in one galloped span. Push and
+// non-winner updates rebuild the tournament in O(R); the merge kernels
+// only perform them at block events, never per record, so the per-record
+// cost stays at the winner-replay O(log R).
+//
+// Aliveness is tracked explicitly, not through the key value: a live
+// player may legitimately hold Infinite (a record whose key is the maximal
+// uint64). The Infinite sentinel keeps its historical meaning only at the
+// legacy entry points New (players born retired) and ReplaceMin
+// (retirement).
+//
 // Ties are broken by player index, matching the iheap-based mergers, so
 // the two engines produce byte-identical merge output.
 package ltree
 
 import "fmt"
 
-// Infinite is the sentinel key of retired players.
+// Infinite is the sentinel key accepted by New and ReplaceMin to mean
+// "retired". Key reports it for retired players.
 const Infinite = ^uint64(0)
 
 // Tree is a loser tree over players 0..n-1. Construct with New.
 type Tree struct {
-	n      int
-	keys   []uint64 // current key of each player; Infinite when retired
-	losers []int    // internal nodes: player index of the match loser; losers[0] is the winner
-	alive  int
+	n       int
+	keys    []uint64 // current key of each player
+	retired []bool   // explicit aliveness: retired players lose every match
+	losers  []int    // internal nodes: player index of the match loser; losers[0] is the winner
+	alive   int
+	scratch []int // rebuild's winner array, allocated once with the tree
 }
 
 // New builds a tree over the given initial keys (one per player). Players
@@ -35,14 +53,39 @@ func New(keys []uint64) *Tree {
 		panic("ltree: no players")
 	}
 	t := &Tree{
-		n:      n,
-		keys:   append([]uint64(nil), keys...),
-		losers: make([]int, n),
+		n:       n,
+		keys:    append([]uint64(nil), keys...),
+		retired: make([]bool, n),
+		losers:  make([]int, n),
+		scratch: make([]int, 2*n),
 	}
-	for _, k := range keys {
-		if k != Infinite {
+	for p, k := range keys {
+		if k == Infinite {
+			t.retired[p] = true
+		} else {
 			t.alive++
 		}
+	}
+	t.rebuild()
+	return t
+}
+
+// NewRetired builds a tree over n players, all retired — the starting
+// state of a merge that activates runs with Push as their leading blocks
+// arrive.
+func NewRetired(n int) *Tree {
+	if n == 0 {
+		panic("ltree: no players")
+	}
+	t := &Tree{
+		n:       n,
+		keys:    make([]uint64, n),
+		retired: make([]bool, n),
+		losers:  make([]int, n),
+		scratch: make([]int, 2*n),
+	}
+	for p := range t.retired {
+		t.retired[p] = true
 	}
 	t.rebuild()
 	return t
@@ -52,7 +95,7 @@ func New(keys []uint64) *Tree {
 func (t *Tree) rebuild() {
 	// Play the tournament bottom-up: winner[i] for internal node i of a
 	// complete binary tree with n leaves (players) at positions n..2n-1.
-	winner := make([]int, 2*t.n)
+	winner := t.scratch
 	for i := 0; i < t.n; i++ {
 		winner[t.n+i] = i
 	}
@@ -65,16 +108,30 @@ func (t *Tree) rebuild() {
 	t.losers[0] = winner[1]
 }
 
-// play returns the (winner, loser) of a match; the smaller key wins, ties
-// go to the lower player index.
+// play returns the (winner, loser) of a match under the total order of
+// beats.
 func (t *Tree) play(a, b int) (w, l int) {
-	if t.keys[a] < t.keys[b] || (t.keys[a] == t.keys[b] && a < b) {
+	if t.beats(a, b) {
 		return a, b
 	}
 	return b, a
 }
 
-// Len returns the number of players still holding finite keys.
+// beats reports whether player a wins a match against player b: retired
+// players lose to live ones, live players compare by (key, index) — the
+// smaller key wins, ties go to the lower index — and retired pairs order
+// by index (irrelevant, but total).
+func (t *Tree) beats(a, b int) bool {
+	if t.retired[a] != t.retired[b] {
+		return !t.retired[a]
+	}
+	if !t.retired[a] && t.keys[a] != t.keys[b] {
+		return t.keys[a] < t.keys[b]
+	}
+	return a < b
+}
+
+// Len returns the number of live players.
 func (t *Tree) Len() int { return t.alive }
 
 // Min returns the winning player and its key. It panics when every player
@@ -87,16 +144,40 @@ func (t *Tree) Min() (player int, key uint64) {
 	return w, t.keys[w]
 }
 
+// Challenger returns the runner-up: the player that would win if the
+// current winner retired, and its key. ok is false when fewer than two
+// players are live. The runner-up necessarily lost its match against the
+// winner, so it is the best of the losers stored on the winner's
+// leaf-to-root path — an O(log R) scan with no mutation.
+func (t *Tree) Challenger() (player int, key uint64, ok bool) {
+	if t.alive < 2 {
+		return -1, Infinite, false
+	}
+	w := t.losers[0]
+	best := -1
+	for node := (t.n + w) / 2; node >= 1; node /= 2 {
+		l := t.losers[node]
+		if t.retired[l] {
+			continue
+		}
+		if best < 0 || t.beats(l, best) {
+			best = l
+		}
+	}
+	return best, t.keys[best], true
+}
+
 // ReplaceMin gives the current winner a new key (the next record of its
-// run) and replays its path to the root. The new key must not be smaller
-// than the replaced one in merging use, but the structure does not require
-// it.
+// run) and replays its path to the root in O(log R). ReplaceMin(Infinite)
+// retires the winner (the legacy sentinel); use Update to hand a live
+// player a genuine Infinite key.
 func (t *Tree) ReplaceMin(key uint64) {
 	if t.alive == 0 {
 		panic("ltree: ReplaceMin of empty tree")
 	}
 	w := t.losers[0]
 	if key == Infinite {
+		t.retired[w] = true
 		t.alive--
 	}
 	t.keys[w] = key
@@ -105,18 +186,83 @@ func (t *Tree) ReplaceMin(key uint64) {
 
 // DeleteMin retires the current winner (its run is exhausted).
 func (t *Tree) DeleteMin() {
-	t.ReplaceMin(Infinite)
+	if t.alive == 0 {
+		panic("ltree: DeleteMin of empty tree")
+	}
+	w := t.losers[0]
+	t.retired[w] = true
+	t.alive--
+	t.replay(w)
+}
+
+// Update gives a live player a new key, taken at face value (Infinite is a
+// legal key here). Updating the current winner is the per-span hot path
+// and costs one O(log R) replay; any other player costs an O(n) rebuild —
+// merge kernels only do that at block events.
+func (t *Tree) Update(player int, key uint64) {
+	t.check(player)
+	if t.retired[player] {
+		panic(fmt.Sprintf("ltree: Update of retired player %d", player))
+	}
+	t.keys[player] = key
+	if player == t.losers[0] {
+		t.replay(player)
+	} else {
+		t.rebuild()
+	}
+}
+
+// Push activates a retired player with the given key (taken at face
+// value), rebuilding the tournament in O(n). Merge kernels call it when a
+// stalled run's leading block arrives — once per block, never per record.
+func (t *Tree) Push(player int, key uint64) {
+	t.check(player)
+	if !t.retired[player] {
+		panic(fmt.Sprintf("ltree: Push of live player %d", player))
+	}
+	t.retired[player] = false
+	t.keys[player] = key
+	t.alive++
+	t.rebuild()
+}
+
+// Remove retires a live player. Retiring the current winner is the
+// O(log R) DeleteMin; any other player costs an O(n) rebuild.
+func (t *Tree) Remove(player int) {
+	t.check(player)
+	if t.retired[player] {
+		panic(fmt.Sprintf("ltree: Remove of retired player %d", player))
+	}
+	t.retired[player] = true
+	t.alive--
+	if player == t.losers[0] {
+		t.replay(player)
+	} else {
+		t.rebuild()
+	}
 }
 
 // Key returns the current key of a player (Infinite if retired).
 func (t *Tree) Key(player int) uint64 {
-	if player < 0 || player >= t.n {
-		panic(fmt.Sprintf("ltree: player %d of %d", player, t.n))
+	t.check(player)
+	if t.retired[player] {
+		return Infinite
 	}
 	return t.keys[player]
 }
 
-// replay re-runs the matches on player p's leaf-to-root path.
+// check panics on an out-of-range player index.
+func (t *Tree) check(player int) {
+	if player < 0 || player >= t.n {
+		panic(fmt.Sprintf("ltree: player %d of %d", player, t.n))
+	}
+}
+
+// replay re-runs the matches on player p's leaf-to-root path. It is
+// correct only when p was the winner of every match on that path (i.e. p
+// is the tournament winner): then the losers stored along the path are
+// exactly the sibling subtree winners, so replaying against them is a
+// valid tournament. Arbitrary-player changes go through rebuild instead.
 func (t *Tree) replay(p int) {
 	winner := p
 	for node := (t.n + p) / 2; node >= 1; node /= 2 {

@@ -1,0 +1,8 @@
+//go:build !aliascheck
+
+package pdisk
+
+// aliasCheck gates MemStore's zero-copy mutation guard. In normal builds
+// it is a false constant, so the checksum bookkeeping compiles away; build
+// with -tags=aliascheck to arm it (see aliascheck_on.go).
+const aliasCheck = false

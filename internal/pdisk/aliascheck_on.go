@@ -1,0 +1,11 @@
+//go:build aliascheck
+
+package pdisk
+
+// aliasCheck arms MemStore's zero-copy mutation guard: every WriteBlock
+// records a content checksum, and every ReadBlock/Free (and Close, for all
+// survivors) re-verifies it, panicking if a reader mutated a block it
+// received through the copy-free ReadBlock path. Debug instrumentation for
+// the Store ownership-handoff contract — run the suite with
+// `go test -tags=aliascheck ./...` to audit every merge path.
+const aliasCheck = true

@@ -1,0 +1,67 @@
+//go:build aliascheck
+
+package pdisk
+
+import (
+	"strings"
+	"testing"
+
+	"srmsort/internal/record"
+)
+
+// TestAliasCheckCatchesReaderMutation arms the guard, violates the
+// ownership contract on purpose — mutating a record of a block obtained
+// through the zero-copy ReadBlock path — and requires the next read of the
+// same address to panic.
+func TestAliasCheckCatchesReaderMutation(t *testing.T) {
+	m := NewMemStore()
+	addr := BlockAddr{Disk: 0, Index: 0}
+	blk := StoredBlock{
+		Records:  record.Block{{Key: 1, Val: 10}, {Key: 2, Val: 20}},
+		Forecast: []record.Key{7},
+	}
+	if err := m.WriteBlock(addr, blk.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadBlock(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Records[0].Key = 99 // the contract violation
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("second ReadBlock did not panic after a reader mutated the block")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "aliascheck") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	m.ReadBlock(addr)
+}
+
+// TestAliasCheckCleanPathsStayQuiet runs honest write/read/free/close
+// traffic under the armed guard: re-slicing a read block (what the merge
+// kernels do) must not trip it.
+func TestAliasCheckCleanPathsStayQuiet(t *testing.T) {
+	m := NewMemStore()
+	defer m.Close()
+	addr := BlockAddr{Disk: 1, Index: 3}
+	blk := StoredBlock{Records: record.Block{{Key: 5, Val: 1}, {Key: 6, Val: 2}}}
+	if err := m.WriteBlock(addr, blk.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := m.ReadBlock(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rest := got.Records[1:] // re-slicing is legal
+		_ = rest
+	}
+	if err := m.Free(addr); err != nil {
+		t.Fatal(err)
+	}
+}

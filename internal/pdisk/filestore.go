@@ -33,6 +33,12 @@ type FileStore struct {
 	dataSlot    int64 // bytes per block in the data file: B * record.Bytes
 	metaSlot    int64 // bytes per block in the meta file
 
+	// scratch pools the per-call encode/decode buffers, sized to hold
+	// either slot, so steady-state block I/O allocates no byte buffers.
+	// The pool stores *[]byte to avoid an allocation per Put (a plain
+	// []byte interface value would escape).
+	scratch sync.Pool
+
 	mu     sync.Mutex
 	disks  map[int]*diskFiles
 	closed bool
@@ -81,6 +87,11 @@ func NewFileStore(dir string, b, maxForecast int) (*FileStore, error) {
 		dataSlot:    int64(b) * record.Bytes,
 		metaSlot:    metaHeaderBytes + int64(maxForecast)*8,
 		disks:       make(map[int]*diskFiles),
+	}
+	slot := max(f.dataSlot, f.metaSlot)
+	f.scratch.New = func() any {
+		buf := make([]byte, slot)
+		return &buf
 	}
 	if err := f.recover(); err != nil {
 		f.Close()
@@ -206,7 +217,12 @@ func (f *FileStore) WriteBlock(addr BlockAddr, b StoredBlock) error {
 		return err
 	}
 
-	data := make([]byte, len(b.Records)*record.Bytes)
+	// Both transfers encode through one pooled scratch buffer (data first,
+	// then meta), so the steady-state write path allocates nothing.
+	bufp := f.scratch.Get().(*[]byte)
+	defer f.scratch.Put(bufp)
+
+	data := (*bufp)[:len(b.Records)*record.Bytes]
 	for i, r := range b.Records {
 		binary.LittleEndian.PutUint64(data[i*record.Bytes:], uint64(r.Key))
 		binary.LittleEndian.PutUint64(data[i*record.Bytes+8:], r.Val)
@@ -215,7 +231,8 @@ func (f *FileStore) WriteBlock(addr BlockAddr, b StoredBlock) error {
 		return err
 	}
 
-	meta := make([]byte, f.metaSlot)
+	meta := (*bufp)[:f.metaSlot]
+	clear(meta[metaHeaderBytes+len(b.Forecast)*8:]) // byte-exact files: zero the unused forecast tail
 	binary.LittleEndian.PutUint32(meta[0:], slotPresent)
 	binary.LittleEndian.PutUint32(meta[4:], uint32(len(b.Records)))
 	binary.LittleEndian.PutUint32(meta[8:], uint32(len(b.Forecast)))
@@ -252,7 +269,13 @@ func (f *FileStore) ReadBlock(addr BlockAddr) (StoredBlock, error) {
 		return StoredBlock{}, fmt.Errorf("no block at %v", addr)
 	}
 
-	meta := make([]byte, f.metaSlot)
+	// One pooled scratch buffer serves both transfers: the meta slot is
+	// fully decoded (header and forecast) before the buffer is reused for
+	// the data slot. Only the returned records/forecast are allocated.
+	bufp := f.scratch.Get().(*[]byte)
+	defer f.scratch.Put(bufp)
+
+	meta := (*bufp)[:f.metaSlot]
 	if _, err := df.meta.ReadAt(meta, int64(addr.Index)*f.metaSlot); err != nil {
 		return StoredBlock{}, err
 	}
@@ -264,8 +287,14 @@ func (f *FileStore) ReadBlock(addr BlockAddr) (StoredBlock, error) {
 	}
 
 	out := StoredBlock{}
+	if nFc > 0 {
+		out.Forecast = make([]record.Key, nFc)
+		for i := range out.Forecast {
+			out.Forecast[i] = record.Key(binary.LittleEndian.Uint64(meta[metaHeaderBytes+i*8:]))
+		}
+	}
 	if nRec > 0 {
-		data := make([]byte, int(nRec)*record.Bytes)
+		data := (*bufp)[:int(nRec)*record.Bytes]
 		if _, err := df.data.ReadAt(data, int64(addr.Index)*f.dataSlot); err != nil {
 			return StoredBlock{}, err
 		}
@@ -275,12 +304,6 @@ func (f *FileStore) ReadBlock(addr BlockAddr) (StoredBlock, error) {
 				Key: record.Key(binary.LittleEndian.Uint64(data[i*record.Bytes:])),
 				Val: binary.LittleEndian.Uint64(data[i*record.Bytes+8:]),
 			}
-		}
-	}
-	if nFc > 0 {
-		out.Forecast = make([]record.Key, nFc)
-		for i := range out.Forecast {
-			out.Forecast[i] = record.Key(binary.LittleEndian.Uint64(meta[metaHeaderBytes+i*8:]))
 		}
 	}
 	return out, nil

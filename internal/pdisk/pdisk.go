@@ -62,12 +62,13 @@ func (b StoredBlock) Clone() StoredBlock {
 // per-disk transfers run on their own goroutines — the disks really are
 // independent.
 type System struct {
-	mu    sync.Mutex
-	d, b  int
-	store Store
-	model *TimeModel
-	stats Stats
-	next  []int // per-disk bump allocator for fresh block indexes
+	mu     sync.Mutex
+	d, b   int
+	store  Store
+	serial bool // store declared its transfers cheap: run them inline, not fanned out
+	model  *TimeModel
+	stats  Stats
+	next   []int // per-disk bump allocator for fresh block indexes
 
 	// Async I/O layer (see async.go): per-disk worker goroutines fed by
 	// bounded queues, started lazily on the first ReadBlocksAsync /
@@ -116,11 +117,16 @@ func NewSystem(cfg Config) (*System, error) {
 			next[i] = fs.Frontier(i)
 		}
 	}
+	serial := false
+	if ss, ok := st.(SerialStore); ok {
+		serial = ss.SerialTransfers()
+	}
 	return &System{
-		d:     cfg.D,
-		b:     cfg.B,
-		store: st,
-		model: cfg.Model,
+		d:      cfg.D,
+		b:      cfg.B,
+		store:  st,
+		serial: serial,
+		model:  cfg.Model,
 		stats: Stats{
 			PerDiskReads:  make([]int64, cfg.D),
 			PerDiskWrites: make([]int64, cfg.D),
@@ -227,10 +233,24 @@ func (s *System) checkWrites(writes []BlockWrite) ([]BlockAddr, error) {
 	return addrs, nil
 }
 
-// fanout runs n per-disk transfers concurrently — one goroutine each, the
-// disks really are independent — and returns the first failure in request
-// order.
-func fanout(n int, transfer func(i int) error) error {
+// fanout runs one operation's n per-disk transfers and returns the first
+// failure in request order. Transfers normally run concurrently — one
+// goroutine each, the disks really are independent — but when the store
+// declared itself serial (SerialStore) or the operation touches a single
+// disk, they run inline: for a store whose transfers are memory operations
+// behind an internal lock, a goroutine per block costs far more than the
+// transfer itself. Every transfer runs either way, so the two modes are
+// observably identical apart from scheduling.
+func (s *System) fanout(n int, transfer func(i int) error) error {
+	if s.serial || n == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := transfer(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
@@ -259,7 +279,7 @@ func (s *System) ReadBlocks(addrs []BlockAddr) ([]StoredBlock, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]StoredBlock, len(addrs))
-	err := fanout(len(addrs), func(i int) error {
+	err := s.fanout(len(addrs), func(i int) error {
 		blk, err := s.store.ReadBlock(addrs[i])
 		if err != nil {
 			return fmt.Errorf("pdisk: read %v: %w", addrs[i], err)
@@ -283,7 +303,7 @@ func (s *System) WriteBlocks(writes []BlockWrite) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	err = fanout(len(writes), func(i int) error {
+	err = s.fanout(len(writes), func(i int) error {
 		if err := s.store.WriteBlock(writes[i].Addr, writes[i].Block.Clone()); err != nil {
 			return fmt.Errorf("pdisk: write %v: %w", writes[i].Addr, err)
 		}

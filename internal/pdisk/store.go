@@ -21,10 +21,19 @@ import (
 type Store interface {
 	// WriteBlock stores b at addr, overwriting any previous block. The
 	// block is owned by the store after the call (the System clones on
-	// behalf of its callers).
+	// behalf of its callers — writes always copy in).
 	WriteBlock(addr BlockAddr, b StoredBlock) error
-	// ReadBlock returns a copy of the block at addr; reading an absent
-	// block is an error.
+	// ReadBlock returns the block at addr; reading an absent block is an
+	// error.
+	//
+	// Ownership handoff: the returned block is the caller's to hold and
+	// re-slice for as long as it likes, but its records and forecast must
+	// be treated as immutable — the store may hand the same backing arrays
+	// to other readers (MemStore returns its resident block without a
+	// defensive copy; this is the merge kernel's zero-copy read path). No
+	// merge-side consumer mutates blocks — they only advance slice heads —
+	// and the `aliascheck` build tag arms a checksum guard in MemStore
+	// that panics if any reader ever does.
 	ReadBlock(addr BlockAddr) (StoredBlock, error)
 	// Free releases the block at addr; freeing an absent block is an
 	// error on every backend (double frees are scheduling bugs).
@@ -34,6 +43,18 @@ type Store interface {
 	// Close releases all resources held by the store. Close is
 	// idempotent.
 	Close() error
+}
+
+// SerialStore is optionally implemented by backends whose per-block
+// transfers are cheap memory operations serialized behind an internal lock
+// anyway (MemStore): SerialTransfers reporting true tells the System to
+// run one I/O operation's transfers inline rather than spawning a
+// goroutine per disk, which for such a store costs far more than the
+// transfers themselves. Backends with real per-block latency (FileStore)
+// simply don't implement it and keep the concurrent fan-out.
+type SerialStore interface {
+	Store
+	SerialTransfers() bool
 }
 
 // FrontierStore is optionally implemented by backends that can reopen
@@ -66,16 +87,25 @@ func storedBytes(b StoredBlock) int64 {
 // MemStore is the default Store: a per-disk map of blocks held in process
 // memory. It is the store the experiments run on (the paper's own
 // evaluation is likewise a simulation).
+//
+// Reads are zero-copy: ReadBlock returns the resident block itself under
+// the Store ownership-handoff contract (readers never mutate). Build with
+// -tags=aliascheck to arm a per-block checksum that catches violations.
 type MemStore struct {
 	mu     sync.RWMutex
 	disks  map[int]map[int]StoredBlock
+	sums   map[BlockAddr]uint64 // aliascheck only: content checksum at write
 	blocks int64
 	bytes  int64
 }
 
 // NewMemStore returns an empty in-memory block store.
 func NewMemStore() *MemStore {
-	return &MemStore{disks: make(map[int]map[int]StoredBlock)}
+	m := &MemStore{disks: make(map[int]map[int]StoredBlock)}
+	if aliasCheck {
+		m.sums = make(map[BlockAddr]uint64)
+	}
+	return m
 }
 
 // WriteBlock implements Store.
@@ -94,10 +124,14 @@ func (m *MemStore) WriteBlock(addr BlockAddr, b StoredBlock) error {
 	}
 	d[addr.Index] = b
 	m.bytes += storedBytes(b)
+	if aliasCheck {
+		m.sums[addr] = contentSum(b)
+	}
 	return nil
 }
 
-// ReadBlock implements Store.
+// ReadBlock implements Store. The returned block aliases the resident one
+// — see the Store interface's ownership-handoff contract.
 func (m *MemStore) ReadBlock(addr BlockAddr) (StoredBlock, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -105,7 +139,10 @@ func (m *MemStore) ReadBlock(addr BlockAddr) (StoredBlock, error) {
 	if !ok {
 		return StoredBlock{}, fmt.Errorf("no block at %v", addr)
 	}
-	return b.Clone(), nil
+	if aliasCheck {
+		m.verifySum(addr, b)
+	}
+	return b, nil
 }
 
 // Free implements Store.
@@ -120,10 +157,46 @@ func (m *MemStore) Free(addr BlockAddr) error {
 	if !ok {
 		return fmt.Errorf("free of absent block %v", addr)
 	}
+	if aliasCheck {
+		m.verifySum(addr, b)
+		delete(m.sums, addr)
+	}
 	delete(d, addr.Index)
 	m.blocks--
 	m.bytes -= storedBytes(b)
 	return nil
+}
+
+// verifySum panics if the resident block no longer matches the checksum
+// recorded when it was written — i.e. some reader mutated a block it
+// received through the zero-copy ReadBlock path. Compiled in only under
+// -tags=aliascheck.
+func (m *MemStore) verifySum(addr BlockAddr, b StoredBlock) {
+	if got, want := contentSum(b), m.sums[addr]; got != want {
+		panic(fmt.Sprintf(
+			"pdisk: aliascheck: block %v mutated after write (sum %#x, recorded %#x) — a reader violated the ReadBlock ownership contract",
+			addr, got, want))
+	}
+}
+
+// contentSum is an order-dependent hash of a block's records and forecast
+// keys (order-dependent so a reader that permutes records is caught too).
+func contentSum(b StoredBlock) uint64 {
+	const prime = 0x100000001b3
+	sum := uint64(0xcbf29ce484222325)
+	mix := func(v uint64) {
+		sum ^= v
+		sum *= prime
+	}
+	for _, r := range b.Records {
+		mix(uint64(r.Key))
+		mix(r.Val)
+	}
+	mix(0x9e3779b97f4a7c15) // separator: records vs forecast
+	for _, k := range b.Forecast {
+		mix(uint64(k))
+	}
+	return sum
 }
 
 // Usage implements Store.
@@ -133,14 +206,28 @@ func (m *MemStore) Usage() Usage {
 	return Usage{Blocks: m.blocks, Bytes: m.bytes}
 }
 
-// Close implements Store.
+// Close implements Store. Under -tags=aliascheck it gives every resident
+// block a final mutation audit before the store is discarded.
 func (m *MemStore) Close() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if aliasCheck {
+		for disk, d := range m.disks {
+			for idx, b := range d {
+				m.verifySum(BlockAddr{Disk: disk, Index: idx}, b)
+			}
+		}
+	}
 	m.disks = nil
+	m.sums = nil
 	m.blocks, m.bytes = 0, 0
 	return nil
 }
+
+// SerialTransfers implements SerialStore: every MemStore operation is a
+// map access behind m.mu, so fanning transfers out to goroutines only adds
+// scheduling cost.
+func (m *MemStore) SerialTransfers() bool { return true }
 
 // Blocks returns the number of blocks currently resident (for tests).
 func (m *MemStore) Blocks() int {

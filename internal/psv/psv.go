@@ -29,7 +29,7 @@ package psv
 import (
 	"fmt"
 
-	"srmsort/internal/iheap"
+	"srmsort/internal/ltree"
 	"srmsort/internal/pdisk"
 	"srmsort/internal/record"
 	"srmsort/internal/runio"
@@ -183,7 +183,7 @@ func Merge(sys *pdisk.System, runs []*DiskRun, bufBlocks, outID, outStartDisk in
 	}
 
 	w := runio.NewWriter(sys, outID, outStartDisk)
-	h := iheap.New(len(runs))
+	h := ltree.NewRetired(len(runs))
 	blockEnd := make([]int, len(runs)) // records until the current block ends
 	for i := range runs {
 		if len(bufs[i]) > 0 {
@@ -193,12 +193,25 @@ func Merge(sys *pdisk.System, runs []*DiskRun, bufBlocks, outID, outStartDisk in
 	}
 	for h.Len() > 0 {
 		i, _ := h.Min()
-		rec := bufs[i][0]
-		if err := w.Append(rec); err != nil {
+		// Galloped emission, bounded by the runner-up's key and by the
+		// current block's end — PSV's read decisions happen at block
+		// boundaries, so a span may not cross one. Within the span no
+		// buffer's head key can change, so bulk emission is equivalent to
+		// the per-record loop.
+		span := blockEnd[i]
+		if span > len(bufs[i]) {
+			span = len(bufs[i])
+		}
+		if ch, chKey, ok := h.Challenger(); ok {
+			if n := record.CountBelow(bufs[i][:span], record.Key(chKey), i < ch); n < span {
+				span = n
+			}
+		}
+		if err := w.AppendBlock(bufs[i][:span]); err != nil {
 			return nil, stats, err
 		}
-		bufs[i] = bufs[i][1:]
-		blockEnd[i]--
+		bufs[i] = bufs[i][span:]
+		blockEnd[i] -= span
 		if blockEnd[i] == 0 {
 			buffered[i]--
 			consumedBlocks := next[i] - buffered[i]

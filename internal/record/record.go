@@ -11,9 +11,10 @@
 package record
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 )
 
 // Key is the sort key of a record. The zero key is valid; MaxKey is reserved
@@ -68,7 +69,7 @@ func (b Block) LastKey() Key {
 // IsSorted reports whether the block's records are in nondecreasing key
 // order.
 func (b Block) IsSorted() bool {
-	return sort.SliceIsSorted(b, func(i, j int) bool { return b[i].Key < b[j].Key })
+	return slices.IsSortedFunc(b, compareKeys)
 }
 
 // Clone returns a deep copy of the block. Stores hand out clones so callers
@@ -79,20 +80,59 @@ func (b Block) Clone() Block {
 	return c
 }
 
+// compareKeys orders records by key alone — the merge order, under which
+// equal-keyed records compare equal.
+func compareKeys(a, b Record) int { return cmp.Compare(a.Key, b.Key) }
+
 // SortRecords sorts records in place by key, breaking key ties by Val so the
 // result is deterministic even for degenerate inputs with duplicate keys.
+// This is the run-formation hot loop: slices.SortFunc avoids the
+// reflection-based swapping of sort.Slice.
 func SortRecords(rs []Record) {
-	sort.Slice(rs, func(i, j int) bool {
-		if rs[i].Key != rs[j].Key {
-			return rs[i].Key < rs[j].Key
+	slices.SortFunc(rs, func(a, b Record) int {
+		if c := cmp.Compare(a.Key, b.Key); c != 0 {
+			return c
 		}
-		return rs[i].Val < rs[j].Val
+		return cmp.Compare(a.Val, b.Val)
 	})
 }
 
 // IsSortedRecords reports whether rs is in nondecreasing key order.
 func IsSortedRecords(rs []Record) bool {
-	return sort.SliceIsSorted(rs, func(i, j int) bool { return rs[i].Key < rs[j].Key })
+	return slices.IsSortedFunc(rs, compareKeys)
+}
+
+// CountBelow returns the number of leading records in sorted rs with
+// key < bound (or <= bound when inclusive). This is the gallop span bound
+// of the merge kernels: how many records the winning run may emit before
+// the selector must re-decide. It searches by exponential probing
+// (1, 2, 4, ...) followed by a binary search of the final gap, so the
+// common short spans of well-interleaved runs cost O(1) compares while
+// long spans of presorted inputs still cost only O(log span).
+func CountBelow(rs []Record, bound Key, inclusive bool) int {
+	below := func(k Key) bool { return k < bound || (inclusive && k == bound) }
+	n := len(rs)
+	if n == 0 || !below(rs[0].Key) {
+		return 0
+	}
+	lo, hi := 0, 1
+	for hi < n && below(rs[hi].Key) {
+		lo = hi
+		hi <<= 1
+	}
+	if hi > n {
+		hi = n
+	}
+	// Invariant: rs[lo] is below the bound; rs[hi] is not (or hi == n).
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if below(rs[mid].Key) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
 }
 
 // Checksum folds the multiset of records into an order-independent

@@ -60,6 +60,9 @@ func (l *Loader) Append(r record.Record) error {
 	if l.finished {
 		panic("runform: Append after Finish")
 	}
+	if len(l.cur) == 0 && cap(l.cur) < l.sys.B() {
+		l.cur = make(record.Block, 0, l.sys.B())
+	}
 	l.cur = append(l.cur, r)
 	l.file.Records++
 	if len(l.cur) == l.sys.B() {
@@ -90,7 +93,9 @@ func (l *Loader) flush() error {
 	if err := l.sys.WriteBlocks(l.writes); err != nil {
 		return err
 	}
-	l.writes = nil
+	// WriteBlocks copied the blocks into the store, so the stripe buffer
+	// (though not the record slices it pointed at) can be reused.
+	l.writes = l.writes[:0]
 	return nil
 }
 

@@ -105,6 +105,7 @@ type Writer struct {
 	pending   []record.Block // formed, not yet written blocks
 	pendBase  int            // run-block number of pending[0]
 	firstKeys []record.Key   // first key of every formed block (indexed by block number)
+	fcArena   []record.Key   // carved into the 1-key forecasts of blocks past the first
 	finished  bool
 	writeOps  int64
 
@@ -152,6 +153,9 @@ func (w *Writer) Append(r record.Record) error {
 	w.lastKey = r.Key
 	if len(w.cur) == 0 {
 		w.firstKeys = append(w.firstKeys, r.Key)
+		if cap(w.cur) < w.sys.B() {
+			w.cur = make(record.Block, 0, w.sys.B())
+		}
 	}
 	w.cur = append(w.cur, r)
 	w.run.Records++
@@ -161,6 +165,56 @@ func (w *Writer) Append(r record.Record) error {
 		return w.drain(false)
 	}
 	return nil
+}
+
+// AppendBlock bulk-appends a sorted span of records — the output of one
+// galloped merge emission. The span is copied into the block being formed
+// (and its overflow into fresh blocks) in one pass per block instead of one
+// Append round-trip per record. The nondecreasing-order panic of Append
+// survives as a span-boundary check: the span's first key is checked
+// against the previous record, and the caller (the merge kernel) guarantees
+// internal order because spans are slices of sorted blocks.
+func (w *Writer) AppendBlock(rs []record.Record) error {
+	if w.finished {
+		panic("runio: AppendBlock after Finish")
+	}
+	if len(rs) == 0 {
+		return nil
+	}
+	if w.started && rs[0].Key < w.lastKey {
+		panic(fmt.Sprintf("runio: run %d records out of order (%d after %d)",
+			w.run.ID, rs[0].Key, w.lastKey))
+	}
+	w.started = true
+	w.lastKey = rs[len(rs)-1].Key
+	b := w.sys.B()
+	cut := false
+	for len(rs) > 0 {
+		if len(w.cur) == 0 {
+			w.firstKeys = append(w.firstKeys, rs[0].Key)
+			if cap(w.cur) < b {
+				w.cur = make(record.Block, 0, b)
+			}
+		}
+		n := b - len(w.cur)
+		if n > len(rs) {
+			n = len(rs)
+		}
+		w.cur = append(w.cur, rs[:n]...)
+		w.run.Records += n
+		rs = rs[n:]
+		if len(w.cur) == b {
+			w.pending = append(w.pending, w.cur)
+			w.cur = nil
+			cut = true
+		}
+	}
+	if !cut {
+		return nil
+	}
+	// One drain after all cuts emits the same stripes in the same order as
+	// a drain per cut: drain is driven purely by pending/firstKeys state.
+	return w.drain(false)
 }
 
 // Finish flushes all buffered blocks (padding forecasts with MaxKey where no
@@ -211,7 +265,17 @@ func (w *Writer) forecastFor(i int) []record.Key {
 		}
 		return fc
 	}
-	return []record.Key{key(i + d)}
+	// Every block past the first forecasts exactly one key. Carve those
+	// out of an arena chunk instead of allocating one-element slices: each
+	// forecast is a capacity-1 sub-slice written once here and then handed
+	// off (WriteBlocks copies it into the store), so slices never alias.
+	if len(w.fcArena) == 0 {
+		w.fcArena = make([]record.Key, 512)
+	}
+	fc := w.fcArena[0:1:1]
+	w.fcArena = w.fcArena[1:]
+	fc[0] = key(i + d)
+	return fc
 }
 
 // drain writes out every pending block whose forecast is determined, in
@@ -285,8 +349,13 @@ func (w *Writer) WriteOps() int64 { return w.writeOps }
 // records materialised.
 func WriteRun(sys *pdisk.System, id, startDisk int, records []record.Record) (*Run, error) {
 	w := NewWriter(sys, id, startDisk)
-	for _, r := range records {
-		if err := w.Append(r); err != nil {
+	// Feed the run one stripe's worth (D*B records) per AppendBlock: the
+	// bulk path's per-block copy without ever buffering more than the
+	// writer's 2D-block M_W budget.
+	step := sys.D() * sys.B()
+	for off := 0; off < len(records); off += step {
+		end := min(off+step, len(records))
+		if err := w.AppendBlock(records[off:end]); err != nil {
 			return nil, err
 		}
 	}
@@ -311,8 +380,10 @@ func ReadAll(sys *pdisk.System, run *Run) ([]record.Record, error) {
 // invoking fn on every record in order, without materialising the run —
 // the out-of-core counterpart of ReadAll.
 func Stream(sys *pdisk.System, run *Run, fn func(record.Record) error) error {
+	addr := make([]pdisk.BlockAddr, 1)
 	for i := 0; i < run.NumBlocks(); i++ {
-		blks, err := sys.ReadBlocks([]pdisk.BlockAddr{run.Addr(i)})
+		addr[0] = run.Addr(i)
+		blks, err := sys.ReadBlocks(addr)
 		if err != nil {
 			return err
 		}

@@ -94,8 +94,8 @@ func MergeAsync(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk int
 		}
 		if progress == 0 && m.exhausted < len(m.runs) {
 			panic(fmt.Sprintf(
-				"srm: async schedule deadlock (Lemma 1 violated): |F|=%d R=%d D=%d stalled-heap=%d fds=%d",
-				m.mem.Occupied(), m.r, m.d, m.heap.Len(), m.fds.Len()))
+				"srm: async schedule deadlock (Lemma 1 violated): |F|=%d R=%d D=%d active=%d fds=%d",
+				m.mem.Occupied(), m.r, m.d, m.active.Len(), m.fds.Len()))
 		}
 	}
 	return m.finish()
@@ -172,7 +172,7 @@ func (m *merger) seedFromLeadingBlocks(handles []int, blocks []pdisk.StoredBlock
 		m.lead[h] = blk.Records
 		m.leadIdx[h] = 0
 		m.mem.LeadingAcquired()
-		m.heap.Push(h, uint64(blk.Records[0].Key))
+		m.active.Push(h, uint64(blk.Records[0].Key))
 		m.emit(trace.EventPromote, 0, m.ref(h, 0, blk.Records.FirstKey()))
 	}
 }
@@ -213,40 +213,44 @@ func (m *asyncMerger) pumpIOOverlapped() (int, error) {
 // the Exchange is deferred until after the landing, keeping |F_t| and the
 // stall set exactly as the sync schedule sees them), or when a stalled
 // run's awaited key does not strictly exceed the active minimum, or when
-// M_L is empty.
+// M_L is empty. Like the sync consumer it gallops: each winner emits its
+// whole admissible span in one AppendBlock call.
 //
 // The stall guard here is deliberately stricter than the sync consumer's
-// (<= instead of <): the in-flight read may be about to promote a stalled
-// run, and with duplicate keys the sync path's heap tie-break could order
-// that run's equal-keyed record first. Stopping on equality defers the
-// decision to post-landing code, where both paths see the same heap.
+// (<= instead of <, and the gallop's stall bound is correspondingly
+// exclusive): the in-flight read may be about to promote a stalled run,
+// and with duplicate keys the sync path's tie-break could order that run's
+// equal-keyed record first. Stopping on equality defers the decision to
+// post-landing code, where both paths see the same selector state.
 // Stopping early never breaks equivalence — the deferred records are
 // consumed by consumeUntilBlockEvent at exactly the state the sync
 // consumer sees.
 func (m *asyncMerger) consumeOverlapped() (int, error) {
 	consumed := 0
-	for m.heap.Len() > 0 {
-		h, hKey := m.heap.Min()
-		if m.stallHeap.Len() > 0 {
-			if _, sKey := m.stallHeap.Min(); sKey <= hKey {
+	for m.active.Len() > 0 {
+		h, hKey := m.active.Min()
+		haveStall := m.stallHeap.Len() > 0
+		var sKey uint64
+		if haveStall {
+			if _, sKey = m.stallHeap.Min(); sKey <= hKey {
 				return consumed, nil
 			}
 		}
-		rec := m.lead[h][0]
-		if err := m.out.Append(rec); err != nil {
+		span := m.gallopSpan(h, haveStall, sKey, false)
+		if err := m.out.AppendBlock(m.lead[h][:span]); err != nil {
 			return consumed, err
 		}
-		consumed++
-		m.lead[h] = m.lead[h][1:]
+		consumed += span
+		m.lead[h] = m.lead[h][span:]
 		if len(m.lead[h]) > 0 {
-			m.heap.Update(h, uint64(m.lead[h][0].Key))
+			m.active.Update(h, uint64(m.lead[h][0].Key))
 			continue
 		}
 		// Depletion: release the M_L slot and note the block event, but do
 		// not process the Exchange — scheduler-visible state must not
 		// change while the read is in flight.
 		m.mem.LeadingReleased()
-		m.heap.Remove(h)
+		m.active.Remove(h)
 		m.pendingRun = h
 		return consumed, nil
 	}

@@ -27,6 +27,7 @@ import (
 
 	"srmsort/internal/forecast"
 	"srmsort/internal/iheap"
+	"srmsort/internal/ltree"
 	"srmsort/internal/membuf"
 	"srmsort/internal/pdisk"
 	"srmsort/internal/record"
@@ -72,7 +73,7 @@ type merger struct {
 	leadIdx   []int          // block index of the current leading block
 	need      []int          // block index awaited while stalled
 	stalled   []bool
-	heap      *iheap.Heap // active runs keyed by their current record's key
+	active    *ltree.Tree // loser tree over active runs, keyed by their current record's key
 	stallHeap *iheap.Heap // stalled runs keyed by their awaited block's first key
 	exhausted int
 
@@ -135,8 +136,8 @@ func MergeTraced(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk in
 		}
 		if reads == 0 && consumed == 0 && m.exhausted < len(m.runs) {
 			panic(fmt.Sprintf(
-				"srm: schedule deadlock (Lemma 1 violated): |F|=%d R=%d D=%d stalled-heap=%d fds=%d",
-				m.mem.Occupied(), m.r, m.d, m.heap.Len(), m.fds.Len()))
+				"srm: schedule deadlock (Lemma 1 violated): |F|=%d R=%d D=%d active=%d fds=%d",
+				m.mem.Occupied(), m.r, m.d, m.active.Len(), m.fds.Len()))
 		}
 	}
 	return m.finish()
@@ -168,7 +169,7 @@ func newMerger(sys *pdisk.System, runs []*runio.Run, r int, out *runio.Writer, s
 		leadIdx:   make([]int, len(runs)),
 		need:      make([]int, len(runs)),
 		stalled:   make([]bool, len(runs)),
-		heap:      iheap.New(len(runs)),
+		active:    ltree.NewRetired(len(runs)),
 		stallHeap: iheap.New(len(runs)),
 		flushed:   make(map[[2]int]bool),
 		sink:      sink,
@@ -368,7 +369,7 @@ func (m *merger) landParRead(blocks []pdisk.StoredBlock, addrs []pdisk.BlockAddr
 			m.stalled[e.Run] = false
 			m.stallHeap.Remove(e.Run)
 			m.mem.LeadingAcquired()
-			m.heap.Push(e.Run, uint64(blk.Records[0].Key))
+			m.active.Push(e.Run, uint64(blk.Records[0].Key))
 			if m.sink != nil {
 				promoted = append(promoted, m.ref(e.Run, e.BlockIdx, blk.Records.FirstKey()))
 			}
@@ -395,41 +396,79 @@ func (m *merger) landParRead(blocks []pdisk.StoredBlock, addrs []pdisk.BlockAddr
 // stalled run — internal merge processing then "has to wait" (Section 5)
 // for a ParRead to deliver that run's leading block. It returns the number
 // of records written.
+//
+// Emission gallops: when run h wins, the span of its leading block that h
+// would emit one record at a time — bounded by the runner-up's key and the
+// stall-heap minimum, both constant while h keeps winning — is located by
+// binary search and written with one AppendBlock call and one loser-tree
+// update, instead of a tree round-trip per record.
 func (m *merger) consumeUntilBlockEvent() (int, error) {
 	consumed := 0
-	for m.heap.Len() > 0 {
-		h, hKey := m.heap.Min()
-		if m.stallHeap.Len() > 0 {
-			if _, sKey := m.stallHeap.Min(); sKey < hKey {
+	for m.active.Len() > 0 {
+		h, hKey := m.active.Min()
+		haveStall := m.stallHeap.Len() > 0
+		var sKey uint64
+		if haveStall {
+			if _, sKey = m.stallHeap.Min(); sKey < hKey {
 				// The globally next record is on disk in a stalled run's
 				// awaited block; the merge must wait for I/O.
 				return consumed, nil
 			}
 		}
-		rec := m.lead[h][0]
-		if err := m.out.Append(rec); err != nil {
+		// The sync stall guard admits h while hKey <= sKey, so the stall
+		// bound is inclusive.
+		span := m.gallopSpan(h, haveStall, sKey, true)
+		if err := m.out.AppendBlock(m.lead[h][:span]); err != nil {
 			return consumed, err
 		}
-		consumed++
-		m.lead[h] = m.lead[h][1:]
+		consumed += span
+		lastKey := m.lead[h][span-1].Key
+		m.lead[h] = m.lead[h][span:]
 		if len(m.lead[h]) > 0 {
-			m.heap.Update(h, uint64(m.lead[h][0].Key))
+			m.active.Update(h, uint64(m.lead[h][0].Key))
 			continue
 		}
 		// Block event: the leading block of run h is depleted.
 		m.mem.LeadingReleased()
-		m.heap.Remove(h)
-		m.emit(trace.EventDeplete, 0, m.ref(h, m.leadIdx[h], rec.Key))
+		m.active.Remove(h)
+		m.emit(trace.EventDeplete, 0, m.ref(h, m.leadIdx[h], lastKey))
 		m.blockEvent(h)
 		return consumed, nil
 	}
 	return consumed, nil
 }
 
+// gallopSpan returns how many leading records of run h (the current
+// winner) may be emitted before the selector must re-decide: records that
+// beat the runner-up under the (key, run index) tie-break, and — when a
+// run is stalled — records admitted by the stall guard (inclusive for the
+// sync consumer's `sKey < hKey` wait, exclusive for the async consumer's
+// stricter `sKey <= hKey`). The guards the per-record loop would evaluate
+// are constant across the span, so bulk emission is exactly equivalent;
+// both bounds admit the current first record, so the span is ≥ 1 and the
+// merge always progresses.
+func (m *merger) gallopSpan(h int, haveStall bool, sKey uint64, stallInclusive bool) int {
+	b := m.lead[h]
+	span := len(b)
+	if ch, chKey, ok := m.active.Challenger(); ok {
+		// h keeps winning while its key is below the runner-up's, or equal
+		// with the lower run index.
+		if n := record.CountBelow(b, record.Key(chKey), h < ch); n < span {
+			span = n
+		}
+	}
+	if haveStall {
+		if n := record.CountBelow(b, record.Key(sKey), stallInclusive); n < span {
+			span = n
+		}
+	}
+	return span
+}
+
 // blockEvent resolves the depletion of run h's leading block: the run is
 // exhausted, its successor is promoted from M_R (Exchange 1 of Section
 // 5.1), or the run stalls awaiting a ParRead. The caller has already
-// released the M_L slot and removed h from the active heap.
+// released the M_L slot and retired h in the active loser tree.
 func (m *merger) blockEvent(h int) {
 	next := m.leadIdx[h] + 1
 	switch {
@@ -441,7 +480,7 @@ func (m *merger) blockEvent(h int) {
 		m.lead[h] = b.Records
 		m.leadIdx[h] = next
 		m.mem.LeadingAcquired()
-		m.heap.Push(h, uint64(b.Records[0].Key))
+		m.active.Push(h, uint64(b.Records[0].Key))
 		m.emit(trace.EventPromote, 0, m.ref(h, next, b.FirstKey()))
 	default:
 		// The successor is still on disk: the run stalls until a
