@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-all bench-smoke aliascheck check fmt-check tables tables-full verify
+.PHONY: all build test race bench bench-all bench-smoke aliascheck chaos check fmt-check tables tables-full verify
 
 all: build test
 
@@ -29,6 +29,13 @@ check: fmt-check build
 # it does not own panics.
 aliascheck:
 	go test -tags=aliascheck ./...
+
+# The fault-tolerance matrix: seeded faults and mid-write kills across
+# every algorithm x backend x D, each cell resumed to completion and
+# byte-compared against its fault-free run. Raced, and under a hard
+# deadline so a hung resume loop fails fast instead of wedging CI.
+chaos:
+	go test -race -count=1 -timeout 10m ./internal/chaos/
 
 # Fail (listing the offenders) if any file is not gofmt-clean.
 fmt-check:

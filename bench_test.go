@@ -228,6 +228,44 @@ func BenchmarkSortEndToEnd(b *testing.B) {
 	}
 }
 
+// BenchmarkSortFaultTolerance quantifies what the fault-tolerance
+// machinery costs a fault-free sort: the plain configuration against the
+// same sort with retries armed, and with retries plus per-pass
+// checkpointing. The mem backend isolates the wrapper overhead (the
+// FileStore checksum cost is part of the backend=file rows of
+// BenchmarkSortEndToEnd); EXPERIMENTS.md tracks the ratio, which must
+// stay within noise of 1.0 — robustness that taxes the fault-free path
+// would be mispriced.
+func BenchmarkSortFaultTolerance(b *testing.B) {
+	const n = 200_000
+	in := benchRecords(n, 42)
+	retry := DefaultRetryPolicy()
+	variants := []struct {
+		name string
+		cfg  Config
+	}{
+		{"plain", Config{D: 4, B: 64, K: 4, Seed: 11}},
+		{"retry", Config{D: 4, B: 64, K: 4, Seed: 11, Retry: &retry}},
+		{"retry+checkpoint", Config{D: 4, B: 64, K: 4, Seed: 11, Retry: &retry, Checkpoint: true}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, _, err := Sort(in, v.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(out) != n {
+					b.Fatalf("sorted %d of %d records", len(out), n)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(n)*float64(b.N)), "ns/rec")
+		})
+	}
+}
+
 // BenchmarkSingleMergeSim measures the block-level simulator's throughput
 // on a paper-scale merge (R = kD runs of 200 blocks).
 func BenchmarkSingleMergeSim(b *testing.B) {

@@ -1,0 +1,398 @@
+// Checkpoint/resume: the recovery half of the fault-tolerance story.
+//
+// A checkpointed sort persists a small JSON manifest through the store's
+// ManifestStore capability at every point where the sort's state is
+// compactly describable: after run formation, and after each completed
+// merge pass. The manifest names the surviving runs (block-index tables
+// included), the pass and sequence counters, and how many placement draws
+// the seeded RNG has consumed — everything needed to re-enter the merge
+// loop exactly where the interrupted sort left it, producing output
+// byte-identical to an uninterrupted run.
+//
+// Crash-consistency ordering: a pass's input runs are freed only *after*
+// the manifest naming its outputs is durably saved (pdisk.SortOpts
+// AfterPass hook + FileStore's atomic rename). A crash at any instant
+// therefore leaves at least one manifest generation whose runs are fully
+// intact on the store; anything else resident is an orphan — a partially
+// written output run, a torn block, an input awaiting a free — and is
+// reclaimed at resume after the chosen generation verifies.
+package srmsort
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"srmsort/internal/dsm"
+	"srmsort/internal/pdisk"
+	"srmsort/internal/record"
+	"srmsort/internal/runio"
+	"srmsort/internal/srm"
+)
+
+// manifestVersion guards the manifest's JSON schema.
+const manifestVersion = 1
+
+// runGen is one checkpoint generation: the merge-phase state at the end
+// of a completed pass (pass 0 = run formation).
+type runGen struct {
+	// Pass is the number of completed merge passes.
+	Pass int
+	// Seq is the next run sequence number.
+	Seq int
+	// Draws is the number of placement draws consumed so far; a resumed
+	// sort replays this many draws from the seeded RNG before continuing.
+	Draws int64
+	// Runs are the surviving runs (SRM algorithms) …
+	Runs []runio.RunState `json:",omitempty"`
+	// … or DSMRuns for the striped baseline.
+	DSMRuns []dsm.RunState `json:",omitempty"`
+}
+
+// manifest is the persisted checkpoint state of one sort.
+type manifest struct {
+	Version    int
+	Algorithm  string
+	D, B, M, R int
+	Seed       int64
+	Formation  int
+	// Records is the input size, a cheap guard against resuming with the
+	// wrong input.
+	Records int
+	// InitialRuns preserves the formation count for resumed Stats.
+	InitialRuns int
+	// InputFrontier is the per-disk block frontier right after the input
+	// file was loaded: blocks below it belong to the (never freed) input
+	// and are exempt from orphan reclamation.
+	InputFrontier []int
+	// Cur is the newest generation; Prev the one before it, kept as a
+	// repair fallback for the narrow window where Cur's save completed
+	// but a block of its runs is unreadable and Prev's inputs have not
+	// been freed yet.
+	Cur  runGen
+	Prev *runGen `json:",omitempty"`
+}
+
+// check validates that a manifest belongs to the configuration trying to
+// resume from it.
+func (man *manifest) check(cfg Config, m, r, nrec int) error {
+	switch {
+	case man.Version != manifestVersion:
+		return fmt.Errorf("srmsort: manifest version %d, want %d", man.Version, manifestVersion)
+	case man.Algorithm != cfg.Algorithm.String():
+		return fmt.Errorf("srmsort: manifest from algorithm %s, config says %s", man.Algorithm, cfg.Algorithm)
+	case man.D != cfg.D || man.B != cfg.B || man.M != m || man.R != r:
+		return fmt.Errorf("srmsort: manifest geometry D=%d B=%d M=%d R=%d, config yields D=%d B=%d M=%d R=%d",
+			man.D, man.B, man.M, man.R, cfg.D, cfg.B, m, r)
+	case man.Seed != cfg.Seed:
+		return fmt.Errorf("srmsort: manifest seed %d, config seed %d", man.Seed, cfg.Seed)
+	case man.Formation != int(cfg.RunFormation):
+		return fmt.Errorf("srmsort: manifest run formation %d, config %d", man.Formation, int(cfg.RunFormation))
+	case nrec > 0 && man.Records != nrec:
+		return fmt.Errorf("srmsort: manifest input of %d records, caller supplied %d", man.Records, nrec)
+	}
+	return nil
+}
+
+// checkpointer persists manifest generations through a ManifestStore.
+type checkpointer struct {
+	ms  pdisk.ManifestStore
+	man manifest
+}
+
+// save persists gen as the current generation, demoting the previous one
+// to the repair fallback. The store is flushed (FileStore fsyncs) before
+// the manifest replaces its predecessor, so a manifest never names runs
+// the media does not hold yet.
+func (c *checkpointer) save(gen runGen) error {
+	if len(c.man.Cur.Runs) > 0 || len(c.man.Cur.DSMRuns) > 0 {
+		prev := c.man.Cur
+		c.man.Prev = &prev
+	}
+	c.man.Cur = gen
+	data, err := json.Marshal(&c.man)
+	if err != nil {
+		return err
+	}
+	if s, ok := c.ms.(interface{ Sync() error }); ok {
+		if err := s.Sync(); err != nil {
+			return err
+		}
+	}
+	return c.ms.SaveManifest(data)
+}
+
+// loadManifest fetches and decodes the store's manifest, if any.
+func loadManifest(store pdisk.Store) (*manifest, error) {
+	ms, ok := store.(pdisk.ManifestStore)
+	if !ok {
+		return nil, nil
+	}
+	data, present, err := ms.LoadManifest()
+	if err != nil || !present {
+		return nil, err
+	}
+	man := new(manifest)
+	if err := json.Unmarshal(data, man); err != nil {
+		return nil, fmt.Errorf("srmsort: corrupt checkpoint manifest: %w", err)
+	}
+	return man, nil
+}
+
+// genAddrs returns every block address a generation's runs occupy.
+func genAddrs(gen runGen) []pdisk.BlockAddr {
+	var out []pdisk.BlockAddr
+	for _, st := range gen.Runs {
+		run := runio.RunFromState(st)
+		for i := 0; i < run.NumBlocks(); i++ {
+			out = append(out, run.Addr(i))
+		}
+	}
+	for _, st := range gen.DSMRuns {
+		out = append(out, dsm.RunFromState(st).Addrs()...)
+	}
+	return out
+}
+
+// verifyGen reads back every block of the generation's runs through the
+// store stack — on a FileStore that validates each block's checksum, and
+// under a RetryStore transient faults are absorbed. An error means the
+// generation cannot feed a resumed merge.
+func verifyGen(store pdisk.Store, gen runGen) error {
+	for _, addr := range genAddrs(gen) {
+		if _, err := store.ReadBlock(addr); err != nil {
+			return fmt.Errorf("srmsort: checkpointed run block unreadable: %w", err)
+		}
+	}
+	return nil
+}
+
+// chooseGen picks the generation a resume continues from: the newest one
+// whose runs all verify. Falling back to Prev is the manifest-directed
+// repair path — it can succeed only in the window where Cur was saved but
+// the previous pass's runs (Prev) were not yet freed.
+func chooseGen(store pdisk.Store, man *manifest) (runGen, error) {
+	errCur := verifyGen(store, man.Cur)
+	if errCur == nil {
+		return man.Cur, nil
+	}
+	if man.Prev != nil {
+		if errPrev := verifyGen(store, *man.Prev); errPrev == nil {
+			return *man.Prev, nil
+		}
+	}
+	return runGen{}, fmt.Errorf("srmsort: no intact checkpoint generation to resume from: %w", errCur)
+}
+
+// reclaimOrphans frees every resident block that neither the chosen
+// generation's runs nor the input file own: partially written output
+// runs, torn blocks, stale inputs a crash interrupted mid-free. Stores
+// without block enumeration skip reclamation (they only leak space,
+// never correctness).
+func reclaimOrphans(store pdisk.Store, man *manifest, gen runGen) error {
+	bl, ok := store.(pdisk.BlockLister)
+	if !ok {
+		return nil
+	}
+	keep := make(map[pdisk.BlockAddr]bool)
+	for _, addr := range genAddrs(gen) {
+		keep[addr] = true
+	}
+	for _, addr := range bl.Blocks() {
+		if keep[addr] {
+			continue
+		}
+		if addr.Disk < len(man.InputFrontier) && addr.Index < man.InputFrontier[addr.Disk] {
+			continue // input-file territory
+		}
+		if err := store.Free(addr); err != nil && !errors.Is(err, pdisk.ErrAbsent) {
+			return fmt.Errorf("srmsort: reclaiming orphan block %v: %w", addr, err)
+		}
+	}
+	return nil
+}
+
+// wipeStore clears every resident block and the manifest — the reset
+// before a sort restarts from scratch over a store an earlier attempt
+// dirtied without ever reaching its first checkpoint.
+func wipeStore(store pdisk.Store) error {
+	if bl, ok := store.(pdisk.BlockLister); ok {
+		for _, addr := range bl.Blocks() {
+			if err := store.Free(addr); err != nil && !errors.Is(err, pdisk.ErrAbsent) {
+				return err
+			}
+		}
+	}
+	if ms, ok := store.(pdisk.ManifestStore); ok {
+		return ms.ClearManifest()
+	}
+	return nil
+}
+
+// storeFrontiers snapshots the per-disk allocation frontier — called
+// right after the input file is loaded, so the manifest can exempt input
+// blocks from orphan reclamation.
+func storeFrontiers(store pdisk.Store, d int) ([]int, error) {
+	fs, ok := store.(pdisk.FrontierStore)
+	if !ok {
+		return make([]int, d), nil
+	}
+	out := make([]int, d)
+	for i := 0; i < d; i++ {
+		n, err := fs.Frontier(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// replayedPlacement rebuilds the run-placement source exactly as the
+// interrupted sort left it: the deterministic variant is stateless, and
+// the randomized one replays the recorded number of draws from the seed.
+func replayedPlacement(cfg Config, draws int64) runio.Placement {
+	if cfg.Algorithm == SRMDeterministic {
+		return runio.StaggeredPlacement{D: cfg.D}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := int64(0); i < draws; i++ {
+		rng.Intn(cfg.D)
+	}
+	return &runio.RandomPlacement{D: cfg.D, Rng: rng}
+}
+
+// runStates exports a run slice for the manifest.
+func runStates(runs []*runio.Run) []runio.RunState {
+	out := make([]runio.RunState, len(runs))
+	for i, r := range runs {
+		out[i] = r.State()
+	}
+	return out
+}
+
+// dsmRunStates is runStates for the striped baseline.
+func dsmRunStates(runs []*dsm.Run) []dsm.RunState {
+	out := make([]dsm.RunState, len(runs))
+	for i, r := range runs {
+		out[i] = r.State()
+	}
+	return out
+}
+
+// resumeMerge re-enters the merge loop from a verified manifest
+// generation and returns the final-run iterator, exactly like
+// runAlgorithm does for a fresh sort. Completed passes are not redone:
+// stats counts only the work performed now.
+func resumeMerge(sys *pdisk.System, store pdisk.Store, man *manifest, cfg Config, r int, stats *Stats) (func(func(record.Record) error) error, error) {
+	gen, err := chooseGen(store, man)
+	if err != nil {
+		return nil, err
+	}
+	if err := reclaimOrphans(store, man, gen); err != nil {
+		return nil, err
+	}
+	stats.InitialRuns = man.InitialRuns
+	sys.ResetStats() // verification reads are recovery, not sorting cost
+
+	cp := &checkpointer{man: *man}
+	cp.man.Cur = gen
+	cp.man.Prev = nil
+	if ms, ok := store.(pdisk.ManifestStore); ok {
+		cp.ms = ms
+	} else {
+		return nil, fmt.Errorf("srmsort: store cannot persist a checkpoint manifest")
+	}
+
+	if cfg.Algorithm == DSM {
+		runs := make([]*dsm.Run, len(gen.DSMRuns))
+		for i, st := range gen.DSMRuns {
+			runs[i] = dsm.RunFromState(st)
+		}
+		if len(runs) == 0 {
+			return nil, fmt.Errorf("srmsort: manifest holds no runs")
+		}
+		var final *dsm.Run
+		if len(runs) == 1 {
+			final = runs[0]
+		} else {
+			opts := dsm.MergeAllOpts{Async: cfg.Async, AfterPass: func(pass int, survivors []*dsm.Run, seq int) error {
+				return cp.save(runGen{Pass: gen.Pass + pass, Seq: seq, DSMRuns: dsmRunStates(survivors)})
+			}}
+			var ms dsm.SortStats
+			final, ms, _, err = dsm.MergeAll(sys, runs, r, gen.Seq, opts)
+			if err != nil {
+				return nil, err
+			}
+			stats.MergePasses = ms.MergePasses
+			stats.MergeReads = ms.MergeReadOps
+			stats.MergeWrites = ms.MergeWriteOps
+		}
+		if cfg.Async {
+			return func(fn func(record.Record) error) error { return dsm.StreamAsync(sys, final, fn) }, nil
+		}
+		return func(fn func(record.Record) error) error { return dsm.Stream(sys, final, fn) }, nil
+	}
+
+	// SRM family.
+	runs := make([]*runio.Run, len(gen.Runs))
+	for i, st := range gen.Runs {
+		runs[i] = runio.RunFromState(st)
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("srmsort: manifest holds no runs")
+	}
+	var final *runio.Run
+	if len(runs) == 1 {
+		final = runs[0]
+	} else {
+		counting := &runio.CountingPlacement{Inner: replayedPlacement(cfg, gen.Draws)}
+		opts := srm.SortOpts{
+			Async:   cfg.Async,
+			Workers: cfg.Workers,
+			AfterPass: func(pass int, survivors []*runio.Run, seq int) error {
+				return cp.save(runGen{
+					Pass:  gen.Pass + pass,
+					Seq:   seq,
+					Draws: gen.Draws + counting.Draws(),
+					Runs:  runStates(survivors),
+				})
+			},
+		}
+		var ss srm.SortStats
+		final, ss, _, err = srm.SortRunsOpts(sys, runs, r, counting, gen.Seq, opts)
+		if err != nil {
+			return nil, err
+		}
+		stats.MergePasses = ss.MergePasses
+		stats.MergeReads = ss.ReadOps
+		stats.MergeWrites = ss.WriteOps
+		stats.Flushes = ss.Flushes
+		stats.BlocksFlushed = ss.BlocksFlushed
+		stats.BlocksReread = ss.BlocksReread
+	}
+	if cfg.Async {
+		return func(fn func(record.Record) error) error { return runio.StreamAsync(sys, final, fn) }, nil
+	}
+	return func(fn func(record.Record) error) error { return runio.Stream(sys, final, fn) }, nil
+}
+
+// Scrub opens the FileStore under cfg.Dir and audits every resident
+// block's checksum without running a sort — the offline integrity check
+// behind `srmsort -scrub`. The report lists corrupt blocks; a following
+// Resume reclaims any that no checkpoint generation needs.
+func Scrub(cfg Config) (pdisk.ScrubReport, error) {
+	if cfg.backend() != FileBackend {
+		return pdisk.ScrubReport{}, fmt.Errorf("srmsort: scrub requires the file backend")
+	}
+	if cfg.Dir == "" {
+		return pdisk.ScrubReport{}, fmt.Errorf("srmsort: scrub requires Dir")
+	}
+	fs, err := pdisk.NewFileStore(cfg.Dir, cfg.B, cfg.D)
+	if err != nil {
+		return pdisk.ScrubReport{}, err
+	}
+	defer fs.Close()
+	return fs.Scrub()
+}

@@ -8,6 +8,17 @@
 //	        [-async] [-input random|sorted|reverse|dups] [-runform load|rs]
 //	        [-model none|1996|modern] [-backend mem|file] [-dir DIR]
 //	        [-seed N] [-verify] [-cpuprofile FILE] [-memprofile FILE]
+//	        [-retries N] [-checkpoint] [-resume] [-scrub]
+//
+// Fault tolerance: -retries N re-attempts transient I/O failures up to N
+// times per operation under deterministic exponential backoff;
+// -checkpoint persists a recovery manifest after run formation and every
+// merge pass (with -backend file -dir DIR the disk files survive the
+// process, so a killed sort can be continued); -resume continues such an
+// interrupted sort from its last completed pass; -scrub audits every
+// block checksum under -dir and exits non-zero if corruption is found,
+// without sorting anything. A failed sort exits with a one-line
+// diagnosis naming the operation, disk, block and attempt count.
 //
 // The profile flags capture pprof data for the sort itself: -cpuprofile
 // starts CPU profiling immediately before the sort and stops it right
@@ -22,6 +33,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -29,9 +41,11 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"slices"
+	"strings"
 	"time"
 
 	"srmsort"
+	"srmsort/internal/pdisk"
 )
 
 func main() {
@@ -56,6 +70,10 @@ func main() {
 		outFile = flag.String("outfile", "", "write the sorted wire-format records to this file")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the sort to this file")
 		memProf = flag.String("memprofile", "", "write an allocation profile taken after the sort to this file")
+		retries = flag.Int("retries", 0, "re-attempt transient I/O failures up to N times per operation (0 = fail on first error)")
+		ckpt    = flag.Bool("checkpoint", false, "persist a recovery manifest after every completed merge pass")
+		resume  = flag.Bool("resume", false, "continue an interrupted checkpointed sort from its last completed pass (implies -checkpoint)")
+		scrub   = flag.Bool("scrub", false, "audit every block checksum under -dir and exit (requires -backend file)")
 	)
 	flag.Parse()
 
@@ -100,6 +118,28 @@ func main() {
 	default:
 		fatal("unknown -model %q", *model)
 	}
+	if *retries > 0 {
+		policy := srmsort.DefaultRetryPolicy()
+		policy.MaxAttempts = *retries
+		policy.Seed = *seed
+		cfg.Retry = &policy
+	}
+	cfg.Checkpoint = *ckpt || *resume
+
+	if *scrub {
+		rep, err := srmsort.Scrub(cfg)
+		if err != nil {
+			fatal("scrub: %v", err)
+		}
+		fmt.Printf("scrub: %d blocks audited, %d corrupt\n", rep.Blocks, len(rep.Corrupt))
+		for _, addr := range rep.Corrupt {
+			fmt.Printf("  corrupt block %v\n", addr)
+		}
+		if len(rep.Corrupt) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	var records []srmsort.Record
 	if *inFile != "" {
@@ -127,12 +167,19 @@ func main() {
 		}
 	}
 	start := time.Now()
-	out, stats, err := srmsort.Sort(records, cfg)
+	var out []srmsort.Record
+	var stats srmsort.Stats
+	var err error
+	if *resume {
+		out, stats, err = srmsort.Resume(records, cfg)
+	} else {
+		out, stats, err = srmsort.Sort(records, cfg)
+	}
 	if *cpuProf != "" {
 		pprof.StopCPUProfile()
 	}
 	if err != nil {
-		fatal("%v", err)
+		fatal("sort failed: %s", diagnose(err))
 	}
 	elapsed := time.Since(start)
 	if *memProf != "" {
@@ -230,6 +277,31 @@ func generate(kind string, n int, seed int64) []srmsort.Record {
 		fatal("unknown -input %q", kind)
 	}
 	return out
+}
+
+// diagnose renders a failed sort's error as one line naming, when known,
+// the failing operation, disk, block address and attempt count — what an
+// operator needs before deciding between -resume and replacing hardware.
+func diagnose(err error) string {
+	var parts []string
+	var ioe *pdisk.IOError
+	if errors.As(err, &ioe) {
+		parts = append(parts, fmt.Sprintf("%s on disk %d at block %v", ioe.Op, ioe.Addr.Disk, ioe.Addr))
+	}
+	var rerr *pdisk.RetryError
+	if errors.As(err, &rerr) {
+		parts = append(parts, fmt.Sprintf("gave up after %d attempt(s)", rerr.Attempts))
+	}
+	switch {
+	case errors.Is(err, pdisk.ErrCorrupt):
+		parts = append(parts, "on-disk corruption: run -scrub, then -resume to rebuild from the last checkpoint")
+	case errors.Is(err, pdisk.ErrDiskOffline):
+		parts = append(parts, "disk exceeded its error budget and was taken offline")
+	}
+	if len(parts) == 0 {
+		return err.Error()
+	}
+	return fmt.Sprintf("%v [%s]", err, strings.Join(parts, "; "))
 }
 
 func fatal(format string, args ...interface{}) {

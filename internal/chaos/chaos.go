@@ -1,0 +1,231 @@
+// Package chaos is a deterministic fault-injection harness for the sort
+// stack: it runs a sort under a seeded schedule of transient I/O
+// failures and simulated mid-write process kills, drives the recovery
+// loop (retry → checkpoint → resume) exactly as an operator would, and
+// asserts the final output equals the fault-free run byte for byte.
+//
+// Everything is a pure function of the cell's seed: the fault schedule,
+// the kill point, the retry jitter (backoff sleeps are no-ops under the
+// harness) and SRM's placement randomness, so a failing cell replays
+// exactly.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"srmsort"
+	"srmsort/internal/pdisk"
+)
+
+// Cell is one point of the chaos matrix: an algorithm on a backend with
+// D disks, under a transient-fault probability and optionally one
+// simulated process kill (a torn write mid-sort).
+type Cell struct {
+	Algorithm srmsort.Algorithm
+	Backend   srmsort.Backend
+	D         int
+	// Records is the input size; Seed drives input, faults, placement.
+	Records int
+	Seed    int64
+	// FailProb is the per-operation transient failure probability applied
+	// to reads, writes and frees alike.
+	FailProb float64
+	// Kill, when true, tears a write roughly 60% of the way through the
+	// sort — the simulated process dies and the harness must resume.
+	Kill bool
+	// Dir holds the file backend's disks; required iff Backend is
+	// FileBackend.
+	Dir string
+	// MaxAttempts bounds the sort→resume loop (0 = default 12): residual
+	// retry exhaustion under a heavy fault schedule just triggers another
+	// resume, but a harness bug must not loop forever.
+	MaxAttempts int
+}
+
+// Result reports what it took to complete a cell.
+type Result struct {
+	// Attempts is the number of Sort/Resume invocations that ran
+	// (1 = no recovery needed).
+	Attempts int
+	// Killed reports whether the armed kill fired.
+	Killed bool
+}
+
+// config is the cell's sort configuration minus the store stack.
+func (c Cell) config() srmsort.Config {
+	return srmsort.Config{
+		D: c.D, B: 8, K: 3,
+		Algorithm: c.Algorithm,
+		Seed:      c.Seed,
+	}
+}
+
+// input generates the cell's records deterministically from its seed.
+func (c Cell) input() []srmsort.Record {
+	rng := rand.New(rand.NewSource(c.Seed ^ 0x5eed))
+	in := make([]srmsort.Record, c.Records)
+	for i := range in {
+		in[i] = srmsort.Record{Key: rng.Uint64(), Val: uint64(i)}
+	}
+	return in
+}
+
+// faultConfig is the cell's steady-state fault schedule (no kill).
+func (c Cell) faultConfig() pdisk.FaultConfig {
+	return pdisk.FaultConfig{
+		Seed:          c.Seed,
+		ReadFailProb:  c.FailProb,
+		WriteFailProb: c.FailProb,
+		FreeFailProb:  c.FailProb,
+	}
+}
+
+// newInner builds the cell's backend store.
+func (c Cell) newInner() (pdisk.Store, error) {
+	switch c.Backend {
+	case srmsort.FileBackend:
+		if c.Dir == "" {
+			return nil, fmt.Errorf("chaos: file backend needs Dir")
+		}
+		return pdisk.NewFileStore(c.Dir, 8, c.D)
+	default:
+		return pdisk.NewMemStore(), nil
+	}
+}
+
+// retryPolicy is the harness's retry policy: deterministic backoff with
+// no real sleeping, seeded from the cell.
+func (c Cell) retryPolicy() *pdisk.RetryPolicy {
+	p := pdisk.DefaultRetryPolicy()
+	p.Seed = c.Seed
+	p.Sleep = func(time.Duration) {}
+	return &p
+}
+
+// equal compares two record slices.
+func equal(a, b []srmsort.Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes the cell: a fault-free reference sort, then the faulted
+// sort with as many resumes as the fault schedule demands, then the
+// byte-identity check. It returns how much recovery was needed.
+func Run(c Cell) (Result, error) {
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 12
+	}
+	in := c.input()
+	want, _, err := srmsort.Sort(in, c.config())
+	if err != nil {
+		return Result{}, fmt.Errorf("chaos: reference sort: %w", err)
+	}
+
+	if c.Algorithm == srmsort.PSV {
+		return c.runRestartFromScratch(in, want)
+	}
+	return c.runCheckpointed(in, want)
+}
+
+// runCheckpointed drives the full recovery loop: checkpointed sort over
+// a fault-injected retrying store; on any failure (kill or residual
+// retry exhaustion) the harness resumes, as a supervising process would.
+func (c Cell) runCheckpointed(in, want []srmsort.Record) (Result, error) {
+	inner, err := c.newInner()
+	if err != nil {
+		return Result{}, err
+	}
+	defer inner.Close()
+
+	armed := c.faultConfig()
+	if c.Kill {
+		// Learn the write count fault-free, then arm the tear at ~60%.
+		probe := pdisk.NewFaultStore(pdisk.NewMemStore(), pdisk.FaultConfig{})
+		probeCfg := c.config()
+		probeCfg.Store = probe
+		probeCfg.Checkpoint = true
+		if _, _, err := srmsort.Sort(in, probeCfg); err != nil {
+			return Result{}, fmt.Errorf("chaos: probe sort: %w", err)
+		}
+		armed.TornWriteAt = probe.OpCount("write") * 3 / 5
+		probe.Close()
+	}
+	fault := pdisk.NewFaultStore(inner, armed)
+
+	cfg := c.config()
+	cfg.Store = fault
+	cfg.Checkpoint = true
+	cfg.Retry = c.retryPolicy()
+
+	res := Result{}
+	out, _, err := srmsort.Sort(in, cfg)
+	res.Attempts = 1
+	for err != nil {
+		var term *pdisk.TerminalError
+		if errors.As(err, &term) {
+			res.Killed = true
+		}
+		if res.Attempts >= c.MaxAttempts {
+			return res, fmt.Errorf("chaos: cell still failing after %d attempts: %w", res.Attempts, err)
+		}
+		// The "process" died (kill) or aborted (retry exhaustion). The
+		// next incarnation sees the same store, minus the armed kill —
+		// one crash per cell; steady-state transient faults stay on.
+		fault.Configure(c.faultConfig())
+		out, _, err = srmsort.Resume(in, cfg)
+		res.Attempts++
+	}
+	if c.Kill && !res.Killed {
+		return res, fmt.Errorf("chaos: armed kill never fired (attempts=%d)", res.Attempts)
+	}
+	if !equal(out, want) {
+		return res, fmt.Errorf("chaos: output differs from fault-free run (attempts=%d)", res.Attempts)
+	}
+	return res, nil
+}
+
+// runRestartFromScratch is the recovery story for PSV, which does not
+// support checkpointing: transient faults are absorbed by retries, and a
+// residual failure restarts the whole sort on a fresh store.
+func (c Cell) runRestartFromScratch(in, want []srmsort.Record) (Result, error) {
+	res := Result{}
+	for {
+		res.Attempts++
+		inner, err := c.newInner()
+		if err != nil {
+			return res, err
+		}
+		fault := pdisk.NewFaultStore(inner, c.faultConfig())
+		cfg := c.config()
+		cfg.Store = fault
+		cfg.Retry = c.retryPolicy()
+		out, _, err := srmsort.Sort(in, cfg)
+		inner.Close()
+		if err == nil {
+			if !equal(out, want) {
+				return res, fmt.Errorf("chaos: PSV output differs from fault-free run")
+			}
+			return res, nil
+		}
+		if res.Attempts >= c.MaxAttempts {
+			return res, fmt.Errorf("chaos: PSV still failing after %d attempts: %w", res.Attempts, err)
+		}
+		if c.Backend == srmsort.FileBackend {
+			// A fresh incarnation must not recover the dead attempt's
+			// blocks as live state.
+			if fs, ok := inner.(*pdisk.FileStore); ok {
+				fs.Remove()
+			}
+		}
+	}
+}

@@ -43,6 +43,41 @@ type Run struct {
 // NumStripes returns the number of logical blocks of the run.
 func (r *Run) NumStripes() int { return len(r.stripes) }
 
+// RunState is the serialisable form of a Run for checkpoint manifests.
+type RunState struct {
+	ID      int
+	Records int
+	Stripes [][]pdisk.BlockAddr
+}
+
+// State exports the run's descriptor.
+func (r *Run) State() RunState {
+	stripes := make([][]pdisk.BlockAddr, len(r.stripes))
+	for i, s := range r.stripes {
+		stripes[i] = append([]pdisk.BlockAddr(nil), s...)
+	}
+	return RunState{ID: r.ID, Records: r.Records, Stripes: stripes}
+}
+
+// RunFromState reconstructs a run from its manifest descriptor.
+func RunFromState(st RunState) *Run {
+	stripes := make([][]pdisk.BlockAddr, len(st.Stripes))
+	for i, s := range st.Stripes {
+		stripes[i] = append([]pdisk.BlockAddr(nil), s...)
+	}
+	return &Run{ID: st.ID, Records: st.Records, stripes: stripes}
+}
+
+// Addrs returns every block address of the run, stripe by stripe — what
+// checkpoint verification and orphan reclamation walk.
+func (r *Run) Addrs() []pdisk.BlockAddr {
+	var out []pdisk.BlockAddr
+	for _, s := range r.stripes {
+		out = append(out, s...)
+	}
+	return out
+}
+
 // Writer streams a sorted run to disk in logical blocks.
 type Writer struct {
 	sys     *pdisk.System
@@ -452,10 +487,47 @@ func sortFile(sys *pdisk.System, file *runform.InputFile, load, r int, async boo
 		out, err := NewWriter(sys, 0).Finish()
 		return out, stats, err
 	}
-	seq := len(runs)
+	final, ms, _, err := MergeAll(sys, runs, r, len(runs), MergeAllOpts{Async: async})
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.MergePasses = ms.MergePasses
+	stats.Merges = ms.Merges
+	stats.MergeReadOps = ms.MergeReadOps
+	stats.MergeWriteOps = ms.MergeWriteOps
+	return final, stats, nil
+}
+
+// PassFunc is the checkpoint hook of MergeAll: invoked after each
+// completed merge pass (1-based within the call) with the surviving runs
+// and next sequence number, before the pass's input runs are freed.
+type PassFunc func(pass int, survivors []*Run, nextSeq int) error
+
+// MergeAllOpts selects MergeAll's execution mode.
+type MergeAllOpts struct {
+	Async     bool
+	AfterPass PassFunc
+}
+
+// MergeAll repeatedly merges runs, r at a time, until one remains — the
+// merge half of a DSM sort, exposed separately so a checkpointed sort can
+// resume it over runs reconstructed from a manifest. When AfterPass is
+// installed, each pass's inputs are freed only after the hook returns (so
+// a persisted manifest always names live runs); otherwise frees follow
+// each merge immediately.
+func MergeAll(sys *pdisk.System, runs []*Run, r, seqStart int, opts MergeAllOpts) (*Run, SortStats, int, error) {
+	if r < 2 {
+		return nil, SortStats{}, seqStart, fmt.Errorf("dsm: merge order %d, need >= 2", r)
+	}
+	if len(runs) == 0 {
+		return nil, SortStats{}, seqStart, fmt.Errorf("dsm: no runs to merge")
+	}
+	var stats SortStats
+	seq := seqStart
 	for len(runs) > 1 {
 		stats.MergePasses++
 		next := make([]*Run, 0, (len(runs)+r-1)/r)
+		var deferred []*Run
 		for off := 0; off < len(runs); off += r {
 			end := off + r
 			if end > len(runs) {
@@ -466,24 +538,38 @@ func sortFile(sys *pdisk.System, file *runform.InputFile, load, r int, async boo
 				next = append(next, group[0])
 				continue
 			}
-			merged, ms, err := mergeRuns(sys, group, seq, async)
+			merged, ms, err := mergeRuns(sys, group, seq, opts.Async)
 			if err != nil {
-				return nil, stats, err
+				return nil, stats, seq, err
 			}
 			seq++
 			stats.Merges++
 			stats.MergeReadOps += ms.ReadOps
 			stats.MergeWriteOps += ms.WriteOps
-			for _, in := range group {
-				if err := Free(sys, in); err != nil {
-					return nil, stats, err
+			if opts.AfterPass != nil {
+				deferred = append(deferred, group...)
+			} else {
+				for _, in := range group {
+					if err := Free(sys, in); err != nil {
+						return nil, stats, seq, err
+					}
 				}
 			}
 			next = append(next, merged)
 		}
+		if opts.AfterPass != nil {
+			if err := opts.AfterPass(stats.MergePasses, next, seq); err != nil {
+				return nil, stats, seq, err
+			}
+			for _, in := range deferred {
+				if err := Free(sys, in); err != nil {
+					return nil, stats, seq, err
+				}
+			}
+		}
 		runs = next
 	}
-	return runs[0], stats, nil
+	return runs[0], stats, seq, nil
 }
 
 // ReadAll reads a DSM run back (one logical block per operation) — a

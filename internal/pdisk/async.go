@@ -38,7 +38,6 @@ package pdisk
 
 import (
 	"errors"
-	"fmt"
 	"sync"
 )
 
@@ -96,14 +95,14 @@ func (s *System) diskWorker(q chan diskReq) {
 		if req.write {
 			err := s.store.WriteBlock(req.addr, req.block)
 			if err != nil {
-				err = fmt.Errorf("pdisk: write %v: %w", req.addr, err)
+				err = &IOError{Op: "write", Addr: req.addr, Err: err}
 			}
 			req.done <- diskRes{slot: req.slot, err: err}
 			continue
 		}
 		blk, err := s.store.ReadBlock(req.addr)
 		if err != nil {
-			err = fmt.Errorf("pdisk: read %v: %w", req.addr, err)
+			err = &IOError{Op: "read", Addr: req.addr, Err: err}
 		}
 		req.done <- diskRes{slot: req.slot, block: blk, err: err}
 	}

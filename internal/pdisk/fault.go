@@ -9,46 +9,79 @@ import (
 )
 
 // ErrInjected is the base error of all FaultStore failures; test code can
-// errors.Is against it.
+// errors.Is against it. Injected faults are transient by classification —
+// Retryable returns true for them — except torn writes, which wrap a
+// TerminalError (they model the process dying mid-write, not a transfer
+// worth re-issuing).
 var ErrInjected = errors.New("pdisk: injected fault")
 
 // FaultConfig schedules a FaultStore's injections. Two mechanisms
 // compose, both deterministic:
 //
-//   - Counted faults: the FailReadAt-th read (1-based; likewise writes
-//     and frees) fails and every later one succeeds again, mimicking a
-//     transient device error at an exact point in the schedule.
+//   - Counted faults: the FailReadAt-th read (1-based; likewise writes,
+//     frees, frontier probes and manifest operations) fails and every
+//     later one succeeds again, mimicking a transient device error at an
+//     exact point in the schedule. TornWriteAt instead *tears* the first
+//     write at or after the n-th (and every one after it, until
+//     Configure re-arms — the modelled process is dead): on a backend
+//     that supports it (FileStore) the block's
+//     checksummed meta slot commits but only half the payload does — the
+//     state a crash mid-write leaves on media — and the operation returns
+//     a terminal error, as the process issuing it would never observe a
+//     completion.
 //   - Seeded faults and latency: each operation kind draws from its own
 //     rand stream derived from Seed, so the fate of the n-th read is a
 //     pure function of (Seed, n) — independent of how reads interleave
 //     with writes, frees or other goroutines. ReadFailProb (etc.) is the
-//     per-operation failure probability; MaxLatency > 0 adds a uniform
-//     [0, MaxLatency) delay to every operation, modelling a slow device.
+//     per-operation failure probability; TornWriteProb the per-write
+//     tearing probability; MaxLatency > 0 adds a uniform [0, MaxLatency)
+//     delay to every operation, modelling a slow device.
 type FaultConfig struct {
 	Seed int64
 
-	FailReadAt  int64 // 1-based read count to fail; 0 = never
-	FailWriteAt int64
-	FailFreeAt  int64
+	FailReadAt     int64 // 1-based read count to fail; 0 = never
+	FailWriteAt    int64
+	FailFreeAt     int64
+	FailFrontierAt int64 // allocation-recovery probes (NewSystem's seeding path)
+	FailManifestAt int64 // checkpoint manifest save/load/clear operations
 
-	ReadFailProb  float64
-	WriteFailProb float64
-	FreeFailProb  float64
+	TornWriteAt int64 // 1-based write count to tear; 0 = never
+
+	ReadFailProb     float64
+	WriteFailProb    float64
+	FreeFailProb     float64
+	FrontierFailProb float64
+	ManifestFailProb float64
+
+	TornWriteProb float64
 
 	MaxLatency time.Duration
+}
+
+// TornWriter is the backend hook FaultStore tears writes through:
+// FileStore implements it by committing the checksummed meta slot with
+// only half the record payload. Backends without it (MemStore keeps no
+// checksum that could expose the damage) drop the torn write entirely —
+// the block never reaches the store, the other on-media shape of a crash
+// mid-write.
+type TornWriter interface {
+	WriteBlockTorn(addr BlockAddr, b StoredBlock) error
 }
 
 // FaultStore wraps a Store and injects failures and latency on a
 // deterministic schedule, so tests can drive the error paths of every
 // algorithm on every backend: a sort must surface a failed transfer as an
-// error (never a panic, never silent corruption).
+// error (never a panic, never silent corruption). It forwards the
+// optional Frontier/Manifest/Blocks capabilities of the wrapped store —
+// with faults of their own on the frontier and manifest paths — so a
+// fault-injected stack loses none of the backend's recovery features.
 type FaultStore struct {
 	inner Store
 
 	mu     sync.Mutex
 	cfg    FaultConfig
-	counts [3]int64
-	rngs   [3]*rand.Rand
+	counts [opKinds]int64
+	rngs   [opKinds]*rand.Rand
 }
 
 // operation kinds, indexing FaultStore counters and rand streams.
@@ -56,9 +89,12 @@ const (
 	opRead = iota
 	opWrite
 	opFree
+	opFrontier
+	opManifest
+	opKinds
 )
 
-var opNames = [3]string{"read", "write", "free"}
+var opNames = [opKinds]string{"read", "write", "free", "frontier", "manifest"}
 
 // NewFaultStore wraps inner under the given schedule; Configure can
 // re-arm it later (counters keep running across Configure calls, so a
@@ -80,14 +116,34 @@ func (f *FaultStore) Configure(cfg FaultConfig) {
 	}
 }
 
+// OpCount returns how many operations of the named kind ("read",
+// "write", "free", "frontier", "manifest") the store has seen — what a
+// chaos schedule arms its counted faults against.
+func (f *FaultStore) OpCount(name string) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for kind, n := range opNames {
+		if n == name {
+			return f.counts[kind]
+		}
+	}
+	return 0
+}
+
 // decide counts one operation of the given kind and returns its fate:
 // an injected delay and/or error.
 func (f *FaultStore) decide(kind int, addr BlockAddr) (time.Duration, error) {
 	f.mu.Lock()
 	f.counts[kind]++
 	n := f.counts[kind]
-	failAt := [3]int64{f.cfg.FailReadAt, f.cfg.FailWriteAt, f.cfg.FailFreeAt}[kind]
-	prob := [3]float64{f.cfg.ReadFailProb, f.cfg.WriteFailProb, f.cfg.FreeFailProb}[kind]
+	failAt := [opKinds]int64{
+		f.cfg.FailReadAt, f.cfg.FailWriteAt, f.cfg.FailFreeAt,
+		f.cfg.FailFrontierAt, f.cfg.FailManifestAt,
+	}[kind]
+	prob := [opKinds]float64{
+		f.cfg.ReadFailProb, f.cfg.WriteFailProb, f.cfg.FreeFailProb,
+		f.cfg.FrontierFailProb, f.cfg.ManifestFailProb,
+	}[kind]
 	fail := failAt > 0 && n == failAt
 	if prob > 0 && f.rngs[kind].Float64() < prob {
 		fail = true
@@ -103,6 +159,23 @@ func (f *FaultStore) decide(kind int, addr BlockAddr) (time.Duration, error) {
 	return delay, nil
 }
 
+// decideTorn reports whether the write just counted by decide should
+// tear. Called after decide, under its own lock acquisition, with the
+// write count decide assigned.
+func (f *FaultStore) decideTorn() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.counts[opWrite]
+	if f.cfg.TornWriteAt > 0 && n >= f.cfg.TornWriteAt {
+		// At-or-after, not exact: the scheduled write may instead have
+		// drawn a transient failure, and its retry must still die. Every
+		// later write tears too — the modelled process is dead — until
+		// Configure re-arms the schedule for the next incarnation.
+		return true
+	}
+	return f.cfg.TornWriteProb > 0 && f.rngs[opWrite].Float64() < f.cfg.TornWriteProb
+}
+
 // ReadBlock implements Store.
 func (f *FaultStore) ReadBlock(addr BlockAddr) (StoredBlock, error) {
 	delay, err := f.decide(opRead, addr)
@@ -115,7 +188,10 @@ func (f *FaultStore) ReadBlock(addr BlockAddr) (StoredBlock, error) {
 	return f.inner.ReadBlock(addr)
 }
 
-// WriteBlock implements Store.
+// WriteBlock implements Store. A write scheduled to tear commits damaged
+// (or no) on-media state through the backend's TornWriter hook and
+// returns a terminal error: the modelled process died mid-write, so no
+// retry can be the right response — recovery is the next open's problem.
 func (f *FaultStore) WriteBlock(addr BlockAddr, b StoredBlock) error {
 	delay, err := f.decide(opWrite, addr)
 	if delay > 0 {
@@ -123,6 +199,14 @@ func (f *FaultStore) WriteBlock(addr BlockAddr, b StoredBlock) error {
 	}
 	if err != nil {
 		return err
+	}
+	if f.decideTorn() {
+		if tw, ok := f.inner.(TornWriter); ok {
+			if terr := tw.WriteBlockTorn(addr, b); terr != nil {
+				return terr
+			}
+		}
+		return &TerminalError{Err: fmt.Errorf("%w: torn write at %v", ErrInjected, addr)}
 	}
 	return f.inner.WriteBlock(addr, b)
 }
@@ -143,13 +227,86 @@ func (f *FaultStore) Free(addr BlockAddr) error {
 func (f *FaultStore) Usage() Usage { return f.inner.Usage() }
 
 // Frontier forwards allocation recovery to the wrapped store when it
-// supports it, so a FaultStore over a reopened FileStore still protects
-// recovered blocks from reallocation.
-func (f *FaultStore) Frontier(disk int) int {
+// supports it — with its own fault kind, so tests can fail the
+// allocator-seeding path NewSystem depends on.
+func (f *FaultStore) Frontier(disk int) (int, error) {
+	delay, err := f.decide(opFrontier, BlockAddr{Disk: disk})
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err != nil {
+		return 0, err
+	}
 	if fs, ok := f.inner.(FrontierStore); ok {
 		return fs.Frontier(disk)
 	}
-	return 0
+	return 0, nil
+}
+
+// SaveManifest implements ManifestStore over a capable inner store;
+// checkpoint traffic is fault-injectable like any other I/O.
+func (f *FaultStore) SaveManifest(data []byte) error {
+	delay, err := f.decide(opManifest, BlockAddr{})
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err != nil {
+		return err
+	}
+	ms, ok := f.inner.(ManifestStore)
+	if !ok {
+		return fmt.Errorf("%w: store cannot persist a manifest", ErrInvalid)
+	}
+	return ms.SaveManifest(data)
+}
+
+// LoadManifest implements ManifestStore.
+func (f *FaultStore) LoadManifest() ([]byte, bool, error) {
+	delay, err := f.decide(opManifest, BlockAddr{})
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	ms, ok := f.inner.(ManifestStore)
+	if !ok {
+		return nil, false, nil
+	}
+	return ms.LoadManifest()
+}
+
+// ClearManifest implements ManifestStore.
+func (f *FaultStore) ClearManifest() error {
+	delay, err := f.decide(opManifest, BlockAddr{})
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err != nil {
+		return err
+	}
+	ms, ok := f.inner.(ManifestStore)
+	if !ok {
+		return nil
+	}
+	return ms.ClearManifest()
+}
+
+// Sync forwards a durability flush to the wrapped store.
+func (f *FaultStore) Sync() error {
+	if s, ok := f.inner.(interface{ Sync() error }); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
+// Blocks forwards BlockLister when the wrapped store supports it (fault
+// free: it is a recovery-time audit walk, not algorithm I/O).
+func (f *FaultStore) Blocks() []BlockAddr {
+	if bl, ok := f.inner.(BlockLister); ok {
+		return bl.Blocks()
+	}
+	return nil
 }
 
 // Close implements Store.

@@ -2,7 +2,9 @@ package pdisk
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
@@ -17,21 +19,33 @@ import (
 //     at byte offset i*B*16 (record.Bytes = 16). A fully written run is a
 //     plain array of records on disk.
 //   - diskNNN.idx — the meta sidecar: one fixed slot per block holding
-//     occupancy, record count, forecast count and the implanted forecast
-//     keys of the paper's Section 4.
+//     occupancy, record count, forecast count, write epoch, a CRC32-C
+//     checksum and the implanted forecast keys of the paper's Section 4.
+//
+// Every block is checksummed: the CRC32-C (Castagnoli) in the meta slot
+// covers the block's address, the store's write epoch (a generation
+// counter bumped on every open, persisted in the sidecar "epoch" file),
+// the record and forecast counts, the forecast keys and the full record
+// payload. A torn data write, a misdirected write (payload landing at the
+// wrong address) or a stale slot therefore surfaces at read time as a
+// distinct ErrCorrupt — never as silently wrong records — and Scrub can
+// audit the whole store without the algorithms' help.
 //
 // Both files grow in preallocation chunks (Truncate) ahead of the write
 // frontier, transfers are positional reads/writes (pread/pwrite), and
 // Close fsyncs before closing. Files are left on disk by Close — a store
 // can be reopened over the same directory with NewFileStore, which
 // recovers occupancy from the meta files (the crash-consistency story) —
-// and are deleted only by an explicit Remove.
+// and are deleted only by an explicit Remove. A small opaque manifest
+// (ManifestStore) rides alongside in manifest.json, replaced atomically
+// via rename so checkpoint state is never torn.
 type FileStore struct {
 	dir         string
 	b           int
 	maxForecast int
-	dataSlot    int64 // bytes per block in the data file: B * record.Bytes
-	metaSlot    int64 // bytes per block in the meta file
+	dataSlot    int64  // bytes per block in the data file: B * record.Bytes
+	metaSlot    int64  // bytes per block in the meta file
+	epoch       uint32 // write epoch: open generation, folded into block CRCs
 
 	// scratch pools the per-call encode/decode buffers, sized to hold
 	// either slot, so steady-state block I/O allocates no byte buffers.
@@ -58,11 +72,32 @@ const (
 	// multiple of this many slots.
 	preallocSlots = 512
 
-	metaHeaderBytes = 12 // uint32 state | uint32 nRec | uint32 nFc
+	// Meta slot header: uint32 state | nRec | nFc | epoch | crc32c.
+	metaHeaderBytes = 20
 
 	slotAbsent  = 0
 	slotPresent = 1
 )
+
+// castagnoli is the CRC32-C polynomial table shared by all FileStores.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// blockCRC computes the per-block CRC32-C over everything that
+// identifies a block: its address, the write epoch, the counts, the
+// encoded forecast keys and the encoded record payload. Folding the
+// address in is what turns a misdirected write into a checksum mismatch
+// rather than plausible-looking foreign data.
+func blockCRC(addr BlockAddr, epoch uint32, nRec, nFc int, forecast, payload []byte) uint32 {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(addr.Disk))
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(addr.Index))
+	binary.LittleEndian.PutUint32(hdr[12:], epoch)
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(nRec))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(nFc))
+	crc := crc32.Update(0, castagnoli, hdr[:])
+	crc = crc32.Update(crc, castagnoli, forecast)
+	return crc32.Update(crc, castagnoli, payload)
+}
 
 // NewFileStore creates (or reopens) a file-backed store under dir, one
 // data+meta file pair per disk. b is the block size in records;
@@ -88,16 +123,40 @@ func NewFileStore(dir string, b, maxForecast int) (*FileStore, error) {
 		metaSlot:    metaHeaderBytes + int64(maxForecast)*8,
 		disks:       make(map[int]*diskFiles),
 	}
-	slot := max(f.dataSlot, f.metaSlot)
+	// One scratch buffer holds a data slot and a meta slot side by side:
+	// the checksum spans both (payload and forecast), so both encodings
+	// must be live at once.
+	slot := f.dataSlot + f.metaSlot
 	f.scratch.New = func() any {
 		buf := make([]byte, slot)
 		return &buf
+	}
+	if err := f.bumpEpoch(); err != nil {
+		return nil, err
 	}
 	if err := f.recover(); err != nil {
 		f.Close()
 		return nil, err
 	}
 	return f, nil
+}
+
+// epochPath is the sidecar file persisting the open-generation counter.
+func (f *FileStore) epochPath() string { return filepath.Join(f.dir, "epoch") }
+
+// bumpEpoch reads the store's open-generation counter, increments it and
+// persists it back, so every open writes blocks under a fresh epoch.
+func (f *FileStore) bumpEpoch() error {
+	var prev uint32
+	if raw, err := os.ReadFile(f.epochPath()); err == nil && len(raw) >= 4 {
+		prev = binary.LittleEndian.Uint32(raw)
+	} else if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	f.epoch = prev + 1
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], f.epoch)
+	return os.WriteFile(f.epochPath(), buf[:], 0o644)
 }
 
 func (f *FileStore) dataPath(disk int) string {
@@ -169,12 +228,12 @@ func (f *FileStore) disk(disk, index int, grow bool) (*diskFiles, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed {
-		return nil, fmt.Errorf("pdisk: FileStore used after Close")
+		return nil, fmt.Errorf("%w: FileStore used after Close", ErrInvalid)
 	}
 	df, ok := f.disks[disk]
 	if !ok {
 		if !grow {
-			return nil, fmt.Errorf("no block at %v", BlockAddr{Disk: disk, Index: index})
+			return nil, fmt.Errorf("%w: no block at %v", ErrAbsent, BlockAddr{Disk: disk, Index: index})
 		}
 		var err error
 		if df, err = f.openDisk(disk); err != nil {
@@ -183,7 +242,7 @@ func (f *FileStore) disk(disk, index int, grow bool) (*diskFiles, error) {
 	}
 	if index >= df.alloc {
 		if !grow {
-			return nil, fmt.Errorf("no block at %v", BlockAddr{Disk: disk, Index: index})
+			return nil, fmt.Errorf("%w: no block at %v", ErrAbsent, BlockAddr{Disk: disk, Index: index})
 		}
 		alloc := (index/preallocSlots + 1) * preallocSlots
 		if err := df.data.Truncate(int64(alloc) * f.dataSlot); err != nil {
@@ -201,24 +260,39 @@ func (f *FileStore) disk(disk, index int, grow bool) (*diskFiles, error) {
 }
 
 // WriteBlock implements Store: pwrite of the records at index*B*16 in the
-// data file, then of the occupancy slot in the meta file.
+// data file, then of the checksummed occupancy slot in the meta file.
 func (f *FileStore) WriteBlock(addr BlockAddr, b StoredBlock) error {
+	return f.writeBlock(addr, b, false)
+}
+
+// WriteBlockTorn is WriteBlock with a deliberately torn data transfer:
+// the meta slot (checksum included) describes the full payload, but only
+// the first half of the record bytes reach the data file — the on-disk
+// state a crash in mid-write leaves behind. The next ReadBlock of the
+// address fails with ErrCorrupt. FaultStore's TornWriteProb drives it;
+// nothing else should.
+func (f *FileStore) WriteBlockTorn(addr BlockAddr, b StoredBlock) error {
+	return f.writeBlock(addr, b, true)
+}
+
+func (f *FileStore) writeBlock(addr BlockAddr, b StoredBlock, torn bool) error {
 	if addr.Disk < 0 || addr.Index < 0 {
-		return fmt.Errorf("write to invalid address %v", addr)
+		return fmt.Errorf("%w: write to invalid address %v", ErrInvalid, addr)
 	}
 	if len(b.Records) > f.b {
-		return fmt.Errorf("block of %d records exceeds slot capacity %d", len(b.Records), f.b)
+		return fmt.Errorf("%w: block of %d records exceeds slot capacity %d", ErrInvalid, len(b.Records), f.b)
 	}
 	if len(b.Forecast) > f.maxForecast {
-		return fmt.Errorf("block carries %d forecast keys, slot capacity %d", len(b.Forecast), f.maxForecast)
+		return fmt.Errorf("%w: block carries %d forecast keys, slot capacity %d", ErrInvalid, len(b.Forecast), f.maxForecast)
 	}
 	df, err := f.disk(addr.Disk, addr.Index, true)
 	if err != nil {
 		return err
 	}
 
-	// Both transfers encode through one pooled scratch buffer (data first,
-	// then meta), so the steady-state write path allocates nothing.
+	// Both transfers encode through one pooled scratch buffer — the data
+	// slot and meta slot side by side, so the steady-state write path
+	// allocates nothing and the checksum can span payload and forecast.
 	bufp := f.scratch.Get().(*[]byte)
 	defer f.scratch.Put(bufp)
 
@@ -227,17 +301,31 @@ func (f *FileStore) WriteBlock(addr BlockAddr, b StoredBlock) error {
 		binary.LittleEndian.PutUint64(data[i*record.Bytes:], uint64(r.Key))
 		binary.LittleEndian.PutUint64(data[i*record.Bytes+8:], r.Val)
 	}
-	if _, err := df.data.WriteAt(data, int64(addr.Index)*f.dataSlot); err != nil {
-		return err
-	}
 
-	meta := (*bufp)[:f.metaSlot]
+	meta := (*bufp)[f.dataSlot : f.dataSlot+f.metaSlot]
 	clear(meta[metaHeaderBytes+len(b.Forecast)*8:]) // byte-exact files: zero the unused forecast tail
 	binary.LittleEndian.PutUint32(meta[0:], slotPresent)
 	binary.LittleEndian.PutUint32(meta[4:], uint32(len(b.Records)))
 	binary.LittleEndian.PutUint32(meta[8:], uint32(len(b.Forecast)))
+	binary.LittleEndian.PutUint32(meta[12:], f.epoch)
 	for i, k := range b.Forecast {
 		binary.LittleEndian.PutUint64(meta[metaHeaderBytes+i*8:], uint64(k))
+	}
+	crc := blockCRC(addr, f.epoch, len(b.Records), len(b.Forecast),
+		meta[metaHeaderBytes:metaHeaderBytes+len(b.Forecast)*8], data)
+	binary.LittleEndian.PutUint32(meta[16:], crc)
+
+	if torn {
+		// Commit only half the payload; an empty payload tears in the
+		// header instead (flipped checksum) so the damage is detectable
+		// either way.
+		data = data[:len(data)/2]
+		if len(data) == 0 {
+			binary.LittleEndian.PutUint32(meta[16:], crc^0xdeadbeef)
+		}
+	}
+	if _, err := df.data.WriteAt(data, int64(addr.Index)*f.dataSlot); err != nil {
+		return err
 	}
 	if _, err := df.meta.WriteAt(meta, int64(addr.Index)*f.metaSlot); err != nil {
 		return err
@@ -253,10 +341,12 @@ func (f *FileStore) WriteBlock(addr BlockAddr, b StoredBlock) error {
 }
 
 // ReadBlock implements Store: pread of the meta slot, then of exactly the
-// occupied prefix of the data slot.
+// occupied prefix of the data slot, with the block checksum verified
+// before any record is surfaced — a torn, misdirected or stale write
+// reads back as ErrCorrupt, never as plausible records.
 func (f *FileStore) ReadBlock(addr BlockAddr) (StoredBlock, error) {
 	if addr.Disk < 0 || addr.Index < 0 {
-		return StoredBlock{}, fmt.Errorf("no block at %v", addr)
+		return StoredBlock{}, fmt.Errorf("%w: no block at %v", ErrAbsent, addr)
 	}
 	df, err := f.disk(addr.Disk, addr.Index, false)
 	if err != nil {
@@ -266,24 +356,39 @@ func (f *FileStore) ReadBlock(addr BlockAddr) (StoredBlock, error) {
 	present := df.present[addr.Index]
 	f.mu.Unlock()
 	if !present {
-		return StoredBlock{}, fmt.Errorf("no block at %v", addr)
+		return StoredBlock{}, fmt.Errorf("%w: no block at %v", ErrAbsent, addr)
 	}
 
-	// One pooled scratch buffer serves both transfers: the meta slot is
-	// fully decoded (header and forecast) before the buffer is reused for
-	// the data slot. Only the returned records/forecast are allocated.
+	// One pooled scratch buffer serves both transfers, the meta slot and
+	// the data slot side by side (the checksum spans both). Only the
+	// returned records/forecast are allocated.
 	bufp := f.scratch.Get().(*[]byte)
 	defer f.scratch.Put(bufp)
 
-	meta := (*bufp)[:f.metaSlot]
+	meta := (*bufp)[f.dataSlot : f.dataSlot+f.metaSlot]
 	if _, err := df.meta.ReadAt(meta, int64(addr.Index)*f.metaSlot); err != nil {
 		return StoredBlock{}, err
 	}
 	state := binary.LittleEndian.Uint32(meta[0:])
 	nRec := binary.LittleEndian.Uint32(meta[4:])
 	nFc := binary.LittleEndian.Uint32(meta[8:])
+	epoch := binary.LittleEndian.Uint32(meta[12:])
+	crcWant := binary.LittleEndian.Uint32(meta[16:])
 	if state != slotPresent || int(nRec) > f.b || int(nFc) > f.maxForecast {
-		return StoredBlock{}, fmt.Errorf("corrupt slot header at %v (state=%d nRec=%d nFc=%d)", addr, state, nRec, nFc)
+		return StoredBlock{}, fmt.Errorf("%w: slot header at %v (state=%d nRec=%d nFc=%d)",
+			ErrCorrupt, addr, state, nRec, nFc)
+	}
+
+	data := (*bufp)[:int(nRec)*record.Bytes]
+	if nRec > 0 {
+		if _, err := df.data.ReadAt(data, int64(addr.Index)*f.dataSlot); err != nil {
+			return StoredBlock{}, err
+		}
+	}
+	if got := blockCRC(addr, epoch, int(nRec), int(nFc),
+		meta[metaHeaderBytes:metaHeaderBytes+int(nFc)*8], data); got != crcWant {
+		return StoredBlock{}, fmt.Errorf("%w: checksum mismatch at %v (crc %#x, slot records %#x, epoch %d)",
+			ErrCorrupt, addr, got, crcWant, epoch)
 	}
 
 	out := StoredBlock{}
@@ -294,10 +399,6 @@ func (f *FileStore) ReadBlock(addr BlockAddr) (StoredBlock, error) {
 		}
 	}
 	if nRec > 0 {
-		data := (*bufp)[:int(nRec)*record.Bytes]
-		if _, err := df.data.ReadAt(data, int64(addr.Index)*f.dataSlot); err != nil {
-			return StoredBlock{}, err
-		}
 		out.Records = make(record.Block, nRec)
 		for i := range out.Records {
 			out.Records[i] = record.Record{
@@ -314,13 +415,13 @@ func (f *FileStore) ReadBlock(addr BlockAddr) (StoredBlock, error) {
 // Remove.
 func (f *FileStore) Free(addr BlockAddr) error {
 	if addr.Disk < 0 || addr.Index < 0 {
-		return fmt.Errorf("free of invalid address %v", addr)
+		return fmt.Errorf("%w: free of invalid address %v", ErrInvalid, addr)
 	}
 	f.mu.Lock()
 	df, ok := f.disks[addr.Disk]
 	if !ok || addr.Index >= len(df.present) || !df.present[addr.Index] {
 		f.mu.Unlock()
-		return fmt.Errorf("free of absent block %v", addr)
+		return fmt.Errorf("%w: free of absent block %v", ErrAbsent, addr)
 	}
 	df.present[addr.Index] = false
 	df.resident--
@@ -334,19 +435,122 @@ func (f *FileStore) Free(addr BlockAddr) error {
 // Frontier implements FrontierStore: the lowest index strictly above
 // every occupied slot of disk, so NewSystem allocates past whatever a
 // previous store instance (or a crash it survived) left behind.
-func (f *FileStore) Frontier(disk int) int {
+func (f *FileStore) Frontier(disk int) (int, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.closed {
+		return 0, fmt.Errorf("%w: FileStore used after Close", ErrInvalid)
+	}
 	df, ok := f.disks[disk]
 	if !ok {
-		return 0
+		return 0, nil
 	}
 	for i := len(df.present) - 1; i >= 0; i-- {
 		if df.present[i] {
-			return i + 1
+			return i + 1, nil
 		}
 	}
-	return 0
+	return 0, nil
+}
+
+// Blocks implements BlockLister: every occupied slot, disk by disk.
+func (f *FileStore) Blocks() []BlockAddr {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []BlockAddr
+	for disk, df := range f.disks {
+		for idx, p := range df.present {
+			if p {
+				out = append(out, BlockAddr{Disk: disk, Index: idx})
+			}
+		}
+	}
+	return out
+}
+
+// ScrubReport is the result of one Scrub pass.
+type ScrubReport struct {
+	Blocks  int         // occupied slots audited
+	Corrupt []BlockAddr // slots whose checksum (or header) failed
+}
+
+// Scrub audits every occupied slot of the store: each block is read back
+// and its checksum verified, without surfacing the records. Corrupt
+// blocks — torn writes a crash left behind, bit rot, misdirected writes —
+// are collected in the report rather than failing the pass; only
+// infrastructure errors (an unreadable file) abort it. Callers decide
+// whether a corrupt block is fatal: one covered by a checkpoint manifest
+// can be freed and re-merged from its surviving inputs.
+func (f *FileStore) Scrub() (ScrubReport, error) {
+	var rep ScrubReport
+	for _, addr := range f.Blocks() {
+		rep.Blocks++
+		_, err := f.ReadBlock(addr)
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrCorrupt):
+			rep.Corrupt = append(rep.Corrupt, addr)
+		case errors.Is(err, ErrAbsent):
+			// Freed between the listing and the read; not corruption.
+			rep.Blocks--
+		default:
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// manifestPath is the checkpoint manifest's file; manifestTmpPath the
+// staging name its atomic replacement writes through.
+func (f *FileStore) manifestPath() string    { return filepath.Join(f.dir, "manifest.json") }
+func (f *FileStore) manifestTmpPath() string { return filepath.Join(f.dir, "manifest.json.tmp") }
+
+// SaveManifest implements ManifestStore: write-to-temp, fsync, rename —
+// after any crash the manifest file is either the old state or the new
+// one, never a torn mix.
+func (f *FileStore) SaveManifest(data []byte) error {
+	f.mu.Lock()
+	closed := f.closed
+	f.mu.Unlock()
+	if closed {
+		return fmt.Errorf("%w: FileStore used after Close", ErrInvalid)
+	}
+	tmp, err := os.OpenFile(f.manifestTmpPath(), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.manifestTmpPath(), f.manifestPath())
+}
+
+// LoadManifest implements ManifestStore.
+func (f *FileStore) LoadManifest() ([]byte, bool, error) {
+	data, err := os.ReadFile(f.manifestPath())
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// ClearManifest implements ManifestStore.
+func (f *FileStore) ClearManifest() error {
+	if err := os.Remove(f.manifestPath()); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
 }
 
 // Usage implements Store. Blocks counts occupied slots; Bytes the
@@ -401,17 +605,19 @@ func (f *FileStore) Close() error {
 	return firstErr
 }
 
-// Remove closes the store (if still open) and deletes its disk files.
-// The directory itself is left in place.
+// Remove closes the store (if still open) and deletes its disk files,
+// epoch counter and manifest. The directory itself is left in place.
 func (f *FileStore) Remove() error {
 	firstErr := f.Close()
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	names := []string{f.epochPath(), f.manifestPath(), f.manifestTmpPath()}
 	for disk := range f.disks {
-		for _, name := range []string{f.dataPath(disk), f.metaPath(disk)} {
-			if err := os.Remove(name); err != nil && !os.IsNotExist(err) && firstErr == nil {
-				firstErr = err
-			}
+		names = append(names, f.dataPath(disk), f.metaPath(disk))
+	}
+	for _, name := range names {
+		if err := os.Remove(name); err != nil && !os.IsNotExist(err) && firstErr == nil {
+			firstErr = err
 		}
 	}
 	f.disks = nil

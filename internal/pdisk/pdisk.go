@@ -66,6 +66,7 @@ type System struct {
 	d, b   int
 	store  Store
 	serial bool // store declared its transfers cheap: run them inline, not fanned out
+	retain bool // Close stops workers but leaves the store open
 	model  *TimeModel
 	stats  Stats
 	next   []int // per-disk bump allocator for fresh block indexes
@@ -96,6 +97,11 @@ type Config struct {
 	// I/O layer; 0 means DefaultAsyncQueueDepth. Issuing past the bound
 	// blocks until the disk's worker drains (backpressure).
 	AsyncQueueDepth int
+	// RetainStore leaves the store open when the System closes: Close
+	// still stops the async workers but does not close the backend. Set
+	// when the store's lifetime is owned by the caller — e.g. a sort
+	// resuming over a store that must survive the System.
+	RetainStore bool
 }
 
 // NewSystem constructs a System, validating the configuration.
@@ -113,8 +119,14 @@ func NewSystem(cfg Config) (*System, error) {
 	next := make([]int, cfg.D)
 	if fs, ok := st.(FrontierStore); ok {
 		// A reopened backend may already hold blocks; allocate past them.
+		// A failed Frontier aborts construction: allocating blind over
+		// recovered state could clobber surviving blocks.
 		for i := range next {
-			next[i] = fs.Frontier(i)
+			frontier, err := fs.Frontier(i)
+			if err != nil {
+				return nil, fmt.Errorf("pdisk: frontier of disk %d: %w", i, err)
+			}
+			next[i] = frontier
 		}
 	}
 	serial := false
@@ -126,6 +138,7 @@ func NewSystem(cfg Config) (*System, error) {
 		b:      cfg.B,
 		store:  st,
 		serial: serial,
+		retain: cfg.RetainStore,
 		model:  cfg.Model,
 		stats: Stats{
 			PerDiskReads:  make([]int64, cfg.D),
@@ -142,13 +155,21 @@ func (s *System) D() int { return s.d }
 // B returns the block size in records.
 func (s *System) B() int { return s.b }
 
-// Stats returns a snapshot of the accumulated I/O statistics.
+// Stats returns a snapshot of the accumulated I/O statistics. When the
+// store stack includes a RetryStore, its retry accounting (attempts,
+// retries, give-ups) is folded in.
 func (s *System) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := s.stats
 	out.PerDiskReads = append([]int64(nil), s.stats.PerDiskReads...)
 	out.PerDiskWrites = append([]int64(nil), s.stats.PerDiskWrites...)
+	store := s.store
+	s.mu.Unlock()
+	if rs, ok := store.(interface{ Counts() RetryCounts }); ok {
+		rc := rs.Counts()
+		out.Retries = rc.Retries
+		out.RetryGiveUps = rc.GiveUps
+	}
 	return out
 }
 
@@ -161,6 +182,11 @@ func (s *System) ResetStats() {
 		PerDiskWrites: make([]int64, s.d),
 	}
 }
+
+// Store returns the system's backing store — what checkpoint and scrub
+// code reaches through for the optional ManifestStore/BlockLister
+// capabilities of the stack.
+func (s *System) Store() Store { return s.store }
 
 // StoreUsage returns the backend's current capacity accounting.
 func (s *System) StoreUsage() Usage {
@@ -282,7 +308,7 @@ func (s *System) ReadBlocks(addrs []BlockAddr) ([]StoredBlock, error) {
 	err := s.fanout(len(addrs), func(i int) error {
 		blk, err := s.store.ReadBlock(addrs[i])
 		if err != nil {
-			return fmt.Errorf("pdisk: read %v: %w", addrs[i], err)
+			return &IOError{Op: "read", Addr: addrs[i], Err: err}
 		}
 		out[i] = blk
 		return nil
@@ -305,7 +331,7 @@ func (s *System) WriteBlocks(writes []BlockWrite) error {
 	defer s.mu.Unlock()
 	err = s.fanout(len(writes), func(i int) error {
 		if err := s.store.WriteBlock(writes[i].Addr, writes[i].Block.Clone()); err != nil {
-			return fmt.Errorf("pdisk: write %v: %w", writes[i].Addr, err)
+			return &IOError{Op: "write", Addr: writes[i].Addr, Err: err}
 		}
 		return nil
 	})
@@ -321,7 +347,10 @@ func (s *System) WriteBlocks(writes []BlockWrite) error {
 func (s *System) FreeBlock(addr BlockAddr) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.store.Free(addr)
+	if err := s.store.Free(addr); err != nil {
+		return &IOError{Op: "free", Addr: addr, Err: err}
+	}
+	return nil
 }
 
 // accountReadLocked counts one completed parallel read operation; the
@@ -351,15 +380,17 @@ func (s *System) accountWriteLocked(addrs []BlockAddr) {
 }
 
 // Close stops the async disk workers — draining every in-flight request —
-// and then closes the underlying store. Close is idempotent and safe to
-// call concurrently with in-flight async operations: requests already
-// issued complete (their Waits return normally), later issues return
-// ErrClosed, and the backend is closed only after the workers have
-// stopped.
+// and then closes the underlying store (unless Config.RetainStore left
+// its lifetime with the caller). Close is idempotent and safe to call
+// concurrently with in-flight async operations: requests already issued
+// complete (their Waits return normally), later issues return ErrClosed,
+// and the backend is closed only after the workers have stopped.
 func (s *System) Close() error {
 	s.closeOnce.Do(func() {
 		s.stopWorkers()
-		s.closeErr = s.store.Close()
+		if !s.retain {
+			s.closeErr = s.store.Close()
+		}
 	})
 	return s.closeErr
 }

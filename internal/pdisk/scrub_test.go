@@ -1,0 +1,170 @@
+package pdisk
+
+import (
+	"errors"
+	"testing"
+
+	"srmsort/internal/record"
+)
+
+func TestFileStoreChecksumRoundTrip(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir(), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	addr := BlockAddr{Disk: 0, Index: 0}
+	blk := mkBlock(record.Key(1), record.Key(2), record.Key(3))
+	blk.Forecast = []record.Key{7, 8}
+	if err := fs.WriteBlock(addr, blk); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadBlock(addr)
+	if err != nil {
+		t.Fatalf("checksummed read: %v", err)
+	}
+	if len(got.Records) != 3 || got.Records[2].Key != 3 || len(got.Forecast) != 2 {
+		t.Fatalf("round trip mangled block: %+v", got)
+	}
+	rep, err := fs.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Blocks != 1 || len(rep.Corrupt) != 0 {
+		t.Fatalf("clean store scrub = %+v", rep)
+	}
+}
+
+func TestTornWriteDetectedByReadAndScrub(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := BlockAddr{Disk: 0, Index: 0}
+	torn := BlockAddr{Disk: 1, Index: 5}
+	if err := fs.WriteBlock(good, mkBlock(record.Key(1), record.Key(2))); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteBlockTorn(torn, mkBlock(record.Key(10), record.Key(20), record.Key(30), record.Key(40))); err != nil {
+		t.Fatal(err)
+	}
+	// "Crash": abandon the handles without Close, reopen the directory —
+	// the recovery pass must surface the torn block as corrupt, not as
+	// plausible records, while the intact block reads back fine.
+	fs2, err := NewFileStore(dir, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	if _, err := fs2.ReadBlock(good); err != nil {
+		t.Fatalf("intact block after reopen: %v", err)
+	}
+	_, err = fs2.ReadBlock(torn)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn block read = %v, want ErrCorrupt", err)
+	}
+	rep, err := fs2.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Blocks != 2 || len(rep.Corrupt) != 1 || rep.Corrupt[0] != torn {
+		t.Fatalf("scrub after crash = %+v, want the torn block flagged", rep)
+	}
+	fs.Close()
+}
+
+func TestTornWriteEmptyPayloadStillDetected(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir(), 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	addr := BlockAddr{Disk: 0, Index: 0}
+	if err := fs.WriteBlockTorn(addr, StoredBlock{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadBlock(addr); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("empty torn block read = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFaultStoreTornWriteOnFileStore(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault := NewFaultStore(fs, FaultConfig{TornWriteAt: 2})
+	a0 := BlockAddr{Disk: 0, Index: 0}
+	a1 := BlockAddr{Disk: 0, Index: 1}
+	if err := fault.WriteBlock(a0, mkBlock(record.Key(1), record.Key(2))); err != nil {
+		t.Fatal(err)
+	}
+	err = fault.WriteBlock(a1, mkBlock(record.Key(3), record.Key(4)))
+	var term *TerminalError
+	if !errors.As(err, &term) {
+		t.Fatalf("torn write = %v (%T), want *TerminalError", err, err)
+	}
+	// The kill left damage on media: reopen and scrub finds exactly it.
+	fs2, err := NewFileStore(dir, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	rep, err := fs2.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Corrupt) != 1 || rep.Corrupt[0] != a1 {
+		t.Fatalf("scrub = %+v, want %v corrupt", rep, a1)
+	}
+	fs.Close()
+}
+
+func TestFaultStoreTornWriteOnMemStoreDropsBlock(t *testing.T) {
+	mem := NewMemStore()
+	fault := NewFaultStore(mem, FaultConfig{TornWriteAt: 1})
+	addr := BlockAddr{Disk: 0, Index: 0}
+	err := fault.WriteBlock(addr, mkBlock(record.Key(1), record.Key(1)))
+	var term *TerminalError
+	if !errors.As(err, &term) {
+		t.Fatalf("torn write = %v, want *TerminalError", err)
+	}
+	// MemStore has no checksum to expose half a write, so the block must
+	// simply not exist — the other legal on-media shape of a crash.
+	if _, err := mem.ReadBlock(addr); !errors.Is(err, ErrAbsent) {
+		t.Fatalf("block after torn write = %v, want ErrAbsent", err)
+	}
+}
+
+func TestFileStoreEpochStalenessDetected(t *testing.T) {
+	// A block's checksum binds the epoch it was written under; reopening
+	// bumps the epoch, so stale meta from an older generation cannot be
+	// passed off as a block of the current one. Freshly recovered blocks
+	// still read fine (the stored epoch is checksummed, not the current
+	// one) — this is regression cover for recovery, the staleness check
+	// itself lives in the misdirected-write paths.
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := BlockAddr{Disk: 0, Index: 3}
+	if err := fs.WriteBlock(addr, mkBlock(record.Key(42), record.Key(43))); err != nil {
+		t.Fatal(err)
+	}
+	fs.Close()
+	fs2, err := NewFileStore(dir, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	got, err := fs2.ReadBlock(addr)
+	if err != nil {
+		t.Fatalf("cross-epoch read: %v", err)
+	}
+	if got.Records[0].Key != 42 {
+		t.Fatalf("wrong records back: %v", got.Records)
+	}
+}

@@ -12,6 +12,12 @@ type Stats struct {
 	// SimTime is the estimated elapsed I/O time in seconds under the
 	// system's TimeModel (zero if no model is attached).
 	SimTime float64
+	// Retries and RetryGiveUps report the fault-tolerance layer's work
+	// when the store stack includes a RetryStore: transfers re-attempted
+	// after a transient failure, and operations that exhausted the retry
+	// budget. Zero on an unwrapped store.
+	Retries      int64
+	RetryGiveUps int64
 }
 
 // Ops returns the total number of parallel I/O operations.

@@ -58,14 +58,38 @@ type SerialStore interface {
 }
 
 // FrontierStore is optionally implemented by backends that can reopen
-// pre-existing state (FileStore, and FaultStore wrapping one): Frontier
-// reports the lowest block index strictly above every occupied slot on a
-// disk. NewSystem seeds its per-disk bump allocator from it, so a System
-// built over a reopened store never hands out an address that would
-// clobber a recovered block.
+// pre-existing state (FileStore, MemStore, and the wrappers over them):
+// Frontier reports the lowest block index strictly above every occupied
+// slot on a disk. NewSystem seeds its per-disk bump allocator from it, so
+// a System built over a reopened store never hands out an address that
+// would clobber a recovered block. The error return exists because the
+// allocator-seeding path is I/O on some backends (and fault-injectable on
+// all of them): a failed Frontier aborts NewSystem rather than silently
+// reusing addresses.
 type FrontierStore interface {
 	Store
-	Frontier(disk int) int
+	Frontier(disk int) (int, error)
+}
+
+// ManifestStore is optionally implemented by backends that can persist
+// one small opaque manifest alongside the blocks — the checkpoint state
+// of a multi-pass sort (see package srm). SaveManifest replaces the
+// manifest atomically: after a crash, LoadManifest returns either the
+// previous manifest or the new one, never a torn mix.
+type ManifestStore interface {
+	Store
+	SaveManifest(data []byte) error
+	// LoadManifest returns the manifest and whether one exists.
+	LoadManifest() ([]byte, bool, error)
+	ClearManifest() error
+}
+
+// BlockLister is optionally implemented by backends that can enumerate
+// their resident blocks — what Scrub and orphan reclamation walk. The
+// order is unspecified.
+type BlockLister interface {
+	Store
+	Blocks() []BlockAddr
 }
 
 // Usage is a Store's capacity accounting: how many blocks are resident
@@ -92,11 +116,12 @@ func storedBytes(b StoredBlock) int64 {
 // the Store ownership-handoff contract (readers never mutate). Build with
 // -tags=aliascheck to arm a per-block checksum that catches violations.
 type MemStore struct {
-	mu     sync.RWMutex
-	disks  map[int]map[int]StoredBlock
-	sums   map[BlockAddr]uint64 // aliascheck only: content checksum at write
-	blocks int64
-	bytes  int64
+	mu       sync.RWMutex
+	disks    map[int]map[int]StoredBlock
+	sums     map[BlockAddr]uint64 // aliascheck only: content checksum at write
+	blocks   int64
+	bytes    int64
+	manifest []byte // ManifestStore state; nil = no manifest
 }
 
 // NewMemStore returns an empty in-memory block store.
@@ -137,7 +162,7 @@ func (m *MemStore) ReadBlock(addr BlockAddr) (StoredBlock, error) {
 	defer m.mu.RUnlock()
 	b, ok := m.disks[addr.Disk][addr.Index]
 	if !ok {
-		return StoredBlock{}, fmt.Errorf("no block at %v", addr)
+		return StoredBlock{}, fmt.Errorf("%w: no block at %v", ErrAbsent, addr)
 	}
 	if aliasCheck {
 		m.verifySum(addr, b)
@@ -151,11 +176,11 @@ func (m *MemStore) Free(addr BlockAddr) error {
 	defer m.mu.Unlock()
 	d, ok := m.disks[addr.Disk]
 	if !ok {
-		return fmt.Errorf("free of absent block %v", addr)
+		return fmt.Errorf("%w: free of absent block %v", ErrAbsent, addr)
 	}
 	b, ok := d[addr.Index]
 	if !ok {
-		return fmt.Errorf("free of absent block %v", addr)
+		return fmt.Errorf("%w: free of absent block %v", ErrAbsent, addr)
 	}
 	if aliasCheck {
 		m.verifySum(addr, b)
@@ -220,6 +245,7 @@ func (m *MemStore) Close() error {
 	}
 	m.disks = nil
 	m.sums = nil
+	m.manifest = nil
 	m.blocks, m.bytes = 0, 0
 	return nil
 }
@@ -229,7 +255,61 @@ func (m *MemStore) Close() error {
 // scheduling cost.
 func (m *MemStore) SerialTransfers() bool { return true }
 
-// Blocks returns the number of blocks currently resident (for tests).
-func (m *MemStore) Blocks() int {
-	return int(m.Usage().Blocks)
+// Frontier implements FrontierStore: the lowest index strictly above
+// every resident block of disk. A fresh System built over a still-live
+// MemStore (the chaos harness's in-memory "reopen" after a simulated
+// kill) allocates past the surviving blocks instead of clobbering them.
+func (m *MemStore) Frontier(disk int) (int, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	frontier := 0
+	for idx := range m.disks[disk] {
+		if idx+1 > frontier {
+			frontier = idx + 1
+		}
+	}
+	return frontier, nil
+}
+
+// SaveManifest implements ManifestStore, holding the manifest in memory
+// alongside the blocks.
+func (m *MemStore) SaveManifest(data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.disks == nil {
+		return fmt.Errorf("%w: MemStore used after Close", ErrInvalid)
+	}
+	m.manifest = append([]byte(nil), data...)
+	return nil
+}
+
+// LoadManifest implements ManifestStore.
+func (m *MemStore) LoadManifest() ([]byte, bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.manifest == nil {
+		return nil, false, nil
+	}
+	return append([]byte(nil), m.manifest...), true, nil
+}
+
+// ClearManifest implements ManifestStore.
+func (m *MemStore) ClearManifest() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.manifest = nil
+	return nil
+}
+
+// Blocks implements BlockLister.
+func (m *MemStore) Blocks() []BlockAddr {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]BlockAddr, 0, m.blocks)
+	for disk, d := range m.disks {
+		for idx := range d {
+			out = append(out, BlockAddr{Disk: disk, Index: idx})
+		}
+	}
+	return out
 }

@@ -126,8 +126,8 @@ func TestMemStoreBlocksAndClose(t *testing.T) {
 	if err := m.WriteBlock(BlockAddr{Disk: 1, Index: 0}, blk(2)); err != nil {
 		t.Fatal(err)
 	}
-	if m.Blocks() != 2 {
-		t.Fatalf("Blocks = %d", m.Blocks())
+	if len(m.Blocks()) != 2 {
+		t.Fatalf("Blocks = %d", len(m.Blocks()))
 	}
 	if u := m.Usage(); u.Blocks != 2 || u.Bytes != 2*16 {
 		t.Fatalf("Usage = %+v, want 2 blocks / 32 bytes", u)

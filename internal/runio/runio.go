@@ -432,3 +432,56 @@ func Free(sys *pdisk.System, run *Run) error {
 	}
 	return nil
 }
+
+// RunState is the serialisable form of a Run: the same descriptor with
+// the block-index table exported, so a checkpoint manifest can persist
+// surviving runs and a resumed sort can reconstruct them over a reopened
+// store.
+type RunState struct {
+	ID        int
+	StartDisk int
+	Records   int
+	D         int
+	Indexes   []int32
+}
+
+// State exports the run's descriptor for a checkpoint manifest.
+func (r *Run) State() RunState {
+	return RunState{
+		ID:        r.ID,
+		StartDisk: r.StartDisk,
+		Records:   r.Records,
+		D:         r.D,
+		Indexes:   append([]int32(nil), r.indexes...),
+	}
+}
+
+// RunFromState reconstructs a run from its manifest descriptor.
+func RunFromState(st RunState) *Run {
+	return &Run{
+		ID:        st.ID,
+		StartDisk: st.StartDisk,
+		Records:   st.Records,
+		D:         st.D,
+		indexes:   append([]int32(nil), st.Indexes...),
+	}
+}
+
+// CountingPlacement wraps a Placement and counts StartDisk draws. A
+// checkpoint manifest records the count; a resumed sort replays that many
+// draws from a fresh seeded RandomPlacement before continuing, so the
+// starting disks of post-resume runs are exactly the ones the
+// uninterrupted sort would have drawn.
+type CountingPlacement struct {
+	Inner Placement
+	n     int64
+}
+
+// StartDisk implements Placement.
+func (p *CountingPlacement) StartDisk(seq int) int {
+	p.n++
+	return p.Inner.StartDisk(seq)
+}
+
+// Draws returns the number of StartDisk calls so far.
+func (p *CountingPlacement) Draws() int64 { return p.n }

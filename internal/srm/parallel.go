@@ -22,7 +22,7 @@ import (
 // work starts, so the result (final run contents, per-merge statistics,
 // total operation counts) is identical to the serial SortRuns run for run.
 func SortRunsParallel(sys *pdisk.System, runs []*runio.Run, r int, placement runio.Placement, seqStart, workers int) (*runio.Run, SortStats, int, error) {
-	return sortRunsParallel(sys, runs, r, placement, seqStart, workers, false)
+	return sortRunsParallel(sys, runs, r, placement, seqStart, workers, false, nil)
 }
 
 // SortRunsParallelAsync is SortRunsParallel with every merge performed by
@@ -30,10 +30,10 @@ func SortRunsParallel(sys *pdisk.System, runs []*runio.Run, r int, placement run
 // own I/O with merging. Results are identical to the serial, synchronous
 // SortRuns.
 func SortRunsParallelAsync(sys *pdisk.System, runs []*runio.Run, r int, placement runio.Placement, seqStart, workers int) (*runio.Run, SortStats, int, error) {
-	return sortRunsParallel(sys, runs, r, placement, seqStart, workers, true)
+	return sortRunsParallel(sys, runs, r, placement, seqStart, workers, true, nil)
 }
 
-func sortRunsParallel(sys *pdisk.System, runs []*runio.Run, r int, placement runio.Placement, seqStart, workers int, async bool) (*runio.Run, SortStats, int, error) {
+func sortRunsParallel(sys *pdisk.System, runs []*runio.Run, r int, placement runio.Placement, seqStart, workers int, async bool, afterPass PassFunc) (*runio.Run, SortStats, int, error) {
 	if r < 2 {
 		return nil, SortStats{}, seqStart, fmt.Errorf("srm: merge order R=%d, need >= 2", r)
 	}
@@ -88,6 +88,12 @@ func sortRunsParallel(sys *pdisk.System, runs []*runio.Run, r int, placement run
 				if j.err != nil {
 					return
 				}
+				if afterPass != nil {
+					// Checkpointing defers all frees to after the
+					// pass-end checkpoint, so a crash never strands the
+					// manifest pointing at freed inputs.
+					return
+				}
 				for _, in := range j.group {
 					if err := runio.Free(sys, in); err != nil {
 						j.err = err
@@ -104,6 +110,18 @@ func sortRunsParallel(sys *pdisk.System, runs []*runio.Run, r int, placement run
 			}
 			stats.add(j.ms)
 			next[slot[i]] = j.out
+		}
+		if afterPass != nil {
+			if err := afterPass(stats.MergePasses, next, seq); err != nil {
+				return nil, stats, seq, err
+			}
+			for _, j := range jobs {
+				for _, in := range j.group {
+					if err := runio.Free(sys, in); err != nil {
+						return nil, stats, seq, err
+					}
+				}
+			}
 		}
 		runs = next
 	}

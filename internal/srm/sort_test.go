@@ -92,7 +92,7 @@ func TestSortRunsFreesInputRuns(t *testing.T) {
 	// Only the final run (plus the untouched input file) should remain:
 	// input blocks 900/4=225, final run blocks 225.
 	wantResident := (900+3)/4 + final.NumBlocks()
-	if got := store.Blocks(); got != wantResident {
+	if got := len(store.Blocks()); got != wantResident {
 		t.Fatalf("%d blocks resident after sort, want %d (inputs not freed?)", got, wantResident)
 	}
 }

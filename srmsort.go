@@ -117,6 +117,19 @@ const (
 // Mid1990sDisk and ModernDisk for presets.
 type DiskModel = pdisk.TimeModel
 
+// RetryPolicy configures Config.Retry: bounded re-attempts with
+// deterministic exponential backoff for transient I/O failures. See
+// pdisk.RetryPolicy for the fields and pdisk.DefaultRetryPolicy for the
+// defaults.
+type RetryPolicy = pdisk.RetryPolicy
+
+// DefaultRetryPolicy returns the standard retry policy (4 attempts, 1 ms
+// base delay doubling to a 100 ms cap, 50% jitter).
+func DefaultRetryPolicy() RetryPolicy { return pdisk.DefaultRetryPolicy() }
+
+// ScrubReport is the result of a Scrub pass over a file-backed store.
+type ScrubReport = pdisk.ScrubReport
+
 // Mid1990sDisk returns disk parameters typical of the paper's era.
 func Mid1990sDisk() *DiskModel { return pdisk.Mid1990sDisk() }
 
@@ -176,6 +189,26 @@ type Config struct {
 	// overlap-aware time models, simulated time change. SRM variants and
 	// DSM; PSV always runs synchronously.
 	Async bool
+	// Retry, if non-nil, wraps the store in a pdisk.RetryStore: transient
+	// I/O failures are re-attempted under the policy's deterministic
+	// exponential backoff instead of aborting the sort. Terminal errors
+	// (corruption, caller bugs) still surface immediately. Retry
+	// accounting appears in the system's pdisk.Stats.
+	Retry *pdisk.RetryPolicy
+	// Checkpoint persists a recovery manifest through the store after run
+	// formation and after every completed merge pass, so an interrupted
+	// sort can be continued by Resume (or `srmsort -resume`) without
+	// redoing completed passes. Supported for the SRM variants and DSM;
+	// requires a backend with manifest support (both built-ins have it).
+	// With the file backend and a caller-supplied Dir, the disk files are
+	// kept on every exit so the recovery state survives the process.
+	Checkpoint bool
+	// Store, if non-nil, overrides Backend with a caller-owned store.
+	// The sort leaves it open on Close — this is how a harness shares
+	// one store (and its checkpoint manifest) across simulated process
+	// lifetimes, and how fault-injection wrappers are composed beneath
+	// the sort.
+	Store pdisk.Store
 }
 
 // Stats reports everything a sort did, in the paper's cost units.
@@ -270,20 +303,24 @@ func (c Config) backend() Backend {
 }
 
 // newSystem builds the disk system of a sort on the configured backend,
-// returning a cleanup function that removes any file-backed scratch
-// storage.
-func (c Config) newSystem() (*pdisk.System, func(), error) {
+// returning the top of the store stack (what checkpoint and scrub code
+// reach through) and a cleanup function that removes any file-backed
+// scratch storage.
+func (c Config) newSystem() (*pdisk.System, pdisk.Store, func(), error) {
 	var store pdisk.Store
 	cleanupStore := func() {}
-	switch c.backend() {
-	case MemBackend:
-		// pdisk defaults to a fresh MemStore.
-	case FileBackend:
+	retain := c.Store != nil
+	switch {
+	case c.Store != nil:
+		store = c.Store
+	case c.backend() == MemBackend:
+		store = pdisk.NewMemStore()
+	case c.backend() == FileBackend:
 		dir := c.Dir
 		if dir == "" {
 			tmp, err := os.MkdirTemp(c.TempDir, "srmsort-disks-*")
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			cleanupStore = func() { os.RemoveAll(tmp) }
 			dir = tmp
@@ -291,37 +328,47 @@ func (c Config) newSystem() (*pdisk.System, func(), error) {
 		fs, err := pdisk.NewFileStore(dir, c.B, c.D)
 		if err != nil {
 			cleanupStore()
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		store = fs
 		if c.Dir != "" {
 			// A user-supplied directory is kept; only the store's
-			// scratch files go.
-			cleanupStore = func() { fs.Remove() }
+			// scratch files go — unless the sort is checkpointed, in
+			// which case the files ARE the recovery state and survive
+			// every exit.
+			if c.Checkpoint {
+				cleanupStore = func() {}
+			} else {
+				cleanupStore = func() { fs.Remove() }
+			}
 		}
 	default:
-		return nil, nil, fmt.Errorf("srmsort: unknown backend %q", c.Backend)
+		return nil, nil, nil, fmt.Errorf("srmsort: unknown backend %q", c.Backend)
 	}
-	sys, err := pdisk.NewSystem(pdisk.Config{D: c.D, B: c.B, Store: store, Model: c.Model})
+	if c.Retry != nil {
+		store = pdisk.NewRetryStore(store, *c.Retry)
+	}
+	sys, err := pdisk.NewSystem(pdisk.Config{D: c.D, B: c.B, Store: store, Model: c.Model, RetainStore: retain})
 	if err != nil {
 		cleanupStore()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return sys, func() { sys.Close(); cleanupStore() }, nil
+	return sys, store, func() { sys.Close(); cleanupStore() }, nil
 }
 
 // runAlgorithm performs the sort proper (run formation + merge passes) and
 // returns a streaming iterator over the final sorted run. The caller must
 // snapshot Stats-level I/O figures before draining the iterator, because
-// reading the result back out is verification, not sorting cost.
-func runAlgorithm(sys *pdisk.System, file *runform.InputFile, cfg Config, m, r int, stats *Stats) (func(func(record.Record) error) error, error) {
+// reading the result back out is verification, not sorting cost. cp, when
+// non-nil, receives a checkpoint after formation and every merge pass.
+func runAlgorithm(sys *pdisk.System, file *runform.InputFile, cfg Config, m, r int, stats *Stats, cp *checkpointer) (func(func(record.Record) error) error, error) {
 	switch cfg.Algorithm {
 	case DSM:
-		return sortDSM(sys, file, m, r, cfg.Async, stats)
+		return sortDSM(sys, file, m, r, cfg.Async, stats, cp)
 	case PSV:
 		return sortPSV(sys, file, m, stats)
 	default:
-		return sortSRM(sys, file, m, r, cfg, stats)
+		return sortSRM(sys, file, m, r, cfg, stats, cp)
 	}
 }
 
@@ -329,33 +376,100 @@ func runAlgorithm(sys *pdisk.System, file *runform.InputFile, cfg Config, m, r i
 // the sorted records along with full I/O statistics. The input slice is not
 // modified.
 func Sort(records []Record, cfg Config) ([]Record, Stats, error) {
+	return sortOrResume(records, cfg, false)
+}
+
+// Resume continues a checkpointed sort that a crash (or injected kill)
+// interrupted: it loads the manifest from the reopened store, verifies
+// the newest intact checkpoint generation, reclaims orphaned blocks and
+// re-enters the merge loop at the last completed pass — the output is
+// byte-identical to an uninterrupted run, and Stats counts only the work
+// performed now (completed passes are not redone). If no manifest is
+// present the sort restarts from scratch using records, so Resume is
+// always safe to call; records may be nil when a manifest is known to
+// exist.
+func Resume(records []Record, cfg Config) ([]Record, Stats, error) {
+	return sortOrResume(records, cfg, true)
+}
+
+func sortOrResume(records []Record, cfg Config, resume bool) ([]Record, Stats, error) {
 	r, m, err := cfg.MergeOrder()
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	if cfg.Checkpoint && cfg.Algorithm == PSV {
+		return nil, Stats{}, fmt.Errorf("srmsort: checkpointing is not supported for PSV")
+	}
 	stats := Stats{Algorithm: cfg.Algorithm, D: cfg.D, B: cfg.B, M: m, R: r}
 
-	sys, cleanup, err := cfg.newSystem()
+	sys, store, cleanup, err := cfg.newSystem()
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	defer cleanup()
 
-	loader := runform.NewLoader(sys)
-	for _, rec := range records {
-		if err := loader.Append(record.Record{Key: record.Key(rec.Key), Val: rec.Val}); err != nil {
+	var emit func(func(record.Record) error) error
+	var man *manifest
+	if resume {
+		if man, err = loadManifest(store); err != nil {
 			return nil, Stats{}, err
 		}
 	}
-	file, err := loader.Finish()
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	sys.ResetStats() // loading the input is setup, not sorting cost
+	if man != nil {
+		if err := man.check(cfg, m, r, len(records)); err != nil {
+			return nil, Stats{}, err
+		}
+		emit, err = resumeMerge(sys, store, man, cfg, r, &stats)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+	} else {
+		if resume {
+			// No checkpoint survived: restart from scratch over a store
+			// an earlier attempt may have dirtied.
+			if err := wipeStore(store); err != nil {
+				return nil, Stats{}, err
+			}
+		}
+		loader := runform.NewLoader(sys)
+		for _, rec := range records {
+			if err := loader.Append(record.Record{Key: record.Key(rec.Key), Val: rec.Val}); err != nil {
+				return nil, Stats{}, err
+			}
+		}
+		file, err := loader.Finish()
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		var cp *checkpointer
+		if cfg.Checkpoint {
+			ms, ok := store.(pdisk.ManifestStore)
+			if !ok {
+				return nil, Stats{}, fmt.Errorf("srmsort: backend cannot persist a checkpoint manifest")
+			}
+			frontier, err := storeFrontiers(store, cfg.D)
+			if err != nil {
+				return nil, Stats{}, err
+			}
+			cp = &checkpointer{ms: ms, man: manifest{
+				Version:       manifestVersion,
+				Algorithm:     cfg.Algorithm.String(),
+				D:             cfg.D,
+				B:             cfg.B,
+				M:             m,
+				R:             r,
+				Seed:          cfg.Seed,
+				Formation:     int(cfg.RunFormation),
+				Records:       len(records),
+				InputFrontier: frontier,
+			}}
+		}
+		sys.ResetStats() // loading the input is setup, not sorting cost
 
-	emit, err := runAlgorithm(sys, file, cfg, m, r, &stats)
-	if err != nil {
-		return nil, Stats{}, err
+		emit, err = runAlgorithm(sys, file, cfg, m, r, &stats, cp)
+		if err != nil {
+			return nil, Stats{}, err
+		}
 	}
 
 	// Snapshot the I/O figures before reading the result back out —
@@ -374,15 +488,31 @@ func Sort(records []Record, cfg Config) ([]Record, Stats, error) {
 	}); err != nil {
 		return nil, Stats{}, err
 	}
+	// The sort is complete and its result materialised: the recovery
+	// state has served its purpose.
+	if cfg.Checkpoint || man != nil {
+		if ms, ok := store.(pdisk.ManifestStore); ok {
+			if err := ms.ClearManifest(); err != nil {
+				return nil, Stats{}, err
+			}
+		}
+	}
 	return result, stats, nil
 }
 
-func sortSRM(sys *pdisk.System, file *runform.InputFile, m, r int, cfg Config, stats *Stats) (func(func(record.Record) error) error, error) {
+func sortSRM(sys *pdisk.System, file *runform.InputFile, m, r int, cfg Config, stats *Stats, cp *checkpointer) (func(func(record.Record) error) error, error) {
 	var placement runio.Placement
 	if cfg.Algorithm == SRMDeterministic {
 		placement = runio.StaggeredPlacement{D: cfg.D}
 	} else {
 		placement = &runio.RandomPlacement{D: cfg.D, Rng: rand.New(rand.NewSource(cfg.Seed))}
+	}
+	var counting *runio.CountingPlacement
+	if cp != nil {
+		// Count placement draws so the manifest records how far the
+		// seeded RNG has advanced; a resume replays exactly that many.
+		counting = &runio.CountingPlacement{Inner: placement}
+		placement = counting
 	}
 
 	var formed runform.Result
@@ -403,18 +533,29 @@ func sortSRM(sys *pdisk.System, file *runform.InputFile, m, r int, cfg Config, s
 		return func(func(record.Record) error) error { return nil }, nil
 	}
 
-	var final *runio.Run
-	var sortStats srm.SortStats
-	switch {
-	case cfg.Async && (cfg.Workers > 1 || cfg.Workers < 0):
-		final, sortStats, _, err = srm.SortRunsParallelAsync(sys, formed.Runs, r, placement, formed.NextSeq, cfg.Workers)
-	case cfg.Async:
-		final, sortStats, _, err = srm.SortRunsAsync(sys, formed.Runs, r, placement, formed.NextSeq)
-	case cfg.Workers > 1 || cfg.Workers < 0:
-		final, sortStats, _, err = srm.SortRunsParallel(sys, formed.Runs, r, placement, formed.NextSeq, cfg.Workers)
-	default:
-		final, sortStats, _, err = srm.SortRuns(sys, formed.Runs, r, placement, formed.NextSeq)
+	opts := srm.SortOpts{Async: cfg.Async, Workers: cfg.Workers}
+	if cp != nil {
+		// Pass 0 is run formation: checkpoint the freshly formed runs so
+		// a crash during the first merge pass can resume from them.
+		cp.man.InitialRuns = len(formed.Runs)
+		if err := cp.save(runGen{
+			Pass:  0,
+			Seq:   formed.NextSeq,
+			Draws: counting.Draws(),
+			Runs:  runStates(formed.Runs),
+		}); err != nil {
+			return nil, err
+		}
+		opts.AfterPass = func(pass int, survivors []*runio.Run, seq int) error {
+			return cp.save(runGen{
+				Pass:  pass,
+				Seq:   seq,
+				Draws: counting.Draws(),
+				Runs:  runStates(survivors),
+			})
+		}
 	}
+	final, sortStats, _, err := srm.SortRunsOpts(sys, formed.Runs, r, placement, formed.NextSeq, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -446,26 +587,73 @@ func sortPSV(sys *pdisk.System, file *runform.InputFile, m int, stats *Stats) (f
 	return func(fn func(record.Record) error) error { return runio.Stream(sys, final, fn) }, nil
 }
 
-func sortDSM(sys *pdisk.System, file *runform.InputFile, m, r int, async bool, stats *Stats) (func(func(record.Record) error) error, error) {
-	var final *dsm.Run
-	var ds dsm.SortStats
+func sortDSM(sys *pdisk.System, file *runform.InputFile, m, r int, async bool, stats *Stats, cp *checkpointer) (func(func(record.Record) error) error, error) {
+	dsmStream := func(final *dsm.Run) func(func(record.Record) error) error {
+		if async {
+			return func(fn func(record.Record) error) error { return dsm.StreamAsync(sys, final, fn) }
+		}
+		return func(fn func(record.Record) error) error { return dsm.Stream(sys, final, fn) }
+	}
+	if cp == nil {
+		var final *dsm.Run
+		var ds dsm.SortStats
+		var err error
+		if async {
+			final, ds, err = dsm.SortAsync(sys, file, (m+1)/2, r)
+		} else {
+			final, ds, err = dsm.Sort(sys, file, (m+1)/2, r)
+		}
+		if err != nil {
+			return nil, err
+		}
+		stats.RunFormationReads = ds.RunFormationReads
+		stats.RunFormationWrites = ds.RunFormationWrites
+		stats.InitialRuns = ds.InitialRuns
+		stats.MergePasses = ds.MergePasses
+		stats.MergeReads = ds.MergeReadOps
+		stats.MergeWrites = ds.MergeWriteOps
+		return dsmStream(final), nil
+	}
+
+	// Checkpointed path: run formation and merging are driven separately
+	// so pass 0 (the formed runs) can be persisted before any merge pass.
+	before := sys.Stats()
+	var runs []*dsm.Run
 	var err error
 	if async {
-		final, ds, err = dsm.SortAsync(sys, file, (m+1)/2, r)
+		runs, err = dsm.FormRunsAsync(sys, file, (m+1)/2)
 	} else {
-		final, ds, err = dsm.Sort(sys, file, (m+1)/2, r)
+		runs, err = dsm.FormRuns(sys, file, (m+1)/2)
 	}
 	if err != nil {
 		return nil, err
 	}
-	stats.RunFormationReads = ds.RunFormationReads
-	stats.RunFormationWrites = ds.RunFormationWrites
-	stats.InitialRuns = ds.InitialRuns
-	stats.MergePasses = ds.MergePasses
-	stats.MergeReads = ds.MergeReadOps
-	stats.MergeWrites = ds.MergeWriteOps
-	if async {
-		return func(fn func(record.Record) error) error { return dsm.StreamAsync(sys, final, fn) }, nil
+	afterForm := sys.Stats()
+	stats.RunFormationReads = afterForm.ReadOps - before.ReadOps
+	stats.RunFormationWrites = afterForm.WriteOps - before.WriteOps
+	stats.InitialRuns = len(runs)
+	if len(runs) == 0 {
+		final, err := dsm.NewWriter(sys, 0).Finish()
+		if err != nil {
+			return nil, err
+		}
+		return dsmStream(final), nil
 	}
-	return func(fn func(record.Record) error) error { return dsm.Stream(sys, final, fn) }, nil
+	cp.man.InitialRuns = len(runs)
+	if err := cp.save(runGen{Pass: 0, Seq: len(runs), DSMRuns: dsmRunStates(runs)}); err != nil {
+		return nil, err
+	}
+	final, ms, _, err := dsm.MergeAll(sys, runs, r, len(runs), dsm.MergeAllOpts{
+		Async: async,
+		AfterPass: func(pass int, survivors []*dsm.Run, seq int) error {
+			return cp.save(runGen{Pass: pass, Seq: seq, DSMRuns: dsmRunStates(survivors)})
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	stats.MergePasses = ms.MergePasses
+	stats.MergeReads = ms.MergeReadOps
+	stats.MergeWrites = ms.MergeWriteOps
+	return dsmStream(final), nil
 }

@@ -71,7 +71,7 @@ func SortStream(r io.Reader, w io.Writer, cfg Config) (Stats, error) {
 	}
 	stats := Stats{Algorithm: cfg.Algorithm, D: cfg.D, B: cfg.B, M: m, R: mergeR}
 
-	sys, cleanup, err := cfg.newSystem()
+	sys, _, cleanup, err := cfg.newSystem()
 	if err != nil {
 		return Stats{}, err
 	}
@@ -108,7 +108,7 @@ func SortStream(r io.Reader, w io.Writer, cfg Config) (Stats, error) {
 	}
 	sys.ResetStats() // loading is setup, not sorting cost
 
-	emit, err := runAlgorithm(sys, file, cfg, m, mergeR, &stats)
+	emit, err := runAlgorithm(sys, file, cfg, m, mergeR, &stats, nil)
 	if err != nil {
 		return Stats{}, err
 	}
