@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-all bench-smoke aliascheck chaos check fmt-check tables tables-full verify
+.PHONY: all build test race bench bench-all bench-smoke aliascheck chaos loadtest check fmt-check tables tables-full verify
 
 all: build test
 
@@ -22,7 +22,7 @@ check: fmt-check build
 	go vet ./...
 	go test -race ./...
 	go test -tags=aliascheck ./internal/pdisk/ ./internal/srm/
-	go test -run='^$$' -bench=SortEndToEnd -benchtime=1x .
+	go test -run='^$$' -bench='SortEndToEnd|ServerThroughput' -benchtime=1x .
 
 # The whole suite with MemStore's zero-copy mutation guard armed: every
 # block read is checksum-audited, so any merge path that mutates a block
@@ -37,6 +37,13 @@ aliascheck:
 chaos:
 	go test -race -count=1 -timeout 10m ./internal/chaos/
 
+# The sortd server load tests: dozens of concurrent jobs over the HTTP
+# API with seeded store faults, plus the server kill/restart matrix
+# (20 tenants, two abrupt teardowns, byte-identical results required).
+# Raced, under a hard deadline.
+loadtest:
+	go test -race -count=1 -timeout 10m -run 'TestServerLoad|TestHTTPCancelAndErrors|TestServerKillRestart|TestServerCleanRestart' ./internal/jobs/ ./internal/chaos/
+
 # Fail (listing the offenders) if any file is not gofmt-clean.
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -46,7 +53,7 @@ fmt-check:
 # BENCH_sort.json with ns/record, B/record and allocs/record per cell —
 # the perf trajectory future PRs regress against (see EXPERIMENTS.md).
 bench:
-	go test -run='^$$' -bench=SortEndToEnd -benchmem . | tee bench_sort_output.txt
+	go test -run='^$$' -bench='SortEndToEnd|ServerThroughput' -benchmem . | tee bench_sort_output.txt
 	go run ./cmd/benchjson -o BENCH_sort.json bench_sort_output.txt
 
 # Every benchmark in the repository (micro and end-to-end).
@@ -55,7 +62,7 @@ bench-all:
 
 # One iteration per cell: proves the harness runs, measures nothing.
 bench-smoke:
-	go test -run='^$$' -bench=SortEndToEnd -benchtime=1x .
+	go test -run='^$$' -bench='SortEndToEnd|ServerThroughput' -benchtime=1x .
 
 tables:
 	go run ./cmd/tables

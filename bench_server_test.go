@@ -1,0 +1,86 @@
+// Server-level benchmark: sortd scheduler throughput as a function of
+// tenant concurrency. Lives in package srmsort_test (unlike the library
+// benchmarks) so it can import the internal jobs scheduler.
+package srmsort_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"srmsort"
+	"srmsort/internal/jobs"
+)
+
+// BenchmarkServerThroughput measures end-to-end job throughput through
+// the sortd scheduler — ingest, admission, sort, egest — at increasing
+// concurrent-tenant counts on a volatile manager. Custom metrics report
+// jobs/s and aggregate sorted records/s; the concurrency sweep shows how
+// much the shared budget, gate and stores cost or win versus running
+// jobs one at a time.
+func BenchmarkServerThroughput(b *testing.B) {
+	spec := jobs.Spec{Algorithm: "srm", D: 4, B: 16, K: 3, Seed: 1}
+	cfg, err := spec.Config()
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, mNeed, err := cfg.MergeOrder()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const recordsPerJob = 4000
+
+	for _, conc := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("jobs=%d", conc), func(b *testing.B) {
+			m, err := jobs.NewManager(jobs.Options{
+				MemoryBudget: conc * mNeed,
+				Defaults:     spec,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Kill()
+
+			inputs := make([][]byte, conc)
+			for i := range inputs {
+				rng := rand.New(rand.NewSource(int64(1000 + i)))
+				recs := make([]srmsort.Record, recordsPerJob)
+				for k := range recs {
+					recs[k] = srmsort.Record{Key: rng.Uint64(), Val: uint64(k)}
+				}
+				var buf bytes.Buffer
+				if err := srmsort.WriteRecords(&buf, recs); err != nil {
+					b.Fatal(err)
+				}
+				inputs[i] = buf.Bytes()
+			}
+
+			b.ResetTimer()
+			start := time.Now()
+			completed := 0
+			for i := 0; i < b.N; i++ {
+				js := make([]*jobs.Job, conc)
+				for k := range js {
+					j, err := m.Submit(jobs.Spec{}, bytes.NewReader(inputs[k]))
+					if err != nil {
+						b.Fatal(err)
+					}
+					js[k] = j
+				}
+				for _, j := range js {
+					<-j.Done()
+					if st := j.Status(); st.State != jobs.StateDone {
+						b.Fatalf("job %s: %s (%s)", st.ID, st.State, st.Error)
+					}
+				}
+				completed += conc
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			b.ReportMetric(float64(completed)/elapsed.Seconds(), "jobs/s")
+			b.ReportMetric(float64(completed*recordsPerJob)/elapsed.Seconds(), "recs/s")
+		})
+	}
+}

@@ -285,7 +285,7 @@ func dsmRunStates(runs []*dsm.Run) []dsm.RunState {
 // generation and returns the final-run iterator, exactly like
 // runAlgorithm does for a fresh sort. Completed passes are not redone:
 // stats counts only the work performed now.
-func resumeMerge(sys *pdisk.System, store pdisk.Store, man *manifest, cfg Config, r int, stats *Stats) (func(func(record.Record) error) error, error) {
+func resumeMerge(sys *pdisk.System, store pdisk.Store, man *manifest, cfg Config, r int, stats *Stats, tr *progressTracker) (func(func(record.Record) error) error, error) {
 	gen, err := chooseGen(store, man)
 	if err != nil {
 		return nil, err
@@ -294,6 +294,8 @@ func resumeMerge(sys *pdisk.System, store pdisk.Store, man *manifest, cfg Config
 		return nil, err
 	}
 	stats.InitialRuns = man.InitialRuns
+	runsLeft := len(gen.Runs) + len(gen.DSMRuns)
+	tr.formed(man.InitialRuns, runsLeft, r, gen.Pass)
 	sys.ResetStats() // verification reads are recovery, not sorting cost
 
 	cp := &checkpointer{man: *man}
@@ -318,7 +320,11 @@ func resumeMerge(sys *pdisk.System, store pdisk.Store, man *manifest, cfg Config
 			final = runs[0]
 		} else {
 			opts := dsm.MergeAllOpts{Async: cfg.Async, AfterPass: func(pass int, survivors []*dsm.Run, seq int) error {
-				return cp.save(runGen{Pass: gen.Pass + pass, Seq: seq, DSMRuns: dsmRunStates(survivors)})
+				if err := cp.save(runGen{Pass: gen.Pass + pass, Seq: seq, DSMRuns: dsmRunStates(survivors)}); err != nil {
+					return err
+				}
+				tr.pass(gen.Pass, pass, len(survivors))
+				return nil
 			}}
 			var ms dsm.SortStats
 			final, ms, _, err = dsm.MergeAll(sys, runs, r, gen.Seq, opts)
@@ -352,12 +358,16 @@ func resumeMerge(sys *pdisk.System, store pdisk.Store, man *manifest, cfg Config
 			Async:   cfg.Async,
 			Workers: cfg.Workers,
 			AfterPass: func(pass int, survivors []*runio.Run, seq int) error {
-				return cp.save(runGen{
+				if err := cp.save(runGen{
 					Pass:  gen.Pass + pass,
 					Seq:   seq,
 					Draws: gen.Draws + counting.Draws(),
 					Runs:  runStates(survivors),
-				})
+				}); err != nil {
+					return err
+				}
+				tr.pass(gen.Pass, pass, len(survivors))
+				return nil
 			},
 		}
 		var ss srm.SortStats

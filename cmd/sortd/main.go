@@ -1,0 +1,117 @@
+// Command sortd runs srmsort as a service: an HTTP daemon that accepts
+// many sort jobs concurrently, admission-controls them against one
+// server-wide memory budget, shares per-disk bandwidth across all
+// running jobs, and makes the library's fault tolerance tenant-visible —
+// every job checkpoints under its own directory, so a killed server
+// resumes all incomplete jobs on restart and finished results remain
+// fetchable.
+//
+// Usage:
+//
+//	sortd -addr :8080 -root /var/lib/sortd -budget 4000000
+//	      [-gate-width 2] [-gate-disks 64] [-retries 5] [-max-attempts 3]
+//	      [-d 8] [-b 64] [-k 4] [-alg srm] [-seed 1] [-async] [-workers N]
+//
+// The -d/-b/-k/-alg/... flags are per-job defaults; each submission may
+// override them with query parameters. Submit wire-format records
+// (16 bytes little-endian per record: 8 key + 8 payload):
+//
+//	curl -s --data-binary @input.rec 'localhost:8080/jobs?d=8&b=64&k=4'
+//	curl -s localhost:8080/jobs/job-000001            # status + progress
+//	curl -s localhost:8080/jobs/job-000001/result -o sorted.rec
+//	curl -s -X DELETE localhost:8080/jobs/job-000001  # cancel
+//
+// Kill the process mid-flight and start it again on the same -root: the
+// incomplete jobs resume from their last checkpointed merge pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"srmsort"
+	"srmsort/internal/jobs"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		root        = flag.String("root", "", "directory jobs persist under (empty = volatile: results die with the process)")
+		budget      = flag.Int("budget", 4_000_000, "server-wide working-memory budget in records; each job's M is reserved from it")
+		gateWidth   = flag.Int("gate-width", 2, "per-disk in-flight transfer bound shared by all jobs (-1 = unlimited)")
+		gateDisks   = flag.Int("gate-disks", 64, "disks the shared gate covers (largest d= any job may request)")
+		retries     = flag.Int("retries", 5, "re-attempt transient I/O failures up to N times per operation (0 = fail on first error)")
+		maxAttempts = flag.Int("max-attempts", 3, "sort attempts per job (first run + checkpoint resumes) before it fails")
+		d           = flag.Int("d", 8, "default disks per job")
+		b           = flag.Int("b", 64, "default block size in records")
+		k           = flag.Int("k", 4, "default memory parameter k")
+		mem         = flag.Int("mem", 0, "default memory M in records (overrides -k)")
+		alg         = flag.String("alg", "srm", "default algorithm: srm, srm-det, dsm, psv")
+		seed        = flag.Int64("seed", 1, "default placement seed")
+		async       = flag.Bool("async", false, "default: overlap I/O with merging")
+		workers     = flag.Int("workers", 0, "default merge workers (-1 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	opts := jobs.Options{
+		Root:         *root,
+		MemoryBudget: *budget,
+		GateWidth:    *gateWidth,
+		GateDisks:    *gateDisks,
+		MaxAttempts:  *maxAttempts,
+		Defaults: jobs.Spec{
+			Algorithm: *alg, D: *d, B: *b, K: *k, Memory: *mem,
+			Seed: *seed, Async: *async, Workers: *workers,
+		},
+		Logf: log.Printf,
+	}
+	if *retries > 0 {
+		policy := srmsort.DefaultRetryPolicy()
+		policy.MaxAttempts = *retries
+		policy.Seed = *seed
+		opts.Retry = &policy
+	}
+
+	m, err := jobs.NewManager(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sortd: %v\n", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sortd: %v\n", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: jobs.NewHandler(m)}
+
+	// Teardown is deliberately abrupt: stop listening, sever every
+	// running job mid-operation, exit. Durable jobs checkpoint, so the
+	// next sortd over the same -root resumes them — an orderly drain
+	// would only hide bugs in that path.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("sortd: %v: tearing down (incomplete jobs will resume on restart)", s)
+		srv.Close()
+		m.Kill()
+	}()
+
+	mode := "volatile (no -root: results die with the process)"
+	if *root != "" {
+		mode = fmt.Sprintf("durable under %s", *root)
+	}
+	log.Printf("sortd: listening on %s, budget %d records, %s", ln.Addr(), *budget, mode)
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "sortd: %v\n", err)
+		os.Exit(1)
+	}
+	m.Kill()
+}

@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"slices"
@@ -125,6 +126,10 @@ func main() {
 		cfg.Retry = &policy
 	}
 	cfg.Checkpoint = *ckpt || *resume
+
+	if err := validateRecovery(cfg.Backend, *dir, *resume, *scrub); err != nil {
+		fatal("%v", err)
+	}
 
 	if *scrub {
 		rep, err := srmsort.Scrub(cfg)
@@ -277,6 +282,36 @@ func generate(kind string, n int, seed int64) []srmsort.Record {
 		fatal("unknown -input %q", kind)
 	}
 	return out
+}
+
+// validateRecovery cross-checks the recovery flags before any work
+// happens, so a misuse fails in milliseconds with advice instead of
+// silently sorting from scratch (-resume on a fresh mem backend used to
+// do exactly that) or failing deep inside the store layer.
+func validateRecovery(backend srmsort.Backend, dir string, resume, scrub bool) error {
+	if !resume && !scrub {
+		return nil
+	}
+	flagName := "-resume"
+	if scrub {
+		flagName = "-scrub"
+	}
+	if backend != srmsort.FileBackend {
+		return fmt.Errorf("%s needs on-disk state: add -backend file -dir DIR (the mem backend leaves nothing to %s)",
+			flagName, strings.TrimPrefix(flagName, "-"))
+	}
+	if dir == "" {
+		return fmt.Errorf("%s needs -dir DIR naming the sort's disk directory", flagName)
+	}
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		return fmt.Errorf("%s: disk directory %q does not exist", flagName, dir)
+	}
+	if resume {
+		if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+			return fmt.Errorf("-resume: no checkpoint manifest under %q — nothing to resume; rerun with -checkpoint (without -resume) to start a recoverable sort", dir)
+		}
+	}
+	return nil
 }
 
 // diagnose renders a failed sort's error as one line naming, when known,

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"srmsort"
+)
+
+// TestMain lets the test binary stand in for the srmsort CLI: with
+// SRMSORT_RUN_MAIN=1 it runs main() on its own arguments, so tests can
+// exec a real CLI invocation without a separate build step.
+func TestMain(m *testing.M) {
+	if os.Getenv("SRMSORT_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "SRMSORT_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// TestValidateRecovery covers the cross-flag validator directly.
+func TestValidateRecovery(t *testing.T) {
+	withManifest := t.TempDir()
+	if err := os.WriteFile(filepath.Join(withManifest, "manifest.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	empty := t.TempDir()
+
+	cases := []struct {
+		name    string
+		backend srmsort.Backend
+		dir     string
+		resume  bool
+		scrub   bool
+		wantErr string // "" = valid
+	}{
+		{"plain sort", srmsort.MemBackend, "", false, false, ""},
+		{"resume on mem", srmsort.MemBackend, "", true, false, "-backend file"},
+		{"scrub on mem", srmsort.MemBackend, "", false, true, "-backend file"},
+		{"resume without dir", srmsort.FileBackend, "", true, false, "-dir"},
+		{"scrub without dir", srmsort.FileBackend, "", false, true, "-dir"},
+		{"resume missing dir", srmsort.FileBackend, filepath.Join(empty, "nope"), true, false, "does not exist"},
+		{"resume without manifest", srmsort.FileBackend, empty, true, false, "no checkpoint manifest"},
+		{"resume with manifest", srmsort.FileBackend, withManifest, true, false, ""},
+		{"scrub with dir", srmsort.FileBackend, empty, false, true, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateRecovery(tc.backend, tc.dir, tc.resume, tc.scrub)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestCLIFailsFast execs the real CLI and checks the misuse cases die in
+// milliseconds with one actionable line — before any input is generated
+// or sorted.
+func TestCLIFailsFast(t *testing.T) {
+	out, err := runCLI(t, "-resume")
+	if err == nil {
+		t.Fatalf("-resume on the mem backend succeeded; output:\n%s", out)
+	}
+	if !strings.Contains(out, "-backend file") {
+		t.Fatalf("error does not tell the user what to do:\n%s", out)
+	}
+
+	out, err = runCLI(t, "-scrub")
+	if err == nil {
+		t.Fatalf("-scrub on the mem backend succeeded; output:\n%s", out)
+	}
+	if !strings.Contains(out, "-backend file") {
+		t.Fatalf("error does not tell the user what to do:\n%s", out)
+	}
+
+	out, err = runCLI(t, "-resume", "-backend", "file", "-dir", t.TempDir())
+	if err == nil {
+		t.Fatalf("-resume with no checkpoint state succeeded; output:\n%s", out)
+	}
+	if !strings.Contains(out, "no checkpoint manifest") {
+		t.Fatalf("error does not name the missing manifest:\n%s", out)
+	}
+}
+
+// TestCLISortsSmall is the happy-path smoke test: the CLI still sorts.
+func TestCLISortsSmall(t *testing.T) {
+	out, err := runCLI(t, "-n", "2000", "-d", "4", "-b", "8", "-k", "3")
+	if err != nil {
+		t.Fatalf("CLI failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "sorted 2000 records") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}

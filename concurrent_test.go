@@ -1,0 +1,64 @@
+package srmsort
+
+import (
+	"sync"
+	"testing"
+
+	"srmsort/internal/pdisk"
+)
+
+// TestConcurrentSorts runs several Sort calls at once in one process —
+// distinct backends, algorithms and directories, all throttled through
+// one shared DiskGate — and checks every result independently. This is
+// the library-level contract the sortd scheduler builds on: Sort must be
+// reentrant, with no hidden shared state between sorts beyond the gate
+// they were explicitly given. Run under -race this doubles as a data-race
+// audit of the gate and the progress tracker.
+func TestConcurrentSorts(t *testing.T) {
+	gate := pdisk.NewDiskGate(8, 2)
+	cases := []Config{
+		{D: 4, B: 8, K: 3, Algorithm: SRM, Seed: 1, Gate: gate},
+		{D: 8, B: 8, K: 3, Algorithm: SRM, Seed: 2, Gate: gate, Async: true},
+		{D: 4, B: 8, K: 3, Algorithm: DSM, Seed: 3, Gate: gate,
+			Backend: FileBackend, Dir: t.TempDir()},
+		{D: 2, B: 16, K: 3, Algorithm: PSV, Seed: 4, Gate: gate},
+	}
+	const n = 12_000
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(cases))
+	outs := make([][]Record, len(cases))
+	for i, cfg := range cases {
+		wg.Add(1)
+		go func(i int, cfg Config) {
+			defer wg.Done()
+			cfg.Progress = func(Progress) {} // exercise the tracker concurrently
+			in := randomRecords(n, 100+int64(i))
+			out, _, err := Sort(in, cfg)
+			outs[i], errs[i] = out, err
+		}(i, cfg)
+	}
+	wg.Wait()
+
+	for i := range cases {
+		if errs[i] != nil {
+			t.Fatalf("sort %d: %v", i, errs[i])
+		}
+		want, _, err := Sort(randomRecords(n, 100+int64(i)), Config{
+			D: cases[i].D, B: cases[i].B, K: cases[i].K,
+			Algorithm: cases[i].Algorithm, Seed: cases[i].Seed,
+		})
+		if err != nil {
+			t.Fatalf("reference sort %d: %v", i, err)
+		}
+		if len(outs[i]) != len(want) {
+			t.Fatalf("sort %d: %d records, want %d", i, len(outs[i]), len(want))
+		}
+		for k := range want {
+			if outs[i][k] != want[k] {
+				t.Fatalf("sort %d: record %d = %v, want %v (concurrent run diverged from solo run)",
+					i, k, outs[i][k], want[k])
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// TestServerKillRestart is the service-level chaos matrix: 20 concurrent
+// tenants on one durable job manager, every store under a seeded 2%
+// transient-fault schedule, and the whole server torn down abruptly
+// twice while jobs are provably mid-flight. Every job must end done —
+// through retries, in-place resumes and cross-incarnation restarts —
+// with output byte-identical to its fault-free single-job sort, and the
+// admission ledger must never have exceeded the memory budget.
+func TestServerKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("server chaos matrix is long; skipped under -short")
+	}
+	cell := ServerCell{
+		Jobs:          20,
+		RecordsPerJob: 1500,
+		Seed:          42,
+		FailProb:      0.02,
+		Kills:         2,
+	}
+	res, err := RunServer(cell, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts != cell.Kills {
+		t.Errorf("restarts = %d, want %d", res.Restarts, cell.Kills)
+	}
+	if res.Resumed == 0 {
+		t.Error("no job survived a server teardown — the kills never caught one mid-flight")
+	}
+	if res.PeakMemory > res.Budget {
+		t.Errorf("admission control exceeded the budget: peak %d > %d records",
+			res.PeakMemory, res.Budget)
+	}
+	if res.PeakMemory == 0 {
+		t.Error("peak memory reservation is zero — the ledger never saw a job")
+	}
+	t.Logf("restarts=%d resumed=%d peak=%d/%d records",
+		res.Restarts, res.Resumed, res.PeakMemory, res.Budget)
+}
+
+// TestServerCleanRestart is the fault-free edge of the matrix: a server
+// killed partway through its job backlog must still complete every job
+// on restart (the pure resume path, no fault noise).
+func TestServerCleanRestart(t *testing.T) {
+	cell := ServerCell{
+		Jobs:          6,
+		RecordsPerJob: 800,
+		Seed:          7,
+		Kills:         1,
+	}
+	res, err := RunServer(cell, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakMemory > res.Budget {
+		t.Errorf("admission control exceeded the budget: peak %d > %d records",
+			res.PeakMemory, res.Budget)
+	}
+}

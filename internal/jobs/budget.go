@@ -1,0 +1,158 @@
+package jobs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// budget is the server's global memory ledger. Every job's working
+// memory M (in records, as derived by srmsort.Config.MergeOrder) is
+// carved from one shared total before the job's sort may start, and
+// returned when it finishes — admission control in the Rahn–Sanders
+// sense: memory is a globally budgeted resource, and the number of
+// concurrently running sorts is whatever the budget admits, not a fixed
+// worker count.
+//
+// Admission is strictly FIFO: the queue head is admitted as soon as its
+// reservation fits, and nothing behind it can jump the line, so a large
+// job is never starved by a stream of small ones. The invariant
+// used <= total holds at every instant by construction; reserve panics
+// if it is ever violated, so a scheduler bug cannot silently oversubscribe
+// memory.
+type budget struct {
+	mu    sync.Mutex
+	total int
+	used  int
+	peak  int
+	queue []*waiter
+	// closed, once non-nil, fails every queued and future reservation
+	// with this reason — the server is shutting down.
+	closed error
+}
+
+// waiter is one queued reservation. ch is buffered so drainLocked never
+// blocks handing out an admission.
+type waiter struct {
+	m    int
+	ch   chan error
+	gone bool // abandoned by cancellation; drainLocked skips it
+}
+
+func newBudget(total int) *budget { return &budget{total: total} }
+
+// reserve blocks until m records of memory are carved from the budget,
+// cancel fires, or the budget closes. On success the caller owns the
+// reservation and must release it.
+func (b *budget) reserve(m int, cancel <-chan struct{}) error {
+	b.mu.Lock()
+	if m <= 0 {
+		b.mu.Unlock()
+		return fmt.Errorf("jobs: reservation of %d records", m)
+	}
+	if m > b.total {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: job needs M=%d records, server budget is %d", ErrOverBudget, m, b.total)
+	}
+	if b.closed != nil {
+		err := b.closed
+		b.mu.Unlock()
+		return err
+	}
+	w := &waiter{m: m, ch: make(chan error, 1)}
+	b.queue = append(b.queue, w)
+	b.drainLocked()
+	b.mu.Unlock()
+
+	select {
+	case err := <-w.ch:
+		return err
+	case <-cancel:
+		b.mu.Lock()
+		select {
+		case err := <-w.ch:
+			// Lost the race: the reservation was granted (or refused)
+			// just as the cancel fired. Hand a granted one straight back.
+			if err == nil {
+				b.used -= w.m
+				b.drainLocked()
+			}
+		default:
+			w.gone = true
+		}
+		b.mu.Unlock()
+		return ErrCanceled
+	}
+}
+
+// release returns a granted reservation and admits whatever now fits.
+func (b *budget) release(m int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.used -= m
+	if b.used < 0 {
+		panic("jobs: budget released more memory than was reserved")
+	}
+	b.drainLocked()
+}
+
+// drainLocked admits queued reservations in FIFO order while they fit.
+func (b *budget) drainLocked() {
+	for len(b.queue) > 0 {
+		w := b.queue[0]
+		if w.gone {
+			b.queue = b.queue[1:]
+			continue
+		}
+		if b.closed != nil {
+			w.ch <- b.closed
+			b.queue = b.queue[1:]
+			continue
+		}
+		if b.used+w.m > b.total {
+			return // FIFO: nothing overtakes the head
+		}
+		b.used += w.m
+		if b.used > b.peak {
+			b.peak = b.used
+		}
+		if b.used > b.total {
+			panic("jobs: admission control exceeded the memory budget")
+		}
+		w.ch <- nil
+		b.queue = b.queue[1:]
+	}
+}
+
+// close fails every queued and future reservation with reason.
+func (b *budget) close(reason error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed == nil {
+		b.closed = reason
+	}
+	b.drainLocked()
+}
+
+// InUse returns the records currently reserved.
+func (b *budget) InUse() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.used
+}
+
+// Peak returns the high-water mark of reserved records.
+func (b *budget) Peak() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.peak
+}
+
+// Total returns the budget size.
+func (b *budget) Total() int { return b.total }
+
+// queueLen returns the number of queued (unadmitted) reservations.
+func (b *budget) queueLen() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queue)
+}

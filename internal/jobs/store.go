@@ -1,0 +1,164 @@
+package jobs
+
+import (
+	"errors"
+	"sync"
+
+	"srmsort/internal/pdisk"
+)
+
+// ErrCanceled reports that a job was canceled by the tenant (or its
+// admission wait was abandoned) before its sort completed.
+var ErrCanceled = errors.New("jobs: job canceled")
+
+// ErrKilled reports that the server was torn down while the job was in
+// flight. An on-disk job interrupted this way is not failed — the next
+// Manager over the same root resumes it from its checkpoint.
+var ErrKilled = errors.New("jobs: server shut down")
+
+// ErrOverBudget reports a job whose working memory alone exceeds the
+// server's entire budget — it can never be admitted.
+var ErrOverBudget = errors.New("jobs: job exceeds server memory budget")
+
+// killableStore wraps a job's Store with a kill switch. kill makes every
+// subsequent operation fail with a pdisk.TerminalError, which the retry
+// layer refuses to retry, so a running sort collapses promptly instead
+// of grinding on against a revoked backend. This is how both job
+// cancellation and server teardown sever a sort mid-flight: the store
+// dies under it, exactly like the chaos harness's simulated crashes, and
+// whatever the fault-tolerance layer persisted stays on disk for resume.
+//
+// The wrapper forwards the inner store's optional capabilities
+// (SerialStore, FrontierStore, ManifestStore, BlockLister, Sync) in the
+// same type-asserting style as pdisk.FaultStore, so wrapping loses no
+// recovery features.
+type killableStore struct {
+	inner pdisk.Store
+
+	mu     sync.RWMutex
+	reason error // non-nil once killed; the first reason wins
+}
+
+func newKillableStore(inner pdisk.Store) *killableStore {
+	return &killableStore{inner: inner}
+}
+
+// kill severs the store: every operation from now on fails terminally
+// with reason. Idempotent; the first reason wins.
+func (s *killableStore) kill(reason error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.reason == nil {
+		s.reason = reason
+	}
+}
+
+// killedWith returns the kill reason, or nil while the store is live.
+func (s *killableStore) killedWith() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.reason
+}
+
+func (s *killableStore) check() error {
+	if r := s.killedWith(); r != nil {
+		return &pdisk.TerminalError{Err: r}
+	}
+	return nil
+}
+
+func (s *killableStore) WriteBlock(addr pdisk.BlockAddr, b pdisk.StoredBlock) error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	return s.inner.WriteBlock(addr, b)
+}
+
+func (s *killableStore) ReadBlock(addr pdisk.BlockAddr) (pdisk.StoredBlock, error) {
+	if err := s.check(); err != nil {
+		return pdisk.StoredBlock{}, err
+	}
+	return s.inner.ReadBlock(addr)
+}
+
+func (s *killableStore) Free(addr pdisk.BlockAddr) error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	return s.inner.Free(addr)
+}
+
+func (s *killableStore) Usage() pdisk.Usage { return s.inner.Usage() }
+
+func (s *killableStore) Close() error { return s.inner.Close() }
+
+// SerialTransfers forwards SerialStore.
+func (s *killableStore) SerialTransfers() bool {
+	if ss, ok := s.inner.(pdisk.SerialStore); ok {
+		return ss.SerialTransfers()
+	}
+	return false
+}
+
+// Frontier forwards FrontierStore.
+func (s *killableStore) Frontier(disk int) (int, error) {
+	if err := s.check(); err != nil {
+		return 0, err
+	}
+	if fs, ok := s.inner.(pdisk.FrontierStore); ok {
+		return fs.Frontier(disk)
+	}
+	return 0, nil
+}
+
+// SaveManifest forwards ManifestStore.
+func (s *killableStore) SaveManifest(data []byte) error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	if ms, ok := s.inner.(pdisk.ManifestStore); ok {
+		return ms.SaveManifest(data)
+	}
+	return errors.New("jobs: store does not persist manifests")
+}
+
+// LoadManifest forwards ManifestStore.
+func (s *killableStore) LoadManifest() ([]byte, bool, error) {
+	if err := s.check(); err != nil {
+		return nil, false, err
+	}
+	if ms, ok := s.inner.(pdisk.ManifestStore); ok {
+		return ms.LoadManifest()
+	}
+	return nil, false, nil
+}
+
+// ClearManifest forwards ManifestStore.
+func (s *killableStore) ClearManifest() error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	if ms, ok := s.inner.(pdisk.ManifestStore); ok {
+		return ms.ClearManifest()
+	}
+	return nil
+}
+
+// Sync forwards a durability flush.
+func (s *killableStore) Sync() error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	if sy, ok := s.inner.(interface{ Sync() error }); ok {
+		return sy.Sync()
+	}
+	return nil
+}
+
+// Blocks forwards BlockLister.
+func (s *killableStore) Blocks() []pdisk.BlockAddr {
+	if bl, ok := s.inner.(pdisk.BlockLister); ok {
+		return bl.Blocks()
+	}
+	return nil
+}

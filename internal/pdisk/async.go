@@ -88,19 +88,27 @@ func (s *System) ensureWorkers() ([]chan diskReq, error) {
 	return s.queues, nil
 }
 
-// diskWorker serves one disk's queue until it is closed.
+// diskWorker serves one disk's queue until it is closed. Every transfer
+// passes through the shared DiskGate (when one is configured), so the
+// async pipelines of concurrent Systems fair-share the physical disk:
+// a queue-depth of in-flight requests here still performs only a gate
+// slot's worth of transfers at a time.
 func (s *System) diskWorker(q chan diskReq) {
 	defer s.asyncWG.Done()
 	for req := range q {
 		if req.write {
+			s.gate.enter(req.addr.Disk)
 			err := s.store.WriteBlock(req.addr, req.block)
+			s.gate.exit(req.addr.Disk)
 			if err != nil {
 				err = &IOError{Op: "write", Addr: req.addr, Err: err}
 			}
 			req.done <- diskRes{slot: req.slot, err: err}
 			continue
 		}
+		s.gate.enter(req.addr.Disk)
 		blk, err := s.store.ReadBlock(req.addr)
+		s.gate.exit(req.addr.Disk)
 		if err != nil {
 			err = &IOError{Op: "read", Addr: req.addr, Err: err}
 		}

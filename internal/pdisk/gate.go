@@ -1,0 +1,57 @@
+package pdisk
+
+import "fmt"
+
+// DiskGate models a set of physical disks shared by several Systems: a
+// per-disk counting semaphore that caps how many block transfers may be
+// in flight against each disk at once, across every System attached to
+// it. One sort's System still enforces the Vitter–Shriver rule (at most
+// one block per disk per I/O *operation*); the gate adds the cross-job
+// rule a multi-tenant server needs — D physical disks serve many
+// concurrent sorts, and no tenant can monopolise a spindle, because
+// every transfer on disk i waits its turn in i's FIFO queue.
+//
+// Width is the number of transfers one disk serves concurrently
+// (channel-backed, so waiters are served approximately FIFO — Go
+// unblocks channel senders in arrival order). Width 1 is a strict
+// one-transfer-at-a-time disk; larger widths model command queuing.
+//
+// A nil *DiskGate is valid everywhere one is accepted and gates nothing.
+type DiskGate struct {
+	slots []chan struct{}
+}
+
+// NewDiskGate returns a gate over d disks serving width concurrent
+// transfers per disk (width < 1 is treated as 1).
+func NewDiskGate(d, width int) *DiskGate {
+	if d < 1 {
+		panic(fmt.Sprintf("pdisk: DiskGate over %d disks", d))
+	}
+	if width < 1 {
+		width = 1
+	}
+	g := &DiskGate{slots: make([]chan struct{}, d)}
+	for i := range g.slots {
+		g.slots[i] = make(chan struct{}, width)
+	}
+	return g
+}
+
+// D returns the number of disks the gate covers.
+func (g *DiskGate) D() int { return len(g.slots) }
+
+// enter blocks until disk has a free transfer slot. Nil-safe.
+func (g *DiskGate) enter(disk int) {
+	if g == nil {
+		return
+	}
+	g.slots[disk] <- struct{}{}
+}
+
+// exit releases disk's slot. Nil-safe.
+func (g *DiskGate) exit(disk int) {
+	if g == nil {
+		return
+	}
+	<-g.slots[disk]
+}

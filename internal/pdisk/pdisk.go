@@ -67,6 +67,7 @@ type System struct {
 	store  Store
 	serial bool // store declared its transfers cheap: run them inline, not fanned out
 	retain bool // Close stops workers but leaves the store open
+	gate   *DiskGate
 	model  *TimeModel
 	stats  Stats
 	next   []int // per-disk bump allocator for fresh block indexes
@@ -102,6 +103,11 @@ type Config struct {
 	// when the store's lifetime is owned by the caller — e.g. a sort
 	// resuming over a store that must survive the System.
 	RetainStore bool
+	// Gate, if non-nil, throttles every block transfer through a shared
+	// per-disk semaphore, so several Systems (concurrent sort jobs)
+	// fair-share the bandwidth of one set of physical disks. The gate
+	// must cover at least D disks.
+	Gate *DiskGate
 }
 
 // NewSystem constructs a System, validating the configuration.
@@ -133,12 +139,16 @@ func NewSystem(cfg Config) (*System, error) {
 	if ss, ok := st.(SerialStore); ok {
 		serial = ss.SerialTransfers()
 	}
+	if cfg.Gate != nil && cfg.Gate.D() < cfg.D {
+		return nil, fmt.Errorf("pdisk: gate covers %d disks, system has D=%d", cfg.Gate.D(), cfg.D)
+	}
 	return &System{
 		d:      cfg.D,
 		b:      cfg.B,
 		store:  st,
 		serial: serial,
 		retain: cfg.RetainStore,
+		gate:   cfg.Gate,
 		model:  cfg.Model,
 		stats: Stats{
 			PerDiskReads:  make([]int64, cfg.D),
@@ -306,6 +316,8 @@ func (s *System) ReadBlocks(addrs []BlockAddr) ([]StoredBlock, error) {
 	defer s.mu.Unlock()
 	out := make([]StoredBlock, len(addrs))
 	err := s.fanout(len(addrs), func(i int) error {
+		s.gate.enter(addrs[i].Disk)
+		defer s.gate.exit(addrs[i].Disk)
 		blk, err := s.store.ReadBlock(addrs[i])
 		if err != nil {
 			return &IOError{Op: "read", Addr: addrs[i], Err: err}
@@ -330,6 +342,8 @@ func (s *System) WriteBlocks(writes []BlockWrite) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	err = s.fanout(len(writes), func(i int) error {
+		s.gate.enter(writes[i].Addr.Disk)
+		defer s.gate.exit(writes[i].Addr.Disk)
 		if err := s.store.WriteBlock(writes[i].Addr, writes[i].Block.Clone()); err != nil {
 			return &IOError{Op: "write", Addr: writes[i].Addr, Err: err}
 		}

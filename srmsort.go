@@ -209,6 +209,21 @@ type Config struct {
 	// lifetimes, and how fault-injection wrappers are composed beneath
 	// the sort.
 	Store pdisk.Store
+	// Progress, if non-nil, receives point-in-time snapshots of the
+	// sort's advancement: once when the merge phase begins (run
+	// formation done, or a checkpoint generation recovered), once after
+	// every completed merge pass, and periodically while the sorted
+	// result streams out. Snapshots are monotone (see Progress). The
+	// callback runs synchronously on a sorting goroutine and must be
+	// fast; it must not call back into the sort.
+	Progress func(Progress)
+	// Gate, if non-nil, throttles this sort's per-disk block transfers
+	// through a semaphore shared with other sorts, so concurrent jobs
+	// fair-share the bandwidth of one set of physical disks — the sortd
+	// server attaches every job to one gate. The gate must cover at
+	// least D disks. Purely a scheduling constraint: the output and all
+	// I/O statistics are unchanged.
+	Gate *pdisk.DiskGate
 }
 
 // Stats reports everything a sort did, in the paper's cost units.
@@ -348,7 +363,7 @@ func (c Config) newSystem() (*pdisk.System, pdisk.Store, func(), error) {
 	if c.Retry != nil {
 		store = pdisk.NewRetryStore(store, *c.Retry)
 	}
-	sys, err := pdisk.NewSystem(pdisk.Config{D: c.D, B: c.B, Store: store, Model: c.Model, RetainStore: retain})
+	sys, err := pdisk.NewSystem(pdisk.Config{D: c.D, B: c.B, Store: store, Model: c.Model, RetainStore: retain, Gate: c.Gate})
 	if err != nil {
 		cleanupStore()
 		return nil, nil, nil, err
@@ -360,15 +375,16 @@ func (c Config) newSystem() (*pdisk.System, pdisk.Store, func(), error) {
 // returns a streaming iterator over the final sorted run. The caller must
 // snapshot Stats-level I/O figures before draining the iterator, because
 // reading the result back out is verification, not sorting cost. cp, when
-// non-nil, receives a checkpoint after formation and every merge pass.
-func runAlgorithm(sys *pdisk.System, file *runform.InputFile, cfg Config, m, r int, stats *Stats, cp *checkpointer) (func(func(record.Record) error) error, error) {
+// non-nil, receives a checkpoint after formation and every merge pass; tr,
+// when non-nil, receives Progress snapshots at the same points.
+func runAlgorithm(sys *pdisk.System, file *runform.InputFile, cfg Config, m, r int, stats *Stats, cp *checkpointer, tr *progressTracker) (func(func(record.Record) error) error, error) {
 	switch cfg.Algorithm {
 	case DSM:
-		return sortDSM(sys, file, m, r, cfg.Async, stats, cp)
+		return sortDSM(sys, file, m, r, cfg.Async, stats, cp, tr)
 	case PSV:
-		return sortPSV(sys, file, m, stats)
+		return sortPSV(sys, file, m, stats, tr)
 	default:
-		return sortSRM(sys, file, m, r, cfg, stats, cp)
+		return sortSRM(sys, file, m, r, cfg, stats, cp, tr)
 	}
 }
 
@@ -393,18 +409,55 @@ func Resume(records []Record, cfg Config) ([]Record, Stats, error) {
 }
 
 func sortOrResume(records []Record, cfg Config, resume bool) ([]Record, Stats, error) {
-	r, m, err := cfg.MergeOrder()
+	result := make([]Record, 0, len(records))
+	stats, err := runSort(cfg, resume, len(records),
+		func(app func(record.Record) error) error {
+			for _, rec := range records {
+				if err := app(record.Record{Key: record.Key(rec.Key), Val: rec.Val}); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func(rec record.Record) error {
+			result = append(result, Record{Key: uint64(rec.Key), Val: rec.Val})
+			return nil
+		})
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	return result, stats, nil
+}
+
+// recordFeed streams a sort's unsorted input into its loader through the
+// supplied append function; recordSink consumes one record of the sorted
+// output stream. They are the seams Sort/Resume (slices) and
+// SortStream/ResumeStream (wire-format readers and writers) share.
+type (
+	recordFeed func(app func(record.Record) error) error
+	recordSink func(rec record.Record) error
+)
+
+// runSort is the sorting core behind Sort, Resume, SortStream and
+// ResumeStream. feed supplies the unsorted input (not invoked when a
+// resume finds a checkpoint manifest — the input already lives on the
+// store); sink receives the sorted output stream. nrec is the input size
+// when the caller knows it (0 for streamed inputs), used only to
+// cross-check a resume manifest against the supplied input.
+func runSort(cfg Config, resume bool, nrec int, feed recordFeed, sink recordSink) (Stats, error) {
+	r, m, err := cfg.MergeOrder()
+	if err != nil {
+		return Stats{}, err
+	}
 	if cfg.Checkpoint && cfg.Algorithm == PSV {
-		return nil, Stats{}, fmt.Errorf("srmsort: checkpointing is not supported for PSV")
+		return Stats{}, fmt.Errorf("srmsort: checkpointing is not supported for PSV")
 	}
 	stats := Stats{Algorithm: cfg.Algorithm, D: cfg.D, B: cfg.B, M: m, R: r}
+	tr := newProgressTracker(cfg.Progress)
 
 	sys, store, cleanup, err := cfg.newSystem()
 	if err != nil {
-		return nil, Stats{}, err
+		return Stats{}, err
 	}
 	defer cleanup()
 
@@ -412,44 +465,42 @@ func sortOrResume(records []Record, cfg Config, resume bool) ([]Record, Stats, e
 	var man *manifest
 	if resume {
 		if man, err = loadManifest(store); err != nil {
-			return nil, Stats{}, err
+			return Stats{}, err
 		}
 	}
 	if man != nil {
-		if err := man.check(cfg, m, r, len(records)); err != nil {
-			return nil, Stats{}, err
+		if err := man.check(cfg, m, r, nrec); err != nil {
+			return Stats{}, err
 		}
-		emit, err = resumeMerge(sys, store, man, cfg, r, &stats)
+		emit, err = resumeMerge(sys, store, man, cfg, r, &stats, tr)
 		if err != nil {
-			return nil, Stats{}, err
+			return Stats{}, err
 		}
 	} else {
 		if resume {
 			// No checkpoint survived: restart from scratch over a store
 			// an earlier attempt may have dirtied.
 			if err := wipeStore(store); err != nil {
-				return nil, Stats{}, err
+				return Stats{}, err
 			}
 		}
 		loader := runform.NewLoader(sys)
-		for _, rec := range records {
-			if err := loader.Append(record.Record{Key: record.Key(rec.Key), Val: rec.Val}); err != nil {
-				return nil, Stats{}, err
-			}
+		if err := feed(loader.Append); err != nil {
+			return Stats{}, err
 		}
 		file, err := loader.Finish()
 		if err != nil {
-			return nil, Stats{}, err
+			return Stats{}, err
 		}
 		var cp *checkpointer
 		if cfg.Checkpoint {
 			ms, ok := store.(pdisk.ManifestStore)
 			if !ok {
-				return nil, Stats{}, fmt.Errorf("srmsort: backend cannot persist a checkpoint manifest")
+				return Stats{}, fmt.Errorf("srmsort: backend cannot persist a checkpoint manifest")
 			}
 			frontier, err := storeFrontiers(store, cfg.D)
 			if err != nil {
-				return nil, Stats{}, err
+				return Stats{}, err
 			}
 			cp = &checkpointer{ms: ms, man: manifest{
 				Version:       manifestVersion,
@@ -460,15 +511,15 @@ func sortOrResume(records []Record, cfg Config, resume bool) ([]Record, Stats, e
 				R:             r,
 				Seed:          cfg.Seed,
 				Formation:     int(cfg.RunFormation),
-				Records:       len(records),
+				Records:       file.Records,
 				InputFrontier: frontier,
 			}}
 		}
 		sys.ResetStats() // loading the input is setup, not sorting cost
 
-		emit, err = runAlgorithm(sys, file, cfg, m, r, &stats, cp)
+		emit, err = runAlgorithm(sys, file, cfg, m, r, &stats, cp, tr)
 		if err != nil {
-			return nil, Stats{}, err
+			return Stats{}, err
 		}
 	}
 
@@ -481,26 +532,55 @@ func sortOrResume(records []Record, cfg Config, resume bool) ([]Record, Stats, e
 	stats.WriteBalance = final.WriteBalance()
 	stats.SimTime = final.SimTime
 
-	result := make([]Record, 0, len(records))
 	if err := emit(func(rec record.Record) error {
-		result = append(result, Record{Key: uint64(rec.Key), Val: rec.Val})
+		if err := sink(rec); err != nil {
+			return err
+		}
+		tr.emitted(1)
 		return nil
 	}); err != nil {
-		return nil, Stats{}, err
+		return Stats{}, err
 	}
+	tr.finish()
 	// The sort is complete and its result materialised: the recovery
 	// state has served its purpose.
 	if cfg.Checkpoint || man != nil {
 		if ms, ok := store.(pdisk.ManifestStore); ok {
 			if err := ms.ClearManifest(); err != nil {
-				return nil, Stats{}, err
+				return Stats{}, err
 			}
 		}
 	}
-	return result, stats, nil
+	return stats, nil
 }
 
-func sortSRM(sys *pdisk.System, file *runform.InputFile, m, r int, cfg Config, stats *Stats, cp *checkpointer) (func(func(record.Record) error) error, error) {
+// chainPassFuncs composes per-pass hooks (checkpointing, progress) into
+// one srm.PassFunc, nil when there is nothing to call.
+func chainPassFuncs(hooks ...srm.PassFunc) srm.PassFunc {
+	live := hooks[:0]
+	for _, h := range hooks {
+		if h != nil {
+			live = append(live, h)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	chained := append([]srm.PassFunc(nil), live...)
+	return func(pass int, survivors []*runio.Run, seq int) error {
+		for _, h := range chained {
+			if err := h(pass, survivors, seq); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func sortSRM(sys *pdisk.System, file *runform.InputFile, m, r int, cfg Config, stats *Stats, cp *checkpointer, tr *progressTracker) (func(func(record.Record) error) error, error) {
 	var placement runio.Placement
 	if cfg.Algorithm == SRMDeterministic {
 		placement = runio.StaggeredPlacement{D: cfg.D}
@@ -530,10 +610,13 @@ func sortSRM(sys *pdisk.System, file *runform.InputFile, m, r int, cfg Config, s
 	stats.RunFormationWrites = afterForm.WriteOps
 	stats.InitialRuns = len(formed.Runs)
 	if len(formed.Runs) == 0 {
+		tr.formed(0, 0, r, 0)
 		return func(func(record.Record) error) error { return nil }, nil
 	}
+	tr.formed(len(formed.Runs), len(formed.Runs), r, 0)
 
 	opts := srm.SortOpts{Async: cfg.Async, Workers: cfg.Workers}
+	var cpHook, trHook srm.PassFunc
 	if cp != nil {
 		// Pass 0 is run formation: checkpoint the freshly formed runs so
 		// a crash during the first merge pass can resume from them.
@@ -546,7 +629,7 @@ func sortSRM(sys *pdisk.System, file *runform.InputFile, m, r int, cfg Config, s
 		}); err != nil {
 			return nil, err
 		}
-		opts.AfterPass = func(pass int, survivors []*runio.Run, seq int) error {
+		cpHook = func(pass int, survivors []*runio.Run, seq int) error {
 			return cp.save(runGen{
 				Pass:  pass,
 				Seq:   seq,
@@ -555,6 +638,13 @@ func sortSRM(sys *pdisk.System, file *runform.InputFile, m, r int, cfg Config, s
 			})
 		}
 	}
+	if tr != nil {
+		trHook = func(pass int, survivors []*runio.Run, seq int) error {
+			tr.pass(0, pass, len(survivors))
+			return nil
+		}
+	}
+	opts.AfterPass = chainPassFuncs(cpHook, trHook)
 	final, sortStats, _, err := srm.SortRunsOpts(sys, formed.Runs, r, placement, formed.NextSeq, opts)
 	if err != nil {
 		return nil, err
@@ -571,12 +661,15 @@ func sortSRM(sys *pdisk.System, file *runform.InputFile, m, r int, cfg Config, s
 	return func(fn func(record.Record) error) error { return runio.Stream(sys, final, fn) }, nil
 }
 
-func sortPSV(sys *pdisk.System, file *runform.InputFile, m int, stats *Stats) (func(func(record.Record) error) error, error) {
+func sortPSV(sys *pdisk.System, file *runform.InputFile, m int, stats *Stats, tr *progressTracker) (func(func(record.Record) error) error, error) {
 	bufBlocks := (m/sys.B() - 2*sys.D()) / sys.D()
 	final, ps, err := psv.Sort(sys, file, (m+1)/2, bufBlocks)
 	if err != nil {
 		return nil, err
 	}
+	// PSV sorts monolithically (no per-pass hooks): report formation and
+	// every merge level in one snapshot, ahead of emission progress.
+	tr.completed(ps.InitialRuns, ps.MergeLevels)
 	stats.RunFormationReads = ps.RunFormationReads
 	stats.RunFormationWrites = ps.RunFormationWrites
 	stats.InitialRuns = ps.InitialRuns
@@ -587,14 +680,14 @@ func sortPSV(sys *pdisk.System, file *runform.InputFile, m int, stats *Stats) (f
 	return func(fn func(record.Record) error) error { return runio.Stream(sys, final, fn) }, nil
 }
 
-func sortDSM(sys *pdisk.System, file *runform.InputFile, m, r int, async bool, stats *Stats, cp *checkpointer) (func(func(record.Record) error) error, error) {
+func sortDSM(sys *pdisk.System, file *runform.InputFile, m, r int, async bool, stats *Stats, cp *checkpointer, tr *progressTracker) (func(func(record.Record) error) error, error) {
 	dsmStream := func(final *dsm.Run) func(func(record.Record) error) error {
 		if async {
 			return func(fn func(record.Record) error) error { return dsm.StreamAsync(sys, final, fn) }
 		}
 		return func(fn func(record.Record) error) error { return dsm.Stream(sys, final, fn) }
 	}
-	if cp == nil {
+	if cp == nil && tr == nil {
 		var final *dsm.Run
 		var ds dsm.SortStats
 		var err error
@@ -615,8 +708,9 @@ func sortDSM(sys *pdisk.System, file *runform.InputFile, m, r int, async bool, s
 		return dsmStream(final), nil
 	}
 
-	// Checkpointed path: run formation and merging are driven separately
-	// so pass 0 (the formed runs) can be persisted before any merge pass.
+	// Hooked path (checkpointing and/or progress): run formation and
+	// merging are driven separately so pass 0 (the formed runs) can be
+	// persisted and reported before any merge pass.
 	before := sys.Stats()
 	var runs []*dsm.Run
 	var err error
@@ -633,20 +727,30 @@ func sortDSM(sys *pdisk.System, file *runform.InputFile, m, r int, async bool, s
 	stats.RunFormationWrites = afterForm.WriteOps - before.WriteOps
 	stats.InitialRuns = len(runs)
 	if len(runs) == 0 {
+		tr.formed(0, 0, r, 0)
 		final, err := dsm.NewWriter(sys, 0).Finish()
 		if err != nil {
 			return nil, err
 		}
 		return dsmStream(final), nil
 	}
-	cp.man.InitialRuns = len(runs)
-	if err := cp.save(runGen{Pass: 0, Seq: len(runs), DSMRuns: dsmRunStates(runs)}); err != nil {
-		return nil, err
+	tr.formed(len(runs), len(runs), r, 0)
+	if cp != nil {
+		cp.man.InitialRuns = len(runs)
+		if err := cp.save(runGen{Pass: 0, Seq: len(runs), DSMRuns: dsmRunStates(runs)}); err != nil {
+			return nil, err
+		}
 	}
 	final, ms, _, err := dsm.MergeAll(sys, runs, r, len(runs), dsm.MergeAllOpts{
 		Async: async,
 		AfterPass: func(pass int, survivors []*dsm.Run, seq int) error {
-			return cp.save(runGen{Pass: pass, Seq: seq, DSMRuns: dsmRunStates(survivors)})
+			if cp != nil {
+				if err := cp.save(runGen{Pass: pass, Seq: seq, DSMRuns: dsmRunStates(survivors)}); err != nil {
+					return err
+				}
+			}
+			tr.pass(0, pass, len(survivors))
+			return nil
 		},
 	})
 	if err != nil {

@@ -7,7 +7,6 @@ import (
 	"io"
 
 	"srmsort/internal/record"
-	"srmsort/internal/runform"
 )
 
 // The streaming interface sorts records serialised in the library's wire
@@ -63,70 +62,65 @@ func ReadRecords(r io.Reader) ([]Record, error) {
 // The sort is fully out of core: records flow from r onto the simulated
 // disks one stripe at a time and from the final run to w one block at a
 // time, so host memory stays O(M + store). Combined with
-// Config.Backend: FileBackend this sorts inputs larger than RAM.
+// Config.Backend: FileBackend this sorts inputs larger than RAM. The
+// full Config surface applies — including Checkpoint, Retry, Progress
+// and Gate — so a streamed sort is recoverable via ResumeStream exactly
+// like a slice sort is via Resume.
 func SortStream(r io.Reader, w io.Writer, cfg Config) (Stats, error) {
-	mergeR, m, err := cfg.MergeOrder()
-	if err != nil {
-		return Stats{}, err
-	}
-	stats := Stats{Algorithm: cfg.Algorithm, D: cfg.D, B: cfg.B, M: m, R: mergeR}
+	return streamSort(r, w, cfg, false)
+}
 
-	sys, _, cleanup, err := cfg.newSystem()
-	if err != nil {
-		return Stats{}, err
-	}
-	defer cleanup()
+// ResumeStream is Resume for the streaming interface: it continues a
+// checkpointed streamed sort that a crash (or kill) interrupted, writing
+// the sorted stream to w. The original unsorted input is re-read from r
+// only when no intact checkpoint manifest survived (the restart-from-
+// scratch path); when one did, r is not touched and may be nil. This is
+// how the sortd server recovers a job after a process restart: the
+// job's persisted input feeds r, the job's store holds the manifest.
+func ResumeStream(r io.Reader, w io.Writer, cfg Config) (Stats, error) {
+	return streamSort(r, w, cfg, true)
+}
 
-	// Decode the input straight onto the striped disks.
-	loader := runform.NewLoader(sys)
-	br := bufio.NewReader(r)
-	var buf [RecordWireSize]byte
-	n := 0
-	for {
-		_, err := io.ReadFull(br, buf[:])
-		if err == io.EOF {
-			break
-		}
-		if err == io.ErrUnexpectedEOF {
-			return Stats{}, fmt.Errorf("srmsort: truncated record stream (%d whole records)", n)
-		}
-		if err != nil {
-			return Stats{}, err
-		}
-		rec := record.Record{
-			Key: record.Key(binary.LittleEndian.Uint64(buf[0:])),
-			Val: binary.LittleEndian.Uint64(buf[8:]),
-		}
-		if err := loader.Append(rec); err != nil {
-			return Stats{}, err
-		}
-		n++
-	}
-	file, err := loader.Finish()
-	if err != nil {
-		return Stats{}, err
-	}
-	sys.ResetStats() // loading is setup, not sorting cost
-
-	emit, err := runAlgorithm(sys, file, cfg, m, mergeR, &stats, nil)
-	if err != nil {
-		return Stats{}, err
-	}
-	final := sys.Stats()
-	stats.ReadParallelism = final.ReadParallelism()
-	stats.WriteParallelism = final.WriteParallelism()
-	stats.ReadBalance = final.ReadBalance()
-	stats.WriteBalance = final.WriteBalance()
-	stats.SimTime = final.SimTime
-
-	// Encode the final run straight off the disks.
+func streamSort(r io.Reader, w io.Writer, cfg Config, resume bool) (Stats, error) {
 	bw := bufio.NewWriter(w)
-	if err := emit(func(rec record.Record) error {
-		binary.LittleEndian.PutUint64(buf[0:], uint64(rec.Key))
-		binary.LittleEndian.PutUint64(buf[8:], rec.Val)
-		_, err := bw.Write(buf[:])
-		return err
-	}); err != nil {
+	var buf [RecordWireSize]byte
+	stats, err := runSort(cfg, resume, 0,
+		func(app func(record.Record) error) error {
+			// Decode the input straight onto the striped disks.
+			if r == nil {
+				return fmt.Errorf("srmsort: no checkpoint manifest to resume from and no input stream to restart with")
+			}
+			br := bufio.NewReader(r)
+			n := 0
+			for {
+				_, err := io.ReadFull(br, buf[:])
+				if err == io.EOF {
+					return nil
+				}
+				if err == io.ErrUnexpectedEOF {
+					return fmt.Errorf("srmsort: truncated record stream (%d whole records)", n)
+				}
+				if err != nil {
+					return err
+				}
+				rec := record.Record{
+					Key: record.Key(binary.LittleEndian.Uint64(buf[0:])),
+					Val: binary.LittleEndian.Uint64(buf[8:]),
+				}
+				if err := app(rec); err != nil {
+					return err
+				}
+				n++
+			}
+		},
+		func(rec record.Record) error {
+			// Encode the final run straight off the disks.
+			binary.LittleEndian.PutUint64(buf[0:], uint64(rec.Key))
+			binary.LittleEndian.PutUint64(buf[8:], rec.Val)
+			_, err := bw.Write(buf[:])
+			return err
+		})
+	if err != nil {
 		return Stats{}, err
 	}
 	if err := bw.Flush(); err != nil {
