@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-all bench-smoke aliascheck chaos loadtest check fmt-check tables tables-full verify
+.PHONY: all build test race bench bench-all bench-smoke fuzz-smoke aliascheck chaos loadtest check fmt-check tables tables-full verify
 
 all: build test
 
@@ -22,7 +22,7 @@ check: fmt-check build
 	go vet ./...
 	go test -race ./...
 	go test -tags=aliascheck ./internal/pdisk/ ./internal/srm/
-	go test -run='^$$' -bench='SortEndToEnd|ServerThroughput' -benchtime=1x .
+	go test -run='^$$' -bench='SortEndToEnd|ServerThroughput|ParallelMerge' -benchtime=1x .
 
 # The whole suite with MemStore's zero-copy mutation guard armed: every
 # block read is checksum-audited, so any merge path that mutates a block
@@ -49,11 +49,12 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# The measured end-to-end sort benchmark (alg x backend x D). Writes
-# BENCH_sort.json with ns/record, B/record and allocs/record per cell —
-# the perf trajectory future PRs regress against (see EXPERIMENTS.md).
+# The measured end-to-end sort benchmark (alg x backend x D x cores),
+# plus the multicore merge kernel in isolation. Writes BENCH_sort.json
+# with ns/record, B/record and allocs/record per cell — the perf
+# trajectory future PRs regress against (see EXPERIMENTS.md).
 bench:
-	go test -run='^$$' -bench='SortEndToEnd|ServerThroughput' -benchmem . | tee bench_sort_output.txt
+	go test -run='^$$' -bench='SortEndToEnd|ServerThroughput|ParallelMerge' -benchmem . | tee bench_sort_output.txt
 	go run ./cmd/benchjson -o BENCH_sort.json bench_sort_output.txt
 
 # Every benchmark in the repository (micro and end-to-end).
@@ -62,7 +63,13 @@ bench-all:
 
 # One iteration per cell: proves the harness runs, measures nothing.
 bench-smoke:
-	go test -run='^$$' -bench='SortEndToEnd|ServerThroughput' -benchtime=1x .
+	go test -run='^$$' -bench='SortEndToEnd|ServerThroughput|ParallelMerge' -benchtime=1x .
+
+# A 20-second native-fuzz burst on the parallel-merge equivalence fuzzer:
+# random runs, shard counts and data shapes, every shard placement
+# byte-compared against the serial merge. CI runs exactly this.
+fuzz-smoke:
+	go test -fuzz=FuzzParallelMergeEquiv -fuzztime=20s .
 
 tables:
 	go run ./cmd/tables

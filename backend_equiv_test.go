@@ -3,16 +3,19 @@ package srmsort
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"testing"
 )
 
 // The acceptance matrix for the merge kernel and the pluggable stores:
-// every algorithm over sync/async × mem/file × D in {1, 2, 4, 8} produces
-// byte-identical sorted output and identical Stats. Swapping the storage
-// substrate may change only where the blocks live, and overlapping the
-// I/O may change only when the CPU waits — never the blocks themselves,
-// the emission order, nor a single counted I/O operation (ReadOps,
-// WriteOps, Flushes and the rest of Stats are compared whole). The galloped
+// every algorithm over sync/async × mem/file × D in {1, 2, 4, 8} × Cores
+// in {1, 2, GOMAXPROCS} produces byte-identical sorted output and
+// identical Stats. Swapping the storage substrate may change only where
+// the blocks live, overlapping the I/O may change only when the CPU
+// waits, and spreading the comparison work over cores may change only
+// which goroutine computes a span — never the blocks themselves, the
+// emission order, nor a single counted I/O operation (ReadOps, WriteOps,
+// Flushes and the rest of Stats are compared whole). The galloped
 // bulk-emission kernel runs inside every one of these cells; together with
 // the golden schedule counts this pins it to the per-record kernel's
 // behavior across the full matrix.
@@ -36,9 +39,10 @@ func TestBackendEquivalenceMatrix(t *testing.T) {
 				asyncModes = []bool{false} // PSV always runs sync
 			}
 			t.Run(fmt.Sprintf("%s/D=%d", alg, d), func(t *testing.T) {
-				// The sync in-memory cell is the reference every other
-				// (backend, async) combination must reproduce exactly.
-				cfg := Config{D: d, B: 4, K: 2, Algorithm: alg, Seed: 31, Backend: MemBackend}
+				// The sync in-memory serial cell is the reference every
+				// other (backend, async, cores) combination must
+				// reproduce exactly.
+				cfg := Config{D: d, B: 4, K: 2, Algorithm: alg, Seed: 31, Backend: MemBackend, Cores: 1}
 				refOut, refStats, err := Sort(in, cfg)
 				if err != nil {
 					t.Fatal(err)
@@ -47,25 +51,27 @@ func TestBackendEquivalenceMatrix(t *testing.T) {
 
 				for _, async := range asyncModes {
 					for _, backend := range []Backend{MemBackend, FileBackend} {
-						if backend == MemBackend && !async {
-							continue // the reference itself
-						}
-						cfg := Config{D: d, B: 4, K: 2, Algorithm: alg, Seed: 31,
-							Async: async, Backend: backend}
-						if backend == FileBackend {
-							cfg.Dir = t.TempDir()
-						}
-						out, stats, err := Sort(in, cfg)
-						if err != nil {
-							t.Fatalf("backend=%v async=%v: %v", backend, async, err)
-						}
-						if !bytes.Equal(encode(out), refBytes) {
-							t.Fatalf("backend=%v async=%v: output differs from sync/mem reference",
-								backend, async)
-						}
-						if stats != refStats {
-							t.Fatalf("backend=%v async=%v stats diverge:\nref %+v\ngot %+v",
-								backend, async, refStats, stats)
+						for _, cores := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+							if backend == MemBackend && !async && cores == 1 {
+								continue // the reference itself
+							}
+							cfg := Config{D: d, B: 4, K: 2, Algorithm: alg, Seed: 31,
+								Async: async, Backend: backend, Cores: cores}
+							if backend == FileBackend {
+								cfg.Dir = t.TempDir()
+							}
+							out, stats, err := Sort(in, cfg)
+							if err != nil {
+								t.Fatalf("backend=%v async=%v cores=%d: %v", backend, async, cores, err)
+							}
+							if !bytes.Equal(encode(out), refBytes) {
+								t.Fatalf("backend=%v async=%v cores=%d: output differs from sync/mem/serial reference",
+									backend, async, cores)
+							}
+							if stats != refStats {
+								t.Fatalf("backend=%v async=%v cores=%d stats diverge:\nref %+v\ngot %+v",
+									backend, async, cores, refStats, stats)
+							}
 						}
 					}
 				}

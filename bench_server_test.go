@@ -36,7 +36,10 @@ func BenchmarkServerThroughput(b *testing.B) {
 		b.Run(fmt.Sprintf("jobs=%d", conc), func(b *testing.B) {
 			m, err := jobs.NewManager(jobs.Options{
 				MemoryBudget: conc * mNeed,
-				Defaults:     spec,
+				// One core slot per intended concurrent job, so the sweep
+				// measures memory admission, not the host's CPU count.
+				CoreBudget: conc,
+				Defaults:   spec,
 			})
 			if err != nil {
 				b.Fatal(err)

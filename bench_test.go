@@ -15,6 +15,7 @@ import (
 	"srmsort/internal/analysis"
 	"srmsort/internal/occupancy"
 	"srmsort/internal/pdisk"
+	"srmsort/internal/pmerge"
 	"srmsort/internal/psv"
 	"srmsort/internal/record"
 	"srmsort/internal/runform"
@@ -183,12 +184,29 @@ func BenchmarkEndToEnd(b *testing.B) {
 	}
 }
 
+// benchCoresAxis is the Cores sweep of the end-to-end matrix: serial,
+// two-way, and everything the host offers (deduplicated, so a small
+// machine does not produce identically named rows).
+func benchCoresAxis() []int {
+	axis := []int{1, 2}
+	if max := runtime.GOMAXPROCS(0); max > 2 {
+		axis = append(axis, max)
+	}
+	if axis[len(axis)-1] == 1 {
+		axis = axis[:1]
+	}
+	return axis
+}
+
 // BenchmarkSortEndToEnd is the hot-path regression matrix: every sorting
-// algorithm on every storage backend across disk counts, with per-record
-// CPU-cost metrics (ns/rec, B/rec, allocs/rec) alongside the standard
-// per-op figures. `make bench` runs exactly this matrix and converts the
-// output into BENCH_sort.json, the perf trajectory EXPERIMENTS.md tracks;
-// future kernel changes regress against those numbers.
+// algorithm on every storage backend across disk counts and core counts,
+// with per-record CPU-cost metrics (ns/rec, B/rec, allocs/rec) alongside
+// the standard per-op figures. `make bench` runs exactly this matrix and
+// converts the output into BENCH_sort.json, the perf trajectory
+// EXPERIMENTS.md tracks; future kernel changes regress against those
+// numbers. The cores axis must leave every I/O figure unchanged — only
+// ns/rec may move (down with cores on a multicore host; within noise at
+// cores=1 versus the pre-parallel kernel).
 func BenchmarkSortEndToEnd(b *testing.B) {
 	const n = 200_000
 	in := benchRecords(n, 42)
@@ -198,33 +216,64 @@ func BenchmarkSortEndToEnd(b *testing.B) {
 				if alg == PSV && d < 2 {
 					continue // PSV needs >= 2 disks
 				}
-				name := fmt.Sprintf("alg=%s/backend=%s/D=%d", alg, backend, d)
-				b.Run(name, func(b *testing.B) {
-					b.ReportAllocs()
-					var before, after runtime.MemStats
-					runtime.GC()
-					runtime.ReadMemStats(&before)
-					b.ResetTimer()
-					for i := 0; i < b.N; i++ {
-						out, _, err := Sort(in, Config{
-							D: d, B: 64, K: 4, Algorithm: alg, Seed: 11, Backend: backend,
-						})
-						if err != nil {
-							b.Fatal(err)
+				coresAxis := benchCoresAxis()
+				if alg == PSV {
+					coresAxis = coresAxis[:1] // PSV always runs serially
+				}
+				for _, cores := range coresAxis {
+					name := fmt.Sprintf("alg=%s/backend=%s/D=%d/cores=%d", alg, backend, d, cores)
+					b.Run(name, func(b *testing.B) {
+						b.ReportAllocs()
+						var before, after runtime.MemStats
+						runtime.GC()
+						runtime.ReadMemStats(&before)
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							out, _, err := Sort(in, Config{
+								D: d, B: 64, K: 4, Algorithm: alg, Seed: 11, Backend: backend,
+								Cores: cores,
+							})
+							if err != nil {
+								b.Fatal(err)
+							}
+							if len(out) != n {
+								b.Fatalf("sorted %d of %d records", len(out), n)
+							}
 						}
-						if len(out) != n {
-							b.Fatalf("sorted %d of %d records", len(out), n)
-						}
-					}
-					b.StopTimer()
-					runtime.ReadMemStats(&after)
-					recs := float64(n) * float64(b.N)
-					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/recs, "ns/rec")
-					b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/recs, "B/rec")
-					b.ReportMetric(float64(after.Mallocs-before.Mallocs)/recs, "allocs/rec")
-				})
+						b.StopTimer()
+						runtime.ReadMemStats(&after)
+						recs := float64(n) * float64(b.N)
+						b.ReportMetric(float64(b.Elapsed().Nanoseconds())/recs, "ns/rec")
+						b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/recs, "B/rec")
+						b.ReportMetric(float64(after.Mallocs-before.Mallocs)/recs, "allocs/rec")
+					})
+				}
 			}
 		}
+	}
+}
+
+// BenchmarkParallelMerge is the multicore merge kernel in isolation: R
+// sorted runs merged in memory through pmerge.Merge at each core count,
+// far from any I/O, so the cores axis measures exactly the sharded
+// kernel (binsplit + per-shard loser tree with galloped emission) against
+// its serial self. ns/rec is the figure EXPERIMENTS.md's cores-scaling
+// table tracks.
+func BenchmarkParallelMerge(b *testing.B) {
+	const n, r = 1 << 20, 16
+	gen := record.NewGenerator(7)
+	runs := gen.SplitIntoSortedRuns(gen.WithDuplicates(n, 1000), r)
+	seqs := make([][]record.Record, len(runs))
+	out := make([]record.Record, n)
+	for _, cores := range benchCoresAxis() {
+		b.Run(fmt.Sprintf("R=%d/cores=%d", r, cores), func(b *testing.B) {
+			b.SetBytes(int64(n * record.Bytes))
+			for i := 0; i < b.N; i++ {
+				copy(seqs, runs)
+				pmerge.Merge(seqs, out, cores, pmerge.KeyRun)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(n)*float64(b.N)), "ns/rec")
+		})
 	}
 }
 

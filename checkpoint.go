@@ -357,6 +357,7 @@ func resumeMerge(sys *pdisk.System, store pdisk.Store, man *manifest, cfg Config
 		opts := srm.SortOpts{
 			Async:   cfg.Async,
 			Workers: cfg.Workers,
+			Cores:   cfg.cores(),
 			AfterPass: func(pass int, survivors []*runio.Run, seq int) error {
 				if err := cp.save(runGen{
 					Pass:  gen.Pass + pass,

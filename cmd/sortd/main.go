@@ -9,8 +9,9 @@
 // Usage:
 //
 //	sortd -addr :8080 -root /var/lib/sortd -budget 4000000
-//	      [-gate-width 2] [-gate-disks 64] [-retries 5] [-max-attempts 3]
-//	      [-d 8] [-b 64] [-k 4] [-alg srm] [-seed 1] [-async] [-workers N]
+//	      [-core-budget N] [-gate-width 2] [-gate-disks 64] [-retries 5]
+//	      [-max-attempts 3] [-d 8] [-b 64] [-k 4] [-alg srm] [-seed 1]
+//	      [-async] [-workers N] [-cores N]
 //
 // The -d/-b/-k/-alg/... flags are per-job defaults; each submission may
 // override them with query parameters. Submit wire-format records
@@ -44,6 +45,7 @@ func main() {
 		addr        = flag.String("addr", ":8080", "listen address")
 		root        = flag.String("root", "", "directory jobs persist under (empty = volatile: results die with the process)")
 		budget      = flag.Int("budget", 4_000_000, "server-wide working-memory budget in records; each job's M is reserved from it")
+		coreBudget  = flag.Int("core-budget", 0, "server-wide core budget; each job's cores are reserved from it with its memory (0 = GOMAXPROCS)")
 		gateWidth   = flag.Int("gate-width", 2, "per-disk in-flight transfer bound shared by all jobs (-1 = unlimited)")
 		gateDisks   = flag.Int("gate-disks", 64, "disks the shared gate covers (largest d= any job may request)")
 		retries     = flag.Int("retries", 5, "re-attempt transient I/O failures up to N times per operation (0 = fail on first error)")
@@ -56,18 +58,20 @@ func main() {
 		seed        = flag.Int64("seed", 1, "default placement seed")
 		async       = flag.Bool("async", false, "default: overlap I/O with merging")
 		workers     = flag.Int("workers", 0, "default merge workers (-1 = GOMAXPROCS)")
+		cores       = flag.Int("cores", 1, "default cores per job's sort steps (identical output at any value)")
 	)
 	flag.Parse()
 
 	opts := jobs.Options{
 		Root:         *root,
 		MemoryBudget: *budget,
+		CoreBudget:   *coreBudget,
 		GateWidth:    *gateWidth,
 		GateDisks:    *gateDisks,
 		MaxAttempts:  *maxAttempts,
 		Defaults: jobs.Spec{
 			Algorithm: *alg, D: *d, B: *b, K: *k, Memory: *mem,
-			Seed: *seed, Async: *async, Workers: *workers,
+			Seed: *seed, Async: *async, Workers: *workers, Cores: *cores,
 		},
 		Logf: log.Printf,
 	}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	srmsort -n 1000000 -d 8 -b 64 -k 4 [-alg srm|srm-det|dsm|psv] [-workers N]
-//	        [-async] [-input random|sorted|reverse|dups] [-runform load|rs]
+//	        [-cores N] [-async] [-input random|sorted|reverse|dups] [-runform load|rs]
 //	        [-model none|1996|modern] [-backend mem|file] [-dir DIR]
 //	        [-seed N] [-verify] [-cpuprofile FILE] [-memprofile FILE]
 //	        [-retries N] [-checkpoint] [-resume] [-scrub]
@@ -65,6 +65,7 @@ func main() {
 		file    = flag.Bool("file", false, "deprecated alias for -backend file")
 		seed    = flag.Int64("seed", 1, "random seed (placement and input)")
 		workers = flag.Int("workers", 0, "goroutines for a pass's merges (SRM only; -1 = GOMAXPROCS)")
+		cores   = flag.Int("cores", 0, "cores per sort step: chunked run formation and sharded merging (0 = GOMAXPROCS, 1 = serial; identical output)")
 		async   = flag.Bool("async", false, "overlap I/O with merging (SRM/DSM; identical output and I/O statistics)")
 		verify  = flag.Bool("verify", true, "verify the output is sorted")
 		inFile  = flag.String("infile", "", "read wire-format records from this file instead of generating (-n ignored)")
@@ -80,7 +81,7 @@ func main() {
 
 	cfg := srmsort.Config{
 		D: *d, B: *b, K: *k, Memory: *mem,
-		Seed: *seed, Dir: *dir, Workers: *workers, Async: *async,
+		Seed: *seed, Dir: *dir, Workers: *workers, Cores: *cores, Async: *async,
 	}
 	switch {
 	case *backend == "file" || *file:

@@ -36,6 +36,15 @@ type Cell struct {
 	// Kill, when true, tears a write roughly 60% of the way through the
 	// sort — the simulated process dies and the harness must resume.
 	Kill bool
+	// Cores is the sort's Config.Cores (0 = the library default,
+	// GOMAXPROCS). Output must be byte-identical at any value.
+	Cores int
+	// ResumeCores, when non-zero, switches every resume attempt to a
+	// DIFFERENT core count than the original sort ran with — the
+	// checkpoint manifest records only I/O state, so a recovering
+	// process with more (or fewer) cores must still reproduce the
+	// fault-free bytes exactly.
+	ResumeCores int
 	// Dir holds the file backend's disks; required iff Backend is
 	// FileBackend.
 	Dir string
@@ -60,6 +69,7 @@ func (c Cell) config() srmsort.Config {
 		D: c.D, B: 8, K: 3,
 		Algorithm: c.Algorithm,
 		Seed:      c.Seed,
+		Cores:     c.Cores,
 	}
 }
 
@@ -181,8 +191,14 @@ func (c Cell) runCheckpointed(in, want []srmsort.Record) (Result, error) {
 		// The "process" died (kill) or aborted (retry exhaustion). The
 		// next incarnation sees the same store, minus the armed kill —
 		// one crash per cell; steady-state transient faults stay on.
+		// With ResumeCores set, the incarnation also runs on a different
+		// core count than the one that wrote the checkpoint.
 		fault.Configure(c.faultConfig())
-		out, _, err = srmsort.Resume(in, cfg)
+		rcfg := cfg
+		if c.ResumeCores != 0 {
+			rcfg.Cores = c.ResumeCores
+		}
+		out, _, err = srmsort.Resume(in, rcfg)
 		res.Attempts++
 	}
 	if c.Kill && !res.Killed {

@@ -109,9 +109,13 @@ func RunServer(c ServerCell, root string) (ServerResult, error) {
 		return jobs.Options{
 			Root:         root,
 			MemoryBudget: c.Budget,
-			MaxAttempts:  12,
-			Retry:        &policy,
-			Defaults:     serverSpec(c.Seed),
+			// Memory is the contended resource in these cells; give every
+			// job a core slot so admission order is budget-driven on any
+			// host.
+			CoreBudget:  c.Jobs,
+			MaxAttempts: 12,
+			Retry:       &policy,
+			Defaults:    serverSpec(c.Seed),
 			StoreWrap: func(jobID string, inner pdisk.Store) pdisk.Store {
 				var fs int64
 				fmt.Sscanf(jobID, "job-%d", &fs)

@@ -21,6 +21,7 @@ import (
 
 	"srmsort/internal/ltree"
 	"srmsort/internal/pdisk"
+	"srmsort/internal/pmerge"
 	"srmsort/internal/record"
 	"srmsort/internal/runform"
 )
@@ -412,16 +413,24 @@ func (s SortStats) TotalOps() int64 {
 // with full parallelism, sorted one load at a time, and each load is
 // written out as a run in logical blocks.
 func FormRuns(sys *pdisk.System, file *runform.InputFile, load int) ([]*Run, error) {
-	return formRuns(sys, file, load, false)
+	return formRuns(sys, file, load, false, 1)
 }
 
 // FormRunsAsync is FormRuns with each load's output stripes written behind
 // the in-memory sort of the next load.
 func FormRunsAsync(sys *pdisk.System, file *runform.InputFile, load int) ([]*Run, error) {
-	return formRuns(sys, file, load, true)
+	return formRuns(sys, file, load, true, 1)
 }
 
-func formRuns(sys *pdisk.System, file *runform.InputFile, load int, async bool) ([]*Run, error) {
+// FormRunsCores is FormRuns with each load sorted across up to cores
+// goroutines (pmerge.Sort); async selects write-behind as in
+// FormRunsAsync. Sorted loads are byte-identical for every core count, so
+// the emitted stripes and operation counts never depend on cores.
+func FormRunsCores(sys *pdisk.System, file *runform.InputFile, load int, async bool, cores int) ([]*Run, error) {
+	return formRuns(sys, file, load, async, cores)
+}
+
+func formRuns(sys *pdisk.System, file *runform.InputFile, load int, async bool, cores int) ([]*Run, error) {
 	if load < 1 {
 		return nil, fmt.Errorf("dsm: load %d", load)
 	}
@@ -437,13 +446,11 @@ func formRuns(sys *pdisk.System, file *runform.InputFile, load int, async bool) 
 		}
 		sorted := make([]record.Record, len(chunk))
 		copy(sorted, chunk)
-		record.SortRecords(sorted)
+		pmerge.Sort(sorted, cores)
 		w := NewWriter(sys, len(runs))
 		w.async = async
-		for _, rec := range sorted {
-			if err := w.Append(rec); err != nil {
-				return nil, err
-			}
+		if err := w.AppendBlock(sorted); err != nil {
+			return nil, err
 		}
 		run, err := w.Finish()
 		if err != nil {
@@ -457,7 +464,7 @@ func formRuns(sys *pdisk.System, file *runform.InputFile, load int, async bool) 
 // formation with loads of 'load' records, then passes of r-way merges. It
 // returns the final run.
 func Sort(sys *pdisk.System, file *runform.InputFile, load, r int) (*Run, SortStats, error) {
-	return sortFile(sys, file, load, r, false)
+	return sortFile(sys, file, load, r, false, 1)
 }
 
 // SortAsync is Sort with overlapped I/O throughout: run formation writes
@@ -465,16 +472,23 @@ func Sort(sys *pdisk.System, file *runform.InputFile, load, r int) (*Run, SortSt
 // writes output behind the merge. Output and statistics are identical to
 // Sort's.
 func SortAsync(sys *pdisk.System, file *runform.InputFile, load, r int) (*Run, SortStats, error) {
-	return sortFile(sys, file, load, r, true)
+	return sortFile(sys, file, load, r, true, 1)
 }
 
-func sortFile(sys *pdisk.System, file *runform.InputFile, load, r int, async bool) (*Run, SortStats, error) {
+// SortCores is Sort/SortAsync with run-formation loads sorted across up
+// to cores goroutines. Output and statistics are identical to Sort's for
+// every core count.
+func SortCores(sys *pdisk.System, file *runform.InputFile, load, r int, async bool, cores int) (*Run, SortStats, error) {
+	return sortFile(sys, file, load, r, async, cores)
+}
+
+func sortFile(sys *pdisk.System, file *runform.InputFile, load, r int, async bool, cores int) (*Run, SortStats, error) {
 	if r < 2 {
 		return nil, SortStats{}, fmt.Errorf("dsm: merge order %d, need >= 2", r)
 	}
 	var stats SortStats
 	before := sys.Stats()
-	runs, err := formRuns(sys, file, load, async)
+	runs, err := formRuns(sys, file, load, async, cores)
 	if err != nil {
 		return nil, stats, err
 	}

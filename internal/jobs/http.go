@@ -12,8 +12,8 @@ import (
 //
 //	POST   /jobs             submit: body = wire-format records, query
 //	                         parameters = Spec fields (alg, d, b, k,
-//	                         mem, seed, async, workers); returns 202
-//	                         with the job status
+//	                         mem, seed, async, workers, cores); returns
+//	                         202 with the job status
 //	GET    /jobs             list every job plus server stats
 //	GET    /jobs/{id}        one job's status
 //	GET    /jobs/{id}/result stream the sorted records (200, octet-
@@ -98,12 +98,16 @@ type ServerStats struct {
 	MemoryBudget int           `json:"memory_budget"`
 	MemoryInUse  int           `json:"memory_in_use"`
 	MemoryPeak   int           `json:"memory_peak"`
+	CoreBudget   int           `json:"core_budget"`
+	CoresInUse   int           `json:"cores_in_use"`
+	CoresPeak    int           `json:"cores_peak"`
 	Jobs         map[State]int `json:"jobs"`
 }
 
-// Stats snapshots the server ledger and per-state job counts.
+// Stats snapshots the server ledgers and per-state job counts.
 func (m *Manager) Stats() ServerStats {
 	total, inUse, peak := m.Budget()
+	cTotal, cInUse, cPeak := m.Cores()
 	counts := make(map[State]int)
 	for _, st := range m.List() {
 		counts[st.State]++
@@ -112,6 +116,9 @@ func (m *Manager) Stats() ServerStats {
 		MemoryBudget: total,
 		MemoryInUse:  inUse,
 		MemoryPeak:   peak,
+		CoreBudget:   cTotal,
+		CoresInUse:   cInUse,
+		CoresPeak:    cPeak,
 		Jobs:         counts,
 	}
 }
@@ -138,6 +145,7 @@ func specFromQuery(r *http.Request) (Spec, error) {
 	spec.K = geti("k")
 	spec.Memory = geti("mem")
 	spec.Workers = geti("workers")
+	spec.Cores = geti("cores")
 	if s := q.Get("seed"); s != "" && err == nil {
 		v, perr := strconv.ParseInt(s, 10, 64)
 		if perr != nil {

@@ -2,13 +2,18 @@
 // concurrently inside one process, sharing the machine the way the
 // library shares a parallel-disk system.
 //
-// Three global resources are arbitrated:
+// Four global resources are arbitrated:
 //
 //   - Memory. Each job's working memory M (records, derived from its
 //     geometry by srmsort.Config.MergeOrder) is reserved from one
 //     server-wide budget before the job starts and returned when it
 //     finishes. Admission is FIFO (see budget); the budget is never
 //     oversubscribed.
+//   - Cores. Each job's Spec.Cores (the library's Config.Cores — how
+//     many goroutines its sort steps spread comparison work over) is
+//     reserved from a server-wide core budget in the same atomic FIFO
+//     grant as its memory, so co-tenant sorts cannot oversubscribe the
+//     CPU.
 //   - Disk bandwidth. All jobs' Systems share one pdisk.DiskGate, so a
 //     job's per-disk transfer concurrency is bounded server-wide and a
 //     wide job cannot monopolise the disks against a narrow one.
@@ -33,6 +38,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -57,6 +63,11 @@ type Spec struct {
 	// Async enables the overlapped-I/O pipeline with Workers per disk.
 	Async   bool `json:"async,omitempty"`
 	Workers int  `json:"workers,omitempty"`
+	// Cores is how many goroutines the job's single sort steps spread
+	// comparison work over (library Config.Cores). It is reserved from
+	// the server's core budget alongside memory; 0 inherits the server
+	// default (1 — co-tenant jobs are serial unless they ask).
+	Cores int `json:"cores,omitempty"`
 }
 
 // withDefaults fills s's zero fields from d.
@@ -75,6 +86,9 @@ func (s Spec) withDefaults(d Spec) Spec {
 	}
 	if s.Seed == 0 {
 		s.Seed = d.Seed
+	}
+	if s.Cores == 0 {
+		s.Cores = d.Cores
 	}
 	if !s.Async && d.Async {
 		s.Async, s.Workers = d.Async, d.Workers
@@ -114,6 +128,7 @@ func (s Spec) Config() (srmsort.Config, error) {
 		Seed:      s.Seed,
 		Async:     s.Async,
 		Workers:   s.Workers,
+		Cores:     s.Cores,
 	}, nil
 }
 
@@ -149,6 +164,9 @@ type Status struct {
 	// MemoryReserved is the job's current carve from the server budget
 	// (records); zero while queued or after finishing.
 	MemoryReserved int `json:"memory_reserved,omitempty"`
+	// CoresReserved is the job's current carve from the server core
+	// budget; zero while queued or after finishing.
+	CoresReserved int `json:"cores_reserved,omitempty"`
 	// Attempts counts sort attempts in this server incarnation,
 	// automatic fault-recovery resumes included.
 	Attempts int `json:"attempts,omitempty"`
@@ -164,27 +182,29 @@ type Status struct {
 
 // Job is one submitted sort. All methods are safe for concurrent use.
 type Job struct {
-	id      string
-	dir     string // per-job directory; "" when the manager is volatile
-	spec    Spec
-	records int
-	memNeed int // records of working memory to reserve
+	id       string
+	dir      string // per-job directory; "" when the manager is volatile
+	spec     Spec
+	records  int
+	memNeed  int // records of working memory to reserve
+	coreNeed int // cores to reserve alongside the memory
 
 	cancelOnce sync.Once
 	cancelCh   chan struct{}
 	done       chan struct{}
 
-	mu       sync.Mutex
-	state    State
-	resumed  bool
-	attempts int
-	reserved int
-	progress srmsort.Progress
-	stats    *srmsort.Stats
-	errText  string
-	input    []byte // volatile managers only
-	output   []byte // volatile managers only
-	store    *killableStore
+	mu        sync.Mutex
+	state     State
+	resumed   bool
+	attempts  int
+	reserved  int
+	reservedC int
+	progress  srmsort.Progress
+	stats     *srmsort.Stats
+	errText   string
+	input     []byte // volatile managers only
+	output    []byte // volatile managers only
+	store     *killableStore
 }
 
 // ID returns the job's identifier.
@@ -203,6 +223,7 @@ func (j *Job) Status() Status {
 		Spec:           j.spec,
 		Records:        j.records,
 		MemoryReserved: j.reserved,
+		CoresReserved:  j.reservedC,
 		Attempts:       j.attempts,
 		Resumed:        j.resumed,
 		Progress:       j.progress,
@@ -217,9 +238,9 @@ func (j *Job) setState(s State) {
 	j.mu.Unlock()
 }
 
-func (j *Job) setReserved(n int) {
+func (j *Job) setReserved(mem, cores int) {
 	j.mu.Lock()
-	j.reserved = n
+	j.reserved, j.reservedC = mem, cores
 	j.mu.Unlock()
 }
 
@@ -266,6 +287,10 @@ type Options struct {
 	// MemoryBudget is the server-wide working-memory budget in records;
 	// every job's M is reserved from it. Required.
 	MemoryBudget int
+	// CoreBudget is the server-wide core budget; every job's Cores is
+	// reserved from it alongside its memory (one atomic {memory, cores}
+	// grant, same FIFO). 0 means GOMAXPROCS.
+	CoreBudget int
 	// GateWidth bounds each simulated disk's in-flight transfers across
 	// ALL jobs (the shared bandwidth knob). 0 means 2; negative disables
 	// the gate entirely.
@@ -326,10 +351,16 @@ func NewManager(opts Options) (*Manager, error) {
 	if opts.MaxAttempts == 0 {
 		opts.MaxAttempts = 3
 	}
-	opts.Defaults = opts.Defaults.withDefaults(Spec{Algorithm: "srm", D: 4, B: 16, K: 3})
+	if opts.CoreBudget == 0 {
+		opts.CoreBudget = runtime.GOMAXPROCS(0)
+	}
+	if opts.CoreBudget < 1 {
+		return nil, fmt.Errorf("jobs: CoreBudget = %d, need >= 1", opts.CoreBudget)
+	}
+	opts.Defaults = opts.Defaults.withDefaults(Spec{Algorithm: "srm", D: 4, B: 16, K: 3, Cores: 1})
 	m := &Manager{
 		opts:   opts,
-		budget: newBudget(opts.MemoryBudget),
+		budget: newBudget(opts.MemoryBudget, opts.CoreBudget),
 		jobs:   make(map[string]*Job),
 	}
 	if opts.GateWidth > 0 {
@@ -352,12 +383,18 @@ func (m *Manager) Budget() (total, inUse, peak int) {
 	return m.budget.Total(), m.budget.InUse(), m.budget.Peak()
 }
 
+// Cores reports the server core ledger: total, currently reserved, and
+// the reservation high-water mark.
+func (m *Manager) Cores() (total, inUse, peak int) {
+	return m.budget.CoresTotal(), m.budget.CoresInUse(), m.budget.CoresPeak()
+}
+
 // Submit registers a job and starts it. The input is drained fully
 // before Submit returns (ingest is part of submission: a durable job's
 // input must be on disk before the job can promise to survive a crash).
 func (m *Manager) Submit(spec Spec, input io.Reader) (*Job, error) {
 	spec = spec.withDefaults(m.opts.Defaults)
-	memNeed, err := m.validate(spec)
+	memNeed, coreNeed, err := m.validate(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -375,6 +412,7 @@ func (m *Manager) Submit(spec Spec, input io.Reader) (*Job, error) {
 		id:       id,
 		spec:     spec,
 		memNeed:  memNeed,
+		coreNeed: coreNeed,
 		state:    StateQueued,
 		cancelCh: make(chan struct{}),
 		done:     make(chan struct{}),
@@ -392,24 +430,31 @@ func (m *Manager) Submit(spec Spec, input io.Reader) (*Job, error) {
 }
 
 // validate checks a defaulted spec against the server's limits and
-// returns the working memory it will reserve.
-func (m *Manager) validate(spec Spec) (int, error) {
+// returns the working memory and cores it will reserve.
+func (m *Manager) validate(spec Spec) (memNeed, coreNeed int, err error) {
 	cfg, err := spec.Config()
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	_, memNeed, err := cfg.MergeOrder()
+	_, memNeed, err = cfg.MergeOrder()
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if m.gate != nil && spec.D > m.gate.D() {
-		return 0, fmt.Errorf("jobs: d=%d exceeds the server's %d shared disks", spec.D, m.gate.D())
+		return 0, 0, fmt.Errorf("jobs: d=%d exceeds the server's %d shared disks", spec.D, m.gate.D())
 	}
 	if memNeed > m.budget.Total() {
-		return 0, fmt.Errorf("%w: job needs M=%d records, server budget is %d",
+		return 0, 0, fmt.Errorf("%w: job needs M=%d records, server budget is %d",
 			ErrOverBudget, memNeed, m.budget.Total())
 	}
-	return memNeed, nil
+	if spec.Cores < 1 {
+		return 0, 0, fmt.Errorf("jobs: cores = %d, need >= 1 (0 inherits the server default)", spec.Cores)
+	}
+	if spec.Cores > m.budget.CoresTotal() {
+		return 0, 0, fmt.Errorf("%w: job needs %d cores, server budget is %d",
+			ErrOverBudget, spec.Cores, m.budget.CoresTotal())
+	}
+	return memNeed, spec.Cores, nil
 }
 
 // ingest drains the job's input. Durable layout per job directory:
@@ -607,8 +652,9 @@ func (m *Manager) run(j *Job, resume bool) {
 }
 
 func (m *Manager) runJob(j *Job, resume bool) {
-	// Admission: block until the job's M fits in the server budget.
-	if err := m.budget.reserve(j.memNeed, j.cancelCh); err != nil {
+	// Admission: block until the job's {M, cores} pair fits in the
+	// server budget — both resources granted atomically or neither.
+	if err := m.budget.reserve(j.memNeed, j.coreNeed, j.cancelCh); err != nil {
 		switch {
 		case errors.Is(err, ErrCanceled):
 			m.finishCanceled(j)
@@ -619,10 +665,10 @@ func (m *Manager) runJob(j *Job, resume bool) {
 		}
 		return
 	}
-	j.setReserved(j.memNeed)
+	j.setReserved(j.memNeed, j.coreNeed)
 	defer func() {
-		j.setReserved(0)
-		m.budget.release(j.memNeed)
+		j.setReserved(0, 0)
+		m.budget.release(j.memNeed, j.coreNeed)
 	}()
 
 	var inner pdisk.Store
@@ -841,13 +887,14 @@ func (m *Manager) recover() error {
 			m.nextID = n
 		}
 		spec := sf.Spec.withDefaults(m.opts.Defaults)
-		memNeed, err := m.validate(spec)
+		memNeed, coreNeed, err := m.validate(spec)
 		j := &Job{
 			id:       name,
 			dir:      dir,
 			spec:     spec,
 			records:  sf.Records,
 			memNeed:  memNeed,
+			coreNeed: coreNeed,
 			cancelCh: make(chan struct{}),
 			done:     make(chan struct{}),
 		}

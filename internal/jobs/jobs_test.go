@@ -3,6 +3,7 @@ package jobs
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -235,9 +236,13 @@ func TestServerLoad(t *testing.T) {
 	m, err := NewManager(Options{
 		Root:         t.TempDir(),
 		MemoryBudget: 3 * mNeed,
-		MaxAttempts:  12,
-		Retry:        &policy,
-		Defaults:     testSpec(1),
+		// Serial jobs each hold one core slot; give the server enough
+		// that memory, not cores, is the contended resource here (the
+		// default GOMAXPROCS would serialize the load on a 1-CPU host).
+		CoreBudget:  8,
+		MaxAttempts: 12,
+		Retry:       &policy,
+		Defaults:    testSpec(1),
 		StoreWrap: func(jobID string, inner pdisk.Store) pdisk.Store {
 			var n int64
 			fmt.Sscanf(jobID, "job-%d", &n)
@@ -435,24 +440,24 @@ func TestHTTPCancelAndErrors(t *testing.T) {
 // waiter is not starved, cancellation abandons a queued waiter, and the
 // peak never exceeds the total.
 func TestBudgetFIFO(t *testing.T) {
-	b := newBudget(10)
-	if err := b.reserve(6, nil); err != nil {
+	b := newBudget(10, 16)
+	if err := b.reserve(6, 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	// A big reservation queues; smaller ones behind it must not jump it.
 	bigDone := make(chan error, 1)
-	go func() { bigDone <- b.reserve(8, nil) }()
+	go func() { bigDone <- b.reserve(8, 1, nil) }()
 	for b.queueLen() == 0 {
 		time.Sleep(time.Millisecond)
 	}
 	smallDone := make(chan error, 1)
-	go func() { smallDone <- b.reserve(2, nil) }()
+	go func() { smallDone <- b.reserve(2, 1, nil) }()
 	select {
 	case <-smallDone:
 		t.Fatal("small reservation jumped the FIFO queue")
 	case <-time.After(20 * time.Millisecond):
 	}
-	b.release(6)
+	b.release(6, 1)
 	if err := <-bigDone; err != nil {
 		t.Fatal(err)
 	}
@@ -468,7 +473,7 @@ func TestBudgetFIFO(t *testing.T) {
 	// Cancellation abandons a queued waiter.
 	cancel := make(chan struct{})
 	cErr := make(chan error, 1)
-	go func() { cErr <- b.reserve(5, cancel) }()
+	go func() { cErr <- b.reserve(5, 1, cancel) }()
 	for b.queueLen() == 0 {
 		time.Sleep(time.Millisecond)
 	}
@@ -476,9 +481,58 @@ func TestBudgetFIFO(t *testing.T) {
 	if err := <-cErr; err != ErrCanceled {
 		t.Fatalf("canceled reserve = %v, want ErrCanceled", err)
 	}
-	b.release(8)
-	b.release(2)
+	b.release(8, 1)
+	b.release(2, 1)
 	if got := b.InUse(); got != 0 {
 		t.Fatalf("InUse = %d after releases, want 0", got)
+	}
+}
+
+// TestBudgetCores pins the dual-resource admission: a job that fits in
+// memory but not in cores queues (and vice versa), both resources of one
+// reservation are granted and returned atomically, and a queued head
+// blocks followers even when they would fit (one FIFO for both ledgers).
+func TestBudgetCores(t *testing.T) {
+	b := newBudget(100, 4)
+	if err := b.reserve(10, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Memory fits (10+10 <= 100) but cores don't (3+2 > 4): must queue.
+	waitDone := make(chan error, 1)
+	go func() { waitDone <- b.reserve(10, 2, nil) }()
+	for b.queueLen() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// A follower that fits both ledgers must still wait behind the head.
+	tinyDone := make(chan error, 1)
+	go func() { tinyDone <- b.reserve(1, 1, nil) }()
+	select {
+	case <-waitDone:
+		t.Fatal("core-starved reservation admitted while cores were exhausted")
+	case <-tinyDone:
+		t.Fatal("follower jumped the dual-resource FIFO queue")
+	case <-time.After(20 * time.Millisecond):
+	}
+	b.release(10, 3)
+	if err := <-waitDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-tinyDone; err != nil {
+		t.Fatal(err)
+	}
+	if got := b.CoresInUse(); got != 3 {
+		t.Fatalf("CoresInUse = %d, want 3", got)
+	}
+	if peak := b.CoresPeak(); peak > b.CoresTotal() {
+		t.Fatalf("cores peak %d > total %d", peak, b.CoresTotal())
+	}
+	// Over-budget cores fail fast rather than queueing forever.
+	if err := b.reserve(1, 5, nil); !errors.Is(err, ErrOverBudget) {
+		t.Fatalf("reserve(1, 5) = %v, want ErrOverBudget", err)
+	}
+	b.release(10, 2)
+	b.release(1, 1)
+	if got, c := b.InUse(), b.CoresInUse(); got != 0 || c != 0 {
+		t.Fatalf("after releases: mem %d cores %d in use, want 0/0", got, c)
 	}
 }

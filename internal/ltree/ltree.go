@@ -26,7 +26,12 @@
 // (retirement).
 //
 // Ties are broken by player index, matching the iheap-based mergers, so
-// the two engines produce byte-identical merge output.
+// the two engines produce byte-identical merge output. The KV entry
+// points (PushKV, UpdateKV, ChallengerKV) interpose a secondary value
+// between the key and the index — (key, val, index) — which is how the
+// parallel sort's merge-back reproduces SortRecords' (key, val) order
+// exactly; the plain entry points pin the value to zero, so trees that
+// never call a KV method behave exactly as before.
 package ltree
 
 import "fmt"
@@ -39,6 +44,7 @@ const Infinite = ^uint64(0)
 type Tree struct {
 	n       int
 	keys    []uint64 // current key of each player
+	vals    []uint64 // secondary tie value; zero unless set via a KV method
 	retired []bool   // explicit aliveness: retired players lose every match
 	losers  []int    // internal nodes: player index of the match loser; losers[0] is the winner
 	alive   int
@@ -55,6 +61,7 @@ func New(keys []uint64) *Tree {
 	t := &Tree{
 		n:       n,
 		keys:    append([]uint64(nil), keys...),
+		vals:    make([]uint64, n),
 		retired: make([]bool, n),
 		losers:  make([]int, n),
 		scratch: make([]int, 2*n),
@@ -80,6 +87,7 @@ func NewRetired(n int) *Tree {
 	t := &Tree{
 		n:       n,
 		keys:    make([]uint64, n),
+		vals:    make([]uint64, n),
 		retired: make([]bool, n),
 		losers:  make([]int, n),
 		scratch: make([]int, 2*n),
@@ -118,15 +126,22 @@ func (t *Tree) play(a, b int) (w, l int) {
 }
 
 // beats reports whether player a wins a match against player b: retired
-// players lose to live ones, live players compare by (key, index) — the
-// smaller key wins, ties go to the lower index — and retired pairs order
-// by index (irrelevant, but total).
+// players lose to live ones, live players compare by (key, val, index) —
+// the smaller key wins, key ties go to the smaller val, full ties to the
+// lower index — and retired pairs order by index (irrelevant, but total).
+// Players never touched by a KV method all hold val zero, so for them
+// the order collapses to the classical (key, index).
 func (t *Tree) beats(a, b int) bool {
 	if t.retired[a] != t.retired[b] {
 		return !t.retired[a]
 	}
-	if !t.retired[a] && t.keys[a] != t.keys[b] {
-		return t.keys[a] < t.keys[b]
+	if !t.retired[a] {
+		if t.keys[a] != t.keys[b] {
+			return t.keys[a] < t.keys[b]
+		}
+		if t.vals[a] != t.vals[b] {
+			return t.vals[a] < t.vals[b]
+		}
 	}
 	return a < b
 }
@@ -167,10 +182,20 @@ func (t *Tree) Challenger() (player int, key uint64, ok bool) {
 	return best, t.keys[best], true
 }
 
+// ChallengerKV is Challenger extended with the runner-up's secondary tie
+// value, for merges galloping under the (key, val, index) order.
+func (t *Tree) ChallengerKV() (player int, key, val uint64, ok bool) {
+	p, k, ok := t.Challenger()
+	if !ok {
+		return p, k, 0, false
+	}
+	return p, k, t.vals[p], true
+}
+
 // ReplaceMin gives the current winner a new key (the next record of its
 // run) and replays its path to the root in O(log R). ReplaceMin(Infinite)
 // retires the winner (the legacy sentinel); use Update to hand a live
-// player a genuine Infinite key.
+// player a genuine Infinite key. The secondary tie value resets to zero.
 func (t *Tree) ReplaceMin(key uint64) {
 	if t.alive == 0 {
 		panic("ltree: ReplaceMin of empty tree")
@@ -181,6 +206,7 @@ func (t *Tree) ReplaceMin(key uint64) {
 		t.alive--
 	}
 	t.keys[w] = key
+	t.vals[w] = 0
 	t.replay(w)
 }
 
@@ -196,15 +222,25 @@ func (t *Tree) DeleteMin() {
 }
 
 // Update gives a live player a new key, taken at face value (Infinite is a
-// legal key here). Updating the current winner is the per-span hot path
-// and costs one O(log R) replay; any other player costs an O(n) rebuild —
-// merge kernels only do that at block events.
+// legal key here), and resets its secondary tie value to zero. Updating
+// the current winner is the per-span hot path and costs one O(log R)
+// replay; any other player costs an O(n) rebuild — merge kernels only do
+// that at block events.
 func (t *Tree) Update(player int, key uint64) {
+	t.UpdateKV(player, key, 0)
+}
+
+// UpdateKV is Update with an explicit secondary tie value: until its next
+// reassignment the player compares by (key, val, index). The parallel
+// sort's merge-back uses it to order duplicate keys exactly as
+// SortRecords does.
+func (t *Tree) UpdateKV(player int, key, val uint64) {
 	t.check(player)
 	if t.retired[player] {
 		panic(fmt.Sprintf("ltree: Update of retired player %d", player))
 	}
 	t.keys[player] = key
+	t.vals[player] = val
 	if player == t.losers[0] {
 		t.replay(player)
 	} else {
@@ -215,13 +251,20 @@ func (t *Tree) Update(player int, key uint64) {
 // Push activates a retired player with the given key (taken at face
 // value), rebuilding the tournament in O(n). Merge kernels call it when a
 // stalled run's leading block arrives — once per block, never per record.
+// The secondary tie value resets to zero.
 func (t *Tree) Push(player int, key uint64) {
+	t.PushKV(player, key, 0)
+}
+
+// PushKV is Push with an explicit secondary tie value.
+func (t *Tree) PushKV(player int, key, val uint64) {
 	t.check(player)
 	if !t.retired[player] {
 		panic(fmt.Sprintf("ltree: Push of live player %d", player))
 	}
 	t.retired[player] = false
 	t.keys[player] = key
+	t.vals[player] = val
 	t.alive++
 	t.rebuild()
 }

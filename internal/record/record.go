@@ -135,6 +135,43 @@ func CountBelow(rs []Record, bound Key, inclusive bool) int {
 	return hi
 }
 
+// CountBelowKV is CountBelow under the (Key, Val) total order of
+// SortRecords: it returns the number of leading records in a
+// (key, val)-sorted rs that precede (bound, val) — strictly, or
+// weakly when inclusive. It is the gallop span bound of merges that
+// must interleave duplicate keys exactly as SortRecords orders them
+// (the parallel sort's merge-back), with the same exponential-probe +
+// binary-search cost profile as CountBelow.
+func CountBelowKV(rs []Record, bound Key, val uint64, inclusive bool) int {
+	below := func(r Record) bool {
+		if r.Key != bound {
+			return r.Key < bound
+		}
+		return r.Val < val || (inclusive && r.Val == val)
+	}
+	n := len(rs)
+	if n == 0 || !below(rs[0]) {
+		return 0
+	}
+	lo, hi := 0, 1
+	for hi < n && below(rs[hi]) {
+		lo = hi
+		hi <<= 1
+	}
+	if hi > n {
+		hi = n
+	}
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if below(rs[mid]) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
 // Checksum folds the multiset of records into an order-independent
 // signature. Two record sequences have equal checksums if they are
 // permutations of each other, with overwhelming probability; the tests use

@@ -21,6 +21,7 @@ import (
 
 	"srmsort/internal/iheap"
 	"srmsort/internal/pdisk"
+	"srmsort/internal/pmerge"
 	"srmsort/internal/record"
 	"srmsort/internal/runio"
 )
@@ -194,6 +195,15 @@ type Result struct {
 // MemoryLoad forms initial runs by sorting 'load' records at a time. The
 // paper's default is load = M/2.
 func MemoryLoad(sys *pdisk.System, file *InputFile, load int, placement runio.Placement, seqStart int) (Result, error) {
+	return MemoryLoadCores(sys, file, load, placement, seqStart, 1)
+}
+
+// MemoryLoadCores is MemoryLoad with each load sorted across up to cores
+// goroutines (pmerge.Sort: per-core chunks + merge-back). The sorted
+// loads — and therefore the written runs, and the I/O schedule — are
+// byte-identical for every core count; cores <= 1 is exactly the serial
+// record.SortRecords path.
+func MemoryLoadCores(sys *pdisk.System, file *InputFile, load int, placement runio.Placement, seqStart, cores int) (Result, error) {
 	if load < 1 {
 		return Result{}, fmt.Errorf("runform: load %d", load)
 	}
@@ -209,7 +219,7 @@ func MemoryLoad(sys *pdisk.System, file *InputFile, load int, placement runio.Pl
 		}
 		sorted := make([]record.Record, len(chunk))
 		copy(sorted, chunk)
-		record.SortRecords(sorted)
+		pmerge.Sort(sorted, cores)
 		run, err := runio.WriteRun(sys, res.NextSeq, placement.StartDisk(res.NextSeq), sorted)
 		if err != nil {
 			return Result{}, err
@@ -226,18 +236,26 @@ func MemoryLoad(sys *pdisk.System, file *InputFile, load int, placement runio.Pl
 // drains, a new run begins. Random inputs yield runs of expected length
 // about 2*heapSize.
 func ReplacementSelection(sys *pdisk.System, file *InputFile, heapSize int, placement runio.Placement, seqStart int) (Result, error) {
+	return ReplacementSelectionCores(sys, file, heapSize, placement, seqStart, 1)
+}
+
+// ReplacementSelectionCores is ReplacementSelection with the bulk of the
+// comparison work parallelized: each generation's resident records are
+// sorted up front across up to cores goroutines (pmerge.Sort), and the
+// run is then emitted by merging two sources — the sorted generation
+// arena (a cursor) and a small heap of records admitted from the input
+// during emission. Key ties go to the arena, so emission order is fully
+// deterministic and independent of cores; the classical admission rule
+// (an input record joins the current run iff its key is >= the last key
+// emitted) is unchanged, so run boundaries, lengths and the I/O schedule
+// match the serial algorithm exactly.
+func ReplacementSelectionCores(sys *pdisk.System, file *InputFile, heapSize int, placement runio.Placement, seqStart, cores int) (Result, error) {
 	if heapSize < 1 {
 		return Result{}, fmt.Errorf("runform: heap size %d", heapSize)
 	}
 	rd := NewReader(sys, file)
 	res := Result{NextSeq: seqStart}
 
-	// The heap orders records by (generation, key): generation g+1 records
-	// wait until the current run finishes. Handles index a fixed arena of
-	// heapSize slots; priorities pack the generation parity with the key's
-	// high bits unavailable, so we keep an explicit generation array and
-	// rebuild between runs instead. Simpler and still O(n log m): one heap
-	// per generation.
 	cur := make([]record.Record, 0, heapSize)
 	fill, err := rd.Read(heapSize)
 	if err != nil {
@@ -246,30 +264,56 @@ func ReplacementSelection(sys *pdisk.System, file *InputFile, heapSize int, plac
 	cur = append(cur, fill...)
 	var pendingNext []record.Record
 
+	// Admitted replacements live in a fixed arena of heapSize slots
+	// indexed by the heap's handles; slots are recycled through a
+	// freelist handed out in deterministic (ascending-first) order. The
+	// classical invariant bounds residency: every emission removes one
+	// record and every admission follows an emission, so
+	// len(arena cursor remainder) + heap length never exceeds heapSize —
+	// a free slot always exists at admission time — and the deferred
+	// next-generation records number at most one per generation member.
+	slots := make([]record.Record, heapSize)
+	free := make([]int, 0, heapSize)
+
 	for len(cur) > 0 {
-		h := iheap.New(len(cur))
 		arena := make([]record.Record, len(cur))
 		copy(arena, cur)
-		for i, r := range arena {
-			h.Push(i, uint64(r.Key))
+		pmerge.Sort(arena, cores)
+		h := iheap.New(heapSize)
+		free = free[:0]
+		for i := heapSize - 1; i >= 0; i-- {
+			free = append(free, i)
 		}
 		w := runio.NewWriter(sys, res.NextSeq, placement.StartDisk(res.NextSeq))
-		var wrote int
-		for h.Len() > 0 {
-			i, _ := h.PopMin()
-			out := arena[i]
+		ai := 0
+		for ai < len(arena) || h.Len() > 0 {
+			var out record.Record
+			fromArena := h.Len() == 0
+			if !fromArena && ai < len(arena) {
+				_, minKey := h.Min()
+				fromArena = uint64(arena[ai].Key) <= minKey
+			}
+			if fromArena {
+				out = arena[ai]
+				ai++
+			} else {
+				i, _ := h.PopMin()
+				out = slots[i]
+				free = append(free, i)
+			}
 			if err := w.Append(out); err != nil {
 				return Result{}, err
 			}
-			wrote++
-			// Refill the freed slot from the input if possible.
+			// Refill from the input if possible.
 			repl, err := rd.Read(1)
 			if err != nil {
 				return Result{}, err
 			}
 			if len(repl) == 1 {
 				if repl[0].Key >= out.Key {
-					arena[i] = repl[0]
+					i := free[len(free)-1]
+					free = free[:len(free)-1]
+					slots[i] = repl[0]
 					h.Push(i, uint64(repl[0].Key))
 				} else {
 					pendingNext = append(pendingNext, repl[0])

@@ -65,7 +65,16 @@ type asyncMerger struct {
 // written behind the merge (write-behind M_W). Output and statistics are
 // identical to Merge's.
 func MergeAsync(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk int) (*runio.Run, MergeStats, error) {
-	base, err := newMerger(sys, runs, r, runio.NewWriterAsync(sys, outID, outStartDisk), nil)
+	return MergeAsyncCores(sys, runs, r, outID, outStartDisk, 1)
+}
+
+// MergeAsyncCores is MergeAsync with internal merging spread across up to
+// cores goroutines (the sharded super-span consumer of pconsume.go); it
+// composes the two overlaps — I/O behind merging, merging across cores —
+// and output and statistics remain identical to Merge's for every core
+// count.
+func MergeAsyncCores(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk, cores int) (*runio.Run, MergeStats, error) {
+	base, err := newMerger(sys, runs, r, runio.NewWriterAsync(sys, outID, outStartDisk), nil, cores)
 	if err != nil {
 		return nil, MergeStats{}, err
 	}
@@ -226,6 +235,18 @@ func (m *asyncMerger) pumpIOOverlapped() (int, error) {
 // consumed by consumeUntilBlockEvent at exactly the state the sync
 // consumer sees.
 func (m *asyncMerger) consumeOverlapped() (int, error) {
+	if m.cores > 1 {
+		consumed, dRun, err := m.consumeSuperSpan(false)
+		if err != nil {
+			return consumed, err
+		}
+		if dRun >= 0 {
+			// Note the depletion; the Exchange stays deferred until the
+			// in-flight read lands, exactly as in the serial loop below.
+			m.pendingRun = dRun
+		}
+		return consumed, nil
+	}
 	consumed := 0
 	for m.active.Len() > 0 {
 		h, hKey := m.active.Min()

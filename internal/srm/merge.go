@@ -80,6 +80,12 @@ type merger struct {
 	flushed map[[2]int]bool // blocks that were flushed at least once
 	stats   MergeStats
 
+	// cores > 1 consumes through the sharded super-span kernel
+	// (pconsume.go); 1 is the serial per-winner gallop loop. Tracing
+	// reports per-winner events, so a sink forces the serial consumer.
+	cores   int
+	scratch []record.Record // super-span merge-back buffer, reused
+
 	sink trace.Sink // nil when tracing is off
 	seq  int
 }
@@ -109,16 +115,30 @@ func (m *merger) ref(h, idx int, key record.Key) trace.BlockRef {
 // outID starting on disk outStartDisk. It returns the output run and the
 // merge statistics.
 func Merge(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk int) (*runio.Run, MergeStats, error) {
-	return MergeTraced(sys, runs, r, outID, outStartDisk, nil)
+	return MergeCores(sys, runs, r, outID, outStartDisk, 1)
+}
+
+// MergeCores is Merge with internal merging spread across up to cores
+// goroutines: each inter-block-event emission is computed as one sharded
+// super-span (pconsume.go) instead of a per-winner loop. The I/O
+// schedule, statistics and output run are byte-identical for every core
+// count; cores <= 1 is exactly the serial path.
+func MergeCores(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk, cores int) (*runio.Run, MergeStats, error) {
+	return mergeTraced(sys, runs, r, outID, outStartDisk, nil, cores)
 }
 
 // MergeTraced is Merge with a trace sink attached: every parallel read,
 // virtual flush, depletion, stall and promotion is reported as a
 // trace.Event, in schedule order. Pass a trace.Checker to verify the
 // paper's scheduling invariants online, or a trace.Recorder to render the
-// schedule.
+// schedule. Tracing narrates the per-winner consumer, so it always runs
+// serial.
 func MergeTraced(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk int, sink trace.Sink) (*runio.Run, MergeStats, error) {
-	m, err := newMerger(sys, runs, r, runio.NewWriter(sys, outID, outStartDisk), sink)
+	return mergeTraced(sys, runs, r, outID, outStartDisk, sink, 1)
+}
+
+func mergeTraced(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk int, sink trace.Sink, cores int) (*runio.Run, MergeStats, error) {
+	m, err := newMerger(sys, runs, r, runio.NewWriter(sys, outID, outStartDisk), sink, cores)
 	if err != nil {
 		return nil, MergeStats{}, err
 	}
@@ -145,7 +165,7 @@ func MergeTraced(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk in
 
 // newMerger validates the merge inputs and assembles the shared state of
 // the sync and async merge loops.
-func newMerger(sys *pdisk.System, runs []*runio.Run, r int, out *runio.Writer, sink trace.Sink) (*merger, error) {
+func newMerger(sys *pdisk.System, runs []*runio.Run, r int, out *runio.Writer, sink trace.Sink, cores int) (*merger, error) {
 	if len(runs) == 0 {
 		return nil, fmt.Errorf("srm: merge of zero runs")
 	}
@@ -172,6 +192,7 @@ func newMerger(sys *pdisk.System, runs []*runio.Run, r int, out *runio.Writer, s
 		active:    ltree.NewRetired(len(runs)),
 		stallHeap: iheap.New(len(runs)),
 		flushed:   make(map[[2]int]bool),
+		cores:     cores,
 		sink:      sink,
 	}, nil
 }
@@ -403,6 +424,16 @@ func (m *merger) landParRead(blocks []pdisk.StoredBlock, addrs []pdisk.BlockAddr
 // binary search and written with one AppendBlock call and one loser-tree
 // update, instead of a tree round-trip per record.
 func (m *merger) consumeUntilBlockEvent() (int, error) {
+	if m.cores > 1 && m.sink == nil {
+		consumed, dRun, err := m.consumeSuperSpan(true)
+		if err != nil {
+			return consumed, err
+		}
+		if dRun >= 0 {
+			m.blockEvent(dRun)
+		}
+		return consumed, nil
+	}
 	consumed := 0
 	for m.active.Len() > 0 {
 		h, hKey := m.active.Min()

@@ -1,0 +1,154 @@
+package srm
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"srmsort/internal/record"
+	"srmsort/internal/runio"
+)
+
+// mergeWithCores prepares an identical system + run layout and merges with
+// the given core count (sync or async), returning output records, merge
+// stats and system op count.
+func mergeWithCores(t *testing.T, d, b int, runs [][]record.Record, placement runio.Placement, r, cores int, async bool) ([]record.Record, MergeStats, int64) {
+	t.Helper()
+	sys := newSys(t, d, b)
+	defer sys.Close()
+	descs := writeRuns(t, sys, runs, placement)
+	var out *runio.Run
+	var ms MergeStats
+	var err error
+	if async {
+		out, ms, err = MergeAsyncCores(sys, descs, r, 1000, 0, cores)
+	} else {
+		out, ms, err = MergeCores(sys, descs, r, 1000, 0, cores)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := runio.ReadAll(sys, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs, ms, sys.Stats().Ops()
+}
+
+// TestMergeCoresEquivalence pins the tentpole guarantee at the kernel
+// level: the sharded super-span consumer must reproduce the serial merge
+// byte for byte — same records, same MergeStats, same I/O operation
+// count — for sync and async execution, every core count, and inputs
+// covering duplicates, adversarial placement, and blocks large enough
+// that the super-span merge actually shards across goroutines.
+func TestMergeCoresEquivalence(t *testing.T) {
+	cases := []struct {
+		name      string
+		d, b      int
+		n, pieces int
+		r         int
+		dups      bool
+		placement func(d int) runio.Placement
+	}{
+		{"D1-small-blocks", 1, 4, 400, 6, 8, false,
+			func(d int) runio.Placement { return runio.StaggeredPlacement{D: d} }},
+		{"D4-random", 4, 8, 3000, 12, 12, false,
+			func(d int) runio.Placement {
+				return &runio.RandomPlacement{D: d, Rng: rand.New(rand.NewSource(7))}
+			}},
+		{"D4-dups", 4, 4, 2000, 10, 10, true,
+			func(d int) runio.Placement {
+				return &runio.RandomPlacement{D: d, Rng: rand.New(rand.NewSource(11))}
+			}},
+		{"D4-fixed-adversarial", 4, 4, 1200, 8, 8, false,
+			func(d int) runio.Placement { return runio.FixedPlacement{Disk: 0} }},
+		// Big blocks: per-call super-spans reach R*B = 4096 records,
+		// above pmerge's sharding threshold, so the merge-back really
+		// fans out.
+		{"D4-big-blocks", 4, 512, 80_000, 8, 8, false,
+			func(d int) runio.Placement { return runio.StaggeredPlacement{D: d} }},
+		{"D8-big-blocks-dups", 8, 512, 60_000, 6, 6, true,
+			func(d int) runio.Placement { return runio.StaggeredPlacement{D: d} }},
+	}
+	coreCounts := []int{2, 3, 8, runtime.GOMAXPROCS(0)}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := record.NewGenerator(int64(len(tc.name)) * 131)
+			var all []record.Record
+			if tc.dups {
+				all = g.WithDuplicates(tc.n, 25)
+			} else {
+				all = g.Random(tc.n)
+			}
+			runs := g.SplitIntoSortedRuns(all, tc.pieces)
+			for _, async := range []bool{false, true} {
+				wantRecs, wantMS, wantOps := mergeWithCores(t, tc.d, tc.b, runs, tc.placement(tc.d), tc.r, 1, async)
+				for _, cores := range coreCounts {
+					gotRecs, gotMS, gotOps := mergeWithCores(t, tc.d, tc.b, runs, tc.placement(tc.d), tc.r, cores, async)
+					if len(gotRecs) != len(wantRecs) {
+						t.Fatalf("async=%v cores=%d: %d records, want %d", async, cores, len(gotRecs), len(wantRecs))
+					}
+					for i := range wantRecs {
+						if gotRecs[i] != wantRecs[i] {
+							t.Fatalf("async=%v cores=%d: record %d = %+v, want %+v",
+								async, cores, i, gotRecs[i], wantRecs[i])
+						}
+					}
+					if gotMS != wantMS {
+						t.Fatalf("async=%v cores=%d: stats diverge:\ngot  %+v\nwant %+v", async, cores, gotMS, wantMS)
+					}
+					if gotOps != wantOps {
+						t.Fatalf("async=%v cores=%d: ops %d, want %d", async, cores, gotOps, wantOps)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSortRunsOptsCores drives the full multi-pass sort through every
+// (Async, Workers, Cores) combination and requires run-for-run identity
+// with the serial baseline — Cores must compose with both overlapped I/O
+// and the pass-level worker pool.
+func TestSortRunsOptsCores(t *testing.T) {
+	const d, b, r = 4, 8, 4
+	g := record.NewGenerator(977)
+	runs := g.SplitIntoSortedRuns(g.WithDuplicates(20_000, 12), 16)
+
+	run := func(opts SortOpts) ([]record.Record, SortStats) {
+		t.Helper()
+		sys := newSys(t, d, b)
+		defer sys.Close()
+		descs := writeRuns(t, sys, runs, runio.StaggeredPlacement{D: d})
+		out, stats, _, err := SortRunsOpts(sys, descs, r, runio.StaggeredPlacement{D: d}, len(descs), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := runio.ReadAll(sys, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs, stats
+	}
+
+	wantRecs, wantStats := run(SortOpts{})
+	for _, async := range []bool{false, true} {
+		for _, workers := range []int{1, 3} {
+			for _, cores := range []int{2, runtime.GOMAXPROCS(0)} {
+				opts := SortOpts{Async: async, Workers: workers, Cores: cores}
+				gotRecs, gotStats := run(opts)
+				if len(gotRecs) != len(wantRecs) {
+					t.Fatalf("%+v: %d records, want %d", opts, len(gotRecs), len(wantRecs))
+				}
+				for i := range wantRecs {
+					if gotRecs[i] != wantRecs[i] {
+						t.Fatalf("%+v: record %d = %+v, want %+v", opts, i, gotRecs[i], wantRecs[i])
+					}
+				}
+				if gotStats != wantStats {
+					t.Fatalf("%+v: stats diverge:\ngot  %+v\nwant %+v", opts, gotStats, wantStats)
+				}
+			}
+		}
+	}
+}

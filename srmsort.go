@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 
 	"srmsort/internal/analysis"
 	"srmsort/internal/dsm"
@@ -180,6 +181,15 @@ type Config struct {
 	// result and all I/O statistics are identical either way — only the
 	// host wall-clock changes. SRM variants only.
 	Workers int
+	// Cores bounds the goroutines each single sort step spreads its
+	// record comparison work over: run-formation loads are sorted in
+	// per-core chunks and merged back, and each SRM merge consumes
+	// through a sharded super-span kernel. 0 (the default) or a negative
+	// value means GOMAXPROCS; 1 is the serial path. Output and every I/O
+	// statistic are byte-identical for every value (a property the test
+	// suite enforces); only host wall-clock changes. Cores composes with
+	// Async and Workers. SRM variants and DSM; PSV always runs serially.
+	Cores int
 	// Async overlaps I/O with computation: parallel reads are issued
 	// asynchronously and merged records are consumed while blocks are in
 	// flight, and output stripes are written behind the merge — the
@@ -305,6 +315,15 @@ func (c Config) MergeOrder() (r, m int, err error) {
 	return r, m, nil
 }
 
+// cores resolves the effective compute-core bound: Cores itself when
+// positive, GOMAXPROCS when zero or negative.
+func (c Config) cores() int {
+	if c.Cores > 0 {
+		return c.Cores
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // backend resolves the effective storage backend, folding the deprecated
 // FileBacked flag in.
 func (c Config) backend() Backend {
@@ -380,7 +399,7 @@ func (c Config) newSystem() (*pdisk.System, pdisk.Store, func(), error) {
 func runAlgorithm(sys *pdisk.System, file *runform.InputFile, cfg Config, m, r int, stats *Stats, cp *checkpointer, tr *progressTracker) (func(func(record.Record) error) error, error) {
 	switch cfg.Algorithm {
 	case DSM:
-		return sortDSM(sys, file, m, r, cfg.Async, stats, cp, tr)
+		return sortDSM(sys, file, m, r, cfg.Async, cfg.cores(), stats, cp, tr)
 	case PSV:
 		return sortPSV(sys, file, m, stats, tr)
 	default:
@@ -598,9 +617,9 @@ func sortSRM(sys *pdisk.System, file *runform.InputFile, m, r int, cfg Config, s
 	var formed runform.Result
 	var err error
 	if cfg.RunFormation == ReplacementSelection {
-		formed, err = runform.ReplacementSelection(sys, file, m, placement, 0)
+		formed, err = runform.ReplacementSelectionCores(sys, file, m, placement, 0, cfg.cores())
 	} else {
-		formed, err = runform.MemoryLoad(sys, file, (m+1)/2, placement, 0)
+		formed, err = runform.MemoryLoadCores(sys, file, (m+1)/2, placement, 0, cfg.cores())
 	}
 	if err != nil {
 		return nil, err
@@ -615,7 +634,7 @@ func sortSRM(sys *pdisk.System, file *runform.InputFile, m, r int, cfg Config, s
 	}
 	tr.formed(len(formed.Runs), len(formed.Runs), r, 0)
 
-	opts := srm.SortOpts{Async: cfg.Async, Workers: cfg.Workers}
+	opts := srm.SortOpts{Async: cfg.Async, Workers: cfg.Workers, Cores: cfg.cores()}
 	var cpHook, trHook srm.PassFunc
 	if cp != nil {
 		// Pass 0 is run formation: checkpoint the freshly formed runs so
@@ -680,7 +699,7 @@ func sortPSV(sys *pdisk.System, file *runform.InputFile, m int, stats *Stats, tr
 	return func(fn func(record.Record) error) error { return runio.Stream(sys, final, fn) }, nil
 }
 
-func sortDSM(sys *pdisk.System, file *runform.InputFile, m, r int, async bool, stats *Stats, cp *checkpointer, tr *progressTracker) (func(func(record.Record) error) error, error) {
+func sortDSM(sys *pdisk.System, file *runform.InputFile, m, r int, async bool, cores int, stats *Stats, cp *checkpointer, tr *progressTracker) (func(func(record.Record) error) error, error) {
 	dsmStream := func(final *dsm.Run) func(func(record.Record) error) error {
 		if async {
 			return func(fn func(record.Record) error) error { return dsm.StreamAsync(sys, final, fn) }
@@ -691,11 +710,7 @@ func sortDSM(sys *pdisk.System, file *runform.InputFile, m, r int, async bool, s
 		var final *dsm.Run
 		var ds dsm.SortStats
 		var err error
-		if async {
-			final, ds, err = dsm.SortAsync(sys, file, (m+1)/2, r)
-		} else {
-			final, ds, err = dsm.Sort(sys, file, (m+1)/2, r)
-		}
+		final, ds, err = dsm.SortCores(sys, file, (m+1)/2, r, async, cores)
 		if err != nil {
 			return nil, err
 		}
@@ -714,11 +729,7 @@ func sortDSM(sys *pdisk.System, file *runform.InputFile, m, r int, async bool, s
 	before := sys.Stats()
 	var runs []*dsm.Run
 	var err error
-	if async {
-		runs, err = dsm.FormRunsAsync(sys, file, (m+1)/2)
-	} else {
-		runs, err = dsm.FormRuns(sys, file, (m+1)/2)
-	}
+	runs, err = dsm.FormRunsCores(sys, file, (m+1)/2, async, cores)
 	if err != nil {
 		return nil, err
 	}
