@@ -14,12 +14,17 @@ test:
 race:
 	go test -race ./...
 
-# The full gate: formatting, compile everything, vet, the whole suite
-# under the race detector (the async pipeline's equivalence tests are only
+# The full gate: formatting, compile everything, vet (plus staticcheck
+# when the host has it — nothing is downloaded), the whole suite under
+# the race detector (the async pipeline's equivalence tests are only
 # meaningful raced), the zero-copy aliasing guard, and one iteration of
 # the end-to-end sort benchmark so the harness can never rot unexercised.
 check: fmt-check build
 	go vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go vet still ran)"; fi
 	go test -race ./...
 	go test -tags=aliascheck ./internal/pdisk/ ./internal/srm/
 	go test -run='^$$' -bench='SortEndToEnd|ServerThroughput|ParallelMerge' -benchtime=1x .
@@ -65,11 +70,14 @@ bench-all:
 bench-smoke:
 	go test -run='^$$' -bench='SortEndToEnd|ServerThroughput|ParallelMerge' -benchtime=1x .
 
-# A 20-second native-fuzz burst on the parallel-merge equivalence fuzzer:
-# random runs, shard counts and data shapes, every shard placement
-# byte-compared against the serial merge. CI runs exactly this.
+# Native-fuzz bursts CI runs exactly: 20 seconds on the parallel-merge
+# equivalence fuzzer (random runs, shard counts and data shapes, every
+# shard placement byte-compared against the serial merge) and 20 seconds
+# on the codec round-trip fuzzer (truncated tails and bit-flips must
+# surface as ErrCorrupt, never as a panic or silent corruption).
 fuzz-smoke:
 	go test -fuzz=FuzzParallelMergeEquiv -fuzztime=20s .
+	go test -fuzz=FuzzCodecRoundTrip -fuzztime=20s ./internal/record/
 
 tables:
 	go run ./cmd/tables

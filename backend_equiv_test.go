@@ -80,6 +80,75 @@ func TestBackendEquivalenceMatrix(t *testing.T) {
 	}
 }
 
+// TestBackendEquivalenceMatrixVarlen is the codec axis of the acceptance
+// matrix: the same algorithm × backend × D × async × cores sweep carrying
+// variable-length records under both varlen codecs. The reference for
+// each (algorithm, D, codec) is again the sync in-memory serial cell; all
+// other cells must reproduce its wire encoding byte for byte with
+// identical Stats. The input's four-letter keys force prefix-word ties,
+// so the content comparator and the varlen stall/valve machinery run in
+// every cell.
+func TestBackendEquivalenceMatrixVarlen(t *testing.T) {
+	in := benchVarRecords(1500, 9091)
+	encode := func(recs []VarRecord) []byte {
+		var buf bytes.Buffer
+		if err := WriteVarRecords(&buf, recs); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	for _, codec := range []string{"varlen", "varlen+flate"} {
+		for _, alg := range []Algorithm{SRM, SRMDeterministic, DSM, PSV} {
+			for _, d := range []int{1, 2, 4, 8} {
+				if alg == PSV && d < 2 {
+					continue // PSV needs at least two disks to transpose across
+				}
+				asyncModes := []bool{false, true}
+				if alg == PSV {
+					asyncModes = []bool{false} // PSV always runs sync
+				}
+				t.Run(fmt.Sprintf("%s/%s/D=%d", codec, alg, d), func(t *testing.T) {
+					cfg := Config{D: d, B: 4, K: 2, Algorithm: alg, Seed: 31,
+						Backend: MemBackend, Cores: 1, Codec: codec}
+					refOut, refStats, err := SortVar(in, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					refBytes := encode(refOut)
+
+					for _, async := range asyncModes {
+						for _, backend := range []Backend{MemBackend, FileBackend} {
+							for _, cores := range []int{1, runtime.GOMAXPROCS(0)} {
+								if backend == MemBackend && !async && cores == 1 {
+									continue // the reference itself
+								}
+								cfg := Config{D: d, B: 4, K: 2, Algorithm: alg, Seed: 31,
+									Async: async, Backend: backend, Cores: cores, Codec: codec}
+								if backend == FileBackend {
+									cfg.Dir = t.TempDir()
+								}
+								out, stats, err := SortVar(in, cfg)
+								if err != nil {
+									t.Fatalf("backend=%v async=%v cores=%d: %v", backend, async, cores, err)
+								}
+								if !bytes.Equal(encode(out), refBytes) {
+									t.Fatalf("backend=%v async=%v cores=%d: output differs from sync/mem/serial reference",
+										backend, async, cores)
+								}
+								if stats != refStats {
+									t.Fatalf("backend=%v async=%v cores=%d stats diverge:\nref %+v\ngot %+v",
+										backend, async, cores, refStats, stats)
+								}
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
 // SortStream over the file backend: wire format in, wire format out, same
 // bytes and same statistics as the in-memory path.
 func TestBackendSortStreamEquivalence(t *testing.T) {

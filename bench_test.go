@@ -161,6 +161,27 @@ func benchRecords(n int, seed int64) []Record {
 	return out
 }
 
+// benchVarRecords generates variable-length inputs for the varlen codec
+// cells: 3–18 byte keys over a four-letter alphabet (so prefix ties are
+// common and the content comparator is actually exercised) and 0–23 byte
+// payloads.
+func benchVarRecords(n int, seed int64) []VarRecord {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]VarRecord, n)
+	for i := range out {
+		key := make([]byte, 3+rng.Intn(16))
+		for j := range key {
+			key[j] = byte('a' + rng.Intn(4))
+		}
+		payload := make([]byte, rng.Intn(24))
+		for j := range payload {
+			payload[j] = byte(rng.Intn(256))
+		}
+		out[i] = VarRecord{Key: key, Payload: payload}
+	}
+	return out
+}
+
 // BenchmarkEndToEnd sorts the same input with each algorithm and reports
 // total I/O operations alongside wall time. The op counts are the paper's
 // comparison; the wall time is the simulator's own cost.
@@ -207,49 +228,102 @@ func benchCoresAxis() []int {
 // numbers. The cores axis must leave every I/O figure unchanged — only
 // ns/rec may move (down with cores on a multicore host; within noise at
 // cores=1 versus the pre-parallel kernel).
+//
+// The codec axis: fixed16 rows keep their historical names (no /codec=
+// suffix, so the trajectory in BENCH_sort.json stays diffable across this
+// change), and varlen/varlen+flate rows run every algorithm on both
+// backends at the D=4, cores=1 shape — the cells EXPERIMENTS.md's
+// fixed16-vs-varlen overhead table reads.
 func BenchmarkSortEndToEnd(b *testing.B) {
 	const n = 200_000
 	in := benchRecords(n, 42)
-	for _, alg := range []Algorithm{SRM, DSM, PSV} {
-		for _, backend := range []Backend{MemBackend, FileBackend} {
-			for _, d := range []int{1, 2, 4, 8} {
-				if alg == PSV && d < 2 {
-					continue // PSV needs >= 2 disks
-				}
-				coresAxis := benchCoresAxis()
-				if alg == PSV {
-					coresAxis = coresAxis[:1] // PSV always runs serially
-				}
-				for _, cores := range coresAxis {
-					name := fmt.Sprintf("alg=%s/backend=%s/D=%d/cores=%d", alg, backend, d, cores)
-					b.Run(name, func(b *testing.B) {
-						b.ReportAllocs()
-						var before, after runtime.MemStats
-						runtime.GC()
-						runtime.ReadMemStats(&before)
-						b.ResetTimer()
-						for i := 0; i < b.N; i++ {
-							out, _, err := Sort(in, Config{
-								D: d, B: 64, K: 4, Algorithm: alg, Seed: 11, Backend: backend,
-								Cores: cores,
-							})
-							if err != nil {
-								b.Fatal(err)
-							}
-							if len(out) != n {
-								b.Fatalf("sorted %d of %d records", len(out), n)
-							}
+	varIn := benchVarRecords(n, 42)
+	for _, codec := range []string{"fixed16", "varlen", "varlen+flate"} {
+		for _, alg := range []Algorithm{SRM, DSM, PSV} {
+			for _, backend := range []Backend{MemBackend, FileBackend} {
+				for _, d := range []int{1, 2, 4, 8} {
+					if alg == PSV && d < 2 {
+						continue // PSV needs >= 2 disks
+					}
+					coresAxis := benchCoresAxis()
+					if alg == PSV {
+						coresAxis = coresAxis[:1] // PSV always runs serially
+					}
+					if codec != "fixed16" {
+						if d != 4 {
+							continue
 						}
-						b.StopTimer()
-						runtime.ReadMemStats(&after)
-						recs := float64(n) * float64(b.N)
-						b.ReportMetric(float64(b.Elapsed().Nanoseconds())/recs, "ns/rec")
-						b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/recs, "B/rec")
-						b.ReportMetric(float64(after.Mallocs-before.Mallocs)/recs, "allocs/rec")
-					})
+						coresAxis = coresAxis[:1]
+					}
+					for _, cores := range coresAxis {
+						name := fmt.Sprintf("alg=%s/backend=%s/D=%d/cores=%d", alg, backend, d, cores)
+						if codec != "fixed16" {
+							name += "/codec=" + codec
+						}
+						b.Run(name, func(b *testing.B) {
+							b.ReportAllocs()
+							var before, after runtime.MemStats
+							runtime.GC()
+							runtime.ReadMemStats(&before)
+							b.ResetTimer()
+							for i := 0; i < b.N; i++ {
+								cfg := Config{
+									D: d, B: 64, K: 4, Algorithm: alg, Seed: 11, Backend: backend,
+									Cores: cores,
+								}
+								var got int
+								if codec == "fixed16" {
+									out, _, err := Sort(in, cfg)
+									if err != nil {
+										b.Fatal(err)
+									}
+									got = len(out)
+								} else {
+									cfg.Codec = codec
+									out, _, err := SortVar(varIn, cfg)
+									if err != nil {
+										b.Fatal(err)
+									}
+									got = len(out)
+								}
+								if got != n {
+									b.Fatalf("sorted %d of %d records", got, n)
+								}
+							}
+							b.StopTimer()
+							runtime.ReadMemStats(&after)
+							recs := float64(n) * float64(b.N)
+							b.ReportMetric(float64(b.Elapsed().Nanoseconds())/recs, "ns/rec")
+							b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/recs, "B/rec")
+							b.ReportMetric(float64(after.Mallocs-before.Mallocs)/recs, "allocs/rec")
+						})
+					}
 				}
 			}
 		}
+	}
+}
+
+// BenchmarkSortShapes sweeps the sortedness shapes of internal/sim's
+// input generators (near-sorted, reversed-runs, the up-down zigzag)
+// through a fixed SRM configuration — the baseline the run-formation
+// policy experiments (ROADMAP 5a) will compare against.
+func BenchmarkSortShapes(b *testing.B) {
+	const n = 100_000
+	for _, shape := range sim.Shapes() {
+		in := shapedRecords(shape, n, 5)
+		b.Run(shape.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, _, err := Sort(in, Config{D: 4, B: 64, K: 4, Seed: 11})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(out) != n {
+					b.Fatalf("sorted %d of %d records", len(out), n)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(n)*float64(b.N)), "ns/rec")
+		})
 	}
 }
 

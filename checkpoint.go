@@ -52,8 +52,12 @@ type runGen struct {
 
 // manifest is the persisted checkpoint state of one sort.
 type manifest struct {
-	Version    int
-	Algorithm  string
+	Version   int
+	Algorithm string
+	// Codec is the record codec identity the sort's blocks are encoded
+	// under; a resume must run the same codec or it would misread every
+	// block. Empty (manifests from before the codec seam) means fixed16.
+	Codec      string `json:",omitempty"`
 	D, B, M, R int
 	Seed       int64
 	Formation  int
@@ -76,12 +80,15 @@ type manifest struct {
 
 // check validates that a manifest belongs to the configuration trying to
 // resume from it.
-func (man *manifest) check(cfg Config, m, r, nrec int) error {
+func (man *manifest) check(cfg Config, m, r, nrec int, codecName string) error {
 	switch {
 	case man.Version != manifestVersion:
 		return fmt.Errorf("srmsort: manifest version %d, want %d", man.Version, manifestVersion)
 	case man.Algorithm != cfg.Algorithm.String():
 		return fmt.Errorf("srmsort: manifest from algorithm %s, config says %s", man.Algorithm, cfg.Algorithm)
+	case man.codecName() != codecName:
+		return fmt.Errorf("srmsort: manifest records codec %s, config says %s — resume with the codec the sort was started under",
+			man.codecName(), codecName)
 	case man.D != cfg.D || man.B != cfg.B || man.M != m || man.R != r:
 		return fmt.Errorf("srmsort: manifest geometry D=%d B=%d M=%d R=%d, config yields D=%d B=%d M=%d R=%d",
 			man.D, man.B, man.M, man.R, cfg.D, cfg.B, m, r)
@@ -93,6 +100,15 @@ func (man *manifest) check(cfg Config, m, r, nrec int) error {
 		return fmt.Errorf("srmsort: manifest input of %d records, caller supplied %d", man.Records, nrec)
 	}
 	return nil
+}
+
+// codecName resolves the manifest's codec identity; manifests written
+// before the codec seam carry none and mean fixed16.
+func (man *manifest) codecName() string {
+	if man.Codec == "" {
+		return "fixed16"
+	}
+	return man.Codec
 }
 
 // checkpointer persists manifest generations through a ManifestStore.
@@ -400,7 +416,11 @@ func Scrub(cfg Config) (pdisk.ScrubReport, error) {
 	if cfg.Dir == "" {
 		return pdisk.ScrubReport{}, fmt.Errorf("srmsort: scrub requires Dir")
 	}
-	fs, err := pdisk.NewFileStore(cfg.Dir, cfg.B, cfg.D)
+	codec, err := cfg.codec()
+	if err != nil {
+		return pdisk.ScrubReport{}, err
+	}
+	fs, err := pdisk.NewFileStoreCodec(cfg.Dir, cfg.B, cfg.D, codec)
 	if err != nil {
 		return pdisk.ScrubReport{}, err
 	}

@@ -1,8 +1,10 @@
 package srmsort
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -299,6 +301,62 @@ func TestResumeRejectsMismatchedConfig(t *testing.T) {
 		bad.Store = store
 		if _, _, err := Resume(in, bad); err == nil {
 			t.Fatalf("resume accepted a manifest from a different configuration: %+v", bad)
+		}
+	}
+}
+
+// TestResumeVarRejectsMismatchedCodec: the checkpoint manifest records
+// the codec identity, so resuming a varlen sort under a different codec
+// — flate on, or back to fixed16 — must fail fast with a codec
+// diagnosis, while the recorded codec resumes to the fault-free bytes.
+func TestResumeVarRejectsMismatchedCodec(t *testing.T) {
+	in := benchVarRecords(900, 67)
+	cfg := Config{D: 4, B: 8, K: 3, Algorithm: SRM, Seed: 27, Checkpoint: true, Codec: "varlen"}
+
+	// Fault-free probe: the reference output and the total write count.
+	probe := pdisk.NewFaultStore(pdisk.NewMemStore(), pdisk.FaultConfig{})
+	probeCfg := cfg
+	probeCfg.Store = probe
+	want, _, err := SortVar(in, probeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := probe.OpCount("write")
+	probe.Close()
+
+	store := pdisk.NewMemStore()
+	defer store.Close()
+	// Kill near the end so a manifest certainly exists on the store.
+	fault := pdisk.NewFaultStore(store, pdisk.FaultConfig{TornWriteAt: writes - 2})
+	killCfg := cfg
+	killCfg.Store = fault
+	if _, _, err := SortVar(in, killCfg); err == nil {
+		t.Fatal("sort survived the kill")
+	}
+
+	flate := cfg
+	flate.Store = store
+	flate.Codec = "varlen+flate"
+	if _, _, err := ResumeVar(in, flate); err == nil || !strings.Contains(err.Error(), "codec varlen") {
+		t.Fatalf("resume under varlen+flate on a varlen checkpoint: err = %v, want codec mismatch", err)
+	}
+	fixed := Config{D: 4, B: 8, K: 3, Algorithm: SRM, Seed: 27, Checkpoint: true, Store: store}
+	if _, _, err := Resume(randomRecords(900, 67), fixed); err == nil || !strings.Contains(err.Error(), "codec varlen") {
+		t.Fatalf("resume under fixed16 on a varlen checkpoint: err = %v, want codec mismatch", err)
+	}
+
+	good := cfg
+	good.Store = store
+	out, _, err := ResumeVar(in, good)
+	if err != nil {
+		t.Fatalf("resume under the recorded codec: %v", err)
+	}
+	if len(out) != len(want) {
+		t.Fatalf("resumed %d records, want %d", len(out), len(want))
+	}
+	for i := range out {
+		if !bytes.Equal(out[i].Key, want[i].Key) || !bytes.Equal(out[i].Payload, want[i].Payload) {
+			t.Fatalf("record %d differs from the fault-free run", i)
 		}
 	}
 }

@@ -59,6 +59,7 @@ func main() {
 		async       = flag.Bool("async", false, "default: overlap I/O with merging")
 		workers     = flag.Int("workers", 0, "default merge workers (-1 = GOMAXPROCS)")
 		cores       = flag.Int("cores", 1, "default cores per job's sort steps (identical output at any value)")
+		codec       = flag.String("codec", "fixed16", "default record codec: fixed16, varlen, varlen+flate")
 	)
 	flag.Parse()
 
@@ -72,6 +73,7 @@ func main() {
 		Defaults: jobs.Spec{
 			Algorithm: *alg, D: *d, B: *b, K: *k, Memory: *mem,
 			Seed: *seed, Async: *async, Workers: *workers, Cores: *cores,
+			Codec: *codec,
 		},
 		Logf: log.Printf,
 	}

@@ -7,8 +7,15 @@
 //	srmsort -n 1000000 -d 8 -b 64 -k 4 [-alg srm|srm-det|dsm|psv] [-workers N]
 //	        [-cores N] [-async] [-input random|sorted|reverse|dups] [-runform load|rs]
 //	        [-model none|1996|modern] [-backend mem|file] [-dir DIR]
+//	        [-codec fixed16|varlen|varlen+flate]
 //	        [-seed N] [-verify] [-cpuprofile FILE] [-memprofile FILE]
 //	        [-retries N] [-checkpoint] [-resume] [-scrub]
+//
+// -codec selects the record codec: fixed16 (the default 16-byte records),
+// varlen (variable-length keys and payloads) or varlen+flate (varlen with
+// per-block compression). A checkpoint records its codec, and -resume or
+// -scrub under a different -codec fails fast with a one-line diagnosis
+// naming the codec the sort was started with.
 //
 // Fault tolerance: -retries N re-attempts transient I/O failures up to N
 // times per operation under deterministic exponential backoff;
@@ -33,6 +40,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -61,6 +70,7 @@ func main() {
 		runform = flag.String("runform", "load", "run formation: load (half memoryloads), rs (replacement selection)")
 		model   = flag.String("model", "none", "disk time model: none, 1996, modern")
 		backend = flag.String("backend", "mem", "storage backend: mem (in-process), file (real disk files)")
+		codec   = flag.String("codec", "fixed16", "record codec: fixed16, varlen, varlen+flate")
 		dir     = flag.String("dir", "", "directory for -backend file disk files (default: fresh temp dir)")
 		file    = flag.Bool("file", false, "deprecated alias for -backend file")
 		seed    = flag.Int64("seed", 1, "random seed (placement and input)")
@@ -82,6 +92,15 @@ func main() {
 	cfg := srmsort.Config{
 		D: *d, B: *b, K: *k, Memory: *mem,
 		Seed: *seed, Dir: *dir, Workers: *workers, Cores: *cores, Async: *async,
+		Codec: *codec,
+	}
+	var varlen bool
+	switch *codec {
+	case "fixed16":
+	case "varlen", "varlen+flate":
+		varlen = true
+	default:
+		fatal("unknown -codec %q (want fixed16, varlen or varlen+flate)", *codec)
 	}
 	switch {
 	case *backend == "file" || *file:
@@ -128,7 +147,7 @@ func main() {
 	}
 	cfg.Checkpoint = *ckpt || *resume
 
-	if err := validateRecovery(cfg.Backend, *dir, *resume, *scrub); err != nil {
+	if err := validateRecovery(cfg.Backend, *dir, *codec, *resume, *scrub); err != nil {
 		fatal("%v", err)
 	}
 
@@ -148,18 +167,27 @@ func main() {
 	}
 
 	var records []srmsort.Record
-	if *inFile != "" {
+	var vrecords []srmsort.VarRecord
+	switch {
+	case *inFile != "":
 		f, err := os.Open(*inFile)
 		if err != nil {
 			fatal("%v", err)
 		}
-		records, err = srmsort.ReadRecords(f)
+		if varlen {
+			vrecords, err = srmsort.ReadVarRecords(f)
+			*n = len(vrecords)
+		} else {
+			records, err = srmsort.ReadRecords(f)
+			*n = len(records)
+		}
 		f.Close()
 		if err != nil {
 			fatal("%v", err)
 		}
-		*n = len(records)
-	} else {
+	case varlen:
+		vrecords = generateVar(*input, *n, *seed)
+	default:
 		records = generate(*input, *n, *seed)
 	}
 	if *cpuProf != "" {
@@ -174,11 +202,17 @@ func main() {
 	}
 	start := time.Now()
 	var out []srmsort.Record
+	var vout []srmsort.VarRecord
 	var stats srmsort.Stats
 	var err error
-	if *resume {
+	switch {
+	case varlen && *resume:
+		vout, stats, err = srmsort.ResumeVar(vrecords, cfg)
+	case varlen:
+		vout, stats, err = srmsort.SortVar(vrecords, cfg)
+	case *resume:
 		out, stats, err = srmsort.Resume(records, cfg)
-	} else {
+	default:
 		out, stats, err = srmsort.Sort(records, cfg)
 	}
 	if *cpuProf != "" {
@@ -203,15 +237,26 @@ func main() {
 	}
 
 	if *verify {
-		if !slices.IsSortedFunc(out, func(a, b srmsort.Record) int {
-			switch {
-			case a.Key < b.Key:
-				return -1
-			case a.Key > b.Key:
-				return 1
-			}
-			return 0
-		}) {
+		sorted := true
+		if varlen {
+			sorted = slices.IsSortedFunc(vout, func(a, b srmsort.VarRecord) int {
+				if c := bytes.Compare(a.Key, b.Key); c != 0 {
+					return c
+				}
+				return bytes.Compare(a.Payload, b.Payload)
+			})
+		} else {
+			sorted = slices.IsSortedFunc(out, func(a, b srmsort.Record) int {
+				switch {
+				case a.Key < b.Key:
+					return -1
+				case a.Key > b.Key:
+					return 1
+				}
+				return 0
+			})
+		}
+		if !sorted {
 			fatal("output is NOT sorted")
 		}
 	}
@@ -220,7 +265,12 @@ func main() {
 		if err != nil {
 			fatal("%v", err)
 		}
-		if err := srmsort.WriteRecords(f, out); err != nil {
+		if varlen {
+			err = srmsort.WriteVarRecords(f, vout)
+		} else {
+			err = srmsort.WriteRecords(f, out)
+		}
+		if err != nil {
 			fatal("%v", err)
 		}
 		if err := f.Close(); err != nil {
@@ -285,11 +335,54 @@ func generate(kind string, n int, seed int64) []srmsort.Record {
 	return out
 }
 
+// generateVar is generate for the varlen codecs: keys are 4–23 bytes
+// from a four-letter alphabet (forcing shared prefixes, the case that
+// separates content comparison from prefix comparison), payloads 0–31
+// bytes.
+func generateVar(kind string, n int, seed int64) []srmsort.VarRecord {
+	rng := rand.New(rand.NewSource(seed + 2000))
+	out := make([]srmsort.VarRecord, n)
+	randKey := func() []byte {
+		k := make([]byte, 4+rng.Intn(20))
+		for i := range k {
+			k[i] = byte('a' + rng.Intn(4))
+		}
+		return k
+	}
+	payload := func(i int) []byte {
+		p := make([]byte, rng.Intn(32))
+		for j := range p {
+			p[j] = byte(i + j)
+		}
+		return p
+	}
+	switch kind {
+	case "random", "sorted", "reverse":
+		for i := range out {
+			out[i] = srmsort.VarRecord{Key: randKey(), Payload: payload(i)}
+		}
+		if kind != "random" {
+			slices.SortFunc(out, func(a, b srmsort.VarRecord) int { return bytes.Compare(a.Key, b.Key) })
+			if kind == "reverse" {
+				slices.Reverse(out)
+			}
+		}
+	case "dups":
+		keys := [][]byte{[]byte("aa"), []byte("aab"), []byte("b"), []byte("bcbc"), []byte("dddd")}
+		for i := range out {
+			out[i] = srmsort.VarRecord{Key: keys[rng.Intn(len(keys))], Payload: payload(i)}
+		}
+	default:
+		fatal("unknown -input %q", kind)
+	}
+	return out
+}
+
 // validateRecovery cross-checks the recovery flags before any work
 // happens, so a misuse fails in milliseconds with advice instead of
 // silently sorting from scratch (-resume on a fresh mem backend used to
 // do exactly that) or failing deep inside the store layer.
-func validateRecovery(backend srmsort.Backend, dir string, resume, scrub bool) error {
+func validateRecovery(backend srmsort.Backend, dir, codec string, resume, scrub bool) error {
 	if !resume && !scrub {
 		return nil
 	}
@@ -307,10 +400,30 @@ func validateRecovery(backend srmsort.Backend, dir string, resume, scrub bool) e
 	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
 		return fmt.Errorf("%s: disk directory %q does not exist", flagName, dir)
 	}
-	if resume {
-		if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+	manifest := filepath.Join(dir, "manifest.json")
+	if _, err := os.Stat(manifest); err != nil {
+		if resume {
 			return fmt.Errorf("-resume: no checkpoint manifest under %q — nothing to resume; rerun with -checkpoint (without -resume) to start a recoverable sort", dir)
 		}
+		return nil // scrubbing an uncheckpointed store is fine
+	}
+	// The manifest names the codec the sort's blocks are encoded under;
+	// resuming or scrubbing with a different -codec would misread every
+	// block, so fail in milliseconds with the fix spelled out.
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		return fmt.Errorf("%s: reading checkpoint manifest: %v", flagName, err)
+	}
+	var man struct{ Codec string }
+	if err := json.Unmarshal(data, &man); err != nil {
+		return fmt.Errorf("%s: corrupt checkpoint manifest under %q: %v", flagName, dir, err)
+	}
+	if man.Codec == "" {
+		man.Codec = "fixed16"
+	}
+	if man.Codec != codec {
+		return fmt.Errorf("%s: the checkpoint under %q was written with codec %s, but -codec says %s — rerun with -codec %s",
+			flagName, dir, man.Codec, codec, man.Codec)
 	}
 	return nil
 }

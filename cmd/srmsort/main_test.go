@@ -37,27 +37,37 @@ func TestValidateRecovery(t *testing.T) {
 	}
 	empty := t.TempDir()
 
+	varlenManifest := t.TempDir()
+	if err := os.WriteFile(filepath.Join(varlenManifest, "manifest.json"), []byte(`{"Codec":"varlen"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
 	cases := []struct {
 		name    string
 		backend srmsort.Backend
 		dir     string
+		codec   string
 		resume  bool
 		scrub   bool
 		wantErr string // "" = valid
 	}{
-		{"plain sort", srmsort.MemBackend, "", false, false, ""},
-		{"resume on mem", srmsort.MemBackend, "", true, false, "-backend file"},
-		{"scrub on mem", srmsort.MemBackend, "", false, true, "-backend file"},
-		{"resume without dir", srmsort.FileBackend, "", true, false, "-dir"},
-		{"scrub without dir", srmsort.FileBackend, "", false, true, "-dir"},
-		{"resume missing dir", srmsort.FileBackend, filepath.Join(empty, "nope"), true, false, "does not exist"},
-		{"resume without manifest", srmsort.FileBackend, empty, true, false, "no checkpoint manifest"},
-		{"resume with manifest", srmsort.FileBackend, withManifest, true, false, ""},
-		{"scrub with dir", srmsort.FileBackend, empty, false, true, ""},
+		{"plain sort", srmsort.MemBackend, "", "fixed16", false, false, ""},
+		{"resume on mem", srmsort.MemBackend, "", "fixed16", true, false, "-backend file"},
+		{"scrub on mem", srmsort.MemBackend, "", "fixed16", false, true, "-backend file"},
+		{"resume without dir", srmsort.FileBackend, "", "fixed16", true, false, "-dir"},
+		{"scrub without dir", srmsort.FileBackend, "", "fixed16", false, true, "-dir"},
+		{"resume missing dir", srmsort.FileBackend, filepath.Join(empty, "nope"), "fixed16", true, false, "does not exist"},
+		{"resume without manifest", srmsort.FileBackend, empty, "fixed16", true, false, "no checkpoint manifest"},
+		{"resume with manifest", srmsort.FileBackend, withManifest, "fixed16", true, false, ""},
+		{"scrub with dir", srmsort.FileBackend, empty, "fixed16", false, true, ""},
+		{"resume wrong codec", srmsort.FileBackend, varlenManifest, "fixed16", true, false, "written with codec varlen"},
+		{"resume matching codec", srmsort.FileBackend, varlenManifest, "varlen", true, false, ""},
+		{"scrub wrong codec", srmsort.FileBackend, varlenManifest, "varlen+flate", false, true, "-codec varlen"},
+		{"legacy manifest means fixed16", srmsort.FileBackend, withManifest, "varlen", true, false, "written with codec fixed16"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validateRecovery(tc.backend, tc.dir, tc.resume, tc.scrub)
+			err := validateRecovery(tc.backend, tc.dir, tc.codec, tc.resume, tc.scrub)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)
@@ -108,5 +118,24 @@ func TestCLISortsSmall(t *testing.T) {
 	}
 	if !strings.Contains(out, "sorted 2000 records") {
 		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+// TestCLISortsVarlen smoke-tests the varlen codecs end to end, on both
+// backends (-verify checks key-then-payload order inside the CLI).
+func TestCLISortsVarlen(t *testing.T) {
+	for _, codec := range []string{"varlen", "varlen+flate"} {
+		out, err := runCLI(t, "-n", "2000", "-d", "4", "-b", "8", "-k", "3", "-codec", codec)
+		if err != nil {
+			t.Fatalf("CLI -codec %s failed: %v\n%s", codec, err, out)
+		}
+		if !strings.Contains(out, "sorted 2000 records") {
+			t.Fatalf("unexpected output:\n%s", out)
+		}
+	}
+	out, err := runCLI(t, "-n", "1000", "-d", "4", "-b", "8", "-k", "3",
+		"-codec", "varlen", "-backend", "file", "-dir", t.TempDir(), "-input", "dups")
+	if err != nil {
+		t.Fatalf("CLI varlen on the file backend failed: %v\n%s", err, out)
 	}
 }

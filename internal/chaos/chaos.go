@@ -11,6 +11,7 @@
 package chaos
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -18,6 +19,7 @@ import (
 
 	"srmsort"
 	"srmsort/internal/pdisk"
+	"srmsort/internal/record"
 )
 
 // Cell is one point of the chaos matrix: an algorithm on a backend with
@@ -45,6 +47,11 @@ type Cell struct {
 	// process with more (or fewer) cores must still reproduce the
 	// fault-free bytes exactly.
 	ResumeCores int
+	// Codec selects the cell's record codec ("" = fixed16). Varlen cells
+	// ("varlen", "varlen+flate") carry variable-length records generated
+	// from the same seed; kills, resumes and the byte-identity check run
+	// over the codec's wire encoding.
+	Codec string
 	// Dir holds the file backend's disks; required iff Backend is
 	// FileBackend.
 	Dir string
@@ -70,7 +77,13 @@ func (c Cell) config() srmsort.Config {
 		Algorithm: c.Algorithm,
 		Seed:      c.Seed,
 		Cores:     c.Cores,
+		Codec:     c.Codec,
 	}
+}
+
+// varlen reports whether the cell carries variable-length records.
+func (c Cell) varlen() bool {
+	return c.Codec != "" && c.Codec != "fixed16"
 }
 
 // input generates the cell's records deterministically from its seed.
@@ -83,6 +96,65 @@ func (c Cell) input() []srmsort.Record {
 	return in
 }
 
+// inputVar generates the cell's variable-length records deterministically
+// from its seed: short-alphabet keys so prefix-word ties occur under
+// fault and resume pressure too.
+func (c Cell) inputVar() []srmsort.VarRecord {
+	rng := rand.New(rand.NewSource(c.Seed ^ 0x5eed))
+	in := make([]srmsort.VarRecord, c.Records)
+	for i := range in {
+		key := make([]byte, 3+rng.Intn(14))
+		for j := range key {
+			key[j] = byte('a' + rng.Intn(4))
+		}
+		payload := make([]byte, rng.Intn(20))
+		for j := range payload {
+			payload[j] = byte(rng.Intn(256))
+		}
+		in[i] = srmsort.VarRecord{Key: key, Payload: payload}
+	}
+	return in
+}
+
+// sortEncoded runs the cell's sort (or, with resume set, a resume) under
+// cfg and returns the sorted output in the codec's wire encoding — one
+// byte-comparable representation for fixed and variable-length cells.
+func (c Cell) sortEncoded(cfg srmsort.Config, resume bool) ([]byte, error) {
+	var buf bytes.Buffer
+	if c.varlen() {
+		in := c.inputVar()
+		var out []srmsort.VarRecord
+		var err error
+		if resume {
+			out, _, err = srmsort.ResumeVar(in, cfg)
+		} else {
+			out, _, err = srmsort.SortVar(in, cfg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := srmsort.WriteVarRecords(&buf, out); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	in := c.input()
+	var out []srmsort.Record
+	var err error
+	if resume {
+		out, _, err = srmsort.Resume(in, cfg)
+	} else {
+		out, _, err = srmsort.Sort(in, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := srmsort.WriteRecords(&buf, out); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
 // faultConfig is the cell's steady-state fault schedule (no kill).
 func (c Cell) faultConfig() pdisk.FaultConfig {
 	return pdisk.FaultConfig{
@@ -93,14 +165,19 @@ func (c Cell) faultConfig() pdisk.FaultConfig {
 	}
 }
 
-// newInner builds the cell's backend store.
+// newInner builds the cell's backend store, codec-aware for the file
+// backend (the block layout depends on the codec's encoded sizes).
 func (c Cell) newInner() (pdisk.Store, error) {
 	switch c.Backend {
 	case srmsort.FileBackend:
 		if c.Dir == "" {
 			return nil, fmt.Errorf("chaos: file backend needs Dir")
 		}
-		return pdisk.NewFileStore(c.Dir, 8, c.D)
+		codec, err := record.CodecByName(c.Codec)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: %w", err)
+		}
+		return pdisk.NewFileStoreCodec(c.Dir, 8, c.D, codec)
 	default:
 		return pdisk.NewMemStore(), nil
 	}
@@ -115,19 +192,6 @@ func (c Cell) retryPolicy() *pdisk.RetryPolicy {
 	return &p
 }
 
-// equal compares two record slices.
-func equal(a, b []srmsort.Record) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
 // Run executes the cell: a fault-free reference sort, then the faulted
 // sort with as many resumes as the fault schedule demands, then the
 // byte-identity check. It returns how much recovery was needed.
@@ -135,22 +199,21 @@ func Run(c Cell) (Result, error) {
 	if c.MaxAttempts == 0 {
 		c.MaxAttempts = 12
 	}
-	in := c.input()
-	want, _, err := srmsort.Sort(in, c.config())
+	want, err := c.sortEncoded(c.config(), false)
 	if err != nil {
 		return Result{}, fmt.Errorf("chaos: reference sort: %w", err)
 	}
 
 	if c.Algorithm == srmsort.PSV {
-		return c.runRestartFromScratch(in, want)
+		return c.runRestartFromScratch(want)
 	}
-	return c.runCheckpointed(in, want)
+	return c.runCheckpointed(want)
 }
 
 // runCheckpointed drives the full recovery loop: checkpointed sort over
 // a fault-injected retrying store; on any failure (kill or residual
 // retry exhaustion) the harness resumes, as a supervising process would.
-func (c Cell) runCheckpointed(in, want []srmsort.Record) (Result, error) {
+func (c Cell) runCheckpointed(want []byte) (Result, error) {
 	inner, err := c.newInner()
 	if err != nil {
 		return Result{}, err
@@ -164,7 +227,7 @@ func (c Cell) runCheckpointed(in, want []srmsort.Record) (Result, error) {
 		probeCfg := c.config()
 		probeCfg.Store = probe
 		probeCfg.Checkpoint = true
-		if _, _, err := srmsort.Sort(in, probeCfg); err != nil {
+		if _, err := c.sortEncoded(probeCfg, false); err != nil {
 			return Result{}, fmt.Errorf("chaos: probe sort: %w", err)
 		}
 		armed.TornWriteAt = probe.OpCount("write") * 3 / 5
@@ -178,7 +241,7 @@ func (c Cell) runCheckpointed(in, want []srmsort.Record) (Result, error) {
 	cfg.Retry = c.retryPolicy()
 
 	res := Result{}
-	out, _, err := srmsort.Sort(in, cfg)
+	out, err := c.sortEncoded(cfg, false)
 	res.Attempts = 1
 	for err != nil {
 		var term *pdisk.TerminalError
@@ -198,13 +261,13 @@ func (c Cell) runCheckpointed(in, want []srmsort.Record) (Result, error) {
 		if c.ResumeCores != 0 {
 			rcfg.Cores = c.ResumeCores
 		}
-		out, _, err = srmsort.Resume(in, rcfg)
+		out, err = c.sortEncoded(rcfg, true)
 		res.Attempts++
 	}
 	if c.Kill && !res.Killed {
 		return res, fmt.Errorf("chaos: armed kill never fired (attempts=%d)", res.Attempts)
 	}
-	if !equal(out, want) {
+	if !bytes.Equal(out, want) {
 		return res, fmt.Errorf("chaos: output differs from fault-free run (attempts=%d)", res.Attempts)
 	}
 	return res, nil
@@ -213,7 +276,7 @@ func (c Cell) runCheckpointed(in, want []srmsort.Record) (Result, error) {
 // runRestartFromScratch is the recovery story for PSV, which does not
 // support checkpointing: transient faults are absorbed by retries, and a
 // residual failure restarts the whole sort on a fresh store.
-func (c Cell) runRestartFromScratch(in, want []srmsort.Record) (Result, error) {
+func (c Cell) runRestartFromScratch(want []byte) (Result, error) {
 	res := Result{}
 	for {
 		res.Attempts++
@@ -225,10 +288,10 @@ func (c Cell) runRestartFromScratch(in, want []srmsort.Record) (Result, error) {
 		cfg := c.config()
 		cfg.Store = fault
 		cfg.Retry = c.retryPolicy()
-		out, _, err := srmsort.Sort(in, cfg)
+		out, err := c.sortEncoded(cfg, false)
 		inner.Close()
 		if err == nil {
-			if !equal(out, want) {
+			if !bytes.Equal(out, want) {
 				return res, fmt.Errorf("chaos: PSV output differs from fault-free run")
 			}
 			return res, nil

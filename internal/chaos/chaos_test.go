@@ -104,6 +104,40 @@ func TestChaosCoresResume(t *testing.T) {
 	}
 }
 
+// TestChaosVarlen is the codec axis of the chaos matrix: variable-length
+// sorts killed mid-write under transient faults, resumed under the codec
+// the checkpoint manifest records, and byte-compared (in wire encoding)
+// against the fault-free run. PSV runs the restart-from-scratch story.
+func TestChaosVarlen(t *testing.T) {
+	cells := []Cell{
+		{Algorithm: srmsort.SRM, Backend: srmsort.MemBackend, D: 4, Codec: "varlen", Kill: true},
+		{Algorithm: srmsort.SRM, Backend: srmsort.FileBackend, D: 4, Codec: "varlen", Kill: true},
+		{Algorithm: srmsort.SRM, Backend: srmsort.FileBackend, D: 2, Codec: "varlen+flate", Kill: true},
+		{Algorithm: srmsort.DSM, Backend: srmsort.FileBackend, D: 4, Codec: "varlen", Kill: true},
+		{Algorithm: srmsort.PSV, Backend: srmsort.FileBackend, D: 4, Codec: "varlen"},
+	}
+	for i, cell := range cells {
+		cell.Records = 1000
+		cell.Seed = int64(7100 + i)
+		cell.FailProb = 0.05
+		name := fmt.Sprintf("%v-%s-%s", cell.Algorithm, cell.Backend, cell.Codec)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			if cell.Backend == srmsort.FileBackend {
+				cell.Dir = t.TempDir()
+			}
+			res, err := Run(cell)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cell.Kill && !res.Killed {
+				t.Fatal("armed kill never fired")
+			}
+			t.Logf("attempts=%d killed=%v", res.Attempts, res.Killed)
+		})
+	}
+}
+
 // TestChaosCellValidation covers the harness's own failure modes.
 func TestChaosCellValidation(t *testing.T) {
 	_, err := Run(Cell{Algorithm: srmsort.SRM, Backend: srmsort.FileBackend,

@@ -330,17 +330,38 @@ func mergeRuns(sys *pdisk.System, runs []*Run, outID int, async bool) (*Run, Mer
 	// Internal merging uses the classical tournament tree of losers
 	// ([Knu73], the paper's reference for internal merge processing).
 	keys := make([]uint64, len(runs))
+	varlen := false
 	for i := range runs {
 		if err := refill(i); err != nil {
 			return nil, stats, err
 		}
 		if len(bufs[i]) > 0 {
 			keys[i] = uint64(bufs[i][0].Key)
+			if bufs[i][0].Ext != "" {
+				varlen = true
+			}
 		} else {
 			keys[i] = ltree.Infinite
 		}
 	}
-	lt := ltree.New(keys)
+	var lt *ltree.Tree
+	if varlen {
+		// Variable-length records: prefix-word ties are adjudicated by the
+		// tied runs' current head records. The comparator must be live
+		// before the first tournament is played (ltree.New would seed a
+		// prefix-tied pair by index), so build retired and push.
+		lt = ltree.NewRetired(len(runs))
+		lt.SetTie(func(a, b int) int {
+			return record.CompareExt(bufs[a][0].Ext, bufs[b][0].Ext)
+		})
+		for i := range runs {
+			if len(bufs[i]) > 0 {
+				lt.Push(i, keys[i])
+			}
+		}
+	} else {
+		lt = ltree.New(keys)
+	}
 	w := NewWriter(sys, outID)
 	if async {
 		w.async = true
@@ -350,11 +371,20 @@ func mergeRuns(sys *pdisk.System, runs []*Run, outID int, async bool) (*Run, Mer
 		// Galloped emission: run i keeps winning while its key is below the
 		// runner-up's (or equal with the lower run index), and the
 		// runner-up's key cannot change while i wins — so the whole span is
-		// located by binary search and emitted in one bulk call.
+		// located by binary search and emitted in one bulk call. Varlen
+		// bounds are exclusive (prefix equality needs content adjudication);
+		// a zero span still emits the one record the tree adjudicated.
 		span := len(bufs[i])
 		if ch, chKey, ok := lt.Challenger(); ok {
-			if n := record.CountBelow(bufs[i], record.Key(chKey), i < ch); n < span {
+			incl := i < ch
+			if varlen {
+				incl = false
+			}
+			if n := record.CountBelow(bufs[i], record.Key(chKey), incl); n < span {
 				span = n
+			}
+			if varlen && span == 0 {
+				span = 1
 			}
 		}
 		if err := w.AppendBlock(bufs[i][:span]); err != nil {

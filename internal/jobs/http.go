@@ -12,8 +12,8 @@ import (
 //
 //	POST   /jobs             submit: body = wire-format records, query
 //	                         parameters = Spec fields (alg, d, b, k,
-//	                         mem, seed, async, workers, cores); returns
-//	                         202 with the job status
+//	                         mem, seed, async, workers, cores, codec);
+//	                         returns 202 with the job status
 //	GET    /jobs             list every job plus server stats
 //	GET    /jobs/{id}        one job's status
 //	GET    /jobs/{id}/result stream the sorted records (200, octet-
@@ -22,8 +22,11 @@ import (
 //	GET    /stats            server memory ledger and job counts
 //	GET    /healthz          liveness
 //
-// Records travel in the library wire format: 16 bytes little-endian per
-// record, 8 of key then 8 of payload (srmsort.RecordWireSize).
+// Records travel in the job's codec wire format: under fixed16 (the
+// default) 16 bytes little-endian per record, 8 of key then 8 of payload
+// (srmsort.RecordWireSize); under codec=varlen or varlen+flate each
+// record is a uvarint total length followed by a uvarint key length, the
+// key bytes and the payload bytes.
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -128,6 +131,7 @@ func specFromQuery(r *http.Request) (Spec, error) {
 	q := r.URL.Query()
 	var spec Spec
 	spec.Algorithm = q.Get("alg")
+	spec.Codec = q.Get("codec")
 	var err error
 	geti := func(name string) int {
 		s := q.Get(name)

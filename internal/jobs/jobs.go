@@ -31,6 +31,7 @@
 package jobs
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"errors"
@@ -45,6 +46,7 @@ import (
 
 	"srmsort"
 	"srmsort/internal/pdisk"
+	"srmsort/internal/record"
 )
 
 // Spec is a tenant's description of one sort job — the JSON surface of
@@ -68,6 +70,13 @@ type Spec struct {
 	// the server's core budget alongside memory; 0 inherits the server
 	// default (1 — co-tenant jobs are serial unless they ask).
 	Cores int `json:"cores,omitempty"`
+	// Codec is the record codec of the job's input, disks and output:
+	// "" or "fixed16" (16-byte wire records), "varlen" or "varlen+flate"
+	// (length-prefixed variable-size records). Ingest counts records by
+	// decoding the wire stream, and the job's memory reservation is
+	// scaled by the largest record the input actually contains, so a
+	// varlen job is admitted by the bytes it will really hold.
+	Codec string `json:"codec,omitempty"`
 }
 
 // withDefaults fills s's zero fields from d.
@@ -89,6 +98,9 @@ func (s Spec) withDefaults(d Spec) Spec {
 	}
 	if s.Cores == 0 {
 		s.Cores = d.Cores
+	}
+	if s.Codec == "" {
+		s.Codec = d.Codec
 	}
 	if !s.Async && d.Async {
 		s.Async, s.Workers = d.Async, d.Workers
@@ -129,6 +141,7 @@ func (s Spec) Config() (srmsort.Config, error) {
 		Async:     s.Async,
 		Workers:   s.Workers,
 		Cores:     s.Cores,
+		Codec:     s.Codec,
 	}, nil
 }
 
@@ -186,8 +199,11 @@ type Job struct {
 	dir      string // per-job directory; "" when the manager is volatile
 	spec     Spec
 	records  int
-	memNeed  int // records of working memory to reserve
+	memNeed  int // 16-byte record units of working memory to reserve
 	coreNeed int // cores to reserve alongside the memory
+	// maxRecBytes is the largest record the ingested input holds (16 for
+	// fixed16 inputs) — what memNeed was scaled by.
+	maxRecBytes int
 
 	cancelOnce sync.Once
 	cancelCh   chan struct{}
@@ -423,6 +439,16 @@ func (m *Manager) Submit(spec Spec, input io.Reader) (*Job, error) {
 		}
 		return nil, err
 	}
+	// Admission is byte-accurate: now that ingest has measured the input,
+	// scale the reservation by the largest record it actually contains.
+	j.memNeed = scaledMemNeed(j.memNeed, j.maxRecBytes)
+	if j.memNeed > m.budget.Total() {
+		if j.dir != "" {
+			os.RemoveAll(j.dir)
+		}
+		return nil, fmt.Errorf("%w: job needs M=%d record units for its %d-byte records, server budget is %d",
+			ErrOverBudget, j.memNeed, j.maxRecBytes, m.budget.Total())
+	}
 	m.register(j)
 	m.wg.Add(1)
 	go m.run(j, false)
@@ -435,6 +461,9 @@ func (m *Manager) validate(spec Spec) (memNeed, coreNeed int, err error) {
 	cfg, err := spec.Config()
 	if err != nil {
 		return 0, 0, err
+	}
+	if _, err := record.CodecByName(spec.Codec); err != nil {
+		return 0, 0, fmt.Errorf("jobs: %w", err)
 	}
 	_, memNeed, err = cfg.MergeOrder()
 	if err != nil {
@@ -470,17 +499,22 @@ func (m *Manager) ingest(j *Job, input io.Reader) error {
 	if input == nil {
 		input = bytes.NewReader(nil)
 	}
+	codec, err := record.CodecByName(j.spec.Codec)
+	if err != nil {
+		return fmt.Errorf("jobs: %w", err) // validated at submit; defensive
+	}
 	if m.opts.Root == "" {
 		data, err := io.ReadAll(input)
 		if err != nil {
 			return fmt.Errorf("jobs: reading input: %w", err)
 		}
-		if len(data)%srmsort.RecordWireSize != 0 {
-			return fmt.Errorf("jobs: input is %d bytes, not a multiple of the %d-byte record size",
-				len(data), srmsort.RecordWireSize)
+		n, maxRec, err := countWireRecords(bytes.NewReader(data), codec)
+		if err != nil {
+			return err
 		}
 		j.input = data
-		j.records = len(data) / srmsort.RecordWireSize
+		j.records = n
+		j.maxRecBytes = maxRec
 		return nil
 	}
 
@@ -492,7 +526,10 @@ func (m *Manager) ingest(j *Job, input io.Reader) error {
 	if err != nil {
 		return err
 	}
-	n, err := io.Copy(f, input)
+	// Decode while copying: the count and largest record come from the
+	// same pass that makes the input durable.
+	n, maxRec, derr := countWireRecords(io.TeeReader(input, f), codec)
+	err = derr
 	if err == nil {
 		err = f.Sync()
 	}
@@ -500,26 +537,61 @@ func (m *Manager) ingest(j *Job, input io.Reader) error {
 		err = cerr
 	}
 	if err != nil {
-		return fmt.Errorf("jobs: ingesting input: %w", err)
+		return err
 	}
-	if n%srmsort.RecordWireSize != 0 {
-		return fmt.Errorf("jobs: input is %d bytes, not a multiple of the %d-byte record size",
-			n, srmsort.RecordWireSize)
-	}
-	j.records = int(n / srmsort.RecordWireSize)
+	j.records = n
+	j.maxRecBytes = maxRec
 	return m.writeSpec(j)
+}
+
+// countWireRecords decodes a codec wire stream to its end, returning the
+// record count and the largest single record's in-memory size (the
+// 16 prefix bytes plus any variable-length payload). This is how ingest
+// is content-length aware: a varlen stream is measured by decoding, not
+// by dividing a byte total.
+func countWireRecords(r io.Reader, codec record.Codec) (n, maxRec int, err error) {
+	br := bufio.NewReader(r)
+	maxRec = record.Bytes
+	for {
+		rec, err := codec.ReadRecord(br)
+		if err == io.EOF {
+			return n, maxRec, nil
+		}
+		if err != nil {
+			return 0, 0, fmt.Errorf("jobs: input is not whole %s records (record size check failed at record %d): %w",
+				codec.Name(), n, err)
+		}
+		if sz := record.Bytes + len(rec.Ext); sz > maxRec {
+			maxRec = sz
+		}
+		n++
+	}
+}
+
+// scaledMemNeed converts a job's working memory M into the 16-byte
+// record units the server budget is denominated in, scaled by the
+// largest record its ingested input actually contains — byte-accurate
+// admission for variable-length jobs, exactly M for fixed16 ones.
+func scaledMemNeed(memNeed, maxRecBytes int) int {
+	if maxRecBytes <= record.Bytes {
+		return memNeed
+	}
+	return int((int64(memNeed)*int64(maxRecBytes) + record.Bytes - 1) / record.Bytes)
 }
 
 type specFile struct {
 	ID      string `json:"id"`
 	Spec    Spec   `json:"spec"`
 	Records int    `json:"records"`
+	// MaxRecordBytes preserves ingest's largest-record measurement so a
+	// recovered job reserves the same byte-accurate memory.
+	MaxRecordBytes int `json:"max_record_bytes,omitempty"`
 }
 
 // writeSpec commits the job's spec atomically (tmp + rename), after the
 // input is durable — the submit commit point.
 func (m *Manager) writeSpec(j *Job) error {
-	data, err := json.MarshalIndent(specFile{ID: j.id, Spec: j.spec, Records: j.records}, "", "  ")
+	data, err := json.MarshalIndent(specFile{ID: j.id, Spec: j.spec, Records: j.records, MaxRecordBytes: j.maxRecBytes}, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -673,7 +745,12 @@ func (m *Manager) runJob(j *Job, resume bool) {
 
 	var inner pdisk.Store
 	if j.dir != "" {
-		fs, err := pdisk.NewFileStore(filepath.Join(j.dir, "disks"), j.spec.B, j.spec.D)
+		codec, err := record.CodecByName(j.spec.Codec)
+		if err != nil { // validated at submit; unreachable
+			m.finishFailed(j, err)
+			return
+		}
+		fs, err := pdisk.NewFileStoreCodec(filepath.Join(j.dir, "disks"), j.spec.B, j.spec.D, codec)
 		if err != nil {
 			m.finishFailed(j, err)
 			return
@@ -888,15 +965,21 @@ func (m *Manager) recover() error {
 		}
 		spec := sf.Spec.withDefaults(m.opts.Defaults)
 		memNeed, coreNeed, err := m.validate(spec)
+		memNeed = scaledMemNeed(memNeed, sf.MaxRecordBytes)
+		if err == nil && memNeed > m.budget.Total() {
+			err = fmt.Errorf("%w: job needs M=%d record units for its %d-byte records, server budget is %d",
+				ErrOverBudget, memNeed, sf.MaxRecordBytes, m.budget.Total())
+		}
 		j := &Job{
-			id:       name,
-			dir:      dir,
-			spec:     spec,
-			records:  sf.Records,
-			memNeed:  memNeed,
-			coreNeed: coreNeed,
-			cancelCh: make(chan struct{}),
-			done:     make(chan struct{}),
+			id:          name,
+			dir:         dir,
+			spec:        spec,
+			records:     sf.Records,
+			memNeed:     memNeed,
+			coreNeed:    coreNeed,
+			maxRecBytes: sf.MaxRecordBytes,
+			cancelCh:    make(chan struct{}),
+			done:        make(chan struct{}),
 		}
 		switch {
 		case err != nil:

@@ -106,6 +106,108 @@ func TestManagerVolatile(t *testing.T) {
 
 // TestAdmissionBudget: with a budget that fits exactly one job, several
 // jobs complete correctly and the ledger's peak never exceeds the total.
+// TestManagerVarlenJob: a varlen job round-trips end to end — submit →
+// decode-counting ingest → byte-scaled admission → sorted varlen result
+// — on both the volatile and the durable manager.
+func TestManagerVarlenJob(t *testing.T) {
+	spec := testSpec(1)
+	spec.Codec = "varlen"
+	rng := rand.New(rand.NewSource(7))
+	vrecs := make([]srmsort.VarRecord, 1500)
+	for i := range vrecs {
+		key := make([]byte, 3+rng.Intn(12))
+		for j := range key {
+			key[j] = byte('a' + rng.Intn(4))
+		}
+		payload := make([]byte, rng.Intn(24))
+		for j := range payload {
+			payload[j] = byte(i + j)
+		}
+		vrecs[i] = srmsort.VarRecord{Key: key, Payload: payload}
+	}
+	cfg, err := spec.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortedVar, _, err := srmsort.SortVar(vrecs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in, want bytes.Buffer
+	if err := srmsort.WriteVarRecords(&in, vrecs); err != nil {
+		t.Fatal(err)
+	}
+	if err := srmsort.WriteVarRecords(&want, sortedVar); err != nil {
+		t.Fatal(err)
+	}
+	_, baseM, err := cfg.MergeOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, root := range []string{"", t.TempDir()} {
+		name := "volatile"
+		if root != "" {
+			name = "durable"
+		}
+		t.Run(name, func(t *testing.T) {
+			m, err := NewManager(Options{Root: root, MemoryBudget: 2_000_000, Defaults: testSpec(1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Kill()
+			j, err := m.Submit(spec, bytes.NewReader(in.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if j.memNeed <= baseM {
+				t.Errorf("memNeed = %d, want > base M %d (byte-scaled admission)", j.memNeed, baseM)
+			}
+			st := waitJob(t, j)
+			if st.State != StateDone {
+				t.Fatalf("state = %s (%s)", st.State, st.Error)
+			}
+			if st.Records != len(vrecs) {
+				t.Errorf("records = %d, want %d (decode-counting ingest)", st.Records, len(vrecs))
+			}
+			rc, _, err := m.Result(j.ID())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rc.Close()
+			got, err := io.ReadAll(rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want.Bytes()) {
+				t.Fatalf("result bytes differ from a direct SortVar (%d vs %d bytes)", len(got), want.Len())
+			}
+		})
+	}
+}
+
+// TestSubmitVarlenBadInput: truncated varlen wire input is refused at
+// submit (the decode-counting ingest finds the tear).
+func TestSubmitVarlenBadInput(t *testing.T) {
+	m, err := NewManager(Options{MemoryBudget: 100_000, Defaults: testSpec(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Kill()
+	var buf bytes.Buffer
+	if err := srmsort.WriteVarRecords(&buf, []srmsort.VarRecord{{Key: []byte("abcdef"), Payload: []byte("xyz")}}); err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Codec: "varlen"}
+	torn := buf.Bytes()[:buf.Len()-2]
+	if _, err := m.Submit(spec, bytes.NewReader(torn)); err == nil || !strings.Contains(err.Error(), "record size") {
+		t.Fatalf("err = %v, want record-size refusal", err)
+	}
+	if _, err := m.Submit(Spec{Codec: "nope"}, bytes.NewReader(nil)); err == nil || !strings.Contains(err.Error(), "unknown codec") {
+		t.Fatalf("err = %v, want unknown-codec refusal", err)
+	}
+}
+
 func TestAdmissionBudget(t *testing.T) {
 	cfg, _ := testSpec(1).Config()
 	_, mNeed, err := cfg.MergeOrder()

@@ -49,6 +49,7 @@ type Tree struct {
 	losers  []int    // internal nodes: player index of the match loser; losers[0] is the winner
 	alive   int
 	scratch []int // rebuild's winner array, allocated once with the tree
+	tie     func(a, b int) int
 }
 
 // New builds a tree over the given initial keys (one per player). Players
@@ -125,12 +126,27 @@ func (t *Tree) play(a, b int) (w, l int) {
 	return b, a
 }
 
+// SetTie installs a tie-break comparator consulted only when two LIVE
+// players hold equal (key, val) pairs, before the final index tie-break.
+// It returns negative/zero/positive like a three-way compare; a zero
+// result (or a nil comparator, the default) falls through to the index.
+//
+// This is the variable-length record hook: prefix words can tie while
+// full keys differ, and the comparator adjudicates by the players'
+// current head records (CompareExt). For fixed-size records no
+// comparator is installed and the tree's behavior is bit-for-bit its
+// historical (key, val, index) order. The comparator must be consistent
+// while installed: it is invoked during rebuilds, so both players' head
+// records must be current before any Push/Update that triggers one.
+func (t *Tree) SetTie(tie func(a, b int) int) { t.tie = tie }
+
 // beats reports whether player a wins a match against player b: retired
 // players lose to live ones, live players compare by (key, val, index) —
 // the smaller key wins, key ties go to the smaller val, full ties to the
 // lower index — and retired pairs order by index (irrelevant, but total).
 // Players never touched by a KV method all hold val zero, so for them
-// the order collapses to the classical (key, index).
+// the order collapses to the classical (key, index). A SetTie comparator,
+// when installed, interposes between the val and index tie-breaks.
 func (t *Tree) beats(a, b int) bool {
 	if t.retired[a] != t.retired[b] {
 		return !t.retired[a]
@@ -141,6 +157,11 @@ func (t *Tree) beats(a, b int) bool {
 		}
 		if t.vals[a] != t.vals[b] {
 			return t.vals[a] < t.vals[b]
+		}
+		if t.tie != nil {
+			if c := t.tie(a, b); c != 0 {
+				return c < 0
+			}
 		}
 	}
 	return a < b

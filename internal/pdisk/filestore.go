@@ -43,8 +43,11 @@ type FileStore struct {
 	dir         string
 	b           int
 	maxForecast int
-	dataSlot    int64  // bytes per block in the data file: B * record.Bytes
+	codec       record.Codec
+	varlen      bool   // codec.FixedSize() == 0: length-prefixed slots
+	dataSlot    int64  // bytes per block in the data file: B * record.Bytes (fixed) or codec.MaxBlockBytes(B) (varlen)
 	metaSlot    int64  // bytes per block in the meta file
+	metaHeader  int    // meta slot header bytes (varlen slots add a payload-length field)
 	epoch       uint32 // write epoch: open generation, folded into block CRCs
 
 	// scratch pools the per-call encode/decode buffers, sized to hold
@@ -73,7 +76,11 @@ const (
 	preallocSlots = 512
 
 	// Meta slot header: uint32 state | nRec | nFc | epoch | crc32c.
-	metaHeaderBytes = 20
+	// Fixed-size codecs stop there — the data slot's occupied prefix is
+	// nRec * FixedSize, so pre-codec files parse unchanged. Variable-length
+	// codecs append one more uint32: the encoded payload's byte length.
+	metaHeaderBytes       = 20
+	metaHeaderVarlenBytes = 24
 
 	slotAbsent  = 0
 	slotPresent = 1
@@ -106,6 +113,18 @@ func blockCRC(addr BlockAddr, epoch uint32, nRec, nFc int, forecast, payload []b
 // recovered: their occupancy is rebuilt from the meta sidecars, so blocks
 // written by a previous store instance read back intact.
 func NewFileStore(dir string, b, maxForecast int) (*FileStore, error) {
+	return NewFileStoreCodec(dir, b, maxForecast, record.Fixed16{})
+}
+
+// NewFileStoreCodec is NewFileStore with an explicit record codec. A
+// fixed-size codec keeps the original slot layout (block i's payload at
+// byte offset i*B*FixedSize, occupied prefix nRec*FixedSize); a
+// variable-length codec sizes each data slot to the codec's worst case,
+// records the encoded payload length in the meta slot, and checksums the
+// encoded bytes. A store must be reopened with the codec it was written
+// with — checkpoint manifests record the codec identity and verify it on
+// resume.
+func NewFileStoreCodec(dir string, b, maxForecast int, codec record.Codec) (*FileStore, error) {
 	if b < 1 {
 		return nil, fmt.Errorf("pdisk: FileStore block size %d", b)
 	}
@@ -119,10 +138,18 @@ func NewFileStore(dir string, b, maxForecast int) (*FileStore, error) {
 		dir:         dir,
 		b:           b,
 		maxForecast: maxForecast,
-		dataSlot:    int64(b) * record.Bytes,
-		metaSlot:    metaHeaderBytes + int64(maxForecast)*8,
+		codec:       codec,
+		varlen:      codec.FixedSize() == 0,
+		metaHeader:  metaHeaderBytes,
 		disks:       make(map[int]*diskFiles),
 	}
+	if f.varlen {
+		f.metaHeader = metaHeaderVarlenBytes
+		f.dataSlot = int64(codec.MaxBlockBytes(b))
+	} else {
+		f.dataSlot = int64(b) * int64(codec.FixedSize())
+	}
+	f.metaSlot = int64(f.metaHeader) + int64(maxForecast)*8
 	// One scratch buffer holds a data slot and a meta slot side by side:
 	// the checksum spans both (payload and forecast), so both encodings
 	// must be live at once.
@@ -293,26 +320,33 @@ func (f *FileStore) writeBlock(addr BlockAddr, b StoredBlock, torn bool) error {
 	// Both transfers encode through one pooled scratch buffer — the data
 	// slot and meta slot side by side, so the steady-state write path
 	// allocates nothing and the checksum can span payload and forecast.
+	// The codec owns the payload bytes; its worst case never exceeds the
+	// data slot, so the encode stays inside the scratch buffer.
 	bufp := f.scratch.Get().(*[]byte)
 	defer f.scratch.Put(bufp)
 
-	data := (*bufp)[:len(b.Records)*record.Bytes]
-	for i, r := range b.Records {
-		binary.LittleEndian.PutUint64(data[i*record.Bytes:], uint64(r.Key))
-		binary.LittleEndian.PutUint64(data[i*record.Bytes+8:], r.Val)
+	data, err := f.codec.AppendBlock((*bufp)[:0], b.Records)
+	if err != nil {
+		return fmt.Errorf("%w: encoding block for %v: %v", ErrInvalid, addr, err)
+	}
+	if int64(len(data)) > f.dataSlot {
+		return fmt.Errorf("%w: block at %v encodes to %d bytes, slot is %d", ErrInvalid, addr, len(data), f.dataSlot)
 	}
 
 	meta := (*bufp)[f.dataSlot : f.dataSlot+f.metaSlot]
-	clear(meta[metaHeaderBytes+len(b.Forecast)*8:]) // byte-exact files: zero the unused forecast tail
+	clear(meta[f.metaHeader+len(b.Forecast)*8:]) // byte-exact files: zero the unused forecast tail
 	binary.LittleEndian.PutUint32(meta[0:], slotPresent)
 	binary.LittleEndian.PutUint32(meta[4:], uint32(len(b.Records)))
 	binary.LittleEndian.PutUint32(meta[8:], uint32(len(b.Forecast)))
 	binary.LittleEndian.PutUint32(meta[12:], f.epoch)
+	if f.varlen {
+		binary.LittleEndian.PutUint32(meta[20:], uint32(len(data)))
+	}
 	for i, k := range b.Forecast {
-		binary.LittleEndian.PutUint64(meta[metaHeaderBytes+i*8:], uint64(k))
+		binary.LittleEndian.PutUint64(meta[f.metaHeader+i*8:], uint64(k))
 	}
 	crc := blockCRC(addr, f.epoch, len(b.Records), len(b.Forecast),
-		meta[metaHeaderBytes:metaHeaderBytes+len(b.Forecast)*8], data)
+		meta[f.metaHeader:f.metaHeader+len(b.Forecast)*8], data)
 	binary.LittleEndian.PutUint32(meta[16:], crc)
 
 	if torn {
@@ -378,15 +412,23 @@ func (f *FileStore) ReadBlock(addr BlockAddr) (StoredBlock, error) {
 		return StoredBlock{}, fmt.Errorf("%w: slot header at %v (state=%d nRec=%d nFc=%d)",
 			ErrCorrupt, addr, state, nRec, nFc)
 	}
+	payloadLen := int64(nRec) * int64(f.codec.FixedSize())
+	if f.varlen {
+		payloadLen = int64(binary.LittleEndian.Uint32(meta[20:]))
+		if payloadLen > f.dataSlot {
+			return StoredBlock{}, fmt.Errorf("%w: slot at %v claims a %d-byte payload, slot is %d",
+				ErrCorrupt, addr, payloadLen, f.dataSlot)
+		}
+	}
 
-	data := (*bufp)[:int(nRec)*record.Bytes]
-	if nRec > 0 {
+	data := (*bufp)[:payloadLen]
+	if payloadLen > 0 {
 		if _, err := df.data.ReadAt(data, int64(addr.Index)*f.dataSlot); err != nil {
 			return StoredBlock{}, err
 		}
 	}
 	if got := blockCRC(addr, epoch, int(nRec), int(nFc),
-		meta[metaHeaderBytes:metaHeaderBytes+int(nFc)*8], data); got != crcWant {
+		meta[f.metaHeader:f.metaHeader+int(nFc)*8], data); got != crcWant {
 		return StoredBlock{}, fmt.Errorf("%w: checksum mismatch at %v (crc %#x, slot records %#x, epoch %d)",
 			ErrCorrupt, addr, got, crcWant, epoch)
 	}
@@ -395,17 +437,15 @@ func (f *FileStore) ReadBlock(addr BlockAddr) (StoredBlock, error) {
 	if nFc > 0 {
 		out.Forecast = make([]record.Key, nFc)
 		for i := range out.Forecast {
-			out.Forecast[i] = record.Key(binary.LittleEndian.Uint64(meta[metaHeaderBytes+i*8:]))
+			out.Forecast[i] = record.Key(binary.LittleEndian.Uint64(meta[f.metaHeader+i*8:]))
 		}
 	}
 	if nRec > 0 {
-		out.Records = make(record.Block, nRec)
-		for i := range out.Records {
-			out.Records[i] = record.Record{
-				Key: record.Key(binary.LittleEndian.Uint64(data[i*record.Bytes:])),
-				Val: binary.LittleEndian.Uint64(data[i*record.Bytes+8:]),
-			}
+		recs, err := f.codec.DecodeBlock(data, int(nRec))
+		if err != nil {
+			return StoredBlock{}, fmt.Errorf("%w: decoding block at %v: %v", ErrCorrupt, addr, err)
 		}
+		out.Records = record.Block(recs)
 	}
 	return out, nil
 }

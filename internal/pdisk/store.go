@@ -103,9 +103,14 @@ type Usage struct {
 }
 
 // storedBytes is the encoded size of one block, the unit of MemStore's
-// byte accounting and FileStore's data-slot sizing.
+// byte accounting and FileStore's data-slot sizing. Variable-length
+// records add their Ext payload on top of the 16 prefix bytes.
 func storedBytes(b StoredBlock) int64 {
-	return int64(len(b.Records))*record.Bytes + int64(len(b.Forecast))*8
+	n := int64(len(b.Records))*record.Bytes + int64(len(b.Forecast))*8
+	for _, r := range b.Records {
+		n += int64(len(r.Ext))
+	}
+	return n
 }
 
 // MemStore is the default Store: a per-disk map of blocks held in process
@@ -216,6 +221,9 @@ func contentSum(b StoredBlock) uint64 {
 	for _, r := range b.Records {
 		mix(uint64(r.Key))
 		mix(r.Val)
+		for i := 0; i < len(r.Ext); i++ {
+			mix(uint64(r.Ext[i]))
+		}
 	}
 	mix(0x9e3779b97f4a7c15) // separator: records vs forecast
 	for _, k := range b.Forecast {

@@ -285,7 +285,11 @@ func Sort(rs []record.Record, cores int) {
 	if p > len(rs)/minChunk {
 		p = len(rs) / minChunk
 	}
-	if p <= 1 {
+	// Variable-length records (every record of a varlen sort carries a
+	// non-empty Ext) fall back to the serial sort: Split's cut points and
+	// the merge-back's (key, val) order work at the prefix-word level and
+	// cannot adjudicate prefix ties by content.
+	if p <= 1 || (len(rs) > 0 && rs[0].Ext != "") {
 		record.SortRecords(rs)
 		return
 	}

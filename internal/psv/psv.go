@@ -184,6 +184,22 @@ func Merge(sys *pdisk.System, runs []*DiskRun, bufBlocks, outID, outStartDisk in
 
 	w := runio.NewWriter(sys, outID, outStartDisk)
 	h := ltree.NewRetired(len(runs))
+	varlen := false
+	for i := range runs {
+		if len(bufs[i]) > 0 && bufs[i][0].Ext != "" {
+			varlen = true
+			break
+		}
+	}
+	if varlen {
+		// Variable-length records: prefix-word ties in the tree are
+		// adjudicated by the tied runs' buffered head records. Installed
+		// before the first Push so every tournament is played under the
+		// content order.
+		h.SetTie(func(a, b int) int {
+			return record.CompareExt(bufs[a][0].Ext, bufs[b][0].Ext)
+		})
+	}
 	blockEnd := make([]int, len(runs)) // records until the current block ends
 	for i := range runs {
 		if len(bufs[i]) > 0 {
@@ -203,8 +219,18 @@ func Merge(sys *pdisk.System, runs []*DiskRun, bufBlocks, outID, outStartDisk in
 			span = len(bufs[i])
 		}
 		if ch, chKey, ok := h.Challenger(); ok {
-			if n := record.CountBelow(bufs[i][:span], record.Key(chKey), i < ch); n < span {
+			// Varlen bounds are exclusive: a prefix-equal record needs the
+			// tree's content adjudication, so a clipped-to-zero span still
+			// emits the single record the tournament already ordered.
+			incl := i < ch
+			if varlen {
+				incl = false
+			}
+			if n := record.CountBelow(bufs[i][:span], record.Key(chKey), incl); n < span {
 				span = n
+			}
+			if varlen && span == 0 {
+				span = 1
 			}
 		}
 		if err := w.AppendBlock(bufs[i][:span]); err != nil {

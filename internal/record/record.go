@@ -27,12 +27,23 @@ type Key uint64
 // run, where no successor block exists.
 const MaxKey = Key(^uint64(0))
 
-// Record is a fixed-size sortable record: 8 bytes of key and 8 bytes of
-// payload, mirroring the "records with keys" of the paper without committing
-// to a particular record length (the I/O model counts records, not bytes).
+// Record is the in-memory record every layer sorts and merges.
+//
+// Under the Fixed16 codec it is exactly the paper's fixed-size record: 8
+// bytes of key and 8 bytes of payload, Ext empty. Under a variable-length
+// codec Ext holds the record's canonical encoding (uvarint key length,
+// key bytes, payload bytes — see MakeVar) and Key/Val are derived prefix
+// words: Key is the big-endian first 8 bytes of the key (zero-padded,
+// clamped below MaxKey) and Val the big-endian bytes 8..16. Because
+// zero-padded prefixes are a monotone coarsening of lexicographic key
+// order, every prefix-level comparison in the merge machinery (loser
+// trees, gallop bounds, forecasting keys) remains correct — prefix-equal
+// records are adjudicated by CompareExt. Ext is a string so Record stays
+// comparable (==, map keys) and immutable once built.
 type Record struct {
 	Key Key
 	Val uint64
+	Ext string
 }
 
 // Less orders records by key. Generators produce distinct keys, so no
@@ -86,14 +97,22 @@ func compareKeys(a, b Record) int { return cmp.Compare(a.Key, b.Key) }
 
 // SortRecords sorts records in place by key, breaking key ties by Val so the
 // result is deterministic even for degenerate inputs with duplicate keys.
-// This is the run-formation hot loop: slices.SortFunc avoids the
-// reflection-based swapping of sort.Slice.
+// Variable-length records (non-empty Ext) tie-break further by CompareExt,
+// which refines the (Key, Val) prefix order into the full lexicographic
+// key-then-payload order. This is the run-formation hot loop:
+// slices.SortFunc avoids the reflection-based swapping of sort.Slice.
 func SortRecords(rs []Record) {
 	slices.SortFunc(rs, func(a, b Record) int {
 		if c := cmp.Compare(a.Key, b.Key); c != 0 {
 			return c
 		}
-		return cmp.Compare(a.Val, b.Val)
+		if c := cmp.Compare(a.Val, b.Val); c != 0 {
+			return c
+		}
+		if a.Ext == "" && b.Ext == "" {
+			return 0
+		}
+		return CompareExt(a.Ext, b.Ext)
 	})
 }
 
@@ -179,6 +198,9 @@ func CountBelowKV(rs []Record, bound Key, val uint64, inclusive bool) int {
 func Checksum(rs []Record) (sum uint64) {
 	for _, r := range rs {
 		h := uint64(r.Key)*0x9e3779b97f4a7c15 + r.Val*0xc2b2ae3d27d4eb4f
+		for i := 0; i < len(r.Ext); i++ {
+			h = (h ^ uint64(r.Ext[i])) * 0x100000001b3
+		}
 		h ^= h >> 29
 		h *= 0xbf58476d1ce4e5b9
 		h ^= h >> 32
@@ -256,6 +278,34 @@ func (g *Generator) WithDuplicates(n, dupFactor int) []Record {
 	rs := make([]Record, n)
 	for i := range rs {
 		rs[i] = Record{Key: Key(g.rng.Intn(universe)), Val: uint64(i)}
+	}
+	return rs
+}
+
+// RandomVar returns n variable-length records with pseudo-random keys of
+// 1..maxKeyLen bytes and payloads of 0..maxPayloadLen bytes, built by
+// MakeVar. Lengths and contents are drawn from the generator's private
+// stream, so the input is a pure function of the seed. Keys are not
+// deduplicated: duplicate and shared-prefix keys are exactly the cases
+// the variable-length merge path must adjudicate via CompareExt.
+func (g *Generator) RandomVar(n, maxKeyLen, maxPayloadLen int) []Record {
+	if maxKeyLen < 1 {
+		panic(fmt.Sprintf("record: RandomVar maxKeyLen=%d", maxKeyLen))
+	}
+	rs := make([]Record, n)
+	for i := range rs {
+		key := make([]byte, 1+g.rng.Intn(maxKeyLen))
+		for j := range key {
+			// A small alphabet forces shared prefixes and full-key ties.
+			key[j] = byte('a' + g.rng.Intn(4))
+		}
+		payload := make([]byte, g.rng.Intn(maxPayloadLen+1))
+		g.rng.Read(payload)
+		r, err := MakeVar(key, payload)
+		if err != nil {
+			panic(err)
+		}
+		rs[i] = r
 	}
 	return rs
 }

@@ -261,6 +261,13 @@ func ReplacementSelectionCores(sys *pdisk.System, file *InputFile, heapSize int,
 	if err != nil {
 		return Result{}, err
 	}
+	if len(fill) > 0 && fill[0].Ext != "" {
+		// The admission rule (repl.Key >= out.Key) and the arena-vs-heap
+		// tie-break compare prefix words only; a record prefix-equal but
+		// content-below the last emission would be admitted into the wrong
+		// run. Fail fast rather than emit an unsorted run.
+		return Result{}, fmt.Errorf("runform: replacement selection does not support variable-length records; use memory-load run formation")
+	}
 	cur = append(cur, fill...)
 	var pendingNext []record.Record
 

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"srmsort/internal/record"
+)
+
+// Shape selects the sortedness profile of a generated input: how far
+// from sorted the records arrive. The shapes are the presortedness sweep
+// the run-formation experiments need (ROADMAP item 5a): near-sorted
+// input rewards policies that extend natural runs, reversed runs are
+// locally anti-sorted, and the up-down zigzag is the adversarial case
+// for replacement selection — every descending segment caps the current
+// run at one segment length.
+type Shape int
+
+const (
+	// ShapeRandom is the baseline: distinct uniformly random keys.
+	ShapeRandom Shape = iota
+	// ShapeNearSorted is sorted input with a small fraction of records
+	// displaced by random swaps.
+	ShapeNearSorted
+	// ShapeReversedRuns is a concatenation of descending runs whose key
+	// ranges ascend: each segment is anti-sorted, the segment sequence
+	// is sorted.
+	ShapeReversedRuns
+	// ShapeUpDown alternates ascending and descending segments — the
+	// zigzag that bounds every natural run by one segment.
+	ShapeUpDown
+)
+
+// String names the shape the way test and benchmark matrices label rows.
+func (s Shape) String() string {
+	switch s {
+	case ShapeRandom:
+		return "random"
+	case ShapeNearSorted:
+		return "near-sorted"
+	case ShapeReversedRuns:
+		return "reversed-runs"
+	case ShapeUpDown:
+		return "up-down"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// Shapes returns every input shape, for test and benchmark matrices.
+func Shapes() []Shape {
+	return []Shape{ShapeRandom, ShapeNearSorted, ShapeReversedRuns, ShapeUpDown}
+}
+
+// shapeRunLen is the segment length ShapeReversedRuns and ShapeUpDown
+// use for n records: about sqrt(n), floored so tiny inputs still get
+// multi-record segments.
+func shapeRunLen(n int) int {
+	l := int(math.Sqrt(float64(n)))
+	if l < 4 {
+		l = 4
+	}
+	return l
+}
+
+// GenerateInput produces n records with the given sortedness shape,
+// deterministically from seed. Keys are distinct, so the shape's
+// adjacent-pair structure is exact (no equal-key plateaus); Val carries
+// each record's position in the generated input, making every record
+// unique and the sorted output independent of sort stability.
+func GenerateInput(shape Shape, n int, seed int64) []record.Record {
+	gen := record.NewGenerator(seed)
+	var rs []record.Record
+	switch shape {
+	case ShapeRandom:
+		rs = gen.Random(n)
+	case ShapeNearSorted:
+		rs = gen.NearlySorted(n, 0.05)
+	case ShapeReversedRuns:
+		rs = gen.Sorted(n)
+		l := shapeRunLen(n)
+		for lo := 0; lo < n; lo += l {
+			hi := lo + l
+			if hi > n {
+				hi = n
+			}
+			reverse(rs[lo:hi])
+		}
+	case ShapeUpDown:
+		rs = gen.Sorted(n)
+		l := shapeRunLen(n)
+		for seg, lo := 0, 0; lo < n; seg, lo = seg+1, lo+l {
+			hi := lo + l
+			if hi > n {
+				hi = n
+			}
+			if seg%2 == 1 {
+				reverse(rs[lo:hi])
+			}
+		}
+	default:
+		panic(fmt.Sprintf("sim: GenerateInput(%v)", shape))
+	}
+	for i := range rs {
+		rs[i].Val = uint64(i)
+	}
+	return rs
+}
+
+func reverse(rs []record.Record) {
+	for i, j := 0, len(rs)-1; i < j; i, j = i+1, j-1 {
+		rs[i], rs[j] = rs[j], rs[i]
+	}
+}

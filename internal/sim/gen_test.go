@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// ascendingFraction is the fraction of adjacent pairs in ascending key
+// order — the crude presortedness measure the shape assertions are
+// written against.
+func ascendingFraction(t *testing.T, shape Shape, n int, seed int64) float64 {
+	t.Helper()
+	rs := GenerateInput(shape, n, seed)
+	if len(rs) != n {
+		t.Fatalf("%v: got %d records, want %d", shape, len(rs), n)
+	}
+	asc := 0
+	for i := 1; i < n; i++ {
+		if rs[i-1].Key < rs[i].Key {
+			asc++
+		}
+	}
+	return float64(asc) / float64(n-1)
+}
+
+// TestGenerateInputShapes pins each shape's adjacent-pair structure: the
+// property run-formation policies will be measured against.
+func TestGenerateInputShapes(t *testing.T) {
+	const n, seed = 10_000, 7
+
+	if f := ascendingFraction(t, ShapeRandom, n, seed); f < 0.3 || f > 0.7 {
+		t.Errorf("random: ascending fraction %.3f outside [0.3, 0.7]", f)
+	}
+	// 5% of records are swapped out of place; well over 80% of adjacent
+	// pairs stay ascending, but the input must not be fully sorted.
+	if f := ascendingFraction(t, ShapeNearSorted, n, seed); f < 0.8 || f == 1 {
+		t.Errorf("near-sorted: ascending fraction %.3f, want [0.8, 1)", f)
+	}
+
+	// Reversed runs: descending inside every segment, ascending only at
+	// the (n/l - 1) segment boundaries.
+	l := shapeRunLen(n)
+	rs := GenerateInput(ShapeReversedRuns, n, seed)
+	for i := 1; i < n; i++ {
+		inSameSeg := i%l != 0
+		asc := rs[i-1].Key < rs[i].Key
+		if inSameSeg && asc {
+			t.Fatalf("reversed-runs: ascending pair at %d inside a segment", i)
+		}
+		if !inSameSeg && !asc {
+			t.Fatalf("reversed-runs: descending pair at segment boundary %d", i)
+		}
+	}
+
+	// Up-down: segments alternate fully ascending / fully descending.
+	rs = GenerateInput(ShapeUpDown, n, seed)
+	for i := 1; i < n; i++ {
+		if i%l == 0 {
+			continue // boundaries may go either way
+		}
+		asc := rs[i-1].Key < rs[i].Key
+		if wantAsc := (i / l % 2) == 0; asc != wantAsc {
+			t.Fatalf("up-down: pair at %d ascending=%v, want %v", i, asc, wantAsc)
+		}
+	}
+}
+
+// TestGenerateInputDeterministic: same (shape, n, seed) → same records;
+// different seeds → different inputs. The property that makes a failing
+// shaped test replayable.
+func TestGenerateInputDeterministic(t *testing.T) {
+	for _, shape := range Shapes() {
+		a := GenerateInput(shape, 2000, 11)
+		b := GenerateInput(shape, 2000, 11)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%v: same seed produced different inputs", shape)
+		}
+		c := GenerateInput(shape, 2000, 12)
+		if reflect.DeepEqual(a, c) {
+			t.Errorf("%v: different seeds produced identical inputs", shape)
+		}
+	}
+}
+
+// TestGenerateInputUnique: every shape yields distinct keys and
+// position-stamped Vals, so record identity is unambiguous.
+func TestGenerateInputUnique(t *testing.T) {
+	for _, shape := range Shapes() {
+		rs := GenerateInput(shape, 3000, 3)
+		keys := make(map[uint64]bool, len(rs))
+		for i, r := range rs {
+			if keys[uint64(r.Key)] {
+				t.Fatalf("%v: duplicate key at %d", shape, i)
+			}
+			keys[uint64(r.Key)] = true
+			if r.Val != uint64(i) {
+				t.Fatalf("%v: Val at %d is %d, want position", shape, i, r.Val)
+			}
+		}
+	}
+}

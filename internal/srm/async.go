@@ -102,6 +102,9 @@ func MergeAsyncCores(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDis
 			progress += consumed
 		}
 		if progress == 0 && m.exhausted < len(m.runs) {
+			if m.forceRoom() {
+				continue
+			}
 			panic(fmt.Sprintf(
 				"srm: async schedule deadlock (Lemma 1 violated): |F|=%d R=%d D=%d active=%d fds=%d",
 				m.mem.Occupied(), m.r, m.d, m.active.Len(), m.fds.Len()))
@@ -167,6 +170,12 @@ func (m *asyncMerger) loadInitialBlocksAsync() error {
 // seeding from the implanted keys and promotion into M_L. Identical to the
 // per-batch body of the synchronous loadInitialBlocks.
 func (m *merger) seedFromLeadingBlocks(handles []int, blocks []pdisk.StoredBlock) {
+	for _, blk := range blocks {
+		if len(blk.Records) > 0 && blk.Records[0].Ext != "" {
+			m.setVarlen()
+			break
+		}
+	}
 	for i, blk := range blocks {
 		h := handles[i]
 		if len(blk.Forecast) != m.d {
@@ -181,7 +190,7 @@ func (m *merger) seedFromLeadingBlocks(handles []int, blocks []pdisk.StoredBlock
 		m.lead[h] = blk.Records
 		m.leadIdx[h] = 0
 		m.mem.LeadingAcquired()
-		m.active.Push(h, uint64(blk.Records[0].Key))
+		m.pushHead(h)
 		m.emit(trace.EventPromote, 0, m.ref(h, 0, blk.Records.FirstKey()))
 	}
 }
@@ -235,7 +244,7 @@ func (m *asyncMerger) pumpIOOverlapped() (int, error) {
 // consumed by consumeUntilBlockEvent at exactly the state the sync
 // consumer sees.
 func (m *asyncMerger) consumeOverlapped() (int, error) {
-	if m.cores > 1 {
+	if m.cores > 1 && !m.varlen {
 		consumed, dRun, err := m.consumeSuperSpan(false)
 		if err != nil {
 			return consumed, err
@@ -264,7 +273,7 @@ func (m *asyncMerger) consumeOverlapped() (int, error) {
 		consumed += span
 		m.lead[h] = m.lead[h][span:]
 		if len(m.lead[h]) > 0 {
-			m.active.Update(h, uint64(m.lead[h][0].Key))
+			m.updateHead(h)
 			continue
 		}
 		// Depletion: release the M_L slot and note the block event, but do

@@ -86,6 +86,14 @@ type merger struct {
 	cores   int
 	scratch []record.Record // super-span merge-back buffer, reused
 
+	// varlen is set when the leading blocks carry variable-length records
+	// (Ext != ""). Prefix words then only coarsen the true key order, so
+	// the consumer compares (Key, Val) pairs, breaks prefix ties through
+	// the loser tree's CompareExt callback, waits on prefix-equal stalls,
+	// and gallops with exclusive bounds. Fixed-size merges never set it
+	// and keep the historical byte-for-byte behavior.
+	varlen bool
+
 	sink trace.Sink // nil when tracing is off
 	seq  int
 }
@@ -108,6 +116,45 @@ func (m *merger) emit(kind trace.Kind, outRank int, blocks ...trace.BlockRef) {
 // ref builds a trace.BlockRef for block idx of run handle h.
 func (m *merger) ref(h, idx int, key record.Key) trace.BlockRef {
 	return trace.BlockRef{Run: h, Idx: idx, Disk: m.runs[h].Disk(idx), Key: key}
+}
+
+// setVarlen switches the merge into variable-length mode: prefix-word ties
+// in the active loser tree are adjudicated by comparing the tied players'
+// current head records with record.CompareExt. Idempotent; triggered by the
+// first leading block that carries an Ext payload.
+func (m *merger) setVarlen() {
+	if m.varlen {
+		return
+	}
+	m.varlen = true
+	m.active.SetTie(func(a, b int) int {
+		return record.CompareExt(m.lead[a][0].Ext, m.lead[b][0].Ext)
+	})
+}
+
+// pushHead activates run h in the loser tree keyed by its current head
+// record. Variable-length merges push the (Key, Val) prefix pair so prefix
+// ties narrow to the CompareExt callback; fixed-size merges push the key
+// alone (val 0), bit-for-bit the historical order.
+func (m *merger) pushHead(h int) {
+	r := m.lead[h][0]
+	if m.varlen {
+		m.active.PushKV(h, uint64(r.Key), r.Val)
+	} else {
+		m.active.Push(h, uint64(r.Key))
+	}
+}
+
+// updateHead re-keys live run h after its head record advanced; the
+// winner-replay fast path of the loser tree. Same prefix-pair rule as
+// pushHead.
+func (m *merger) updateHead(h int) {
+	r := m.lead[h][0]
+	if m.varlen {
+		m.active.UpdateKV(h, uint64(r.Key), r.Val)
+	} else {
+		m.active.Update(h, uint64(r.Key))
+	}
 }
 
 // Merge merges the given runs (at most r of them — r is the merge order the
@@ -155,6 +202,9 @@ func mergeTraced(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk in
 			return nil, MergeStats{}, err
 		}
 		if reads == 0 && consumed == 0 && m.exhausted < len(m.runs) {
+			if m.forceRoom() {
+				continue
+			}
 			panic(fmt.Sprintf(
 				"srm: schedule deadlock (Lemma 1 violated): |F|=%d R=%d D=%d active=%d fds=%d",
 				m.mem.Occupied(), m.r, m.d, m.active.Len(), m.fds.Len()))
@@ -337,7 +387,8 @@ func (m *merger) parRead() error {
 
 // chooseParRead selects the blocks of ParRead_t — the smallest pending
 // block of every disk — without touching any state: the choice is a pure
-// function of the FDS, so sync and async execution make identical picks.
+// function of the FDS and the stall set (both identical at pick time in
+// sync and async execution), so the two paths make identical picks.
 func (m *merger) chooseParRead() ([]pdisk.BlockAddr, []forecast.Entry) {
 	var addrs []pdisk.BlockAddr
 	var entries []forecast.Entry
@@ -346,6 +397,9 @@ func (m *merger) chooseParRead() ([]pdisk.BlockAddr, []forecast.Entry) {
 		if !ok {
 			continue
 		}
+		if m.varlen {
+			e = m.preferAwaited(disk, e)
+		}
 		addrs = append(addrs, m.runs[e.Run].Addr(e.BlockIdx))
 		entries = append(entries, e)
 	}
@@ -353,6 +407,41 @@ func (m *merger) chooseParRead() ([]pdisk.BlockAddr, []forecast.Entry) {
 		panic("srm: parRead with empty FDS")
 	}
 	return addrs, entries
+}
+
+// preferAwaited substitutes a stalled run's awaited block for the disk's
+// smallest entry e when the two PREFIX-tie. Prefix words only coarsen the
+// true key order, so entries with equal words carry no order between them
+// and either choice satisfies the schedule; but reading the tied victim
+// first can livelock the varlen merge: the consumer waits on the awaited
+// record (the tie means it could truly precede the active minimum), the
+// landing zone fills, forceRoom flushes the just-read tied block as the
+// farthest-future victim, and the next pump re-reads it ahead of the
+// awaited one, forever. Preferring the awaited block delivers the record
+// the consumer is blocked on instead. Ties among several awaited entries
+// break by (run, block) so the pick stays deterministic.
+func (m *merger) preferAwaited(disk int, e forecast.Entry) forecast.Entry {
+	if m.stalled[e.Run] && m.need[e.Run] == e.BlockIdx {
+		return e // the smallest entry is itself awaited
+	}
+	best := e
+	for h, st := range m.stalled {
+		if !st || m.runs[h].Disk(m.need[h]) != disk {
+			continue
+		}
+		ne, ok := m.fds.Peek(disk, h)
+		if !ok || ne.BlockIdx != m.need[h] || ne.Key != e.Key {
+			continue
+		}
+		if best == e && !(m.stalled[best.Run] && m.need[best.Run] == best.BlockIdx) {
+			best = ne // first awaited candidate displaces the non-awaited min
+			continue
+		}
+		if ne.Run < best.Run || (ne.Run == best.Run && ne.BlockIdx < best.BlockIdx) {
+			best = ne
+		}
+	}
+	return best
 }
 
 // landParRead applies a completed ParRead to the merge state: FDS
@@ -390,7 +479,7 @@ func (m *merger) landParRead(blocks []pdisk.StoredBlock, addrs []pdisk.BlockAddr
 			m.stalled[e.Run] = false
 			m.stallHeap.Remove(e.Run)
 			m.mem.LeadingAcquired()
-			m.active.Push(e.Run, uint64(blk.Records[0].Key))
+			m.pushHead(e.Run)
 			if m.sink != nil {
 				promoted = append(promoted, m.ref(e.Run, e.BlockIdx, blk.Records.FirstKey()))
 			}
@@ -411,6 +500,24 @@ func (m *merger) landParRead(blocks []pdisk.StoredBlock, addrs []pdisk.BlockAddr
 	}
 }
 
+// forceRoom is the variable-length liveness valve. A varlen consumer waits
+// whenever the stall minimum prefix-ties the active minimum (the awaited
+// on-disk record could truly precede it), a case the fixed-size sync
+// consumer resolves by emitting — so varlen alone can reach "landing zone
+// full, nothing consumable": |F| > R+D blocks no read, and the tie blocks
+// the merge. The valve virtually flushes the surplus (the farthest-future
+// prefetched blocks; no I/O, possible rereads later) so the next pump can
+// read the awaited block. Fixed-size merges never take this path and keep
+// Lemma 1's schedule untouched.
+func (m *merger) forceRoom() bool {
+	extra := m.mem.Occupied() - (m.r + m.d)
+	if !m.varlen || m.fds.Len() == 0 || extra <= 0 {
+		return false
+	}
+	m.flush(extra, 0)
+	return true
+}
+
 // consumeUntilBlockEvent runs the internal merge until one leading block is
 // depleted (a block event: memory occupancy, and hence read feasibility,
 // changes only then), or until the next record of the merge belongs to a
@@ -424,7 +531,7 @@ func (m *merger) landParRead(blocks []pdisk.StoredBlock, addrs []pdisk.BlockAddr
 // binary search and written with one AppendBlock call and one loser-tree
 // update, instead of a tree round-trip per record.
 func (m *merger) consumeUntilBlockEvent() (int, error) {
-	if m.cores > 1 && m.sink == nil {
+	if m.cores > 1 && m.sink == nil && !m.varlen {
 		consumed, dRun, err := m.consumeSuperSpan(true)
 		if err != nil {
 			return consumed, err
@@ -440,14 +547,18 @@ func (m *merger) consumeUntilBlockEvent() (int, error) {
 		haveStall := m.stallHeap.Len() > 0
 		var sKey uint64
 		if haveStall {
-			if _, sKey = m.stallHeap.Min(); sKey < hKey {
+			// Fixed-size records wait only on a strictly smaller stall key;
+			// a varlen prefix tie also waits, because the awaited on-disk
+			// record could truly precede the active minimum.
+			if _, sKey = m.stallHeap.Min(); sKey < hKey || (m.varlen && sKey == hKey) {
 				// The globally next record is on disk in a stalled run's
 				// awaited block; the merge must wait for I/O.
 				return consumed, nil
 			}
 		}
 		// The sync stall guard admits h while hKey <= sKey, so the stall
-		// bound is inclusive.
+		// bound is inclusive (varlen guards are strict; gallopSpan switches
+		// to exclusive bounds itself).
 		span := m.gallopSpan(h, haveStall, sKey, true)
 		if err := m.out.AppendBlock(m.lead[h][:span]); err != nil {
 			return consumed, err
@@ -456,7 +567,7 @@ func (m *merger) consumeUntilBlockEvent() (int, error) {
 		lastKey := m.lead[h][span-1].Key
 		m.lead[h] = m.lead[h][span:]
 		if len(m.lead[h]) > 0 {
-			m.active.Update(h, uint64(m.lead[h][0].Key))
+			m.updateHead(h)
 			continue
 		}
 		// Block event: the leading block of run h is depleted.
@@ -481,6 +592,29 @@ func (m *merger) consumeUntilBlockEvent() (int, error) {
 func (m *merger) gallopSpan(h int, haveStall bool, sKey uint64, stallInclusive bool) int {
 	b := m.lead[h]
 	span := len(b)
+	if m.varlen {
+		// Prefix words only coarsen the true order, so bulk emission may
+		// cover only records STRICTLY below both bounds at the prefix-pair
+		// level — strict prefix inequality implies strict true inequality.
+		// A zero challenger span still emits one record: the loser tree
+		// adjudicated the tie by CompareExt, so h's head truly precedes the
+		// runner-up's. The stall bound never reaches zero — the caller's
+		// guard admits h only when hKey is strictly below sKey.
+		if _, chKey, chVal, ok := m.active.ChallengerKV(); ok {
+			if n := record.CountBelowKV(b, record.Key(chKey), chVal, false); n < span {
+				span = n
+			}
+		}
+		if span == 0 {
+			span = 1
+		}
+		if haveStall {
+			if n := record.CountBelow(b, record.Key(sKey), false); n < span {
+				span = n
+			}
+		}
+		return span
+	}
 	if ch, chKey, ok := m.active.Challenger(); ok {
 		// h keeps winning while its key is below the runner-up's, or equal
 		// with the lower run index.
@@ -511,7 +645,7 @@ func (m *merger) blockEvent(h int) {
 		m.lead[h] = b.Records
 		m.leadIdx[h] = next
 		m.mem.LeadingAcquired()
-		m.active.Push(h, uint64(b.Records[0].Key))
+		m.pushHead(h)
 		m.emit(trace.EventPromote, 0, m.ref(h, next, b.FirstKey()))
 	default:
 		// The successor is still on disk: the run stalls until a

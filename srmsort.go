@@ -164,6 +164,15 @@ type Config struct {
 	// when empty) or FileBackend. The choice changes neither the output
 	// nor any I/O statistic — only where the blocks physically live.
 	Backend Backend
+	// Codec selects the record codec — how records serialise into the
+	// store's checksummed blocks and the wire format. "" or "fixed16"
+	// (the default) is the original fixed 16-byte layout for
+	// Record{Key, Val} inputs; "varlen" carries variable-length keys and
+	// payloads (VarRecord inputs, see SortVar); "varlen+flate" adds
+	// per-block flate compression with a raw fallback, so blocks never
+	// expand. Checkpoints record the codec identity and Resume verifies
+	// it, failing fast on a mismatch.
+	Codec string
 	// Dir is the directory holding FileBackend's disk files. Empty means
 	// a fresh temporary directory (under TempDir, or the OS default),
 	// removed when the sort finishes. A user-supplied Dir is created if
@@ -324,6 +333,15 @@ func (c Config) cores() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// codec resolves the configured record codec ("" means fixed16).
+func (c Config) codec() (record.Codec, error) {
+	codec, err := record.CodecByName(c.Codec)
+	if err != nil {
+		return nil, fmt.Errorf("srmsort: %w", err)
+	}
+	return codec, nil
+}
+
 // backend resolves the effective storage backend, folding the deprecated
 // FileBacked flag in.
 func (c Config) backend() Backend {
@@ -341,6 +359,10 @@ func (c Config) backend() Backend {
 // reach through) and a cleanup function that removes any file-backed
 // scratch storage.
 func (c Config) newSystem() (*pdisk.System, pdisk.Store, func(), error) {
+	codec, err := c.codec()
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	var store pdisk.Store
 	cleanupStore := func() {}
 	retain := c.Store != nil
@@ -359,7 +381,7 @@ func (c Config) newSystem() (*pdisk.System, pdisk.Store, func(), error) {
 			cleanupStore = func() { os.RemoveAll(tmp) }
 			dir = tmp
 		}
-		fs, err := pdisk.NewFileStore(dir, c.B, c.D)
+		fs, err := pdisk.NewFileStoreCodec(dir, c.B, c.D, codec)
 		if err != nil {
 			cleanupStore()
 			return nil, nil, nil, err
@@ -448,6 +470,73 @@ func sortOrResume(records []Record, cfg Config, resume bool) ([]Record, Stats, e
 	return result, stats, nil
 }
 
+// VarRecord is a variable-length record for the varlen codecs: Key is an
+// arbitrary byte string compared lexicographically, Payload an arbitrary
+// byte string carried alongside. Records with equal keys are ordered by
+// payload bytes — the order is total on content, so the sorted output is
+// byte-identical across algorithms, backends and core counts. One
+// record's encoding (a small length prefix plus both byte strings) must
+// fit MaxVarRecordBytes.
+type VarRecord struct {
+	Key     []byte
+	Payload []byte
+}
+
+// MaxVarRecordBytes caps one VarRecord's encoded size: a uvarint key
+// length, the key bytes and the payload bytes together.
+const MaxVarRecordBytes = record.MaxVarRecordBytes
+
+// SortVar externally sorts variable-length records under cfg. An empty
+// cfg.Codec selects "varlen" (the fixed16 default cannot carry
+// VarRecords); "varlen+flate" works unchanged. Everything else about the
+// Config surface — backends, async, checkpointing, retry, progress —
+// applies exactly as it does to Sort.
+func SortVar(records []VarRecord, cfg Config) ([]VarRecord, Stats, error) {
+	return sortOrResumeVar(records, cfg, false)
+}
+
+// ResumeVar is Resume for variable-length records: it continues a
+// checkpointed SortVar that a crash interrupted. The manifest records the
+// codec identity, and resuming under a different codec fails fast.
+func ResumeVar(records []VarRecord, cfg Config) ([]VarRecord, Stats, error) {
+	return sortOrResumeVar(records, cfg, true)
+}
+
+func sortOrResumeVar(records []VarRecord, cfg Config, resume bool) ([]VarRecord, Stats, error) {
+	if cfg.Codec == "" {
+		cfg.Codec = "varlen"
+	}
+	result := make([]VarRecord, 0, len(records))
+	stats, err := runSort(cfg, resume, len(records),
+		func(app func(record.Record) error) error {
+			for i, rec := range records {
+				r, err := record.MakeVar(rec.Key, rec.Payload)
+				if err != nil {
+					return fmt.Errorf("srmsort: record %d: %w", i, err)
+				}
+				if err := app(r); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func(rec record.Record) error {
+			key, payload, err := record.VarParts(rec)
+			if err != nil {
+				return err
+			}
+			result = append(result, VarRecord{
+				Key:     append([]byte(nil), key...),
+				Payload: append([]byte(nil), payload...),
+			})
+			return nil
+		})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return result, stats, nil
+}
+
 // recordFeed streams a sort's unsorted input into its loader through the
 // supplied append function; recordSink consumes one record of the sorted
 // output stream. They are the seams Sort/Resume (slices) and
@@ -471,6 +560,17 @@ func runSort(cfg Config, resume bool, nrec int, feed recordFeed, sink recordSink
 	if cfg.Checkpoint && cfg.Algorithm == PSV {
 		return Stats{}, fmt.Errorf("srmsort: checkpointing is not supported for PSV")
 	}
+	codec, err := cfg.codec()
+	if err != nil {
+		return Stats{}, err
+	}
+	varlen := codec.FixedSize() == 0
+	if varlen && cfg.RunFormation == ReplacementSelection {
+		// The selection heap's admission rule compares prefix words only
+		// and would misclassify prefix-tied records; runform fails fast
+		// too, but catching it here beats loading the input first.
+		return Stats{}, fmt.Errorf("srmsort: codec %s does not support replacement selection; use HalfMemoryLoads", codec.Name())
+	}
 	stats := Stats{Algorithm: cfg.Algorithm, D: cfg.D, B: cfg.B, M: m, R: r}
 	tr := newProgressTracker(cfg.Progress)
 
@@ -488,7 +588,7 @@ func runSort(cfg Config, resume bool, nrec int, feed recordFeed, sink recordSink
 		}
 	}
 	if man != nil {
-		if err := man.check(cfg, m, r, nrec); err != nil {
+		if err := man.check(cfg, m, r, nrec, codec.Name()); err != nil {
 			return Stats{}, err
 		}
 		emit, err = resumeMerge(sys, store, man, cfg, r, &stats, tr)
@@ -504,7 +604,20 @@ func runSort(cfg Config, resume bool, nrec int, feed recordFeed, sink recordSink
 			}
 		}
 		loader := runform.NewLoader(sys)
-		if err := feed(loader.Append); err != nil {
+		// Records and codec must agree: a varlen sort needs canonical
+		// MakeVar encodings in every record, and the fixed16 codec cannot
+		// carry an Ext payload. Catch the mismatch at ingest with a clear
+		// message instead of deep inside a store write.
+		app := func(rec record.Record) error {
+			if varlen && rec.Ext == "" {
+				return fmt.Errorf("srmsort: codec %s needs variable-length records; use SortVar or a varlen wire stream", codec.Name())
+			}
+			if !varlen && rec.Ext != "" {
+				return fmt.Errorf("srmsort: variable-length records need Config.Codec varlen or varlen+flate (codec is %s)", codec.Name())
+			}
+			return loader.Append(rec)
+		}
+		if err := feed(app); err != nil {
 			return Stats{}, err
 		}
 		file, err := loader.Finish()
@@ -524,6 +637,7 @@ func runSort(cfg Config, resume bool, nrec int, feed recordFeed, sink recordSink
 			cp = &checkpointer{ms: ms, man: manifest{
 				Version:       manifestVersion,
 				Algorithm:     cfg.Algorithm.String(),
+				Codec:         codec.Name(),
 				D:             cfg.D,
 				B:             cfg.B,
 				M:             m,

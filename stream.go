@@ -9,12 +9,16 @@ import (
 	"srmsort/internal/record"
 )
 
-// The streaming interface sorts records serialised in the library's wire
-// format: each record is 16 bytes little-endian — 8 bytes of key followed
-// by 8 bytes of payload. WriteRecords and ReadRecords convert between the
-// wire format and []Record.
+// The streaming interface sorts records serialised in the configured
+// codec's wire format. Under the default fixed16 codec each record is 16
+// bytes little-endian — 8 bytes of key followed by 8 bytes of payload —
+// and WriteRecords and ReadRecords convert between that format and
+// []Record. The varlen codecs frame each record as a uvarint total
+// length followed by the canonical encoding (uvarint key length, key
+// bytes, payload bytes); WriteVarRecords and ReadVarRecords convert
+// between that format and []VarRecord.
 
-// RecordWireSize is the encoded size of one record in bytes.
+// RecordWireSize is the encoded size of one fixed16 record in bytes.
 const RecordWireSize = 16
 
 // WriteRecords encodes records to w in the wire format.
@@ -38,13 +42,12 @@ func ReadRecords(r io.Reader) ([]Record, error) {
 	var out []Record
 	var buf [RecordWireSize]byte
 	for {
-		_, err := io.ReadFull(br, buf[:])
+		n, err := io.ReadFull(br, buf[:])
 		if err == io.EOF {
 			return out, nil
 		}
 		if err == io.ErrUnexpectedEOF {
-			return nil, fmt.Errorf("srmsort: truncated record stream (%d trailing bytes)",
-				len(out)*RecordWireSize)
+			return nil, fmt.Errorf("srmsort: truncated record stream (%d trailing bytes)", n)
 		}
 		if err != nil {
 			return nil, err
@@ -52,6 +55,52 @@ func ReadRecords(r io.Reader) ([]Record, error) {
 		out = append(out, Record{
 			Key: binary.LittleEndian.Uint64(buf[0:]),
 			Val: binary.LittleEndian.Uint64(buf[8:]),
+		})
+	}
+}
+
+// WriteVarRecords encodes variable-length records to w in the varlen wire
+// format (the input SortStream expects under a varlen codec).
+func WriteVarRecords(w io.Writer, records []VarRecord) error {
+	bw := bufio.NewWriter(w)
+	codec := record.Varlen{}
+	var buf []byte
+	for i, r := range records {
+		rec, err := record.MakeVar(r.Key, r.Payload)
+		if err != nil {
+			return fmt.Errorf("srmsort: record %d: %w", i, err)
+		}
+		if buf, err = codec.AppendRecord(buf[:0], rec); err != nil {
+			return err
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadVarRecords decodes all variable-length records from r (the varlen
+// wire format SortStream emits under a varlen codec).
+func ReadVarRecords(r io.Reader) ([]VarRecord, error) {
+	br := bufio.NewReader(r)
+	codec := record.Varlen{}
+	var out []VarRecord
+	for {
+		rec, err := codec.ReadRecord(br)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("srmsort: record %d: %w", len(out), err)
+		}
+		key, payload, err := record.VarParts(rec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, VarRecord{
+			Key:     append([]byte(nil), key...),
+			Payload: append([]byte(nil), payload...),
 		})
 	}
 }
@@ -82,8 +131,12 @@ func ResumeStream(r io.Reader, w io.Writer, cfg Config) (Stats, error) {
 }
 
 func streamSort(r io.Reader, w io.Writer, cfg Config, resume bool) (Stats, error) {
+	codec, err := cfg.codec()
+	if err != nil {
+		return Stats{}, err
+	}
 	bw := bufio.NewWriter(w)
-	var buf [RecordWireSize]byte
+	var buf []byte
 	stats, err := runSort(cfg, resume, 0,
 		func(app func(record.Record) error) error {
 			// Decode the input straight onto the striped disks.
@@ -93,19 +146,12 @@ func streamSort(r io.Reader, w io.Writer, cfg Config, resume bool) (Stats, error
 			br := bufio.NewReader(r)
 			n := 0
 			for {
-				_, err := io.ReadFull(br, buf[:])
+				rec, err := codec.ReadRecord(br)
 				if err == io.EOF {
 					return nil
 				}
-				if err == io.ErrUnexpectedEOF {
-					return fmt.Errorf("srmsort: truncated record stream (%d whole records)", n)
-				}
 				if err != nil {
-					return err
-				}
-				rec := record.Record{
-					Key: record.Key(binary.LittleEndian.Uint64(buf[0:])),
-					Val: binary.LittleEndian.Uint64(buf[8:]),
+					return fmt.Errorf("srmsort: input record %d: %w", n, err)
 				}
 				if err := app(rec); err != nil {
 					return err
@@ -115,9 +161,11 @@ func streamSort(r io.Reader, w io.Writer, cfg Config, resume bool) (Stats, error
 		},
 		func(rec record.Record) error {
 			// Encode the final run straight off the disks.
-			binary.LittleEndian.PutUint64(buf[0:], uint64(rec.Key))
-			binary.LittleEndian.PutUint64(buf[8:], rec.Val)
-			_, err := bw.Write(buf[:])
+			var err error
+			if buf, err = codec.AppendRecord(buf[:0], rec); err != nil {
+				return err
+			}
+			_, err = bw.Write(buf)
 			return err
 		})
 	if err != nil {
