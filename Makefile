@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-all bench-smoke fuzz-smoke aliascheck chaos loadtest check fmt-check tables tables-full verify
+.PHONY: all build test race bench bench-all bench-diff bench-smoke fuzz-smoke aliascheck chaos loadtest check fmt-check tables tables-full verify
 
 all: build test
 
@@ -66,17 +66,28 @@ bench:
 bench-all:
 	go test -bench=. -benchmem ./...
 
+# Re-measure the end-to-end cells and print per-cell ns/rec and B/rec
+# deltas against the committed BENCH_sort.json baseline — the perf gate a
+# change is judged by before the baseline itself is refreshed.
+bench-diff:
+	go test -run='^$$' -bench='SortEndToEnd|ServerThroughput|ParallelMerge' -benchmem . | tee bench_sort_output.txt
+	go run ./cmd/benchjson -diff BENCH_sort.json bench_sort_output.txt
+
 # One iteration per cell: proves the harness runs, measures nothing.
 bench-smoke:
 	go test -run='^$$' -bench='SortEndToEnd|ServerThroughput|ParallelMerge' -benchtime=1x .
 
 # Native-fuzz bursts CI runs exactly: 20 seconds on the parallel-merge
 # equivalence fuzzer (random runs, shard counts and data shapes, every
-# shard placement byte-compared against the serial merge) and 20 seconds
-# on the codec round-trip fuzzer (truncated tails and bit-flips must
-# surface as ErrCorrupt, never as a panic or silent corruption).
+# shard placement byte-compared against the serial merge), 20 seconds on
+# the two-width kernel fuzzer (the pointer-free Rec16 and wide Record
+# instantiations must produce identical records and identical Stats), and
+# 20 seconds on the codec round-trip fuzzer (truncated tails and
+# bit-flips must surface as ErrCorrupt, never as a panic or silent
+# corruption).
 fuzz-smoke:
 	go test -fuzz=FuzzParallelMergeEquiv -fuzztime=20s .
+	go test -fuzz=FuzzTwoWidthKernelEquiv -fuzztime=20s .
 	go test -fuzz=FuzzCodecRoundTrip -fuzztime=20s ./internal/record/
 
 tables:

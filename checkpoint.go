@@ -301,7 +301,7 @@ func dsmRunStates(runs []*dsm.Run) []dsm.RunState {
 // generation and returns the final-run iterator, exactly like
 // runAlgorithm does for a fresh sort. Completed passes are not redone:
 // stats counts only the work performed now.
-func resumeMerge(sys *pdisk.System, store pdisk.Store, man *manifest, cfg Config, r int, stats *Stats, tr *progressTracker) (func(func(record.Record) error) error, error) {
+func resumeMerge[R record.KernelRecord](sys *pdisk.System, store pdisk.Store, man *manifest, cfg Config, r int, stats *Stats, tr *progressTracker) (func(func(R) error) error, error) {
 	gen, err := chooseGen(store, man)
 	if err != nil {
 		return nil, err
@@ -343,7 +343,7 @@ func resumeMerge(sys *pdisk.System, store pdisk.Store, man *manifest, cfg Config
 				return nil
 			}}
 			var ms dsm.SortStats
-			final, ms, _, err = dsm.MergeAll(sys, runs, r, gen.Seq, opts)
+			final, ms, _, err = dsm.MergeAll[R](sys, runs, r, gen.Seq, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -352,9 +352,9 @@ func resumeMerge(sys *pdisk.System, store pdisk.Store, man *manifest, cfg Config
 			stats.MergeWrites = ms.MergeWriteOps
 		}
 		if cfg.Async {
-			return func(fn func(record.Record) error) error { return dsm.StreamAsync(sys, final, fn) }, nil
+			return func(fn func(R) error) error { return dsm.StreamAsync(sys, final, fn) }, nil
 		}
-		return func(fn func(record.Record) error) error { return dsm.Stream(sys, final, fn) }, nil
+		return func(fn func(R) error) error { return dsm.Stream(sys, final, fn) }, nil
 	}
 
 	// SRM family.
@@ -388,7 +388,7 @@ func resumeMerge(sys *pdisk.System, store pdisk.Store, man *manifest, cfg Config
 			},
 		}
 		var ss srm.SortStats
-		final, ss, _, err = srm.SortRunsOpts(sys, runs, r, counting, gen.Seq, opts)
+		final, ss, _, err = srm.SortRunsOpts[R](sys, runs, r, counting, gen.Seq, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -400,9 +400,9 @@ func resumeMerge(sys *pdisk.System, store pdisk.Store, man *manifest, cfg Config
 		stats.BlocksReread = ss.BlocksReread
 	}
 	if cfg.Async {
-		return func(fn func(record.Record) error) error { return runio.StreamAsync(sys, final, fn) }, nil
+		return func(fn func(R) error) error { return runio.StreamAsync(sys, final, fn) }, nil
 	}
-	return func(fn func(record.Record) error) error { return runio.Stream(sys, final, fn) }, nil
+	return func(fn func(R) error) error { return runio.Stream(sys, final, fn) }, nil
 }
 
 // Scrub opens the FileStore under cfg.Dir and audits every resident

@@ -7,22 +7,37 @@
 //
 //	go test -run='^$' -bench=SortEndToEnd -benchmem . | benchjson -o BENCH_sort.json
 //	benchjson -o BENCH_sort.json bench_output.txt
+//	benchjson -diff BENCH_sort.json bench_sort_output.txt
 //
 // Every `value unit` pair after the iteration count is kept verbatim under
 // its unit name ("ns/op", "B/op", "allocs/op", "ns/rec", ...), so custom
 // b.ReportMetric units flow through unchanged.
+//
+// With -diff, the input (fresh run, text or JSON) is compared per cell
+// against the given baseline JSON: ns/rec and B/rec deltas for every
+// benchmark present in both, plus the cells only one side has. This is
+// `make bench-diff` — the question it answers is "what did this change do
+// to the committed perf trajectory" without hand-aligning two files.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
+
+// newTabWriter returns the column writer the diff table is rendered with.
+func newTabWriter(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+}
 
 // result is one parsed benchmark line.
 type result struct {
@@ -33,6 +48,7 @@ type result struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default: stdout)")
+	diff := flag.String("diff", "", "baseline JSON to compare the input against (prints per-cell deltas instead of JSON)")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -45,10 +61,20 @@ func main() {
 		in = f
 	}
 
-	results, err := parse(in)
+	results, err := parseAny(in)
 	if err != nil {
 		fatal(err)
 	}
+
+	if *diff != "" {
+		base, err := loadJSON(*diff)
+		if err != nil {
+			fatal(err)
+		}
+		printDiff(os.Stdout, base, results)
+		return
+	}
+
 	enc, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -61,6 +87,111 @@ func main() {
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fatal(err)
 	}
+}
+
+// parseAny reads benchmark results as either `go test -bench` text or a
+// benchjson JSON array (detected by the leading non-space byte), so -diff
+// accepts a raw bench log and an archived JSON interchangeably.
+func parseAny(r io.Reader) ([]result, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if trimmed := bytes.TrimSpace(raw); len(trimmed) > 0 && trimmed[0] == '[' {
+		var results []result
+		if err := json.Unmarshal(trimmed, &results); err != nil {
+			return nil, err
+		}
+		if len(results) == 0 {
+			return nil, fmt.Errorf("no benchmark results in JSON input")
+		}
+		return results, nil
+	}
+	return parse(bytes.NewReader(raw))
+}
+
+// loadJSON reads an archived benchjson file.
+func loadJSON(path string) ([]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var results []result
+	if err := json.NewDecoder(f).Decode(&results); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return results, nil
+}
+
+// diffMetrics are the per-cell figures bench-diff reports, in print
+// order. ns/rec and B/rec are the headline numbers EXPERIMENTS.md tracks;
+// cells without them (the micro-benchmarks) fall back to ns/op.
+var diffMetrics = []string{"ns/rec", "B/rec", "allocs/rec", "ns/op"}
+
+// printDiff writes a per-cell comparison of fresh results against the
+// baseline. Delta percentages are fresh relative to baseline: negative is
+// faster/smaller.
+func printDiff(w io.Writer, base, fresh []result) {
+	baseBy := make(map[string]result, len(base))
+	for _, r := range base {
+		baseBy[r.Name] = r
+	}
+	freshBy := make(map[string]result, len(fresh))
+	for _, r := range fresh {
+		freshBy[r.Name] = r
+	}
+
+	var onlyBase, onlyFresh []string
+	for _, r := range base {
+		if _, ok := freshBy[r.Name]; !ok {
+			onlyBase = append(onlyBase, r.Name)
+		}
+	}
+
+	tw := newTabWriter(w)
+	fmt.Fprintf(tw, "benchmark\tmetric\tbaseline\tcurrent\tdelta\n")
+	for _, r := range fresh {
+		b, ok := baseBy[r.Name]
+		if !ok {
+			onlyFresh = append(onlyFresh, r.Name)
+			continue
+		}
+		shown := false
+		for _, m := range diffMetrics {
+			bv, bok := b.Metrics[m]
+			fv, fok := r.Metrics[m]
+			if !bok || !fok {
+				continue
+			}
+			// Once ns/rec exists, ns/op is redundant (it is n x ns/rec).
+			if m == "ns/op" && shown {
+				continue
+			}
+			shown = true
+			fmt.Fprintf(tw, "%s\t%s\t%.4g\t%.4g\t%s\n", r.Name, m, bv, fv, deltaPct(bv, fv))
+		}
+	}
+	tw.Flush()
+	sort.Strings(onlyBase)
+	sort.Strings(onlyFresh)
+	for _, n := range onlyBase {
+		fmt.Fprintf(w, "only in baseline: %s\n", n)
+	}
+	for _, n := range onlyFresh {
+		fmt.Fprintf(w, "only in current run: %s\n", n)
+	}
+}
+
+// deltaPct formats the relative change from baseline to fresh.
+func deltaPct(base, fresh float64) string {
+	if base == 0 {
+		if fresh == 0 {
+			return "0.0%"
+		}
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(fresh-base)/base)
 }
 
 // parse extracts every benchmark result line from r. Non-benchmark lines

@@ -189,7 +189,7 @@ func realMerge(d, k, blocks, b int, placement string, seed int64, showTrace bool
 			fmt.Fprintf(os.Stderr, "simmerge: unknown -placement %q\n", placement)
 			os.Exit(1)
 		}
-		descs[i], err = runio.WriteRun(sys, i, start, rs)
+		descs[i], err = runio.WriteRun(sys, i, start, record.ToRec16(rs))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simmerge:", err)
 			os.Exit(1)
@@ -202,7 +202,7 @@ func realMerge(d, k, blocks, b int, placement string, seed int64, showTrace bool
 		sink = trace.Multi(checker, recorder)
 	}
 	sys.ResetStats()
-	_, stats, err := srm.MergeTraced(sys, descs, numRuns, numRuns, 0, sink)
+	_, stats, err := srm.MergeTraced[record.Rec16](sys, descs, numRuns, numRuns, 0, sink)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simmerge:", err)
 		os.Exit(1)

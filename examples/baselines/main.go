@@ -55,12 +55,12 @@ func main() {
 		file := mustLoad(sys, input)
 		sys.ResetStats()
 		pl := &runio.RandomPlacement{D: d, Rng: rand.New(rand.NewSource(5))}
-		formed, err := runform.MemoryLoad(sys, file, load, pl, 0)
+		formed, err := runform.MemoryLoad[record.Record](sys, file, load, pl, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
 		r := analysis.SRMMergeOrder(m, d, b)
-		final, stats, _, err := srm.SortRuns(sys, formed.Runs, r, pl, formed.NextSeq)
+		final, stats, _, err := srm.SortRuns[record.Record](sys, formed.Runs, r, pl, formed.NextSeq)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -77,11 +77,11 @@ func main() {
 		file := mustLoad(sys, input)
 		sys.ResetStats()
 		r := analysis.DSMMergeOrder(m, d, b)
-		final, stats, err := dsm.Sort(sys, file, load, r)
+		final, stats, err := dsm.Sort[record.Record](sys, file, load, r)
 		if err != nil {
 			log.Fatal(err)
 		}
-		got, err := dsm.ReadAll(sys, final)
+		got, err := dsm.ReadAll[record.Record](sys, final)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -100,7 +100,7 @@ func main() {
 		file := mustLoad(sys, input)
 		sys.ResetStats()
 		bufBlocks := (m/b - 2*d) / d // per-run lookahead from the same memory
-		final, stats, err := psv.Sort(sys, file, load, bufBlocks)
+		final, stats, err := psv.Sort[record.Record](sys, file, load, bufBlocks)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -133,7 +133,7 @@ func mustLoad(sys *pdisk.System, input []record.Record) *runform.InputFile {
 }
 
 func verify(sys *pdisk.System, final *runio.Run, want uint64) {
-	got, err := runio.ReadAll(sys, final)
+	got, err := runio.ReadAll[record.Record](sys, final)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,6 +2,8 @@ package srmsort
 
 import (
 	"bytes"
+	"cmp"
+	"math/rand"
 	"slices"
 	"testing"
 
@@ -277,14 +279,14 @@ func FuzzGallopMergeEquiv(f *testing.F) {
 			}
 			var merged *runio.Run
 			if async {
-				merged, _, err = srm.MergeAsync(sys, stored, len(stored), 1000, 0)
+				merged, _, err = srm.MergeAsync[record.Record](sys, stored, len(stored), 1000, 0)
 			} else {
-				merged, _, err = srm.Merge(sys, stored, len(stored), 1000, 0)
+				merged, _, err = srm.Merge[record.Record](sys, stored, len(stored), 1000, 0)
 			}
 			if err != nil {
 				t.Fatal(err)
 			}
-			gotOut, err := runio.ReadAll(sys, merged)
+			gotOut, err := runio.ReadAll[record.Record](sys, merged)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -479,6 +481,74 @@ func FuzzParallelMergeEquiv(f *testing.F) {
 			gotSorted := append([]record.Record(nil), amp...)
 			pmerge.Sort(gotSorted, cores)
 			sameRecords(t, "Sort cores path", gotSorted, wantSorted)
+		}
+	})
+}
+
+// FuzzTwoWidthKernelEquiv drives one input through both merge-kernel
+// widths: the pointer-free record.Rec16 instantiation the fixed16 codec
+// selects, and the wide record.Record instantiation every varlen sort
+// runs (forced here via the forceWideKernel hook). The two must be
+// indistinguishable — identical output records in identical order and
+// identical Stats, including every I/O count — across algorithms, disk
+// counts, block sizes and degenerate key shapes (duplicate-heavy,
+// all-equal, presorted, reversed, near-MaxKey).
+func FuzzTwoWidthKernelEquiv(f *testing.F) {
+	f.Add(int64(1), uint16(300), uint8(0), uint8(0), uint8(3), uint8(2)) // random, SRM
+	f.Add(int64(2), uint16(500), uint8(1), uint8(1), uint8(1), uint8(5)) // all-equal, DSM
+	f.Add(int64(3), uint16(800), uint8(2), uint8(2), uint8(2), uint8(3)) // presorted, PSV
+	f.Add(int64(4), uint16(650), uint8(3), uint8(0), uint8(0), uint8(0)) // reversed, SRM, D=1
+	f.Add(int64(5), uint16(400), uint8(4), uint8(0), uint8(3), uint8(6)) // near-MaxKey keys
+	f.Add(int64(6), uint16(0), uint8(0), uint8(1), uint8(1), uint8(1))   // empty input
+
+	f.Fuzz(func(t *testing.T, seed int64, nRaw uint16, shapeRaw, algRaw, dRaw, bRaw uint8) {
+		n := int(nRaw % 2000)
+		d := 1 + int(dRaw%4)
+		b := 2 + int(bRaw%8)
+		alg := []Algorithm{SRM, DSM, PSV}[algRaw%3]
+		if alg == PSV && d < 2 {
+			alg = SRM
+		}
+		rng := rand.New(rand.NewSource(seed))
+		in := make([]Record, n)
+		for i := range in {
+			// Clamp below the MaxKey forecast sentinel, as every
+			// generator does.
+			in[i] = Record{Key: rng.Uint64() >> 1, Val: rng.Uint64()}
+		}
+		switch shapeRaw % 5 {
+		case 1: // all-equal keys: the deepest tie-break paths
+			for i := range in {
+				in[i].Key = 42
+				in[i].Val = uint64(i % 5)
+			}
+		case 2: // presorted
+			slices.SortFunc(in, func(a, b Record) int { return cmp.Compare(a.Key, b.Key) })
+		case 3: // reversed
+			slices.SortFunc(in, func(a, b Record) int { return cmp.Compare(b.Key, a.Key) })
+		case 4: // keys crowded just below the MaxKey sentinel
+			for i := range in {
+				in[i].Key = ^uint64(0) - 1 - uint64(rng.Intn(50))
+			}
+		}
+		cfg := Config{D: d, B: b, K: 2, Seed: seed, Algorithm: alg}
+
+		narrow, narrowStats, err := Sort(in, cfg)
+		if err != nil {
+			t.Fatalf("fixed16 kernel: %v", err)
+		}
+		forceWideKernel = true
+		wide, wideStats, err := Sort(in, cfg)
+		forceWideKernel = false
+		if err != nil {
+			t.Fatalf("wide kernel: %v", err)
+		}
+		if !slices.Equal(narrow, wide) {
+			t.Fatalf("kernel widths disagree on output records (n=%d alg=%v D=%d B=%d)", n, alg, d, b)
+		}
+		if narrowStats != wideStats {
+			t.Fatalf("kernel widths disagree on stats (n=%d alg=%v D=%d B=%d):\n fixed16: %+v\n wide:    %+v",
+				n, alg, d, b, narrowStats, wideStats)
 		}
 	})
 }

@@ -31,14 +31,14 @@ func TestSortAsyncEquivalence(t *testing.T) {
 				st    SortStats
 			)
 			if async {
-				final, st, err = SortAsync(sys, file, 120, 3)
+				final, st, err = SortAsync[record.Record](sys, file, 120, 3)
 			} else {
-				final, st, err = Sort(sys, file, 120, 3)
+				final, st, err = Sort[record.Record](sys, file, 120, 3)
 			}
 			if err != nil {
 				t.Fatal(err)
 			}
-			recs, err := ReadAll(sys, final)
+			recs, err := ReadAll[record.Record](sys, final)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -70,7 +70,7 @@ func TestStreamAsyncEquivalence(t *testing.T) {
 	defer sys.Close()
 	g := record.NewGenerator(17)
 	all := g.Sorted(500)
-	w := NewWriter(sys, 0)
+	w := NewWriter[record.Record](sys, 0)
 	for _, r := range all {
 		if err := w.Append(r); err != nil {
 			t.Fatal(err)
@@ -83,14 +83,14 @@ func TestStreamAsyncEquivalence(t *testing.T) {
 
 	before := sys.Stats().ReadOps
 	var syncRecs []record.Record
-	if err := Stream(sys, run, func(r record.Record) error { syncRecs = append(syncRecs, r); return nil }); err != nil {
+	if err := Stream[record.Record](sys, run, func(r record.Record) error { syncRecs = append(syncRecs, r); return nil }); err != nil {
 		t.Fatal(err)
 	}
 	syncReads := sys.Stats().ReadOps - before
 
 	before = sys.Stats().ReadOps
 	var asyncRecs []record.Record
-	if err := StreamAsync(sys, run, func(r record.Record) error { asyncRecs = append(asyncRecs, r); return nil }); err != nil {
+	if err := StreamAsync[record.Record](sys, run, func(r record.Record) error { asyncRecs = append(asyncRecs, r); return nil }); err != nil {
 		t.Fatal(err)
 	}
 	asyncReads := sys.Stats().ReadOps - before
@@ -111,7 +111,7 @@ func TestStreamAsyncEquivalence(t *testing.T) {
 	// readahead is collected, not leaked).
 	sentinel := errors.New("stop")
 	n := 0
-	err = StreamAsync(sys, run, func(record.Record) error {
+	err = StreamAsync[record.Record](sys, run, func(record.Record) error {
 		n++
 		if n == 5 {
 			return sentinel
@@ -156,7 +156,7 @@ func TestSortAsyncInjectedFaults(t *testing.T) {
 			t.Fatal(err)
 		}
 		fault.set(fs, sys.Stats())
-		_, _, err = SortAsync(sys, file, 80, 3)
+		_, _, err = SortAsync[record.Record](sys, file, 80, 3)
 		if !errors.Is(err, pdisk.ErrInjected) {
 			t.Fatalf("%s fault: %v, want ErrInjected", fault.name, err)
 		}

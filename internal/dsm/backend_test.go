@@ -34,16 +34,16 @@ func TestSortBackendEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		sys.ResetStats()
-		sort := Sort
+		sort := Sort[record.Record]
 		if async {
-			sort = SortAsync
+			sort = SortAsync[record.Record]
 		}
 		final, _, err := sort(sys, file, 90, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
 		stats := sys.Stats()
-		out, err := ReadAll(sys, final)
+		out, err := ReadAll[record.Record](sys, final)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -80,10 +80,10 @@ func (r *Run) Addrs() []pdisk.BlockAddr {
 }
 
 // Writer streams a sorted run to disk in logical blocks.
-type Writer struct {
+type Writer[R record.KernelRecord] struct {
 	sys     *pdisk.System
 	run     *Run
-	buf     []record.Record
+	buf     []R
 	lastKey record.Key
 	started bool
 
@@ -94,28 +94,29 @@ type Writer struct {
 }
 
 // NewWriter starts a new striped run with the given id.
-func NewWriter(sys *pdisk.System, id int) *Writer {
-	return &Writer{sys: sys, run: &Run{ID: id}}
+func NewWriter[R record.KernelRecord](sys *pdisk.System, id int) *Writer[R] {
+	return &Writer[R]{sys: sys, run: &Run{ID: id}}
 }
 
 // NewWriterAsync is NewWriter with write-behind: each logical block is
 // issued asynchronously and awaited only when the next one is ready (or at
 // Finish). Emitted stripes and operation counts are identical to the
 // synchronous writer's.
-func NewWriterAsync(sys *pdisk.System, id int) *Writer {
-	w := NewWriter(sys, id)
+func NewWriterAsync[R record.KernelRecord](sys *pdisk.System, id int) *Writer[R] {
+	w := NewWriter[R](sys, id)
 	w.async = true
 	return w
 }
 
 // Append adds the next record; records must arrive in nondecreasing key
 // order.
-func (w *Writer) Append(r record.Record) error {
-	if w.started && r.Key < w.lastKey {
+func (w *Writer[R]) Append(r R) error {
+	k := r.K()
+	if w.started && k < w.lastKey {
 		panic(fmt.Sprintf("dsm: run %d records out of order", w.run.ID))
 	}
 	w.started = true
-	w.lastKey = r.Key
+	w.lastKey = k
 	w.buf = append(w.buf, r)
 	w.run.Records++
 	if len(w.buf) == w.sys.D()*w.sys.B() {
@@ -129,15 +130,15 @@ func (w *Writer) Append(r record.Record) error {
 // of one Append call per record. The ordering panic survives as a
 // span-boundary check; spans are slices of sorted stripes, so internal
 // order is the caller's invariant.
-func (w *Writer) AppendBlock(rs []record.Record) error {
+func (w *Writer[R]) AppendBlock(rs []R) error {
 	if len(rs) == 0 {
 		return nil
 	}
-	if w.started && rs[0].Key < w.lastKey {
+	if w.started && rs[0].K() < w.lastKey {
 		panic(fmt.Sprintf("dsm: run %d records out of order", w.run.ID))
 	}
 	w.started = true
-	w.lastKey = rs[len(rs)-1].Key
+	w.lastKey = rs[len(rs)-1].K()
 	logical := w.sys.D() * w.sys.B()
 	for len(rs) > 0 {
 		n := logical - len(w.buf)
@@ -158,7 +159,7 @@ func (w *Writer) AppendBlock(rs []record.Record) error {
 
 // flush writes one logical block (up to D*B records) in a single parallel
 // I/O operation.
-func (w *Writer) flush() error {
+func (w *Writer[R]) flush() error {
 	if len(w.buf) == 0 {
 		return nil
 	}
@@ -170,11 +171,11 @@ func (w *Writer) flush() error {
 		if n > len(w.buf) {
 			n = len(w.buf)
 		}
-		blk := make(record.Block, n)
+		blk := make([]R, n)
 		copy(blk, w.buf[:n])
 		w.buf = w.buf[n:]
 		addr := w.sys.Alloc(disk)
-		writes = append(writes, pdisk.BlockWrite{Addr: addr, Block: pdisk.StoredBlock{Records: blk}})
+		writes = append(writes, pdisk.BlockWrite{Addr: addr, Block: pdisk.MakeStored(blk, nil)})
 		addrs = append(addrs, addr)
 	}
 	if w.async {
@@ -190,7 +191,7 @@ func (w *Writer) flush() error {
 }
 
 // awaitInflight completes the write-behind stripe, if any.
-func (w *Writer) awaitInflight() error {
+func (w *Writer[R]) awaitInflight() error {
 	if w.inflight == nil {
 		return nil
 	}
@@ -200,7 +201,7 @@ func (w *Writer) awaitInflight() error {
 }
 
 // Finish flushes the final partial logical block and returns the run.
-func (w *Writer) Finish() (*Run, error) {
+func (w *Writer[R]) Finish() (*Run, error) {
 	if err := w.flush(); err != nil {
 		return nil, err
 	}
@@ -211,14 +212,14 @@ func (w *Writer) Finish() (*Run, error) {
 }
 
 // readStripe fetches logical block s of a run in one I/O operation.
-func readStripe(sys *pdisk.System, r *Run, s int) ([]record.Record, error) {
+func readStripe[R record.KernelRecord](sys *pdisk.System, r *Run, s int) ([]R, error) {
 	blocks, err := sys.ReadBlocks(r.stripes[s])
 	if err != nil {
 		return nil, err
 	}
-	var out []record.Record
+	var out []R
 	for _, b := range blocks {
-		out = append(out, b.Records...)
+		out = append(out, pdisk.RecsOf[R](b)...)
 	}
 	return out, nil
 }
@@ -233,8 +234,8 @@ type MergeStats struct {
 // operation exactly when a run's buffer drains (the classical k-way merge
 // with striped disks). The number of read operations is precisely the total
 // number of logical input blocks.
-func Merge(sys *pdisk.System, runs []*Run, outID int) (*Run, MergeStats, error) {
-	return mergeRuns(sys, runs, outID, false)
+func Merge[R record.KernelRecord](sys *pdisk.System, runs []*Run, outID int) (*Run, MergeStats, error) {
+	return mergeRuns[R](sys, runs, outID, false)
 }
 
 // MergeAsync is Merge with overlapped I/O: each run's next logical block is
@@ -243,13 +244,13 @@ func Merge(sys *pdisk.System, runs []*Run, outID int) (*Run, MergeStats, error) 
 // stripes are written behind the merge. Every stripe is still read exactly
 // once and written exactly once, so statistics and output are identical to
 // Merge's.
-func MergeAsync(sys *pdisk.System, runs []*Run, outID int) (*Run, MergeStats, error) {
-	return mergeRuns(sys, runs, outID, true)
+func MergeAsync[R record.KernelRecord](sys *pdisk.System, runs []*Run, outID int) (*Run, MergeStats, error) {
+	return mergeRuns[R](sys, runs, outID, true)
 }
 
 // stripePrefetcher hands out one run's logical blocks in order, keeping the
 // next one in flight — the run's second read buffer.
-type stripePrefetcher struct {
+type stripePrefetcher[R record.KernelRecord] struct {
 	sys  *pdisk.System
 	run  *Run
 	next int // stripe the in-flight future (if any) will deliver
@@ -258,7 +259,7 @@ type stripePrefetcher struct {
 
 // fetch returns the records of the next stripe and issues the read of the
 // one after. The caller must not call it past the last stripe.
-func (p *stripePrefetcher) fetch() ([]record.Record, error) {
+func (p *stripePrefetcher[R]) fetch() ([]R, error) {
 	if p.fut == nil {
 		p.fut = p.sys.ReadBlocksAsync(p.run.stripes[p.next])
 	}
@@ -271,22 +272,22 @@ func (p *stripePrefetcher) fetch() ([]record.Record, error) {
 	if p.next < p.run.NumStripes() {
 		p.fut = p.sys.ReadBlocksAsync(p.run.stripes[p.next])
 	}
-	var out []record.Record
+	var out []R
 	for _, b := range blocks {
-		out = append(out, b.Records...)
+		out = append(out, pdisk.RecsOf[R](b)...)
 	}
 	return out, nil
 }
 
 // drain collects an abandoned in-flight read (error-path cleanup).
-func (p *stripePrefetcher) drain() {
+func (p *stripePrefetcher[R]) drain() {
 	if p.fut != nil {
 		p.fut.Wait()
 		p.fut = nil
 	}
 }
 
-func mergeRuns(sys *pdisk.System, runs []*Run, outID int, async bool) (*Run, MergeStats, error) {
+func mergeRuns[R record.KernelRecord](sys *pdisk.System, runs []*Run, outID int, async bool) (*Run, MergeStats, error) {
 	if len(runs) == 0 {
 		return nil, MergeStats{}, fmt.Errorf("dsm: merge of zero runs")
 	}
@@ -294,13 +295,13 @@ func mergeRuns(sys *pdisk.System, runs []*Run, outID int, async bool) (*Run, Mer
 	readsBefore := sys.Stats().ReadOps
 	writesBefore := sys.Stats().WriteOps
 
-	bufs := make([][]record.Record, len(runs))
+	bufs := make([][]R, len(runs))
 	nextStripe := make([]int, len(runs))
-	var prefetchers []*stripePrefetcher
+	var prefetchers []*stripePrefetcher[R]
 	if async {
-		prefetchers = make([]*stripePrefetcher, len(runs))
+		prefetchers = make([]*stripePrefetcher[R], len(runs))
 		for i, r := range runs {
-			prefetchers[i] = &stripePrefetcher{sys: sys, run: r}
+			prefetchers[i] = &stripePrefetcher[R]{sys: sys, run: r}
 		}
 		// On any return, no read may be left in flight: an unwaited future
 		// is an unaccounted operation and a live reference to worker state.
@@ -312,12 +313,12 @@ func mergeRuns(sys *pdisk.System, runs []*Run, outID int, async bool) (*Run, Mer
 	}
 	refill := func(i int) error {
 		for len(bufs[i]) == 0 && nextStripe[i] < runs[i].NumStripes() {
-			var recs []record.Record
+			var recs []R
 			var err error
 			if async {
 				recs, err = prefetchers[i].fetch()
 			} else {
-				recs, err = readStripe(sys, runs[i], nextStripe[i])
+				recs, err = readStripe[R](sys, runs[i], nextStripe[i])
 			}
 			if err != nil {
 				return err
@@ -336,8 +337,8 @@ func mergeRuns(sys *pdisk.System, runs []*Run, outID int, async bool) (*Run, Mer
 			return nil, stats, err
 		}
 		if len(bufs[i]) > 0 {
-			keys[i] = uint64(bufs[i][0].Key)
-			if bufs[i][0].Ext != "" {
+			keys[i] = uint64(bufs[i][0].K())
+			if bufs[i][0].X() != "" {
 				varlen = true
 			}
 		} else {
@@ -352,7 +353,7 @@ func mergeRuns(sys *pdisk.System, runs []*Run, outID int, async bool) (*Run, Mer
 		// prefix-tied pair by index), so build retired and push.
 		lt = ltree.NewRetired(len(runs))
 		lt.SetTie(func(a, b int) int {
-			return record.CompareExt(bufs[a][0].Ext, bufs[b][0].Ext)
+			return record.CompareExt(bufs[a][0].X(), bufs[b][0].X())
 		})
 		for i := range runs {
 			if len(bufs[i]) > 0 {
@@ -362,7 +363,7 @@ func mergeRuns(sys *pdisk.System, runs []*Run, outID int, async bool) (*Run, Mer
 	} else {
 		lt = ltree.New(keys)
 	}
-	w := NewWriter(sys, outID)
+	w := NewWriter[R](sys, outID)
 	if async {
 		w.async = true
 	}
@@ -399,7 +400,7 @@ func mergeRuns(sys *pdisk.System, runs []*Run, outID int, async bool) (*Run, Mer
 		if len(bufs[i]) == 0 {
 			lt.DeleteMin()
 		} else {
-			lt.ReplaceMin(uint64(bufs[i][0].Key))
+			lt.ReplaceMin(uint64(bufs[i][0].K()))
 		}
 	}
 	out, err := w.Finish()
@@ -442,29 +443,29 @@ func (s SortStats) TotalOps() int64 {
 // FormRuns performs DSM's run-formation pass: the striped input is read
 // with full parallelism, sorted one load at a time, and each load is
 // written out as a run in logical blocks.
-func FormRuns(sys *pdisk.System, file *runform.InputFile, load int) ([]*Run, error) {
-	return formRuns(sys, file, load, false, 1)
+func FormRuns[R record.KernelRecord](sys *pdisk.System, file *runform.InputFile, load int) ([]*Run, error) {
+	return formRuns[R](sys, file, load, false, 1)
 }
 
 // FormRunsAsync is FormRuns with each load's output stripes written behind
 // the in-memory sort of the next load.
-func FormRunsAsync(sys *pdisk.System, file *runform.InputFile, load int) ([]*Run, error) {
-	return formRuns(sys, file, load, true, 1)
+func FormRunsAsync[R record.KernelRecord](sys *pdisk.System, file *runform.InputFile, load int) ([]*Run, error) {
+	return formRuns[R](sys, file, load, true, 1)
 }
 
 // FormRunsCores is FormRuns with each load sorted across up to cores
 // goroutines (pmerge.Sort); async selects write-behind as in
 // FormRunsAsync. Sorted loads are byte-identical for every core count, so
 // the emitted stripes and operation counts never depend on cores.
-func FormRunsCores(sys *pdisk.System, file *runform.InputFile, load int, async bool, cores int) ([]*Run, error) {
-	return formRuns(sys, file, load, async, cores)
+func FormRunsCores[R record.KernelRecord](sys *pdisk.System, file *runform.InputFile, load int, async bool, cores int) ([]*Run, error) {
+	return formRuns[R](sys, file, load, async, cores)
 }
 
-func formRuns(sys *pdisk.System, file *runform.InputFile, load int, async bool, cores int) ([]*Run, error) {
+func formRuns[R record.KernelRecord](sys *pdisk.System, file *runform.InputFile, load int, async bool, cores int) ([]*Run, error) {
 	if load < 1 {
 		return nil, fmt.Errorf("dsm: load %d", load)
 	}
-	rd := runform.NewReader(sys, file)
+	rd := runform.NewReader[R](sys, file)
 	var runs []*Run
 	for {
 		chunk, err := rd.Read(load)
@@ -474,10 +475,10 @@ func formRuns(sys *pdisk.System, file *runform.InputFile, load int, async bool, 
 		if len(chunk) == 0 {
 			return runs, nil
 		}
-		sorted := make([]record.Record, len(chunk))
+		sorted := make([]R, len(chunk))
 		copy(sorted, chunk)
 		pmerge.Sort(sorted, cores)
-		w := NewWriter(sys, len(runs))
+		w := NewWriter[R](sys, len(runs))
 		w.async = async
 		if err := w.AppendBlock(sorted); err != nil {
 			return nil, err
@@ -493,32 +494,32 @@ func formRuns(sys *pdisk.System, file *runform.InputFile, load int, async bool, 
 // Sort externally sorts the striped input file with DSM: memory-load run
 // formation with loads of 'load' records, then passes of r-way merges. It
 // returns the final run.
-func Sort(sys *pdisk.System, file *runform.InputFile, load, r int) (*Run, SortStats, error) {
-	return sortFile(sys, file, load, r, false, 1)
+func Sort[R record.KernelRecord](sys *pdisk.System, file *runform.InputFile, load, r int) (*Run, SortStats, error) {
+	return sortFile[R](sys, file, load, r, false, 1)
 }
 
 // SortAsync is Sort with overlapped I/O throughout: run formation writes
 // behind the in-memory sorts, and every merge prefetches input stripes and
 // writes output behind the merge. Output and statistics are identical to
 // Sort's.
-func SortAsync(sys *pdisk.System, file *runform.InputFile, load, r int) (*Run, SortStats, error) {
-	return sortFile(sys, file, load, r, true, 1)
+func SortAsync[R record.KernelRecord](sys *pdisk.System, file *runform.InputFile, load, r int) (*Run, SortStats, error) {
+	return sortFile[R](sys, file, load, r, true, 1)
 }
 
 // SortCores is Sort/SortAsync with run-formation loads sorted across up
 // to cores goroutines. Output and statistics are identical to Sort's for
 // every core count.
-func SortCores(sys *pdisk.System, file *runform.InputFile, load, r int, async bool, cores int) (*Run, SortStats, error) {
-	return sortFile(sys, file, load, r, async, cores)
+func SortCores[R record.KernelRecord](sys *pdisk.System, file *runform.InputFile, load, r int, async bool, cores int) (*Run, SortStats, error) {
+	return sortFile[R](sys, file, load, r, async, cores)
 }
 
-func sortFile(sys *pdisk.System, file *runform.InputFile, load, r int, async bool, cores int) (*Run, SortStats, error) {
+func sortFile[R record.KernelRecord](sys *pdisk.System, file *runform.InputFile, load, r int, async bool, cores int) (*Run, SortStats, error) {
 	if r < 2 {
 		return nil, SortStats{}, fmt.Errorf("dsm: merge order %d, need >= 2", r)
 	}
 	var stats SortStats
 	before := sys.Stats()
-	runs, err := formRuns(sys, file, load, async, cores)
+	runs, err := formRuns[R](sys, file, load, async, cores)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -528,10 +529,10 @@ func sortFile(sys *pdisk.System, file *runform.InputFile, load, r int, async boo
 	stats.InitialRuns = len(runs)
 	if len(runs) == 0 {
 		// Empty input: return an empty run.
-		out, err := NewWriter(sys, 0).Finish()
+		out, err := NewWriter[R](sys, 0).Finish()
 		return out, stats, err
 	}
-	final, ms, _, err := MergeAll(sys, runs, r, len(runs), MergeAllOpts{Async: async})
+	final, ms, _, err := MergeAll[R](sys, runs, r, len(runs), MergeAllOpts{Async: async})
 	if err != nil {
 		return nil, stats, err
 	}
@@ -559,7 +560,7 @@ type MergeAllOpts struct {
 // installed, each pass's inputs are freed only after the hook returns (so
 // a persisted manifest always names live runs); otherwise frees follow
 // each merge immediately.
-func MergeAll(sys *pdisk.System, runs []*Run, r, seqStart int, opts MergeAllOpts) (*Run, SortStats, int, error) {
+func MergeAll[R record.KernelRecord](sys *pdisk.System, runs []*Run, r, seqStart int, opts MergeAllOpts) (*Run, SortStats, int, error) {
 	if r < 2 {
 		return nil, SortStats{}, seqStart, fmt.Errorf("dsm: merge order %d, need >= 2", r)
 	}
@@ -582,7 +583,7 @@ func MergeAll(sys *pdisk.System, runs []*Run, r, seqStart int, opts MergeAllOpts
 				next = append(next, group[0])
 				continue
 			}
-			merged, ms, err := mergeRuns(sys, group, seq, opts.Async)
+			merged, ms, err := mergeRuns[R](sys, group, seq, opts.Async)
 			if err != nil {
 				return nil, stats, seq, err
 			}
@@ -618,9 +619,9 @@ func MergeAll(sys *pdisk.System, runs []*Run, r, seqStart int, opts MergeAllOpts
 
 // ReadAll reads a DSM run back (one logical block per operation) — a
 // verification helper.
-func ReadAll(sys *pdisk.System, r *Run) ([]record.Record, error) {
-	var out []record.Record
-	err := Stream(sys, r, func(rec record.Record) error {
+func ReadAll[R record.KernelRecord](sys *pdisk.System, r *Run) ([]R, error) {
+	var out []R
+	err := Stream(sys, r, func(rec R) error {
 		out = append(out, rec)
 		return nil
 	})
@@ -629,9 +630,9 @@ func ReadAll(sys *pdisk.System, r *Run) ([]record.Record, error) {
 
 // Stream reads a DSM run back one logical block at a time, invoking fn on
 // every record without materialising the run.
-func Stream(sys *pdisk.System, r *Run, fn func(record.Record) error) error {
+func Stream[R record.KernelRecord](sys *pdisk.System, r *Run, fn func(R) error) error {
 	for s := 0; s < r.NumStripes(); s++ {
-		recs, err := readStripe(sys, r, s)
+		recs, err := readStripe[R](sys, r, s)
 		if err != nil {
 			return err
 		}
@@ -647,8 +648,8 @@ func Stream(sys *pdisk.System, r *Run, fn func(record.Record) error) error {
 // StreamAsync is Stream with single-stripe readahead: logical block s+1 is
 // in flight while fn consumes block s. The operation count is identical to
 // Stream's.
-func StreamAsync(sys *pdisk.System, r *Run, fn func(record.Record) error) error {
-	p := &stripePrefetcher{sys: sys, run: r}
+func StreamAsync[R record.KernelRecord](sys *pdisk.System, r *Run, fn func(R) error) error {
+	p := &stripePrefetcher[R]{sys: sys, run: r}
 	defer p.drain()
 	for s := 0; s < r.NumStripes(); s++ {
 		recs, err := p.fetch()

@@ -32,7 +32,7 @@ func TestMergeOrderFormula(t *testing.T) {
 
 func TestWriterLogicalBlocks(t *testing.T) {
 	sys := newSys(t, 4, 2)
-	w := NewWriter(sys, 0)
+	w := NewWriter[record.Record](sys, 0)
 	g := record.NewGenerator(1)
 	recs := g.Sorted(17) // DB = 8; 2 full stripes + partial of 1
 	for _, r := range recs {
@@ -50,7 +50,7 @@ func TestWriterLogicalBlocks(t *testing.T) {
 	if ops := sys.Stats().WriteOps; ops != 3 {
 		t.Fatalf("write ops = %d, want 3", ops)
 	}
-	got, err := ReadAll(sys, run)
+	got, err := ReadAll[record.Record](sys, run)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestMergeCorrectAndCounted(t *testing.T) {
 	var runs []*Run
 	totalStripes := 0
 	for i, p := range pieces {
-		w := NewWriter(sys, i)
+		w := NewWriter[record.Record](sys, i)
 		for _, r := range p {
 			if err := w.Append(r); err != nil {
 				t.Fatal(err)
@@ -85,7 +85,7 @@ func TestMergeCorrectAndCounted(t *testing.T) {
 		runs = append(runs, run)
 		totalStripes += run.NumStripes()
 	}
-	out, ms, err := Merge(sys, runs, 99)
+	out, ms, err := Merge[record.Record](sys, runs, 99)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestMergeCorrectAndCounted(t *testing.T) {
 		t.Fatalf("merge write ops = %d, want %d output logical blocks",
 			ms.WriteOps, out.NumStripes())
 	}
-	got, err := ReadAll(sys, out)
+	got, err := ReadAll[record.Record](sys, out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,11 +115,11 @@ func TestSortEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys.ResetStats()
-	out, stats, err := Sort(sys, file, 100, 4)
+	out, stats, err := Sort[record.Record](sys, file, 100, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := ReadAll(sys, out)
+	got, err := ReadAll[record.Record](sys, out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,11 +142,11 @@ func TestSortEndToEnd(t *testing.T) {
 
 func TestSortEmptyAndTiny(t *testing.T) {
 	sys := newSys(t, 2, 2)
-	file, err := runform.LoadInput(sys, nil)
+	file, err := runform.LoadInput[record.Record](sys, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, _, err := Sort(sys, file, 10, 2)
+	out, _, err := Sort[record.Record](sys, file, 10, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,14 +160,14 @@ func TestSortEmptyAndTiny(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, stats, err := Sort(sys, file, 10, 2)
+	out, stats, err := Sort[record.Record](sys, file, 10, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stats.MergePasses != 0 {
 		t.Fatalf("tiny input took %d merge passes", stats.MergePasses)
 	}
-	got, err := ReadAll(sys, out)
+	got, err := ReadAll[record.Record](sys, out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,11 +191,11 @@ func TestPropertySortCorrect(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		out, _, err := Sort(sys, file, 50, 3)
+		out, _, err := Sort[record.Record](sys, file, 50, 3)
 		if err != nil {
 			return false
 		}
-		got, err := ReadAll(sys, out)
+		got, err := ReadAll[record.Record](sys, out)
 		if err != nil {
 			return false
 		}

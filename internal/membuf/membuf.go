@@ -33,15 +33,15 @@ import (
 // within the merge (run and block index), its records, and the forecast key
 // implanted in it (the first key of block Idx+D of the same run, MaxKey if
 // that block does not exist).
-type Block struct {
+type Block[R record.KernelRecord] struct {
 	Run     int
 	Idx     int
-	Records record.Block
+	Records []R
 	SuccKey record.Key
 }
 
 // FirstKey returns the block's smallest key, the key F_t is ordered by.
-func (b *Block) FirstKey() record.Key { return b.Records.FirstKey() }
+func (b *Block[R]) FirstKey() record.Key { return record.FirstKeyOf(b.Records) }
 
 // compositeID packs (run, idx) into the order-statistic tree's tie-break
 // id, so blocks are ranked by the TOTAL order (first key, run, idx). With
@@ -55,10 +55,10 @@ func compositeID(run, idx int) int { return run<<32 | idx }
 
 // Manager tracks F_t and the leading-block count for one merge of order R
 // on D disks.
-type Manager struct {
+type Manager[R record.KernelRecord] struct {
 	r, d    int
 	tree    *ostree.Tree
-	byID    map[int]*Block
+	byID    map[int]*Block[R]
 	leading int
 	// MaxOccupied records the high-water mark of |F_t| (for tests and
 	// traces demonstrating the memory bound).
@@ -66,27 +66,27 @@ type Manager struct {
 }
 
 // New returns a Manager for merge order r on d disks.
-func New(r, d int) *Manager {
+func New[R record.KernelRecord](r, d int) *Manager[R] {
 	if r < 1 || d < 1 {
 		panic(fmt.Sprintf("membuf: New(%d, %d)", r, d))
 	}
-	return &Manager{
+	return &Manager[R]{
 		r:    r,
 		d:    d,
 		tree: ostree.New(int64(r)*31 + int64(d)),
-		byID: make(map[int]*Block),
+		byID: make(map[int]*Block[R]),
 	}
 }
 
 // Occupied returns |F_t|, the number of full non-leading blocks in memory.
-func (m *Manager) Occupied() int { return len(m.byID) }
+func (m *Manager[R]) Occupied() int { return len(m.byID) }
 
 // Leading returns the number of leading blocks currently held (occupied
 // M_L slots).
-func (m *Manager) Leading() int { return m.leading }
+func (m *Manager[R]) Leading() int { return m.leading }
 
 // Insert adds a freshly read block to F_t.
-func (m *Manager) Insert(b *Block) {
+func (m *Manager[R]) Insert(b *Block[R]) {
 	if len(b.Records) == 0 {
 		panic("membuf: Insert of empty block")
 	}
@@ -106,7 +106,7 @@ func (m *Manager) Insert(b *Block) {
 }
 
 // Has reports whether block (run, idx) is in F_t.
-func (m *Manager) Has(run, idx int) bool {
+func (m *Manager[R]) Has(run, idx int) bool {
 	_, ok := m.byID[compositeID(run, idx)]
 	return ok
 }
@@ -114,7 +114,7 @@ func (m *Manager) Has(run, idx int) bool {
 // Take removes block (run, idx) from F_t and returns it — the "exchange
 // between M_R and M_L" of Section 5.1 point 1, when the block becomes its
 // run's leading block. The caller must account for it with LeadingAcquired.
-func (m *Manager) Take(run, idx int) *Block {
+func (m *Manager[R]) Take(run, idx int) *Block[R] {
 	id := compositeID(run, idx)
 	b, ok := m.byID[id]
 	if !ok {
@@ -128,7 +128,7 @@ func (m *Manager) Take(run, idx int) *Block {
 // LeadingAcquired notes that a run's leading block now occupies an M_L
 // slot (either promoted from F_t or read directly while the run was
 // stalled).
-func (m *Manager) LeadingAcquired() {
+func (m *Manager[R]) LeadingAcquired() {
 	if m.leading == m.r {
 		panic(fmt.Sprintf("membuf: %d leading blocks exceed R = %d", m.leading+1, m.r))
 	}
@@ -138,7 +138,7 @@ func (m *Manager) LeadingAcquired() {
 
 // LeadingReleased notes that a leading block was fully consumed and its
 // M_L slot freed.
-func (m *Manager) LeadingReleased() {
+func (m *Manager[R]) LeadingReleased() {
 	if m.leading == 0 {
 		panic("membuf: LeadingReleased with no leading blocks")
 	}
@@ -146,7 +146,7 @@ func (m *Manager) LeadingReleased() {
 }
 
 // CountKeyLess returns |{b in F_t : b.FirstKey() < key}|.
-func (m *Manager) CountKeyLess(key record.Key) int {
+func (m *Manager[R]) CountKeyLess(key record.Key) int {
 	return m.tree.CountKeyLess(uint64(key))
 }
 
@@ -154,7 +154,7 @@ func (m *Manager) CountKeyLess(key record.Key) int {
 // block (run, idx) with first key key in the composite (key, run, idx)
 // total order. With the smallest on-disk candidate as argument this is
 // OutRank_t − 1 (Definition 4), made robust to duplicate keys.
-func (m *Manager) CountLessBlock(key record.Key, run, idx int) int {
+func (m *Manager[R]) CountLessBlock(key record.Key, run, idx int) int {
 	return m.tree.CountLess(ostree.Item{Key: uint64(key), ID: compositeID(run, idx)})
 }
 
@@ -162,11 +162,11 @@ func (m *Manager) CountLessBlock(key record.Key, run, idx int) int {
 // blocks of F_t — the victim set Fset_t(n) of Definition 6. The flush is
 // virtual: no I/O happens; the caller re-registers the victims' keys with
 // the FDS. Victims are returned in decreasing key order.
-func (m *Manager) FlushVictims(n int) []*Block {
+func (m *Manager[R]) FlushVictims(n int) []*Block[R] {
 	if n < 1 || n > m.Occupied() {
 		panic(fmt.Sprintf("membuf: FlushVictims(%d) with |F_t| = %d", n, m.Occupied()))
 	}
-	out := make([]*Block, 0, n)
+	out := make([]*Block[R], 0, n)
 	for i := 0; i < n; i++ {
 		it := m.tree.PopMax()
 		b := m.byID[it.ID]
@@ -178,11 +178,11 @@ func (m *Manager) FlushVictims(n int) []*Block {
 
 // KthSmallestKey returns the first key of the rank-k (1-based) block of
 // F_t — exposed for trace assertions (Lemma 2).
-func (m *Manager) KthSmallestKey(k int) record.Key {
+func (m *Manager[R]) KthSmallestKey(k int) record.Key {
 	return record.Key(m.tree.Kth(k).Key)
 }
 
-func (m *Manager) checkTotal() {
+func (m *Manager[R]) checkTotal() {
 	if total := m.Occupied() + m.leading; total > 2*m.r+2*m.d {
 		panic(fmt.Sprintf("membuf: %d data blocks exceed 2R+2D = %d", total, 2*m.r+2*m.d))
 	}

@@ -12,10 +12,10 @@ import (
 // naive mirrors the Manager with a plain slice sorted by the composite
 // (key, run, idx) order.
 type naiveBuf struct {
-	blocks []*Block
+	blocks []*Block[record.Record]
 }
 
-func (n *naiveBuf) less(a, b *Block) bool {
+func (n *naiveBuf) less(a, b *Block[record.Record]) bool {
 	if a.FirstKey() != b.FirstKey() {
 		return a.FirstKey() < b.FirstKey()
 	}
@@ -25,12 +25,12 @@ func (n *naiveBuf) less(a, b *Block) bool {
 	return a.Idx < b.Idx
 }
 
-func (n *naiveBuf) insert(b *Block) {
+func (n *naiveBuf) insert(b *Block[record.Record]) {
 	n.blocks = append(n.blocks, b)
 	sort.Slice(n.blocks, func(i, j int) bool { return n.less(n.blocks[i], n.blocks[j]) })
 }
 
-func (n *naiveBuf) take(run, idx int) *Block {
+func (n *naiveBuf) take(run, idx int) *Block[record.Record] {
 	for i, b := range n.blocks {
 		if b.Run == run && b.Idx == idx {
 			n.blocks = append(n.blocks[:i], n.blocks[i+1:]...)
@@ -41,7 +41,7 @@ func (n *naiveBuf) take(run, idx int) *Block {
 }
 
 func (n *naiveBuf) countLess(key record.Key, run, idx int) int {
-	probe := &Block{Run: run, Idx: idx, Records: record.Block{{Key: key}}}
+	probe := &Block[record.Record]{Run: run, Idx: idx, Records: record.Block{{Key: key}}}
 	c := 0
 	for _, b := range n.blocks {
 		if n.less(b, probe) {
@@ -51,8 +51,8 @@ func (n *naiveBuf) countLess(key record.Key, run, idx int) int {
 	return c
 }
 
-func (n *naiveBuf) flush(j int) []*Block {
-	out := make([]*Block, 0, j)
+func (n *naiveBuf) flush(j int) []*Block[record.Record] {
+	out := make([]*Block[record.Record], 0, j)
 	for i := 0; i < j; i++ {
 		last := n.blocks[len(n.blocks)-1]
 		n.blocks = n.blocks[:len(n.blocks)-1]
@@ -65,7 +65,7 @@ func TestManagerMatchesNaiveModel(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		const r, d = 16, 4
-		m := New(r, d)
+		m := New[record.Record](r, d)
 		n := &naiveBuf{}
 		present := map[[2]int]bool{}
 		for step := 0; step < 250; step++ {
@@ -79,9 +79,9 @@ func TestManagerMatchesNaiveModel(t *testing.T) {
 					continue
 				}
 				key := record.Key(rng.Intn(25)) // many duplicate keys
-				b := &Block{Run: run, Idx: idx, Records: record.Block{{Key: key}}, SuccKey: record.MaxKey}
+				b := &Block[record.Record]{Run: run, Idx: idx, Records: record.Block{{Key: key}}, SuccKey: record.MaxKey}
 				m.Insert(b)
-				n.insert(&Block{Run: run, Idx: idx, Records: record.Block{{Key: key}}})
+				n.insert(&Block[record.Record]{Run: run, Idx: idx, Records: record.Block{{Key: key}}})
 				present[[2]int{run, idx}] = true
 			case 1: // take a present block
 				if len(n.blocks) == 0 {

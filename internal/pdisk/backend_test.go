@@ -130,7 +130,7 @@ func TestBackendsEquivalentStatsAndContents(t *testing.T) {
 				}
 				for a, want := range base.blocks {
 					g := got.blocks[a]
-					if !reflect.DeepEqual(want.Records, g.Records) || !reflect.DeepEqual(want.Forecast, g.Forecast) {
+					if !reflect.DeepEqual(want.Wide(), g.Wide()) || !reflect.DeepEqual(want.Forecast, g.Forecast) {
 						t.Fatalf("block %v diverges from %s:\n%+v\nvs\n%+v", a, baseName, want, g)
 					}
 				}
@@ -156,7 +156,7 @@ func TestBackendsErrorContract(t *testing.T) {
 			if err := store.WriteBlock(a, mkBlock(9)); err != nil {
 				t.Fatal(err)
 			}
-			if got, err := store.ReadBlock(a); err != nil || got.Records.FirstKey() != 9 {
+			if got, err := store.ReadBlock(a); err != nil || got.Wide().FirstKey() != 9 {
 				t.Fatalf("round trip: %v %v", got, err)
 			}
 			if err := store.Free(a); err != nil {

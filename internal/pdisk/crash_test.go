@@ -69,12 +69,13 @@ func TestFileStoreCrashReopen(t *testing.T) {
 		if err != nil {
 			t.Fatalf("read %v after reopen: %v", w.addr, err)
 		}
-		if len(got.Records) != len(w.blk.Records) {
-			t.Fatalf("%v: %d records, want %d", w.addr, len(got.Records), len(w.blk.Records))
+		gw, ww := got.Wide(), w.blk.Wide()
+		if len(gw) != len(ww) {
+			t.Fatalf("%v: %d records, want %d", w.addr, len(gw), len(ww))
 		}
-		for i := range got.Records {
-			if got.Records[i] != w.blk.Records[i] {
-				t.Fatalf("%v record %d = %+v, want %+v", w.addr, i, got.Records[i], w.blk.Records[i])
+		for i := range gw {
+			if gw[i] != ww[i] {
+				t.Fatalf("%v record %d = %+v, want %+v", w.addr, i, gw[i], ww[i])
 			}
 		}
 		if len(got.Forecast) != len(w.blk.Forecast) {
@@ -95,7 +96,7 @@ func TestFileStoreCrashReopen(t *testing.T) {
 	if err := re.WriteBlock(a, mkBlock(7)); err != nil {
 		t.Fatal(err)
 	}
-	if got, err := re.ReadBlock(a); err != nil || got.Records.FirstKey() != 7 {
+	if got, err := re.ReadBlock(a); err != nil || got.Wide().FirstKey() != 7 {
 		t.Fatalf("write after reopen: %v %v", got, err)
 	}
 }
@@ -117,7 +118,7 @@ func TestFileStoreCloseKeepsFilesRemoveDeletes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, err := re.ReadBlock(BlockAddr{Disk: 0, Index: 0}); err != nil || got.Records.FirstKey() != 1 {
+	if got, err := re.ReadBlock(BlockAddr{Disk: 0, Index: 0}); err != nil || got.Wide().FirstKey() != 1 {
 		t.Fatalf("block lost across Close+reopen: %v %v", got, err)
 	}
 	if err := re.Remove(); err != nil {

@@ -44,6 +44,7 @@ type FileStore struct {
 	b           int
 	maxForecast int
 	codec       record.Codec
+	fixed16     bool   // codec is record.Fixed16: blocks round-trip as []record.Rec16, never widening
 	varlen      bool   // codec.FixedSize() == 0: length-prefixed slots
 	dataSlot    int64  // bytes per block in the data file: B * record.Bytes (fixed) or codec.MaxBlockBytes(B) (varlen)
 	metaSlot    int64  // bytes per block in the meta file
@@ -134,11 +135,13 @@ func NewFileStoreCodec(dir string, b, maxForecast int, codec record.Codec) (*Fil
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	_, fixed16 := codec.(record.Fixed16)
 	f := &FileStore{
 		dir:         dir,
 		b:           b,
 		maxForecast: maxForecast,
 		codec:       codec,
+		fixed16:     fixed16,
 		varlen:      codec.FixedSize() == 0,
 		metaHeader:  metaHeaderBytes,
 		disks:       make(map[int]*diskFiles),
@@ -306,8 +309,9 @@ func (f *FileStore) writeBlock(addr BlockAddr, b StoredBlock, torn bool) error {
 	if addr.Disk < 0 || addr.Index < 0 {
 		return fmt.Errorf("%w: write to invalid address %v", ErrInvalid, addr)
 	}
-	if len(b.Records) > f.b {
-		return fmt.Errorf("%w: block of %d records exceeds slot capacity %d", ErrInvalid, len(b.Records), f.b)
+	nRec := b.NumRecords()
+	if nRec > f.b {
+		return fmt.Errorf("%w: block of %d records exceeds slot capacity %d", ErrInvalid, nRec, f.b)
 	}
 	if len(b.Forecast) > f.maxForecast {
 		return fmt.Errorf("%w: block carries %d forecast keys, slot capacity %d", ErrInvalid, len(b.Forecast), f.maxForecast)
@@ -325,9 +329,24 @@ func (f *FileStore) writeBlock(addr BlockAddr, b StoredBlock, torn bool) error {
 	bufp := f.scratch.Get().(*[]byte)
 	defer f.scratch.Put(bufp)
 
-	data, err := f.codec.AppendBlock((*bufp)[:0], b.Records)
-	if err != nil {
-		return fmt.Errorf("%w: encoding block for %v: %v", ErrInvalid, addr, err)
+	var data []byte
+	if b.Recs16 != nil {
+		// Pointer-free blocks encode directly (the fixed16 hot path never
+		// widens); any fixed-size codec produces the same 16-byte layout,
+		// and a varlen store cannot legally receive them anyway.
+		if fc, ok := f.codec.(record.Fixed16); ok {
+			data = fc.AppendBlock16((*bufp)[:0], b.Recs16)
+		} else {
+			var err error
+			if data, err = f.codec.AppendBlock((*bufp)[:0], b.Wide()); err != nil {
+				return fmt.Errorf("%w: encoding block for %v: %v", ErrInvalid, addr, err)
+			}
+		}
+	} else {
+		var err error
+		if data, err = f.codec.AppendBlock((*bufp)[:0], b.Records); err != nil {
+			return fmt.Errorf("%w: encoding block for %v: %v", ErrInvalid, addr, err)
+		}
 	}
 	if int64(len(data)) > f.dataSlot {
 		return fmt.Errorf("%w: block at %v encodes to %d bytes, slot is %d", ErrInvalid, addr, len(data), f.dataSlot)
@@ -336,7 +355,7 @@ func (f *FileStore) writeBlock(addr BlockAddr, b StoredBlock, torn bool) error {
 	meta := (*bufp)[f.dataSlot : f.dataSlot+f.metaSlot]
 	clear(meta[f.metaHeader+len(b.Forecast)*8:]) // byte-exact files: zero the unused forecast tail
 	binary.LittleEndian.PutUint32(meta[0:], slotPresent)
-	binary.LittleEndian.PutUint32(meta[4:], uint32(len(b.Records)))
+	binary.LittleEndian.PutUint32(meta[4:], uint32(nRec))
 	binary.LittleEndian.PutUint32(meta[8:], uint32(len(b.Forecast)))
 	binary.LittleEndian.PutUint32(meta[12:], f.epoch)
 	if f.varlen {
@@ -345,7 +364,7 @@ func (f *FileStore) writeBlock(addr BlockAddr, b StoredBlock, torn bool) error {
 	for i, k := range b.Forecast {
 		binary.LittleEndian.PutUint64(meta[f.metaHeader+i*8:], uint64(k))
 	}
-	crc := blockCRC(addr, f.epoch, len(b.Records), len(b.Forecast),
+	crc := blockCRC(addr, f.epoch, nRec, len(b.Forecast),
 		meta[f.metaHeader:f.metaHeader+len(b.Forecast)*8], data)
 	binary.LittleEndian.PutUint32(meta[16:], crc)
 
@@ -441,11 +460,22 @@ func (f *FileStore) ReadBlock(addr BlockAddr) (StoredBlock, error) {
 		}
 	}
 	if nRec > 0 {
-		recs, err := f.codec.DecodeBlock(data, int(nRec))
-		if err != nil {
-			return StoredBlock{}, fmt.Errorf("%w: decoding block at %v: %v", ErrCorrupt, addr, err)
+		if f.fixed16 {
+			// The fixed16 read path decodes straight into the pointer-free
+			// kernel layout; wide readers widen via RecsOf/Wide if they
+			// must, the fixed16 kernel consumes the noscan slice as-is.
+			recs, err := (record.Fixed16{}).DecodeBlock16(data, int(nRec))
+			if err != nil {
+				return StoredBlock{}, fmt.Errorf("%w: decoding block at %v: %v", ErrCorrupt, addr, err)
+			}
+			out.Recs16 = recs
+		} else {
+			recs, err := f.codec.DecodeBlock(data, int(nRec))
+			if err != nil {
+				return StoredBlock{}, fmt.Errorf("%w: decoding block at %v: %v", ErrCorrupt, addr, err)
+			}
+			out.Records = record.Block(recs)
 		}
-		out.Records = record.Block(recs)
 	}
 	return out, nil
 }

@@ -39,19 +39,93 @@ func (a BlockAddr) String() string { return fmt.Sprintf("d%d:%d", a.Disk, a.Inde
 // forecasting keys of the paper's Section 4 (D keys in a run's block 0, one
 // key in every later block, none in blocks written without forecasting,
 // e.g. by DSM).
+//
+// A block carries its records in exactly one of two representations —
+// the two widths of the kernel (see record.KernelRecord). Recs16 is the
+// 16-byte pointer-free layout of the fixed16 sort path; Records is the
+// wide layout that carries varlen payloads. At most one of the two is
+// non-nil. Stores are representation-blind: they persist whichever side
+// is populated (FileStore's fixed16 codec round-trips Recs16 without
+// widening; MemStore holds blocks as written), and readers pick their
+// width back out with RecsOf.
 type StoredBlock struct {
 	Records  record.Block
+	Recs16   []record.Rec16
 	Forecast []record.Key
 }
 
+// NumRecords returns the record count of whichever representation the
+// block carries.
+func (b StoredBlock) NumRecords() int {
+	if b.Recs16 != nil {
+		return len(b.Recs16)
+	}
+	return len(b.Records)
+}
+
+// Wide returns the block's records in the wide layout, converting a
+// pointer-free block on the fly. Legacy readers (tests, scrub paths)
+// that only inspect content use it; kernel loops use RecsOf to stay at
+// their own width.
+func (b StoredBlock) Wide() record.Block {
+	if b.Recs16 != nil {
+		return record.ToWide(b.Recs16)
+	}
+	return b.Records
+}
+
 // Clone returns a deep copy, so store contents can never be aliased by
-// callers.
+// callers. The representation is preserved.
 func (b StoredBlock) Clone() StoredBlock {
-	c := StoredBlock{Records: b.Records.Clone()}
+	var c StoredBlock
+	if b.Recs16 != nil {
+		c.Recs16 = append([]record.Rec16(nil), b.Recs16...)
+	} else {
+		c.Records = b.Records.Clone()
+	}
 	if b.Forecast != nil {
 		c.Forecast = append([]record.Key(nil), b.Forecast...)
 	}
 	return c
+}
+
+// RecsOf returns a block's records at the kernel width R. When the
+// resident representation already is R the slice is returned as-is
+// (zero-copy — the MemStore read path); on a mismatch it converts, so a
+// reader is always correct even over a store holding the other width
+// (e.g. a wide-kernel read of a block a fixed16 FileStore decoded into
+// Recs16). Narrowing drops Ext, which is legal only on fixed16 data —
+// the codec agreement check at sort ingest guarantees that.
+func RecsOf[R record.KernelRecord](b StoredBlock) []R {
+	switch any([]R(nil)).(type) {
+	case []record.Rec16:
+		if b.Recs16 != nil {
+			return any(b.Recs16).([]R)
+		}
+		return any(record.ToRec16(b.Records)).([]R)
+	case []record.Record:
+		if b.Recs16 != nil {
+			return any(record.ToWide(b.Recs16)).([]R)
+		}
+		return any([]record.Record(b.Records)).([]R)
+	default:
+		panic("pdisk: RecsOf at an unknown kernel width")
+	}
+}
+
+// MakeStored builds a StoredBlock holding rs in its own representation
+// (no conversion, no copy) with the given forecast keys.
+func MakeStored[R record.KernelRecord](rs []R, forecast []record.Key) StoredBlock {
+	b := StoredBlock{Forecast: forecast}
+	switch v := any(rs).(type) {
+	case []record.Rec16:
+		b.Recs16 = v
+	case []record.Record:
+		b.Records = record.Block(v)
+	default:
+		panic("pdisk: MakeStored at an unknown kernel width")
+	}
+	return b
 }
 
 // System is a D-disk parallel I/O system with block size B records.
@@ -261,9 +335,9 @@ func (s *System) checkWrites(writes []BlockWrite) ([]BlockAddr, error) {
 		return nil, err
 	}
 	for _, w := range writes {
-		if len(w.Block.Records) > s.b {
+		if n := w.Block.NumRecords(); n > s.b {
 			return nil, fmt.Errorf("pdisk: block of %d records exceeds B=%d at %v",
-				len(w.Block.Records), s.b, w.Addr)
+				n, s.b, w.Addr)
 		}
 	}
 	return addrs, nil

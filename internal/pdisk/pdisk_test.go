@@ -257,8 +257,8 @@ func TestFileStoreRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(out[0].Records) != 3 || out[0].Records[1].Key != 20 {
-		t.Fatalf("records corrupted: %+v", out[0].Records)
+	if rs := out[0].Wide(); len(rs) != 3 || rs[1].Key != 20 {
+		t.Fatalf("records corrupted: %+v", rs)
 	}
 	if len(out[0].Forecast) != 2 || out[0].Forecast[1] != 200 {
 		t.Fatalf("forecast corrupted: %+v", out[0].Forecast)

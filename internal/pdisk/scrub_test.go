@@ -23,7 +23,7 @@ func TestFileStoreChecksumRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("checksummed read: %v", err)
 	}
-	if len(got.Records) != 3 || got.Records[2].Key != 3 || len(got.Forecast) != 2 {
+	if rs := got.Wide(); len(rs) != 3 || rs[2].Key != 3 || len(got.Forecast) != 2 {
 		t.Fatalf("round trip mangled block: %+v", got)
 	}
 	rep, err := fs.Scrub()
@@ -164,7 +164,7 @@ func TestFileStoreEpochStalenessDetected(t *testing.T) {
 	if err != nil {
 		t.Fatalf("cross-epoch read: %v", err)
 	}
-	if got.Records[0].Key != 42 {
-		t.Fatalf("wrong records back: %v", got.Records)
+	if rs := got.Wide(); rs[0].Key != 42 {
+		t.Fatalf("wrong records back: %v", rs)
 	}
 }

@@ -104,9 +104,11 @@ type Usage struct {
 
 // storedBytes is the encoded size of one block, the unit of MemStore's
 // byte accounting and FileStore's data-slot sizing. Variable-length
-// records add their Ext payload on top of the 16 prefix bytes.
+// records add their Ext payload on top of the 16 prefix bytes. A Rec16
+// block costs exactly what its widened twin would — the accounting is
+// representation-independent.
 func storedBytes(b StoredBlock) int64 {
-	n := int64(len(b.Records))*record.Bytes + int64(len(b.Forecast))*8
+	n := int64(b.NumRecords())*record.Bytes + int64(len(b.Forecast))*8
 	for _, r := range b.Records {
 		n += int64(len(r.Ext))
 	}
@@ -211,6 +213,8 @@ func (m *MemStore) verifySum(addr BlockAddr, b StoredBlock) {
 
 // contentSum is an order-dependent hash of a block's records and forecast
 // keys (order-dependent so a reader that permutes records is caught too).
+// A Rec16 block hashes identically to its widened twin, so the checksum
+// is stable across representation conversions.
 func contentSum(b StoredBlock) uint64 {
 	const prime = 0x100000001b3
 	sum := uint64(0xcbf29ce484222325)
@@ -218,11 +222,18 @@ func contentSum(b StoredBlock) uint64 {
 		sum ^= v
 		sum *= prime
 	}
-	for _, r := range b.Records {
-		mix(uint64(r.Key))
-		mix(r.Val)
-		for i := 0; i < len(r.Ext); i++ {
-			mix(uint64(r.Ext[i]))
+	if b.Recs16 != nil {
+		for _, r := range b.Recs16 {
+			mix(uint64(r.Key))
+			mix(r.Val)
+		}
+	} else {
+		for _, r := range b.Records {
+			mix(uint64(r.Key))
+			mix(r.Val)
+			for i := 0; i < len(r.Ext); i++ {
+				mix(uint64(r.Ext[i]))
+			}
 		}
 	}
 	mix(0x9e3779b97f4a7c15) // separator: records vs forecast

@@ -72,7 +72,7 @@ type Shard struct {
 // [s*total/p, (s+1)*total/p), so shards may legitimately be empty when
 // total < p. Sequences must be sorted consistently with order; p must be
 // at least 1.
-func Split(seqs [][]record.Record, p int, order Order) []Shard {
+func Split[R record.KernelRecord](seqs [][]R, p int, order Order) []Shard {
 	if p < 1 {
 		panic(fmt.Sprintf("pmerge: Split into %d shards", p))
 	}
@@ -107,7 +107,7 @@ func Split(seqs [][]record.Record, p int, order Order) []Shard {
 // Σ CountBelow per probe; the records tied with the boundary are then
 // assigned to the cut in sequence-index order, which is exactly how both
 // orders rank them.
-func cutAt(seqs [][]record.Record, t int, order Order) []int {
+func cutAt[R record.KernelRecord](seqs [][]R, t int, order Order) []int {
 	cut := make([]int, len(seqs))
 	if t <= 0 {
 		return cut
@@ -122,10 +122,10 @@ func cutAt(seqs [][]record.Record, t int, order Order) []int {
 		}
 		return c >= t
 	})
-	strict := func(s []record.Record) int {
+	strict := func(s []R) int {
 		return record.CountBelow(s, record.Key(key), false)
 	}
-	weak := func(s []record.Record) int {
+	weak := func(s []R) int {
 		return record.CountBelow(s, record.Key(key), true)
 	}
 	if order == KeyVal {
@@ -137,10 +137,10 @@ func cutAt(seqs [][]record.Record, t int, order Order) []int {
 			}
 			return c >= t
 		})
-		strict = func(s []record.Record) int {
+		strict = func(s []R) int {
 			return record.CountBelowKV(s, record.Key(key), val, false)
 		}
-		weak = func(s []record.Record) int {
+		weak = func(s []R) int {
 			return record.CountBelowKV(s, record.Key(key), val, true)
 		}
 	}
@@ -189,7 +189,7 @@ func searchUint64(pred func(uint64) bool) uint64 {
 // sum of sequence lengths) under order, using up to cores goroutines.
 // cores <= 1, or a total too small to shard profitably, runs the ordinary
 // serial loser-tree kernel; either way the output bytes are identical.
-func Merge(seqs [][]record.Record, out []record.Record, cores int, order Order) {
+func Merge[R record.KernelRecord](seqs [][]R, out []R, cores int, order Order) {
 	total := 0
 	for _, s := range seqs {
 		total += len(s)
@@ -205,7 +205,7 @@ func Merge(seqs [][]record.Record, out []record.Record, cores int, order Order) 
 		p = total / minShard
 	}
 	if p <= 1 {
-		mergeSerial(append([][]record.Record(nil), seqs...), out, order)
+		mergeSerial(append([][]R(nil), seqs...), out, order)
 		return
 	}
 	shards := Split(seqs, p, order)
@@ -217,7 +217,7 @@ func Merge(seqs [][]record.Record, out []record.Record, cores int, order Order) 
 		wg.Add(1)
 		go func(sh Shard) {
 			defer wg.Done()
-			sub := make([][]record.Record, len(seqs))
+			sub := make([][]R, len(seqs))
 			for i, s := range seqs {
 				sub[i] = s[sh.Lo[i]:sh.Hi[i]]
 			}
@@ -230,11 +230,11 @@ func Merge(seqs [][]record.Record, out []record.Record, cores int, order Order) 
 // mergeSerial is the ordinary loser-tree + gallop merge kernel, shared by
 // the serial path and by every shard of the parallel path. It consumes
 // the slice headers of seqs (callers pass a private copy).
-func mergeSerial(seqs [][]record.Record, out []record.Record, order Order) {
+func mergeSerial[R record.KernelRecord](seqs [][]R, out []R, order Order) {
 	tree := ltree.NewRetired(len(seqs))
 	for i, s := range seqs {
 		if len(s) > 0 {
-			tree.PushKV(i, uint64(s[0].Key), tieVal(s[0], order))
+			tree.PushKV(i, uint64(s[0].K()), tieVal(s[0], order))
 		}
 	}
 	pos := 0
@@ -258,16 +258,16 @@ func mergeSerial(seqs [][]record.Record, out []record.Record, order Order) {
 		if len(b) == 0 {
 			tree.DeleteMin()
 		} else {
-			tree.UpdateKV(h, uint64(b[0].Key), tieVal(b[0], order))
+			tree.UpdateKV(h, uint64(b[0].K()), tieVal(b[0], order))
 		}
 	}
 }
 
 // tieVal returns the secondary tie value a record carries into the loser
 // tree: its val under KeyVal, zero (index-only ties) under KeyRun.
-func tieVal(r record.Record, order Order) uint64 {
+func tieVal[R record.KernelRecord](r R, order Order) uint64 {
 	if order == KeyVal {
-		return r.Val
+		return r.V()
 	}
 	return 0
 }
@@ -277,7 +277,16 @@ func tieVal(r record.Record, order Order) uint64 {
 // concurrently, then merged back under KeyVal through a scratch buffer.
 // cores <= 1 (or a slice too small to split profitably) is precisely
 // record.SortRecords.
-func Sort(rs []record.Record, cores int) {
+func Sort[R record.KernelRecord](rs []R, cores int) {
+	SortScratch(rs, nil, cores)
+}
+
+// SortScratch is Sort with a caller-provided scratch buffer (grown when
+// shorter than rs): the serial path hands it to the fixed-width radix
+// sort, the parallel path uses it for both the per-chunk sorts (disjoint
+// sub-slices) and the merge-back. Run formation reuses one buffer across
+// its load loop instead of allocating per load.
+func SortScratch[R record.KernelRecord](rs, scratch []R, cores int) {
 	if cores <= 0 {
 		cores = runtime.GOMAXPROCS(0)
 	}
@@ -289,22 +298,27 @@ func Sort(rs []record.Record, cores int) {
 	// non-empty Ext) fall back to the serial sort: Split's cut points and
 	// the merge-back's (key, val) order work at the prefix-word level and
 	// cannot adjudicate prefix ties by content.
-	if p <= 1 || (len(rs) > 0 && rs[0].Ext != "") {
-		record.SortRecords(rs)
+	if p <= 1 || (len(rs) > 0 && rs[0].X() != "") {
+		record.SortRecordsScratch(rs, scratch)
 		return
 	}
-	seqs := make([][]record.Record, p)
+	if len(scratch) < len(rs) {
+		scratch = make([]R, len(rs))
+	} else {
+		scratch = scratch[:len(rs)]
+	}
+	seqs := make([][]R, p)
 	var wg sync.WaitGroup
 	for i := range seqs {
-		seqs[i] = rs[i*len(rs)/p : (i+1)*len(rs)/p]
+		lo, hi := i*len(rs)/p, (i+1)*len(rs)/p
+		seqs[i] = rs[lo:hi]
 		wg.Add(1)
-		go func(c []record.Record) {
+		go func(c, s []R) {
 			defer wg.Done()
-			record.SortRecords(c)
-		}(seqs[i])
+			record.SortRecordsScratch(c, s)
+		}(seqs[i], scratch[lo:hi])
 	}
 	wg.Wait()
-	scratch := make([]record.Record, len(rs))
 	Merge(seqs, scratch, cores, KeyVal)
 	copy(rs, scratch)
 }

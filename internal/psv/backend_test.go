@@ -33,12 +33,12 @@ func TestSortBackendEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		sys.ResetStats()
-		final, _, err := Sort(sys, file, 80, 2)
+		final, _, err := Sort[record.Record](sys, file, 80, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
 		stats := sys.Stats()
-		out, err := runio.ReadAll(sys, final)
+		out, err := runio.ReadAll[record.Record](sys, final)
 		if err != nil {
 			t.Fatal(err)
 		}

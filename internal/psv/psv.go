@@ -59,13 +59,13 @@ func (r *DiskRun) Addr(i int) pdisk.BlockAddr {
 // inherently serial (one block per operation — the destination disk is the
 // bottleneck); the transposition stage below is how PSV amortises this
 // across D runs.
-func WriteDiskRun(sys *pdisk.System, id, disk int, records []record.Record) (*DiskRun, error) {
+func WriteDiskRun[R record.KernelRecord](sys *pdisk.System, id, disk int, records []R) (*DiskRun, error) {
 	run := &DiskRun{ID: id, Disk: disk}
-	for _, blk := range record.Blocks(records, sys.B()) {
+	for _, blk := range record.BlocksOf(records, sys.B()) {
 		addr := sys.Alloc(disk)
 		if err := sys.WriteBlocks([]pdisk.BlockWrite{{
 			Addr:  addr,
-			Block: pdisk.StoredBlock{Records: blk.Clone()},
+			Block: pdisk.MakeStored(record.CloneOf(blk), nil),
 		}}); err != nil {
 			return nil, err
 		}
@@ -77,14 +77,14 @@ func WriteDiskRun(sys *pdisk.System, id, disk int, records []record.Record) (*Di
 
 // ReadAllDiskRun reads a single-disk run back sequentially (verification
 // helper; one block per operation).
-func ReadAllDiskRun(sys *pdisk.System, r *DiskRun) ([]record.Record, error) {
-	out := make([]record.Record, 0, r.Records)
+func ReadAllDiskRun[R record.KernelRecord](sys *pdisk.System, r *DiskRun) ([]R, error) {
+	out := make([]R, 0, r.Records)
 	for i := 0; i < r.NumBlocks(); i++ {
 		blks, err := sys.ReadBlocks([]pdisk.BlockAddr{r.Addr(i)})
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, blks[0].Records...)
+		out = append(out, pdisk.RecsOf[R](blks[0])...)
 	}
 	return out, nil
 }
@@ -115,7 +115,7 @@ type MergeStats struct {
 // parallelism). Each run gets a lookahead buffer of bufBlocks blocks;
 // whenever any buffer has space and its run has unread blocks, a parallel
 // read fetches the next block of every such run in one operation.
-func Merge(sys *pdisk.System, runs []*DiskRun, bufBlocks, outID, outStartDisk int) (*runio.Run, MergeStats, error) {
+func Merge[R record.KernelRecord](sys *pdisk.System, runs []*DiskRun, bufBlocks, outID, outStartDisk int) (*runio.Run, MergeStats, error) {
 	if len(runs) == 0 {
 		return nil, MergeStats{}, fmt.Errorf("psv: merge of zero runs")
 	}
@@ -135,9 +135,9 @@ func Merge(sys *pdisk.System, runs []*DiskRun, bufBlocks, outID, outStartDisk in
 
 	var stats MergeStats
 	writesBefore := sys.Stats().WriteOps
-	bufs := make([][]record.Record, len(runs)) // per-run buffered records
-	buffered := make([]int, len(runs))         // per-run buffered BLOCKS
-	next := make([]int, len(runs))             // next block index to read
+	bufs := make([][]R, len(runs))     // per-run buffered records
+	buffered := make([]int, len(runs)) // per-run buffered BLOCKS
+	next := make([]int, len(runs))     // next block index to read
 
 	readable := func(i int) bool {
 		return buffered[i] < bufBlocks && next[i] < runs[i].NumBlocks()
@@ -162,7 +162,7 @@ func Merge(sys *pdisk.System, runs []*DiskRun, bufBlocks, outID, outStartDisk in
 		total := 0
 		for j, blk := range blocks {
 			i := who[j]
-			bufs[i] = append(bufs[i], blk.Records...)
+			bufs[i] = append(bufs[i], pdisk.RecsOf[R](blk)...)
 			buffered[i]++
 			next[i]++
 		}
@@ -182,11 +182,11 @@ func Merge(sys *pdisk.System, runs []*DiskRun, bufBlocks, outID, outStartDisk in
 		}
 	}
 
-	w := runio.NewWriter(sys, outID, outStartDisk)
+	w := runio.NewWriter[R](sys, outID, outStartDisk)
 	h := ltree.NewRetired(len(runs))
 	varlen := false
 	for i := range runs {
-		if len(bufs[i]) > 0 && bufs[i][0].Ext != "" {
+		if len(bufs[i]) > 0 && bufs[i][0].X() != "" {
 			varlen = true
 			break
 		}
@@ -197,13 +197,13 @@ func Merge(sys *pdisk.System, runs []*DiskRun, bufBlocks, outID, outStartDisk in
 		// before the first Push so every tournament is played under the
 		// content order.
 		h.SetTie(func(a, b int) int {
-			return record.CompareExt(bufs[a][0].Ext, bufs[b][0].Ext)
+			return record.CompareExt(bufs[a][0].X(), bufs[b][0].X())
 		})
 	}
 	blockEnd := make([]int, len(runs)) // records until the current block ends
 	for i := range runs {
 		if len(bufs[i]) > 0 {
-			h.Push(i, uint64(bufs[i][0].Key))
+			h.Push(i, uint64(bufs[i][0].K()))
 			blockEnd[i] = blockLen(runs[i], 0, sys.B())
 		}
 	}
@@ -266,7 +266,7 @@ func Merge(sys *pdisk.System, runs []*DiskRun, bufBlocks, outID, outStartDisk in
 		if len(bufs[i]) == 0 {
 			h.Remove(i)
 		} else {
-			h.Update(i, uint64(bufs[i][0].Key))
+			h.Update(i, uint64(bufs[i][0].K()))
 		}
 	}
 	out, err := w.Finish()

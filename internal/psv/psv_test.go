@@ -34,7 +34,7 @@ func TestDiskRunRoundTrip(t *testing.T) {
 	if ops := sys.Stats().WriteOps; ops != 8 {
 		t.Fatalf("write ops = %d, want 8 (serial single-disk writes)", ops)
 	}
-	got, err := ReadAllDiskRun(sys, run)
+	got, err := ReadAllDiskRun[record.Record](sys, run)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,12 +58,12 @@ func TestMergeCorrect(t *testing.T) {
 		}
 		runs = append(runs, r)
 	}
-	out, stats, err := Merge(sys, runs, 3, 99, 0)
+	out, stats, err := Merge[record.Record](sys, runs, 3, 99, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	blocksReadByMerge := sys.Stats().BlocksRead
-	got, err := runio.ReadAll(sys, out)
+	got, err := runio.ReadAll[record.Record](sys, out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,13 +98,13 @@ func TestMergeValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := Merge(sys, []*DiskRun{r0, r1}, 2, 9, 0); err == nil {
+	if _, _, err := Merge[record.Record](sys, []*DiskRun{r0, r1}, 2, 9, 0); err == nil {
 		t.Fatal("two runs on one disk accepted")
 	}
-	if _, _, err := Merge(sys, nil, 2, 9, 0); err == nil {
+	if _, _, err := Merge[record.Record](sys, nil, 2, 9, 0); err == nil {
 		t.Fatal("zero runs accepted")
 	}
-	if _, _, err := Merge(sys, []*DiskRun{r0}, 0, 9, 0); err == nil {
+	if _, _, err := Merge[record.Record](sys, []*DiskRun{r0}, 0, 9, 0); err == nil {
 		t.Fatal("zero buffer accepted")
 	}
 }
@@ -133,7 +133,7 @@ func TestTransposeCorrectAndParallel(t *testing.T) {
 		if dr.Disk != j {
 			t.Fatalf("run %d landed on disk %d", j, dr.Disk)
 		}
-		got, err := ReadAllDiskRun(sys, dr)
+		got, err := ReadAllDiskRun[record.Record](sys, dr)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -179,7 +179,7 @@ func TestTransposeUnevenRuns(t *testing.T) {
 		if dr.Disk != (j+1)%3 {
 			t.Fatalf("offset placement wrong: run %d on disk %d", j, dr.Disk)
 		}
-		got, err := ReadAllDiskRun(sys, dr)
+		got, err := ReadAllDiskRun[record.Record](sys, dr)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -198,11 +198,11 @@ func TestSortEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys.ResetStats()
-	out, stats, err := Sort(sys, file, 125, 4)
+	out, stats, err := Sort[record.Record](sys, file, 125, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := runio.ReadAll(sys, out)
+	got, err := runio.ReadAll[record.Record](sys, out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,11 +223,11 @@ func TestSortEndToEnd(t *testing.T) {
 
 func TestSortEmpty(t *testing.T) {
 	sys := newSys(t, 2, 2)
-	file, err := runform.LoadInput(sys, nil)
+	file, err := runform.LoadInput[record.Record](sys, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, _, err := Sort(sys, file, 8, 2)
+	out, _, err := Sort[record.Record](sys, file, 8, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +248,7 @@ func TestTranspositionOverheadIsVisible(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys.ResetStats()
-	_, stats, err := Sort(sys, file, 125, 4)
+	_, stats, err := Sort[record.Record](sys, file, 125, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,11 +276,11 @@ func TestPropertySortCorrect(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		out, _, err := Sort(sys, file, 60, 3)
+		out, _, err := Sort[record.Record](sys, file, 60, 3)
 		if err != nil {
 			return false
 		}
-		got, err := runio.ReadAll(sys, out)
+		got, err := runio.ReadAll[record.Record](sys, out)
 		if err != nil {
 			return false
 		}

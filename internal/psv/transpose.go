@@ -37,9 +37,12 @@ func Transpose(sys *pdisk.System, runs []*runio.Run, offset int) ([]*DiskRun, Tr
 	}
 	var stats TransposeStats
 
+	// Transposition never inspects record content, so the staging queues
+	// hold StoredBlocks at whatever kernel width the store returned them —
+	// the pass is representation-blind and copy-free at both widths.
 	type dest struct {
 		run    *DiskRun
-		queue  []record.Block
+		queue  []pdisk.StoredBlock
 		source *runio.Run
 		cursor int // next source block index
 	}
@@ -66,7 +69,7 @@ func Transpose(sys *pdisk.System, runs []*runio.Run, offset int) ([]*DiskRun, Tr
 		}
 		stats.ReadOps++
 		for _, b := range blocks {
-			dd.queue = append(dd.queue, b.Records)
+			dd.queue = append(dd.queue, pdisk.StoredBlock{Records: b.Records, Recs16: b.Recs16})
 		}
 		dd.cursor = end
 		return nil
@@ -82,10 +85,10 @@ func Transpose(sys *pdisk.System, runs []*runio.Run, offset int) ([]*DiskRun, Tr
 			addr := sys.Alloc(dd.run.Disk)
 			writes = append(writes, pdisk.BlockWrite{
 				Addr:  addr,
-				Block: pdisk.StoredBlock{Records: blk},
+				Block: blk,
 			})
 			dd.run.indexes = append(dd.run.indexes, int32(addr.Index))
-			dd.run.Records += len(blk)
+			dd.run.Records += blk.NumRecords()
 		}
 		if len(writes) == 0 {
 			return nil
@@ -166,12 +169,12 @@ func (s SortStats) TotalOps() int64 {
 // runs, then levels of D-way merges (striped output) each followed by a
 // transposition of the outputs. bufBlocks is the per-run lookahead buffer
 // of the merge.
-func Sort(sys *pdisk.System, file *runform.InputFile, load, bufBlocks int) (*runio.Run, SortStats, error) {
+func Sort[R record.KernelRecord](sys *pdisk.System, file *runform.InputFile, load, bufBlocks int) (*runio.Run, SortStats, error) {
 	var stats SortStats
 	d := sys.D()
 	before := sys.Stats()
 
-	formed, err := runform.MemoryLoad(sys, file, load, runio.StaggeredPlacement{D: d}, 0)
+	formed, err := runform.MemoryLoad[R](sys, file, load, runio.StaggeredPlacement{D: d}, 0)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -181,7 +184,7 @@ func Sort(sys *pdisk.System, file *runform.InputFile, load, bufBlocks int) (*run
 	stats.InitialRuns = len(formed.Runs)
 	striped := formed.Runs
 	if len(striped) == 0 {
-		w := runio.NewWriter(sys, 0, 0)
+		w := runio.NewWriter[R](sys, 0, 0)
 		empty, err := w.Finish()
 		return empty, stats, err
 	}
@@ -213,7 +216,7 @@ func Sort(sys *pdisk.System, file *runform.InputFile, load, bufBlocks int) (*run
 				}
 			}
 			// The D-way merge back to a striped run.
-			merged, ms, err := Merge(sys, diskRuns, bufBlocks, seq, seq%d)
+			merged, ms, err := Merge[R](sys, diskRuns, bufBlocks, seq, seq%d)
 			if err != nil {
 				return nil, stats, err
 			}

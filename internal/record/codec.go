@@ -200,6 +200,37 @@ func (Fixed16) DecodeBlock(data []byte, nrec int) ([]Record, error) {
 	return rs, nil
 }
 
+// AppendBlock16 is AppendBlock for the pointer-free kernel record: it
+// produces byte-identical output without widening through Record, so the
+// fixed16 write path never materialises the 32-byte layout. It cannot
+// fail — a Rec16 has no Ext to reject.
+func (Fixed16) AppendBlock16(dst []byte, rs []Rec16) []byte {
+	var buf [Bytes]byte
+	for _, r := range rs {
+		binary.LittleEndian.PutUint64(buf[0:], uint64(r.Key))
+		binary.LittleEndian.PutUint64(buf[8:], r.Val)
+		dst = append(dst, buf[:]...)
+	}
+	return dst
+}
+
+// DecodeBlock16 is DecodeBlock into the pointer-free kernel record: the
+// fixed16 read path decodes straight into noscan []Rec16 buffers.
+func (Fixed16) DecodeBlock16(data []byte, nrec int) ([]Rec16, error) {
+	if len(data) != nrec*Bytes {
+		return nil, fmt.Errorf("%w: fixed16 block is %d bytes, want %d for %d records",
+			ErrCorrupt, len(data), nrec*Bytes, nrec)
+	}
+	rs := make([]Rec16, nrec)
+	for i := range rs {
+		rs[i] = Rec16{
+			Key: Key(binary.LittleEndian.Uint64(data[i*Bytes:])),
+			Val: binary.LittleEndian.Uint64(data[i*Bytes+8:]),
+		}
+	}
+	return rs, nil
+}
+
 // AppendRecord implements Codec.
 func (Fixed16) AppendRecord(dst []byte, r Record) ([]byte, error) {
 	if r.Ext != "" {

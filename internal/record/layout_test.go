@@ -1,0 +1,48 @@
+package record
+
+import (
+	"reflect"
+	"testing"
+	"unsafe"
+)
+
+// TestRec16Layout pins the pointer-free kernel record to its contract:
+// exactly 16 bytes, two 8-byte words, and no field the garbage collector
+// would have to scan. This is the regression that motivated the two-width
+// kernel — a GC-visible field (string, slice, pointer) added to Rec16
+// would silently re-tax every fixed16 block with scan work and double its
+// footprint, so the layout is asserted rather than assumed.
+func TestRec16Layout(t *testing.T) {
+	if s := unsafe.Sizeof(Rec16{}); s != 16 {
+		t.Fatalf("Rec16 is %d bytes, want 16", s)
+	}
+	if s := unsafe.Sizeof(Rec16{}); s != Bytes {
+		t.Fatalf("Rec16 is %d bytes but record.Bytes says %d", s, Bytes)
+	}
+	assertPointerFree(t, reflect.TypeOf(Rec16{}), "Rec16")
+
+	// A block of Rec16 must stay pointer-free too (the slice header aside):
+	// the element type drives whether the GC scans block contents.
+	assertPointerFree(t, reflect.TypeOf([]Rec16{}).Elem(), "[]Rec16 element")
+}
+
+// assertPointerFree walks typ and fails on any kind the GC scans.
+func assertPointerFree(t *testing.T, typ reflect.Type, name string) {
+	t.Helper()
+	switch typ.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128:
+		return
+	case reflect.Array:
+		assertPointerFree(t, typ.Elem(), name+" array element")
+	case reflect.Struct:
+		for i := 0; i < typ.NumField(); i++ {
+			f := typ.Field(i)
+			assertPointerFree(t, f.Type, name+"."+f.Name)
+		}
+	default:
+		t.Fatalf("%s has GC-scannable kind %s — the fixed16 hot path must stay pointer-free", name, typ.Kind())
+	}
+}

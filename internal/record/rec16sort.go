@@ -1,0 +1,94 @@
+package record
+
+import (
+	"cmp"
+	"slices"
+)
+
+// radixMinLen is the slice length below which the comparison sort wins:
+// the radix sort's fixed cost (a 2 KB-per-digit histogram scan plus up to
+// eight scatter passes) only amortises over enough records.
+const radixMinLen = 128
+
+// cmpRec16 is SortRecords' (Key, Val) order for the pointer-free width.
+func cmpRec16(a, b Rec16) int {
+	if c := cmp.Compare(a.Key, b.Key); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.Val, b.Val)
+}
+
+// sortRec16 sorts rs by (Key, Val) — exactly SortRecords' comparator
+// order — with an LSD radix sort on the key word. A Rec16 is nothing but
+// its (Key, Val) words, so the radix result is indistinguishable from the
+// comparison sort's: the byte-wise key passes are stable, and a final
+// pass re-sorts each equal-key span by Val (spans are length one when
+// keys are distinct, which the generators guarantee, so the cleanup
+// normally costs a single compare-scan).
+//
+// scratch is the ping-pong buffer; it is grown (allocated) when shorter
+// than rs, so callers that sort many same-sized slices — the run
+// formation load loop — can reuse one buffer across calls.
+func sortRec16(rs []Rec16, scratch []Rec16) {
+	if len(rs) < radixMinLen {
+		slices.SortFunc(rs, cmpRec16)
+		return
+	}
+	if len(scratch) < len(rs) {
+		scratch = make([]Rec16, len(rs))
+	} else {
+		scratch = scratch[:len(rs)]
+	}
+	// One scan builds the histograms of all eight key-byte digits; a pass
+	// whose digit is constant across the input (every record in one
+	// bucket) moves nothing and is skipped. Small-range keys therefore
+	// pay only for the bytes in which they actually differ.
+	var counts [8][256]int32
+	for i := range rs {
+		k := uint64(rs[i].Key)
+		counts[0][k&0xff]++
+		counts[1][(k>>8)&0xff]++
+		counts[2][(k>>16)&0xff]++
+		counts[3][(k>>24)&0xff]++
+		counts[4][(k>>32)&0xff]++
+		counts[5][(k>>40)&0xff]++
+		counts[6][(k>>48)&0xff]++
+		counts[7][(k>>56)&0xff]++
+	}
+	src, dst := rs, scratch
+	for d := 0; d < 8; d++ {
+		c := &counts[d]
+		// The digit multiset is permutation-invariant, so any element's
+		// bucket witnesses a constant digit.
+		if c[(uint64(src[0].Key)>>(8*d))&0xff] == int32(len(rs)) {
+			continue
+		}
+		var sum int32
+		for i := range c {
+			start := sum
+			sum += c[i]
+			c[i] = start
+		}
+		for i := range src {
+			b := (uint64(src[i].Key) >> (8 * d)) & 0xff
+			dst[c[b]] = src[i]
+			c[b]++
+		}
+		src, dst = dst, src
+	}
+	if len(rs) > 0 && &src[0] != &rs[0] {
+		copy(rs, src)
+	}
+	// Restore the Val tie-break within equal-key spans.
+	for i := 0; i < len(rs); {
+		j := i + 1
+		for j < len(rs) && rs[j].Key == rs[i].Key {
+			j++
+		}
+		if j-i > 1 {
+			span := rs[i:j]
+			slices.SortFunc(span, func(a, b Rec16) int { return cmp.Compare(a.Val, b.Val) })
+		}
+		i = j
+	}
+}

@@ -1,0 +1,61 @@
+package record
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// TestSortRec16MatchesComparator drives the radix path against the
+// comparator order on adversarial shapes: random 64-bit keys, keys
+// confined to a narrow byte range (exercising the skipped-pass logic),
+// heavy duplicates (exercising the Val tie cleanup), presorted, reversed
+// and all-equal inputs, plus lengths straddling radixMinLen.
+func TestSortRec16MatchesComparator(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := []struct {
+		name string
+		key  func() Key
+		val  func() uint64
+	}{
+		{"random64", func() Key { return Key(rng.Uint64() >> 1) }, rng.Uint64},
+		{"lowbyte", func() Key { return Key(rng.Intn(256)) }, rng.Uint64},
+		{"midbytes", func() Key { return Key(rng.Uint64()) & 0x00ffff0000 }, rng.Uint64},
+		{"dupheavy", func() Key { return Key(rng.Intn(8)) }, func() uint64 { return rng.Uint64() % 16 }},
+		{"allequal", func() Key { return 42 }, rng.Uint64},
+	}
+	lengths := []int{0, 1, 2, radixMinLen - 1, radixMinLen, radixMinLen + 1, 1000, 4096}
+	for _, shape := range shapes {
+		for _, n := range lengths {
+			rs := make([]Rec16, n)
+			for i := range rs {
+				rs[i] = Rec16{Key: shape.key(), Val: shape.val()}
+			}
+			want := slices.Clone(rs)
+			slices.SortFunc(want, cmpRec16)
+
+			got := slices.Clone(rs)
+			sortRec16(got, nil)
+			if !slices.Equal(got, want) {
+				t.Fatalf("%s/n=%d: radix order differs from comparator order", shape.name, n)
+			}
+
+			// Presorted and reversed variants through the public entry.
+			rev := slices.Clone(want)
+			slices.Reverse(rev)
+			for _, in := range [][]Rec16{slices.Clone(want), rev} {
+				SortRecords(in)
+				if !slices.Equal(in, want) {
+					t.Fatalf("%s/n=%d: SortRecords diverged on pre/reverse-sorted input", shape.name, n)
+				}
+			}
+
+			// Scratch reuse: an oversized buffer must not change the result.
+			got2 := slices.Clone(rs)
+			sortRec16(got2, make([]Rec16, n+100))
+			if !slices.Equal(got2, want) {
+				t.Fatalf("%s/n=%d: oversized scratch changed the result", shape.name, n)
+			}
+		}
+	}
+}

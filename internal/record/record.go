@@ -99,26 +99,53 @@ func compareKeys(a, b Record) int { return cmp.Compare(a.Key, b.Key) }
 // result is deterministic even for degenerate inputs with duplicate keys.
 // Variable-length records (non-empty Ext) tie-break further by CompareExt,
 // which refines the (Key, Val) prefix order into the full lexicographic
-// key-then-payload order. This is the run-formation hot loop:
-// slices.SortFunc avoids the reflection-based swapping of sort.Slice.
-func SortRecords(rs []Record) {
-	slices.SortFunc(rs, func(a, b Record) int {
-		if c := cmp.Compare(a.Key, b.Key); c != 0 {
-			return c
-		}
-		if c := cmp.Compare(a.Val, b.Val); c != 0 {
-			return c
-		}
-		if a.Ext == "" && b.Ext == "" {
-			return 0
-		}
-		return CompareExt(a.Ext, b.Ext)
-	})
+// key-then-payload order. This is the run-formation hot loop: the generic
+// wrapper dispatches once per call to a width-concrete sort (a dictionary
+// method call per comparison would dominate), and the pointer-free width
+// dispatches further into an LSD radix sort on the key word — a Rec16 is
+// exactly its (Key, Val) words, so the radix result is the identical
+// permutation (see sortRec16).
+func SortRecords[R KernelRecord](rs []R) {
+	SortRecordsScratch(rs, nil)
+}
+
+// SortRecordsScratch is SortRecords with a caller-provided ping-pong
+// buffer for the fixed-width radix path (grown when shorter than rs,
+// ignored by the comparison-sorted widths). Loops that sort many
+// same-sized slices reuse one buffer across calls instead of allocating
+// per sort.
+func SortRecordsScratch[R KernelRecord](rs, scratch []R) {
+	switch v := any(rs).(type) {
+	case []Rec16:
+		sortRec16(v, any(scratch).([]Rec16))
+	case []Record:
+		slices.SortFunc(v, func(a, b Record) int {
+			if c := cmp.Compare(a.Key, b.Key); c != 0 {
+				return c
+			}
+			if c := cmp.Compare(a.Val, b.Val); c != 0 {
+				return c
+			}
+			if a.Ext == "" && b.Ext == "" {
+				return 0
+			}
+			return CompareExt(a.Ext, b.Ext)
+		})
+	default:
+		panic("record: SortRecords of an unknown kernel width")
+	}
 }
 
 // IsSortedRecords reports whether rs is in nondecreasing key order.
-func IsSortedRecords(rs []Record) bool {
-	return slices.IsSortedFunc(rs, compareKeys)
+func IsSortedRecords[R KernelRecord](rs []R) bool {
+	switch v := any(rs).(type) {
+	case []Rec16:
+		return slices.IsSortedFunc(v, func(a, b Rec16) int { return cmp.Compare(a.Key, b.Key) })
+	case []Record:
+		return slices.IsSortedFunc(v, compareKeys)
+	default:
+		panic("record: IsSortedRecords of an unknown kernel width")
+	}
 }
 
 // CountBelow returns the number of leading records in sorted rs with
@@ -127,8 +154,20 @@ func IsSortedRecords(rs []Record) bool {
 // the selector must re-decide. It searches by exponential probing
 // (1, 2, 4, ...) followed by a binary search of the final gap, so the
 // common short spans of well-interleaved runs cost O(1) compares while
-// long spans of presorted inputs still cost only O(log span).
-func CountBelow(rs []Record, bound Key, inclusive bool) int {
+// long spans of presorted inputs still cost only O(log span). The
+// width dispatch happens once per call; the probe loops are concrete.
+func CountBelow[R KernelRecord](rs []R, bound Key, inclusive bool) int {
+	switch v := any(rs).(type) {
+	case []Rec16:
+		return countBelow16(v, bound, inclusive)
+	case []Record:
+		return countBelowWide(v, bound, inclusive)
+	default:
+		panic("record: CountBelow of an unknown kernel width")
+	}
+}
+
+func countBelow16(rs []Rec16, bound Key, inclusive bool) int {
 	below := func(k Key) bool { return k < bound || (inclusive && k == bound) }
 	n := len(rs)
 	if n == 0 || !below(rs[0].Key) {
@@ -154,6 +193,31 @@ func CountBelow(rs []Record, bound Key, inclusive bool) int {
 	return hi
 }
 
+func countBelowWide(rs []Record, bound Key, inclusive bool) int {
+	below := func(k Key) bool { return k < bound || (inclusive && k == bound) }
+	n := len(rs)
+	if n == 0 || !below(rs[0].Key) {
+		return 0
+	}
+	lo, hi := 0, 1
+	for hi < n && below(rs[hi].Key) {
+		lo = hi
+		hi <<= 1
+	}
+	if hi > n {
+		hi = n
+	}
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if below(rs[mid].Key) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
 // CountBelowKV is CountBelow under the (Key, Val) total order of
 // SortRecords: it returns the number of leading records in a
 // (key, val)-sorted rs that precede (bound, val) — strictly, or
@@ -161,7 +225,48 @@ func CountBelow(rs []Record, bound Key, inclusive bool) int {
 // must interleave duplicate keys exactly as SortRecords orders them
 // (the parallel sort's merge-back), with the same exponential-probe +
 // binary-search cost profile as CountBelow.
-func CountBelowKV(rs []Record, bound Key, val uint64, inclusive bool) int {
+func CountBelowKV[R KernelRecord](rs []R, bound Key, val uint64, inclusive bool) int {
+	switch v := any(rs).(type) {
+	case []Rec16:
+		return countBelowKV16(v, bound, val, inclusive)
+	case []Record:
+		return countBelowKVWide(v, bound, val, inclusive)
+	default:
+		panic("record: CountBelowKV of an unknown kernel width")
+	}
+}
+
+func countBelowKV16(rs []Rec16, bound Key, val uint64, inclusive bool) int {
+	below := func(r Rec16) bool {
+		if r.Key != bound {
+			return r.Key < bound
+		}
+		return r.Val < val || (inclusive && r.Val == val)
+	}
+	n := len(rs)
+	if n == 0 || !below(rs[0]) {
+		return 0
+	}
+	lo, hi := 0, 1
+	for hi < n && below(rs[hi]) {
+		lo = hi
+		hi <<= 1
+	}
+	if hi > n {
+		hi = n
+	}
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if below(rs[mid]) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+func countBelowKVWide(rs []Record, bound Key, val uint64, inclusive bool) int {
 	below := func(r Record) bool {
 		if r.Key != bound {
 			return r.Key < bound
@@ -194,12 +299,15 @@ func CountBelowKV(rs []Record, bound Key, val uint64, inclusive bool) int {
 // Checksum folds the multiset of records into an order-independent
 // signature. Two record sequences have equal checksums if they are
 // permutations of each other, with overwhelming probability; the tests use
-// it to check that sorting preserves the multiset.
-func Checksum(rs []Record) (sum uint64) {
+// it to check that sorting preserves the multiset. A Rec16 checksums
+// identically to its widened Record, so the two kernel instantiations of
+// one input agree.
+func Checksum[R KernelRecord](rs []R) (sum uint64) {
 	for _, r := range rs {
-		h := uint64(r.Key)*0x9e3779b97f4a7c15 + r.Val*0xc2b2ae3d27d4eb4f
-		for i := 0; i < len(r.Ext); i++ {
-			h = (h ^ uint64(r.Ext[i])) * 0x100000001b3
+		h := uint64(r.K())*0x9e3779b97f4a7c15 + r.V()*0xc2b2ae3d27d4eb4f
+		ext := r.X()
+		for i := 0; i < len(ext); i++ {
+			h = (h ^ uint64(ext[i])) * 0x100000001b3
 		}
 		h ^= h >> 29
 		h *= 0xbf58476d1ce4e5b9

@@ -43,26 +43,28 @@ func (f *InputFile) NumBlocks() int { return len(f.addrs) }
 // operations it performs are setup, not sorting cost; callers normally
 // ResetStats afterwards (the paper's cost formulas start with the
 // run-formation read pass).
-type Loader struct {
+type Loader[R record.KernelRecord] struct {
 	sys      *pdisk.System
 	file     *InputFile
-	cur      record.Block
+	cur      []R
 	writes   []pdisk.BlockWrite
 	finished bool
 }
 
-// NewLoader returns a Loader writing to sys.
-func NewLoader(sys *pdisk.System) *Loader {
-	return &Loader{sys: sys, file: &InputFile{}}
+// NewLoader returns a Loader writing to sys at the kernel width R (the
+// codec seam in srmsort selects the width; fixed16 loads are noscan
+// []record.Rec16 stripes end to end).
+func NewLoader[R record.KernelRecord](sys *pdisk.System) *Loader[R] {
+	return &Loader[R]{sys: sys, file: &InputFile{}}
 }
 
 // Append adds one input record.
-func (l *Loader) Append(r record.Record) error {
+func (l *Loader[R]) Append(r R) error {
 	if l.finished {
 		panic("runform: Append after Finish")
 	}
 	if len(l.cur) == 0 && cap(l.cur) < l.sys.B() {
-		l.cur = make(record.Block, 0, l.sys.B())
+		l.cur = make([]R, 0, l.sys.B())
 	}
 	l.cur = append(l.cur, r)
 	l.file.Records++
@@ -72,12 +74,12 @@ func (l *Loader) Append(r record.Record) error {
 	return nil
 }
 
-func (l *Loader) cutBlock() error {
+func (l *Loader[R]) cutBlock() error {
 	disk := len(l.file.addrs) % l.sys.D()
 	addr := l.sys.Alloc(disk)
 	l.writes = append(l.writes, pdisk.BlockWrite{
 		Addr:  addr,
-		Block: pdisk.StoredBlock{Records: l.cur},
+		Block: pdisk.MakeStored(l.cur, nil),
 	})
 	l.file.addrs = append(l.file.addrs, addr)
 	l.cur = nil
@@ -87,7 +89,7 @@ func (l *Loader) cutBlock() error {
 	return nil
 }
 
-func (l *Loader) flush() error {
+func (l *Loader[R]) flush() error {
 	if len(l.writes) == 0 {
 		return nil
 	}
@@ -101,7 +103,7 @@ func (l *Loader) flush() error {
 }
 
 // Finish flushes the partial tail and returns the file descriptor.
-func (l *Loader) Finish() (*InputFile, error) {
+func (l *Loader[R]) Finish() (*InputFile, error) {
 	if l.finished {
 		panic("runform: double Finish")
 	}
@@ -119,8 +121,8 @@ func (l *Loader) Finish() (*InputFile, error) {
 
 // LoadInput writes records onto the disk system as a striped input file —
 // the convenience form of Loader for in-memory inputs.
-func LoadInput(sys *pdisk.System, records []record.Record) (*InputFile, error) {
-	l := NewLoader(sys)
+func LoadInput[R record.KernelRecord](sys *pdisk.System, records []R) (*InputFile, error) {
+	l := NewLoader[R](sys)
 	for _, r := range records {
 		if err := l.Append(r); err != nil {
 			return nil, err
@@ -132,20 +134,20 @@ func LoadInput(sys *pdisk.System, records []record.Record) (*InputFile, error) {
 // Reader streams the input file stripe by stripe with full read
 // parallelism (one I/O operation per stripe of D blocks). Both SRM and DSM
 // run formation consume the input through it.
-type Reader struct {
+type Reader[R record.KernelRecord] struct {
 	sys  *pdisk.System
 	file *InputFile
 	next int // next block index to fetch
-	buf  []record.Record
+	buf  []R
 }
 
 // NewReader returns a Reader positioned at the start of the file.
-func NewReader(sys *pdisk.System, file *InputFile) *Reader {
-	return &Reader{sys: sys, file: file}
+func NewReader[R record.KernelRecord](sys *pdisk.System, file *InputFile) *Reader[R] {
+	return &Reader[R]{sys: sys, file: file}
 }
 
 // more refills the buffer with one stripe; it reports false at EOF.
-func (r *Reader) more() (bool, error) {
+func (r *Reader[R]) more() (bool, error) {
 	if r.next >= len(r.file.addrs) {
 		return false, nil
 	}
@@ -159,14 +161,14 @@ func (r *Reader) more() (bool, error) {
 	}
 	r.next = end
 	for _, b := range blocks {
-		r.buf = append(r.buf, b.Records...)
+		r.buf = append(r.buf, pdisk.RecsOf[R](b)...)
 	}
 	return true, nil
 }
 
 // Read returns up to n records from the file, fetching stripes as needed.
 // It returns an empty slice at EOF.
-func (r *Reader) Read(n int) ([]record.Record, error) {
+func (r *Reader[R]) Read(n int) ([]R, error) {
 	for len(r.buf) < n {
 		ok, err := r.more()
 		if err != nil {
@@ -194,8 +196,8 @@ type Result struct {
 
 // MemoryLoad forms initial runs by sorting 'load' records at a time. The
 // paper's default is load = M/2.
-func MemoryLoad(sys *pdisk.System, file *InputFile, load int, placement runio.Placement, seqStart int) (Result, error) {
-	return MemoryLoadCores(sys, file, load, placement, seqStart, 1)
+func MemoryLoad[R record.KernelRecord](sys *pdisk.System, file *InputFile, load int, placement runio.Placement, seqStart int) (Result, error) {
+	return MemoryLoadCores[R](sys, file, load, placement, seqStart, 1)
 }
 
 // MemoryLoadCores is MemoryLoad with each load sorted across up to cores
@@ -203,12 +205,13 @@ func MemoryLoad(sys *pdisk.System, file *InputFile, load int, placement runio.Pl
 // loads — and therefore the written runs, and the I/O schedule — are
 // byte-identical for every core count; cores <= 1 is exactly the serial
 // record.SortRecords path.
-func MemoryLoadCores(sys *pdisk.System, file *InputFile, load int, placement runio.Placement, seqStart, cores int) (Result, error) {
+func MemoryLoadCores[R record.KernelRecord](sys *pdisk.System, file *InputFile, load int, placement runio.Placement, seqStart, cores int) (Result, error) {
 	if load < 1 {
 		return Result{}, fmt.Errorf("runform: load %d", load)
 	}
-	r := NewReader(sys, file)
+	r := NewReader[R](sys, file)
 	res := Result{NextSeq: seqStart}
+	var scratch []R // radix/merge-back buffer, reused across loads
 	for {
 		chunk, err := r.Read(load)
 		if err != nil {
@@ -217,9 +220,12 @@ func MemoryLoadCores(sys *pdisk.System, file *InputFile, load int, placement run
 		if len(chunk) == 0 {
 			break
 		}
-		sorted := make([]record.Record, len(chunk))
+		sorted := make([]R, len(chunk))
 		copy(sorted, chunk)
-		pmerge.Sort(sorted, cores)
+		if len(scratch) < len(sorted) {
+			scratch = make([]R, len(sorted))
+		}
+		pmerge.SortScratch(sorted, scratch, cores)
 		run, err := runio.WriteRun(sys, res.NextSeq, placement.StartDisk(res.NextSeq), sorted)
 		if err != nil {
 			return Result{}, err
@@ -235,8 +241,8 @@ func MemoryLoadCores(sys *pdisk.System, file *InputFile, load int, placement run
 // current run are tagged for the next run; when the current generation
 // drains, a new run begins. Random inputs yield runs of expected length
 // about 2*heapSize.
-func ReplacementSelection(sys *pdisk.System, file *InputFile, heapSize int, placement runio.Placement, seqStart int) (Result, error) {
-	return ReplacementSelectionCores(sys, file, heapSize, placement, seqStart, 1)
+func ReplacementSelection[R record.KernelRecord](sys *pdisk.System, file *InputFile, heapSize int, placement runio.Placement, seqStart int) (Result, error) {
+	return ReplacementSelectionCores[R](sys, file, heapSize, placement, seqStart, 1)
 }
 
 // ReplacementSelectionCores is ReplacementSelection with the bulk of the
@@ -249,19 +255,19 @@ func ReplacementSelection(sys *pdisk.System, file *InputFile, heapSize int, plac
 // (an input record joins the current run iff its key is >= the last key
 // emitted) is unchanged, so run boundaries, lengths and the I/O schedule
 // match the serial algorithm exactly.
-func ReplacementSelectionCores(sys *pdisk.System, file *InputFile, heapSize int, placement runio.Placement, seqStart, cores int) (Result, error) {
+func ReplacementSelectionCores[R record.KernelRecord](sys *pdisk.System, file *InputFile, heapSize int, placement runio.Placement, seqStart, cores int) (Result, error) {
 	if heapSize < 1 {
 		return Result{}, fmt.Errorf("runform: heap size %d", heapSize)
 	}
-	rd := NewReader(sys, file)
+	rd := NewReader[R](sys, file)
 	res := Result{NextSeq: seqStart}
 
-	cur := make([]record.Record, 0, heapSize)
+	cur := make([]R, 0, heapSize)
 	fill, err := rd.Read(heapSize)
 	if err != nil {
 		return Result{}, err
 	}
-	if len(fill) > 0 && fill[0].Ext != "" {
+	if len(fill) > 0 && fill[0].X() != "" {
 		// The admission rule (repl.Key >= out.Key) and the arena-vs-heap
 		// tie-break compare prefix words only; a record prefix-equal but
 		// content-below the last emission would be admitted into the wrong
@@ -269,7 +275,7 @@ func ReplacementSelectionCores(sys *pdisk.System, file *InputFile, heapSize int,
 		return Result{}, fmt.Errorf("runform: replacement selection does not support variable-length records; use memory-load run formation")
 	}
 	cur = append(cur, fill...)
-	var pendingNext []record.Record
+	var pendingNext []R
 
 	// Admitted replacements live in a fixed arena of heapSize slots
 	// indexed by the heap's handles; slots are recycled through a
@@ -279,26 +285,30 @@ func ReplacementSelectionCores(sys *pdisk.System, file *InputFile, heapSize int,
 	// len(arena cursor remainder) + heap length never exceeds heapSize —
 	// a free slot always exists at admission time — and the deferred
 	// next-generation records number at most one per generation member.
-	slots := make([]record.Record, heapSize)
+	slots := make([]R, heapSize)
 	free := make([]int, 0, heapSize)
 
+	var scratch []R // radix/merge-back buffer, reused across generations
 	for len(cur) > 0 {
-		arena := make([]record.Record, len(cur))
+		arena := make([]R, len(cur))
 		copy(arena, cur)
-		pmerge.Sort(arena, cores)
+		if len(scratch) < len(arena) {
+			scratch = make([]R, len(arena))
+		}
+		pmerge.SortScratch(arena, scratch, cores)
 		h := iheap.New(heapSize)
 		free = free[:0]
 		for i := heapSize - 1; i >= 0; i-- {
 			free = append(free, i)
 		}
-		w := runio.NewWriter(sys, res.NextSeq, placement.StartDisk(res.NextSeq))
+		w := runio.NewWriter[R](sys, res.NextSeq, placement.StartDisk(res.NextSeq))
 		ai := 0
 		for ai < len(arena) || h.Len() > 0 {
-			var out record.Record
+			var out R
 			fromArena := h.Len() == 0
 			if !fromArena && ai < len(arena) {
 				_, minKey := h.Min()
-				fromArena = uint64(arena[ai].Key) <= minKey
+				fromArena = uint64(arena[ai].K()) <= minKey
 			}
 			if fromArena {
 				out = arena[ai]
@@ -317,11 +327,11 @@ func ReplacementSelectionCores(sys *pdisk.System, file *InputFile, heapSize int,
 				return Result{}, err
 			}
 			if len(repl) == 1 {
-				if repl[0].Key >= out.Key {
+				if repl[0].K() >= out.K() {
 					i := free[len(free)-1]
 					free = free[:len(free)-1]
 					slots[i] = repl[0]
-					h.Push(i, uint64(repl[0].Key))
+					h.Push(i, uint64(repl[0].K()))
 				} else {
 					pendingNext = append(pendingNext, repl[0])
 				}

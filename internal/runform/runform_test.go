@@ -22,7 +22,7 @@ func collectRuns(t *testing.T, sys *pdisk.System, runs []*runio.Run) []record.Re
 	t.Helper()
 	var all []record.Record
 	for _, r := range runs {
-		recs, err := runio.ReadAll(sys, r)
+		recs, err := runio.ReadAll[record.Record](sys, r)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -59,7 +59,7 @@ func TestMemoryLoadFormsCorrectRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys.ResetStats()
-	res, err := MemoryLoad(sys, f, 128, runio.StaggeredPlacement{D: 3}, 0)
+	res, err := MemoryLoad[record.Record](sys, f, 128, runio.StaggeredPlacement{D: 3}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestMemoryLoadIOCost(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys.ResetStats()
-	if _, err := MemoryLoad(sys, f, 16*b, runio.StaggeredPlacement{D: d}, 0); err != nil {
+	if _, err := MemoryLoad[record.Record](sys, f, 16*b, runio.StaggeredPlacement{D: d}, 0); err != nil {
 		t.Fatal(err)
 	}
 	st := sys.Stats()
@@ -110,7 +110,7 @@ func TestMemoryLoadStaggeredStartDisks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := MemoryLoad(sys, f, 8, runio.StaggeredPlacement{D: 4}, 2)
+	res, err := MemoryLoad[record.Record](sys, f, 8, runio.StaggeredPlacement{D: 4}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestReplacementSelectionCorrectAndLong(t *testing.T) {
 		t.Fatal(err)
 	}
 	const m = 200
-	res, err := ReplacementSelection(sys, f, m, runio.StaggeredPlacement{D: 2}, 0)
+	res, err := ReplacementSelection[record.Record](sys, f, m, runio.StaggeredPlacement{D: 2}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestReplacementSelectionReverseSortedWorstCase(t *testing.T) {
 		t.Fatal(err)
 	}
 	const m = 100
-	res, err := ReplacementSelection(sys, f, m, runio.StaggeredPlacement{D: 2}, 0)
+	res, err := ReplacementSelection[record.Record](sys, f, m, runio.StaggeredPlacement{D: 2}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestReplacementSelectionSortedInputOneRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ReplacementSelection(sys, f, 50, runio.StaggeredPlacement{D: 2}, 0)
+	res, err := ReplacementSelection[record.Record](sys, f, 50, runio.StaggeredPlacement{D: 2}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,18 +191,18 @@ func TestReplacementSelectionSortedInputOneRun(t *testing.T) {
 
 func TestEmptyInput(t *testing.T) {
 	sys := newSys(t, 2, 4)
-	f, err := LoadInput(sys, nil)
+	f, err := LoadInput[record.Record](sys, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := MemoryLoad(sys, f, 10, runio.StaggeredPlacement{D: 2}, 0)
+	res, err := MemoryLoad[record.Record](sys, f, 10, runio.StaggeredPlacement{D: 2}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Runs) != 0 {
 		t.Fatalf("empty input formed %d runs", len(res.Runs))
 	}
-	res, err = ReplacementSelection(sys, f, 10, runio.StaggeredPlacement{D: 2}, 0)
+	res, err = ReplacementSelection[record.Record](sys, f, 10, runio.StaggeredPlacement{D: 2}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,16 +228,16 @@ func TestPropertyBothStrategiesPreserveMultiset(t *testing.T) {
 		}
 		var res Result
 		if useRS {
-			res, err = ReplacementSelection(sys, file, 37, runio.StaggeredPlacement{D: d}, 0)
+			res, err = ReplacementSelection[record.Record](sys, file, 37, runio.StaggeredPlacement{D: d}, 0)
 		} else {
-			res, err = MemoryLoad(sys, file, 37, runio.StaggeredPlacement{D: d}, 0)
+			res, err = MemoryLoad[record.Record](sys, file, 37, runio.StaggeredPlacement{D: d}, 0)
 		}
 		if err != nil {
 			return false
 		}
 		var all []record.Record
 		for _, r := range res.Runs {
-			recs2, err := runio.ReadAll(sys, r)
+			recs2, err := runio.ReadAll[record.Record](sys, r)
 			if err != nil || !record.IsSortedRecords(recs2) {
 				return false
 			}

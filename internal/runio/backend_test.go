@@ -27,13 +27,13 @@ func TestRunRoundTripBackendEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		var got result
-		if err := Stream(sys, r, func(rec record.Record) error {
+		if err := Stream[record.Record](sys, r, func(rec record.Record) error {
 			got.sync = append(got.sync, rec)
 			return nil
 		}); err != nil {
 			t.Fatal(err)
 		}
-		if err := StreamAsync(sys, r, func(rec record.Record) error {
+		if err := StreamAsync[record.Record](sys, r, func(rec record.Record) error {
 			got.async = append(got.async, rec)
 			return nil
 		}); err != nil {

@@ -96,16 +96,16 @@ func (p FixedPlacement) StartDisk(int) int { return p.Disk }
 // block can be emitted only once the first key of its same-disk successor
 // (block i+D) is known, and blocks are emitted in full stripes of D for
 // perfect write parallelism.
-type Writer struct {
+type Writer[R record.KernelRecord] struct {
 	sys       *pdisk.System
 	run       *Run
 	lastKey   record.Key
 	started   bool
-	cur       record.Block   // records of the block being formed
-	pending   []record.Block // formed, not yet written blocks
-	pendBase  int            // run-block number of pending[0]
-	firstKeys []record.Key   // first key of every formed block (indexed by block number)
-	fcArena   []record.Key   // carved into the 1-key forecasts of blocks past the first
+	cur       []R          // records of the block being formed
+	pending   [][]R        // formed, not yet written blocks
+	pendBase  int          // run-block number of pending[0]
+	firstKeys []record.Key // first key of every formed block (indexed by block number)
+	fcArena   []record.Key // carved into the 1-key forecasts of blocks past the first
 	finished  bool
 	writeOps  int64
 
@@ -118,11 +118,11 @@ type Writer struct {
 }
 
 // NewWriter starts a new run with the given id on startDisk.
-func NewWriter(sys *pdisk.System, id, startDisk int) *Writer {
+func NewWriter[R record.KernelRecord](sys *pdisk.System, id, startDisk int) *Writer[R] {
 	if startDisk < 0 || startDisk >= sys.D() {
 		panic(fmt.Sprintf("runio: start disk %d of %d", startDisk, sys.D()))
 	}
-	return &Writer{
+	return &Writer[R]{
 		sys: sys,
 		run: &Run{ID: id, StartDisk: startDisk, D: sys.D()},
 	}
@@ -133,28 +133,29 @@ func NewWriter(sys *pdisk.System, id, startDisk int) *Writer {
 // (or at Finish), so the producing merge overlaps output I/O with
 // computation. Emitted stripes, operation counts and the resulting run
 // are identical to the synchronous writer's.
-func NewWriterAsync(sys *pdisk.System, id, startDisk int) *Writer {
-	w := NewWriter(sys, id, startDisk)
+func NewWriterAsync[R record.KernelRecord](sys *pdisk.System, id, startDisk int) *Writer[R] {
+	w := NewWriter[R](sys, id, startDisk)
 	w.async = true
 	return w
 }
 
 // Append adds the next record of the run. Records must arrive in
 // nondecreasing key order; a violation is a caller bug and panics.
-func (w *Writer) Append(r record.Record) error {
+func (w *Writer[R]) Append(r R) error {
 	if w.finished {
 		panic("runio: Append after Finish")
 	}
-	if w.started && r.Key < w.lastKey {
+	k := r.K()
+	if w.started && k < w.lastKey {
 		panic(fmt.Sprintf("runio: run %d records out of order (%d after %d)",
-			w.run.ID, r.Key, w.lastKey))
+			w.run.ID, k, w.lastKey))
 	}
 	w.started = true
-	w.lastKey = r.Key
+	w.lastKey = k
 	if len(w.cur) == 0 {
-		w.firstKeys = append(w.firstKeys, r.Key)
+		w.firstKeys = append(w.firstKeys, k)
 		if cap(w.cur) < w.sys.B() {
-			w.cur = make(record.Block, 0, w.sys.B())
+			w.cur = make([]R, 0, w.sys.B())
 		}
 	}
 	w.cur = append(w.cur, r)
@@ -174,26 +175,26 @@ func (w *Writer) Append(r record.Record) error {
 // survives as a span-boundary check: the span's first key is checked
 // against the previous record, and the caller (the merge kernel) guarantees
 // internal order because spans are slices of sorted blocks.
-func (w *Writer) AppendBlock(rs []record.Record) error {
+func (w *Writer[R]) AppendBlock(rs []R) error {
 	if w.finished {
 		panic("runio: AppendBlock after Finish")
 	}
 	if len(rs) == 0 {
 		return nil
 	}
-	if w.started && rs[0].Key < w.lastKey {
+	if w.started && rs[0].K() < w.lastKey {
 		panic(fmt.Sprintf("runio: run %d records out of order (%d after %d)",
-			w.run.ID, rs[0].Key, w.lastKey))
+			w.run.ID, rs[0].K(), w.lastKey))
 	}
 	w.started = true
-	w.lastKey = rs[len(rs)-1].Key
+	w.lastKey = rs[len(rs)-1].K()
 	b := w.sys.B()
 	cut := false
 	for len(rs) > 0 {
 		if len(w.cur) == 0 {
-			w.firstKeys = append(w.firstKeys, rs[0].Key)
+			w.firstKeys = append(w.firstKeys, rs[0].K())
 			if cap(w.cur) < b {
-				w.cur = make(record.Block, 0, b)
+				w.cur = make([]R, 0, b)
 			}
 		}
 		n := b - len(w.cur)
@@ -219,7 +220,7 @@ func (w *Writer) AppendBlock(rs []record.Record) error {
 
 // Finish flushes all buffered blocks (padding forecasts with MaxKey where no
 // successor exists) and returns the completed run descriptor.
-func (w *Writer) Finish() (*Run, error) {
+func (w *Writer[R]) Finish() (*Run, error) {
 	if w.finished {
 		panic("runio: double Finish")
 	}
@@ -238,7 +239,7 @@ func (w *Writer) Finish() (*Run, error) {
 }
 
 // awaitInflight completes the write-behind stripe, if any.
-func (w *Writer) awaitInflight() error {
+func (w *Writer[R]) awaitInflight() error {
 	if w.inflight == nil {
 		return nil
 	}
@@ -250,7 +251,7 @@ func (w *Writer) awaitInflight() error {
 // forecastFor builds the implanted keys of run block i. It may only be
 // called when the necessary successor first keys are known (or the run is
 // finished, in which case missing successors forecast MaxKey).
-func (w *Writer) forecastFor(i int) []record.Key {
+func (w *Writer[R]) forecastFor(i int) []record.Key {
 	d := w.sys.D()
 	key := func(j int) record.Key {
 		if j < len(w.firstKeys) {
@@ -281,7 +282,7 @@ func (w *Writer) forecastFor(i int) []record.Key {
 // drain writes out every pending block whose forecast is determined, in
 // stripes of D. Unless final is set, it keeps blocks whose successor block
 // i+D has not been formed yet.
-func (w *Writer) drain(final bool) error {
+func (w *Writer[R]) drain(final bool) error {
 	d := w.sys.D()
 	for {
 		// Number of leading pending blocks that are emittable.
@@ -309,11 +310,8 @@ func (w *Writer) drain(final bool) error {
 			disk := w.run.Disk(blockNum)
 			addr := w.sys.Alloc(disk)
 			writes[j] = pdisk.BlockWrite{
-				Addr: addr,
-				Block: pdisk.StoredBlock{
-					Records:  w.pending[j],
-					Forecast: w.forecastFor(blockNum),
-				},
+				Addr:  addr,
+				Block: pdisk.MakeStored(w.pending[j], w.forecastFor(blockNum)),
 			}
 			w.run.indexes = append(w.run.indexes, int32(addr.Index))
 		}
@@ -342,13 +340,13 @@ func (w *Writer) drain(final bool) error {
 // WriteOps returns the number of parallel write operations this writer has
 // performed — exact even when several writers share one System
 // concurrently, unlike a System-level stats delta.
-func (w *Writer) WriteOps() int64 { return w.writeOps }
+func (w *Writer[R]) WriteOps() int64 { return w.writeOps }
 
 // WriteRun stores an entire in-memory sorted run and returns its descriptor
 // — a convenience for tests and run-formation code that already has the
 // records materialised.
-func WriteRun(sys *pdisk.System, id, startDisk int, records []record.Record) (*Run, error) {
-	w := NewWriter(sys, id, startDisk)
+func WriteRun[R record.KernelRecord](sys *pdisk.System, id, startDisk int, records []R) (*Run, error) {
+	w := NewWriter[R](sys, id, startDisk)
 	// Feed the run one stripe's worth (D*B records) per AppendBlock: the
 	// bulk path's per-block copy without ever buffering more than the
 	// writer's 2D-block M_W budget.
@@ -364,14 +362,14 @@ func WriteRun(sys *pdisk.System, id, startDisk int, records []record.Record) (*R
 
 // ReadAll reads a run back sequentially (one block per I/O operation) and
 // returns its records — a verification helper, not a merge path.
-func ReadAll(sys *pdisk.System, run *Run) ([]record.Record, error) {
-	out := make([]record.Record, 0, run.Records)
+func ReadAll[R record.KernelRecord](sys *pdisk.System, run *Run) ([]R, error) {
+	out := make([]R, 0, run.Records)
 	for i := 0; i < run.NumBlocks(); i++ {
 		blks, err := sys.ReadBlocks([]pdisk.BlockAddr{run.Addr(i)})
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, blks[0].Records...)
+		out = append(out, pdisk.RecsOf[R](blks[0])...)
 	}
 	return out, nil
 }
@@ -379,7 +377,7 @@ func ReadAll(sys *pdisk.System, run *Run) ([]record.Record, error) {
 // Stream reads a run back sequentially (one block per I/O operation),
 // invoking fn on every record in order, without materialising the run —
 // the out-of-core counterpart of ReadAll.
-func Stream(sys *pdisk.System, run *Run, fn func(record.Record) error) error {
+func Stream[R record.KernelRecord](sys *pdisk.System, run *Run, fn func(R) error) error {
 	addr := make([]pdisk.BlockAddr, 1)
 	for i := 0; i < run.NumBlocks(); i++ {
 		addr[0] = run.Addr(i)
@@ -387,7 +385,7 @@ func Stream(sys *pdisk.System, run *Run, fn func(record.Record) error) error {
 		if err != nil {
 			return err
 		}
-		for _, r := range blks[0].Records {
+		for _, r := range pdisk.RecsOf[R](blks[0]) {
 			if err := fn(r); err != nil {
 				return err
 			}
@@ -400,7 +398,7 @@ func Stream(sys *pdisk.System, run *Run, fn func(record.Record) error) error {
 // flight while fn consumes block i, hiding device latency behind the
 // caller's processing. The operation count is identical to Stream's (one
 // read per block).
-func StreamAsync(sys *pdisk.System, run *Run, fn func(record.Record) error) error {
+func StreamAsync[R record.KernelRecord](sys *pdisk.System, run *Run, fn func(R) error) error {
 	if run.NumBlocks() == 0 {
 		return nil
 	}
@@ -413,7 +411,7 @@ func StreamAsync(sys *pdisk.System, run *Run, fn func(record.Record) error) erro
 		if i+1 < run.NumBlocks() {
 			fut = sys.ReadBlocksAsync([]pdisk.BlockAddr{run.Addr(i + 1)})
 		}
-		for _, r := range blks[0].Records {
+		for _, r := range pdisk.RecsOf[R](blks[0]) {
 			if err := fn(r); err != nil {
 				return err
 			}

@@ -33,7 +33,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	if run.Records != 100 || run.NumBlocks() != 13 {
 		t.Fatalf("run has %d records in %d blocks, want 100 in 13", run.Records, run.NumBlocks())
 	}
-	got, err := ReadAll(sys, run)
+	got, err := ReadAll[record.Record](sys, run)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestWriterBuffersAtMost2DBlocks(t *testing.T) {
 	// records appended and records written to the store.
 	d, b := 4, 3
 	sys := newSys(t, d, b)
-	w := NewWriter(sys, 0, 0)
+	w := NewWriter[record.Record](sys, 0, 0)
 	recs := sortedRecords(200, 6)
 	for i, r := range recs {
 		if err := w.Append(r); err != nil {
@@ -174,7 +174,7 @@ func TestWriterBuffersAtMost2DBlocks(t *testing.T) {
 
 func TestAppendPanicsOutOfOrder(t *testing.T) {
 	sys := newSys(t, 2, 2)
-	w := NewWriter(sys, 0, 0)
+	w := NewWriter[record.Record](sys, 0, 0)
 	if err := w.Append(record.Record{Key: 5}); err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +252,7 @@ func TestPropertyRoundTripAndOps(t *testing.T) {
 		if sys.Stats().WriteOps != int64((wantBlocks+d-1)/d) {
 			return false
 		}
-		got, err := ReadAll(sys, run)
+		got, err := ReadAll[record.Record](sys, run)
 		if err != nil || len(got) != n {
 			return false
 		}
@@ -271,16 +271,16 @@ func TestPropertyRoundTripAndOps(t *testing.T) {
 func TestWriterMisusePanics(t *testing.T) {
 	sys := newSys(t, 2, 2)
 	cases := map[string]func(){
-		"bad start disk": func() { NewWriter(sys, 0, 2) },
+		"bad start disk": func() { NewWriter[record.Record](sys, 0, 2) },
 		"append after finish": func() {
-			w := NewWriter(sys, 0, 0)
+			w := NewWriter[record.Record](sys, 0, 0)
 			if _, err := w.Finish(); err != nil {
 				t.Fatal(err)
 			}
 			_ = w.Append(record.Record{Key: 1})
 		},
 		"double finish": func() {
-			w := NewWriter(sys, 0, 0)
+			w := NewWriter[record.Record](sys, 0, 0)
 			if _, err := w.Finish(); err != nil {
 				t.Fatal(err)
 			}
@@ -312,12 +312,12 @@ func TestStreamMatchesReadAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := ReadAll(sys, run)
+	want, err := ReadAll[record.Record](sys, run)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var got []record.Record
-	if err := Stream(sys, run, func(r record.Record) error {
+	if err := Stream[record.Record](sys, run, func(r record.Record) error {
 		got = append(got, r)
 		return nil
 	}); err != nil {
@@ -341,7 +341,7 @@ func TestStreamPropagatesCallbackError(t *testing.T) {
 	}
 	boom := fmt.Errorf("boom")
 	count := 0
-	err = Stream(sys, run, func(record.Record) error {
+	err = Stream[record.Record](sys, run, func(record.Record) error {
 		count++
 		if count == 3 {
 			return boom

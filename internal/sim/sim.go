@@ -179,7 +179,7 @@ type simMerger struct {
 	w    int // channel width: blocks the I/O channel carries per operation
 	runs []*Run
 	fds  *forecast.FDS
-	mem  *membuf.Manager
+	mem  *membuf.Manager[record.Rec16]
 
 	leadIdx   []int
 	leadLast  []record.Key
@@ -233,7 +233,7 @@ func MergeChannel(runs []*Run, d, channel, r int) (Stats, error) {
 		r:         r,
 		runs:      runs,
 		fds:       forecast.New(d, len(runs)),
-		mem:       membuf.New(r, d),
+		mem:       membuf.New[record.Rec16](r, d),
 		leadIdx:   make([]int, len(runs)),
 		leadLast:  make([]record.Key, len(runs)),
 		need:      make([]int, len(runs)),
@@ -384,10 +384,10 @@ func (m *simMerger) parRead() {
 			m.active.Push(e.Run, uint64(run.Last[e.BlockIdx]))
 			continue
 		}
-		m.mem.Insert(&membuf.Block{
+		m.mem.Insert(&membuf.Block[record.Rec16]{
 			Run: e.Run,
 			Idx: e.BlockIdx,
-			Records: record.Block{
+			Records: []record.Rec16{
 				{Key: run.First[e.BlockIdx]},
 				{Key: run.Last[e.BlockIdx]},
 			},

@@ -51,8 +51,8 @@ import (
 )
 
 // asyncMerger extends the shared merge state with the overlap bookkeeping.
-type asyncMerger struct {
-	*merger
+type asyncMerger[R record.KernelRecord] struct {
+	*merger[R]
 	// pendingRun is the run whose leading block was depleted by overlapped
 	// consumption but whose block event has not yet been processed; -1 when
 	// none. At most one depletion can be pending (consumption stops there).
@@ -64,8 +64,8 @@ type asyncMerger struct {
 // merge consumes records while it is in flight, and output stripes are
 // written behind the merge (write-behind M_W). Output and statistics are
 // identical to Merge's.
-func MergeAsync(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk int) (*runio.Run, MergeStats, error) {
-	return MergeAsyncCores(sys, runs, r, outID, outStartDisk, 1)
+func MergeAsync[R record.KernelRecord](sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk int) (*runio.Run, MergeStats, error) {
+	return MergeAsyncCores[R](sys, runs, r, outID, outStartDisk, 1)
 }
 
 // MergeAsyncCores is MergeAsync with internal merging spread across up to
@@ -73,12 +73,12 @@ func MergeAsync(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk int
 // composes the two overlaps — I/O behind merging, merging across cores —
 // and output and statistics remain identical to Merge's for every core
 // count.
-func MergeAsyncCores(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk, cores int) (*runio.Run, MergeStats, error) {
-	base, err := newMerger(sys, runs, r, runio.NewWriterAsync(sys, outID, outStartDisk), nil, cores)
+func MergeAsyncCores[R record.KernelRecord](sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk, cores int) (*runio.Run, MergeStats, error) {
+	base, err := newMerger(sys, runs, r, runio.NewWriterAsync[R](sys, outID, outStartDisk), nil, cores)
 	if err != nil {
 		return nil, MergeStats{}, err
 	}
-	m := &asyncMerger{merger: base, pendingRun: -1}
+	m := &asyncMerger[R]{merger: base, pendingRun: -1}
 	if err := m.loadInitialBlocksAsync(); err != nil {
 		return nil, MergeStats{}, err
 	}
@@ -118,7 +118,7 @@ func MergeAsyncCores(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDis
 // depends on their contents), so every operation can be issued before the
 // first is awaited. Batch composition, order and operation count are
 // identical to the synchronous loader's.
-func (m *asyncMerger) loadInitialBlocksAsync() error {
+func (m *asyncMerger[R]) loadInitialBlocksAsync() error {
 	pending := make([][]int, m.d) // per disk: run handles whose block 0 lives there
 	for h, run := range m.runs {
 		pending[run.Disk(0)] = append(pending[run.Disk(0)], h)
@@ -169,9 +169,13 @@ func (m *asyncMerger) loadInitialBlocksAsync() error {
 // seedFromLeadingBlocks registers one landed batch of block-0 reads: FDS
 // seeding from the implanted keys and promotion into M_L. Identical to the
 // per-batch body of the synchronous loadInitialBlocks.
-func (m *merger) seedFromLeadingBlocks(handles []int, blocks []pdisk.StoredBlock) {
-	for _, blk := range blocks {
-		if len(blk.Records) > 0 && blk.Records[0].Ext != "" {
+func (m *merger[R]) seedFromLeadingBlocks(handles []int, blocks []pdisk.StoredBlock) {
+	recs := make([][]R, len(blocks))
+	for i, blk := range blocks {
+		recs[i] = pdisk.RecsOf[R](blk)
+	}
+	for _, rs := range recs {
+		if len(rs) > 0 && rs[0].X() != "" {
 			m.setVarlen()
 			break
 		}
@@ -187,11 +191,11 @@ func (m *merger) seedFromLeadingBlocks(handles []int, blocks []pdisk.StoredBlock
 				m.fds.Set(m.runs[h].Disk(t), h, t, key)
 			}
 		}
-		m.lead[h] = blk.Records
+		m.lead[h] = recs[i]
 		m.leadIdx[h] = 0
 		m.mem.LeadingAcquired()
 		m.pushHead(h)
-		m.emit(trace.EventPromote, 0, m.ref(h, 0, blk.Records.FirstKey()))
+		m.emit(trace.EventPromote, 0, m.ref(h, 0, record.FirstKeyOf(recs[i])))
 	}
 }
 
@@ -200,7 +204,7 @@ func (m *merger) seedFromLeadingBlocks(handles []int, blocks []pdisk.StoredBlock
 // and only then is the read awaited and landed. Guard conditions and
 // flush decisions are evaluated on exactly the states the sync pump sees.
 // It returns the number of reads issued plus records consumed.
-func (m *asyncMerger) pumpIOOverlapped() (int, error) {
+func (m *asyncMerger[R]) pumpIOOverlapped() (int, error) {
 	progress := 0
 	for m.fds.Len() > 0 && m.mem.Occupied() <= m.r+m.d {
 		m.maybeFlush()
@@ -243,7 +247,7 @@ func (m *asyncMerger) pumpIOOverlapped() (int, error) {
 // Stopping early never breaks equivalence — the deferred records are
 // consumed by consumeUntilBlockEvent at exactly the state the sync
 // consumer sees.
-func (m *asyncMerger) consumeOverlapped() (int, error) {
+func (m *asyncMerger[R]) consumeOverlapped() (int, error) {
 	if m.cores > 1 && !m.varlen {
 		consumed, dRun, err := m.consumeSuperSpan(false)
 		if err != nil {

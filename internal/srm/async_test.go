@@ -41,22 +41,22 @@ func mergeBothWays(t *testing.T, d, b int, runs [][]record.Record, placement fun
 
 	sys1, descs1 := prepare()
 	defer sys1.Close()
-	out1, ms1, err := Merge(sys1, descs1, r, 1000, 0)
+	out1, ms1, err := Merge[record.Record](sys1, descs1, r, 1000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec1, err := runio.ReadAll(sys1, out1)
+	rec1, err := runio.ReadAll[record.Record](sys1, out1)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	sys2, descs2 := prepare()
 	defer sys2.Close()
-	out2, ms2, err := MergeAsync(sys2, descs2, r, 1000, 0)
+	out2, ms2, err := MergeAsync[record.Record](sys2, descs2, r, 1000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec2, err := runio.ReadAll(sys2, out2)
+	rec2, err := runio.ReadAll[record.Record](sys2, out2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,14 +147,14 @@ func TestSortRunsAsyncEquivalence(t *testing.T) {
 			err   error
 		)
 		if async {
-			final, st, _, err = SortRunsAsync(sys, descs, 4, runio.StaggeredPlacement{D: d}, len(runs))
+			final, st, _, err = SortRunsAsync[record.Record](sys, descs, 4, runio.StaggeredPlacement{D: d}, len(runs))
 		} else {
-			final, st, _, err = SortRuns(sys, descs, 4, runio.StaggeredPlacement{D: d}, len(runs))
+			final, st, _, err = SortRuns[record.Record](sys, descs, 4, runio.StaggeredPlacement{D: d}, len(runs))
 		}
 		if err != nil {
 			t.Fatal(err)
 		}
-		recs, err := runio.ReadAll(sys, final)
+		recs, err := runio.ReadAll[record.Record](sys, final)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -191,11 +191,11 @@ func TestSortRunsParallelAsyncEquivalence(t *testing.T) {
 	baseSys := newSys(t, d, b)
 	defer baseSys.Close()
 	baseDescs := writeRuns(t, baseSys, runs, runio.StaggeredPlacement{D: d})
-	baseRun, baseStats, _, err := SortRuns(baseSys, baseDescs, 4, runio.StaggeredPlacement{D: d}, len(runs))
+	baseRun, baseStats, _, err := SortRuns[record.Record](baseSys, baseDescs, 4, runio.StaggeredPlacement{D: d}, len(runs))
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := runio.ReadAll(baseSys, baseRun)
+	want, err := runio.ReadAll[record.Record](baseSys, baseRun)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,11 +204,11 @@ func TestSortRunsParallelAsyncEquivalence(t *testing.T) {
 	for _, workers := range []int{1, 2, -1} {
 		sys := newSys(t, d, b)
 		descs := writeRuns(t, sys, runs, runio.StaggeredPlacement{D: d})
-		final, stats, _, err := SortRunsParallelAsync(sys, descs, 4, runio.StaggeredPlacement{D: d}, len(runs), workers)
+		final, stats, _, err := SortRunsParallelAsync[record.Record](sys, descs, 4, runio.StaggeredPlacement{D: d}, len(runs), workers)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := runio.ReadAll(sys, final)
+		got, err := runio.ReadAll[record.Record](sys, final)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -251,7 +251,7 @@ func TestMergeAsyncInjectedFaults(t *testing.T) {
 		defer sys.Close()
 		descs := writeRuns(t, sys, runs, runio.StaggeredPlacement{D: 4})
 		setup := sys.Stats()
-		if _, _, err := MergeAsync(sys, descs, 10, 1000, 0); err != nil {
+		if _, _, err := MergeAsync[record.Record](sys, descs, 10, 1000, 0); err != nil {
 			t.Fatal(err)
 		}
 		total := sys.Stats()
@@ -269,7 +269,7 @@ func TestMergeAsyncInjectedFaults(t *testing.T) {
 		defer sys.Close()
 		descs := writeRuns(t, sys, runs, runio.StaggeredPlacement{D: 4})
 		fs.Configure(pdisk.FaultConfig{FailReadAt: failReadAt, FailWriteAt: failWriteAt})
-		_, _, err = MergeAsync(sys, descs, 10, 1000, 0)
+		_, _, err = MergeAsync[record.Record](sys, descs, 10, 1000, 0)
 		return err
 	}
 
@@ -307,7 +307,7 @@ func TestSortRunsAsyncFreeFault(t *testing.T) {
 	}
 	descs := writeRuns(t, sys, runs, runio.StaggeredPlacement{D: 2})
 	fs.Configure(pdisk.FaultConfig{FailFreeAt: 1})
-	_, _, _, err = SortRunsAsync(sys, descs, 4, runio.StaggeredPlacement{D: 2}, len(runs))
+	_, _, _, err = SortRunsAsync[record.Record](sys, descs, 4, runio.StaggeredPlacement{D: 2}, len(runs))
 	if !errors.Is(err, pdisk.ErrInjected) {
 		t.Fatalf("free fault: %v, want ErrInjected", err)
 	}
@@ -327,11 +327,11 @@ func TestMergeAsyncNoGoroutineLeak(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		sys := newSys(t, 4, 4)
 		descs := writeRuns(t, sys, runs, runio.StaggeredPlacement{D: 4})
-		out, _, err := MergeAsync(sys, descs, 6, 1000, 0)
+		out, _, err := MergeAsync[record.Record](sys, descs, 6, 1000, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := runio.ReadAll(sys, out)
+		got, err := runio.ReadAll[record.Record](sys, out)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -36,21 +36,21 @@ func TestSortRunsBackendEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		sys.ResetStats()
-		formed, err := runform.MemoryLoad(sys, file, 100, runio.StaggeredPlacement{D: d}, 0)
+		formed, err := runform.MemoryLoad[record.Record](sys, file, 100, runio.StaggeredPlacement{D: d}, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
 		var final *runio.Run
 		if async {
-			final, _, _, err = SortRunsAsync(sys, formed.Runs, 4, runio.StaggeredPlacement{D: d}, formed.NextSeq)
+			final, _, _, err = SortRunsAsync[record.Record](sys, formed.Runs, 4, runio.StaggeredPlacement{D: d}, formed.NextSeq)
 		} else {
-			final, _, _, err = SortRuns(sys, formed.Runs, 4, runio.StaggeredPlacement{D: d}, formed.NextSeq)
+			final, _, _, err = SortRuns[record.Record](sys, formed.Runs, 4, runio.StaggeredPlacement{D: d}, formed.NextSeq)
 		}
 		if err != nil {
 			t.Fatal(err)
 		}
 		stats := sys.Stats() // snapshot before verification reads
-		out, err := runio.ReadAll(sys, final)
+		out, err := runio.ReadAll[record.Record](sys, final)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -40,7 +40,7 @@ func TestFileBackedCrashMidSortReopen(t *testing.T) {
 	// Fail the merge's very first output write: the sort dies before it
 	// frees any source run, so every formed run must still be on disk.
 	fault.Configure(pdisk.FaultConfig{FailWriteAt: written + 1})
-	if _, _, _, err := SortRuns(sys, descs, 4, placement, len(runs)); !errors.Is(err, pdisk.ErrInjected) {
+	if _, _, _, err := SortRuns[record.Record](sys, descs, 4, placement, len(runs)); !errors.Is(err, pdisk.ErrInjected) {
 		t.Fatalf("mid-sort write fault: %v, want ErrInjected", err)
 	}
 	// Crash: abandon sys and both stores without Close.
@@ -63,7 +63,7 @@ func TestFileBackedCrashMidSortReopen(t *testing.T) {
 		t.Fatalf("reopened store holds %d blocks, want at least the %d run blocks", got, totalBlocks)
 	}
 	for i, desc := range descs {
-		got, err := runio.ReadAll(sys2, desc)
+		got, err := runio.ReadAll[record.Record](sys2, desc)
 		if err != nil {
 			t.Fatalf("run %d unreadable after crash: %v", i, err)
 		}
@@ -74,11 +74,11 @@ func TestFileBackedCrashMidSortReopen(t *testing.T) {
 
 	// The surviving runs are a complete restart point: re-sorting them on
 	// the reopened store must produce the full input, sorted.
-	final, _, _, err := SortRuns(sys2, descs, 4, placement, len(runs))
+	final, _, _, err := SortRuns[record.Record](sys2, descs, 4, placement, len(runs))
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := runio.ReadAll(sys2, final)
+	out, err := runio.ReadAll[record.Record](sys2, final)
 	if err != nil {
 		t.Fatal(err)
 	}

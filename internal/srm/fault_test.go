@@ -25,11 +25,11 @@ func TestInjectedFaultsSurfaceAsErrors(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		formed, err := runform.MemoryLoad(sys, file, 50, runio.StaggeredPlacement{D: 3}, 0)
+		formed, err := runform.MemoryLoad[record.Record](sys, file, 50, runio.StaggeredPlacement{D: 3}, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, _, _, err := SortRuns(sys, formed.Runs, 4, runio.StaggeredPlacement{D: 3}, formed.NextSeq); err != nil {
+		if _, _, _, err := SortRuns[record.Record](sys, formed.Runs, 4, runio.StaggeredPlacement{D: 3}, formed.NextSeq); err != nil {
 			t.Fatal(err)
 		}
 		st := sys.Stats()
@@ -50,11 +50,11 @@ func TestInjectedFaultsSurfaceAsErrors(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		formed, err := runform.MemoryLoad(sys, file, 50, runio.StaggeredPlacement{D: 3}, 0)
+		formed, err := runform.MemoryLoad[record.Record](sys, file, 50, runio.StaggeredPlacement{D: 3}, 0)
 		if err != nil {
 			return err
 		}
-		_, _, _, err = SortRuns(sys, formed.Runs, 4, runio.StaggeredPlacement{D: 3}, formed.NextSeq)
+		_, _, _, err = SortRuns[record.Record](sys, formed.Runs, 4, runio.StaggeredPlacement{D: 3}, formed.NextSeq)
 		return err
 	}
 
@@ -98,15 +98,15 @@ func TestFaultStoreTransparentWhenIdle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	formed, err := runform.MemoryLoad(sys, file, 40, runio.StaggeredPlacement{D: 2}, 0)
+	formed, err := runform.MemoryLoad[record.Record](sys, file, 40, runio.StaggeredPlacement{D: 2}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	final, _, _, err := SortRuns(sys, formed.Runs, 3, runio.StaggeredPlacement{D: 2}, formed.NextSeq)
+	final, _, _, err := SortRuns[record.Record](sys, formed.Runs, 3, runio.StaggeredPlacement{D: 2}, formed.NextSeq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := runio.ReadAll(sys, final)
+	got, err := runio.ReadAll[record.Record](sys, final)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -59,19 +59,21 @@ type MergeStats struct {
 }
 
 // merger holds the state of one in-progress merge. Run handles are indices
-// into the runs slice.
-type merger struct {
+// into the runs slice. The record width R is the kernel's type parameter:
+// fixed16 merges instantiate it at record.Rec16 (16-byte, pointer-free
+// leading blocks), varlen merges at record.Record.
+type merger[R record.KernelRecord] struct {
 	sys  *pdisk.System
 	r    int // merge order capacity (memory is provisioned for R runs)
 	d    int
 	runs []*runio.Run
 	fds  *forecast.FDS
-	mem  *membuf.Manager
-	out  *runio.Writer
+	mem  *membuf.Manager[R]
+	out  *runio.Writer[R]
 
-	lead      []record.Block // unconsumed tail of each run's leading block
-	leadIdx   []int          // block index of the current leading block
-	need      []int          // block index awaited while stalled
+	lead      [][]R // unconsumed tail of each run's leading block
+	leadIdx   []int // block index of the current leading block
+	need      []int // block index awaited while stalled
 	stalled   []bool
 	active    *ltree.Tree // loser tree over active runs, keyed by their current record's key
 	stallHeap *iheap.Heap // stalled runs keyed by their awaited block's first key
@@ -84,7 +86,7 @@ type merger struct {
 	// (pconsume.go); 1 is the serial per-winner gallop loop. Tracing
 	// reports per-winner events, so a sink forces the serial consumer.
 	cores   int
-	scratch []record.Record // super-span merge-back buffer, reused
+	scratch []R // super-span merge-back buffer, reused
 
 	// varlen is set when the leading blocks carry variable-length records
 	// (Ext != ""). Prefix words then only coarsen the true key order, so
@@ -99,7 +101,7 @@ type merger struct {
 }
 
 // emit sends an event to the trace sink, if any.
-func (m *merger) emit(kind trace.Kind, outRank int, blocks ...trace.BlockRef) {
+func (m *merger[R]) emit(kind trace.Kind, outRank int, blocks ...trace.BlockRef) {
 	if m.sink == nil {
 		return
 	}
@@ -114,7 +116,7 @@ func (m *merger) emit(kind trace.Kind, outRank int, blocks ...trace.BlockRef) {
 }
 
 // ref builds a trace.BlockRef for block idx of run handle h.
-func (m *merger) ref(h, idx int, key record.Key) trace.BlockRef {
+func (m *merger[R]) ref(h, idx int, key record.Key) trace.BlockRef {
 	return trace.BlockRef{Run: h, Idx: idx, Disk: m.runs[h].Disk(idx), Key: key}
 }
 
@@ -122,13 +124,13 @@ func (m *merger) ref(h, idx int, key record.Key) trace.BlockRef {
 // in the active loser tree are adjudicated by comparing the tied players'
 // current head records with record.CompareExt. Idempotent; triggered by the
 // first leading block that carries an Ext payload.
-func (m *merger) setVarlen() {
+func (m *merger[R]) setVarlen() {
 	if m.varlen {
 		return
 	}
 	m.varlen = true
 	m.active.SetTie(func(a, b int) int {
-		return record.CompareExt(m.lead[a][0].Ext, m.lead[b][0].Ext)
+		return record.CompareExt(m.lead[a][0].X(), m.lead[b][0].X())
 	})
 }
 
@@ -136,33 +138,35 @@ func (m *merger) setVarlen() {
 // record. Variable-length merges push the (Key, Val) prefix pair so prefix
 // ties narrow to the CompareExt callback; fixed-size merges push the key
 // alone (val 0), bit-for-bit the historical order.
-func (m *merger) pushHead(h int) {
+func (m *merger[R]) pushHead(h int) {
 	r := m.lead[h][0]
 	if m.varlen {
-		m.active.PushKV(h, uint64(r.Key), r.Val)
+		m.active.PushKV(h, uint64(r.K()), r.V())
 	} else {
-		m.active.Push(h, uint64(r.Key))
+		m.active.Push(h, uint64(r.K()))
 	}
 }
 
 // updateHead re-keys live run h after its head record advanced; the
 // winner-replay fast path of the loser tree. Same prefix-pair rule as
 // pushHead.
-func (m *merger) updateHead(h int) {
+func (m *merger[R]) updateHead(h int) {
 	r := m.lead[h][0]
 	if m.varlen {
-		m.active.UpdateKV(h, uint64(r.Key), r.Val)
+		m.active.UpdateKV(h, uint64(r.K()), r.V())
 	} else {
-		m.active.Update(h, uint64(r.Key))
+		m.active.Update(h, uint64(r.K()))
 	}
 }
 
 // Merge merges the given runs (at most r of them — r is the merge order the
 // memory was provisioned for) into a single output run written with id
 // outID starting on disk outStartDisk. It returns the output run and the
-// merge statistics.
-func Merge(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk int) (*runio.Run, MergeStats, error) {
-	return MergeCores(sys, runs, r, outID, outStartDisk, 1)
+// merge statistics. The type argument selects the kernel's record width
+// and must match the representation of the runs' stored blocks (callers
+// instantiate explicitly — nothing in the argument list names R).
+func Merge[R record.KernelRecord](sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk int) (*runio.Run, MergeStats, error) {
+	return MergeCores[R](sys, runs, r, outID, outStartDisk, 1)
 }
 
 // MergeCores is Merge with internal merging spread across up to cores
@@ -170,8 +174,8 @@ func Merge(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk int) (*r
 // super-span (pconsume.go) instead of a per-winner loop. The I/O
 // schedule, statistics and output run are byte-identical for every core
 // count; cores <= 1 is exactly the serial path.
-func MergeCores(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk, cores int) (*runio.Run, MergeStats, error) {
-	return mergeTraced(sys, runs, r, outID, outStartDisk, nil, cores)
+func MergeCores[R record.KernelRecord](sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk, cores int) (*runio.Run, MergeStats, error) {
+	return mergeTraced[R](sys, runs, r, outID, outStartDisk, nil, cores)
 }
 
 // MergeTraced is Merge with a trace sink attached: every parallel read,
@@ -180,12 +184,12 @@ func MergeCores(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk, co
 // paper's scheduling invariants online, or a trace.Recorder to render the
 // schedule. Tracing narrates the per-winner consumer, so it always runs
 // serial.
-func MergeTraced(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk int, sink trace.Sink) (*runio.Run, MergeStats, error) {
-	return mergeTraced(sys, runs, r, outID, outStartDisk, sink, 1)
+func MergeTraced[R record.KernelRecord](sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk int, sink trace.Sink) (*runio.Run, MergeStats, error) {
+	return mergeTraced[R](sys, runs, r, outID, outStartDisk, sink, 1)
 }
 
-func mergeTraced(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk int, sink trace.Sink, cores int) (*runio.Run, MergeStats, error) {
-	m, err := newMerger(sys, runs, r, runio.NewWriter(sys, outID, outStartDisk), sink, cores)
+func mergeTraced[R record.KernelRecord](sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk int, sink trace.Sink, cores int) (*runio.Run, MergeStats, error) {
+	m, err := newMerger(sys, runs, r, runio.NewWriter[R](sys, outID, outStartDisk), sink, cores)
 	if err != nil {
 		return nil, MergeStats{}, err
 	}
@@ -215,7 +219,7 @@ func mergeTraced(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk in
 
 // newMerger validates the merge inputs and assembles the shared state of
 // the sync and async merge loops.
-func newMerger(sys *pdisk.System, runs []*runio.Run, r int, out *runio.Writer, sink trace.Sink, cores int) (*merger, error) {
+func newMerger[R record.KernelRecord](sys *pdisk.System, runs []*runio.Run, r int, out *runio.Writer[R], sink trace.Sink, cores int) (*merger[R], error) {
 	if len(runs) == 0 {
 		return nil, fmt.Errorf("srm: merge of zero runs")
 	}
@@ -227,15 +231,15 @@ func newMerger(sys *pdisk.System, runs []*runio.Run, r int, out *runio.Writer, s
 			return nil, fmt.Errorf("srm: run %d is empty", run.ID)
 		}
 	}
-	return &merger{
+	return &merger[R]{
 		sys:       sys,
 		r:         r,
 		d:         sys.D(),
 		runs:      runs,
 		fds:       forecast.New(sys.D(), len(runs)),
-		mem:       membuf.New(r, sys.D()),
+		mem:       membuf.New[R](r, sys.D()),
 		out:       out,
-		lead:      make([]record.Block, len(runs)),
+		lead:      make([][]R, len(runs)),
 		leadIdx:   make([]int, len(runs)),
 		need:      make([]int, len(runs)),
 		stalled:   make([]bool, len(runs)),
@@ -248,7 +252,7 @@ func newMerger(sys *pdisk.System, runs []*runio.Run, r int, out *runio.Writer, s
 }
 
 // finish completes the output run and assembles the merge statistics.
-func (m *merger) finish() (*runio.Run, MergeStats, error) {
+func (m *merger[R]) finish() (*runio.Run, MergeStats, error) {
 	outRun, err := m.out.Finish()
 	if err != nil {
 		return nil, MergeStats{}, err
@@ -262,7 +266,7 @@ func (m *merger) finish() (*runio.Run, MergeStats, error) {
 // loadInitialBlocks is Step 1 of the algorithm: read block 0 of every run
 // into M_L with parallel reads (I_0 operations), and seed the FDS from the
 // D forecast keys implanted in each block 0.
-func (m *merger) loadInitialBlocks() error {
+func (m *merger[R]) loadInitialBlocks() error {
 	pending := make([][]int, m.d) // per disk: run handles whose block 0 lives there
 	for h, run := range m.runs {
 		pending[run.Disk(0)] = append(pending[run.Disk(0)], h)
@@ -291,7 +295,7 @@ func (m *merger) loadInitialBlocks() error {
 		if m.sink != nil {
 			refs := make([]trace.BlockRef, len(blocks))
 			for i, blk := range blocks {
-				refs[i] = m.ref(handles[i], 0, blk.Records.FirstKey())
+				refs[i] = m.ref(handles[i], 0, record.FirstKeyOf(pdisk.RecsOf[R](blk)))
 			}
 			m.emit(trace.EventParRead, 0, refs...)
 		}
@@ -304,7 +308,7 @@ func (m *merger) loadInitialBlocks() error {
 // allows: the M_D landing zone has drained (|F_t| ≤ R+D) and some block
 // remains on disk. Case 2c virtually flushes before reading. It returns the
 // number of read operations performed.
-func (m *merger) pumpIO() (int, error) {
+func (m *merger[R]) pumpIO() (int, error) {
 	reads := 0
 	for m.fds.Len() > 0 && m.mem.Occupied() <= m.r+m.d {
 		m.maybeFlush()
@@ -320,7 +324,7 @@ func (m *merger) pumpIO() (int, error) {
 // prefetch space is over budget and an on-disk block ranks below the
 // in-memory surplus, virtually flush the surplus difference before the
 // next read.
-func (m *merger) maybeFlush() {
+func (m *merger[R]) maybeFlush() {
 	if occupied := m.mem.Occupied(); occupied > m.r {
 		extra := occupied - m.r // 1..D
 		minS := m.smallestOnDisk()
@@ -336,7 +340,7 @@ func (m *merger) maybeFlush() {
 // order that the rank structure uses (ties on key alone would let flush
 // victims oscillate with the fetched block; see membuf). pumpIO only calls
 // it when the FDS is nonempty.
-func (m *merger) smallestOnDisk() forecast.Entry {
+func (m *merger[R]) smallestOnDisk() forecast.Entry {
 	var best forecast.Entry
 	found := false
 	for disk := 0; disk < m.d; disk++ {
@@ -359,7 +363,7 @@ func (m *merger) smallestOnDisk() forecast.Entry {
 
 // flush performs Flush_t(n): forget the n highest-ranked prefetched blocks
 // and hand their keys back to the FDS. No I/O happens.
-func (m *merger) flush(n, outRank int) {
+func (m *merger[R]) flush(n, outRank int) {
 	victims := m.mem.FlushVictims(n)
 	m.stats.Flushes++
 	m.stats.BlocksFlushed += int64(len(victims))
@@ -375,7 +379,7 @@ func (m *merger) flush(n, outRank int) {
 
 // parRead performs ParRead_t: from every disk with a pending block, read
 // the smallest one, in a single parallel I/O operation.
-func (m *merger) parRead() error {
+func (m *merger[R]) parRead() error {
 	addrs, entries := m.chooseParRead()
 	blocks, err := m.sys.ReadBlocks(addrs)
 	if err != nil {
@@ -389,7 +393,7 @@ func (m *merger) parRead() error {
 // block of every disk — without touching any state: the choice is a pure
 // function of the FDS and the stall set (both identical at pick time in
 // sync and async execution), so the two paths make identical picks.
-func (m *merger) chooseParRead() ([]pdisk.BlockAddr, []forecast.Entry) {
+func (m *merger[R]) chooseParRead() ([]pdisk.BlockAddr, []forecast.Entry) {
 	var addrs []pdisk.BlockAddr
 	var entries []forecast.Entry
 	for disk := 0; disk < m.d; disk++ {
@@ -420,7 +424,7 @@ func (m *merger) chooseParRead() ([]pdisk.BlockAddr, []forecast.Entry) {
 // awaited one, forever. Preferring the awaited block delivers the record
 // the consumer is blocked on instead. Ties among several awaited entries
 // break by (run, block) so the pick stays deterministic.
-func (m *merger) preferAwaited(disk int, e forecast.Entry) forecast.Entry {
+func (m *merger[R]) preferAwaited(disk int, e forecast.Entry) forecast.Entry {
 	if m.stalled[e.Run] && m.need[e.Run] == e.BlockIdx {
 		return e // the smallest entry is itself awaited
 	}
@@ -447,11 +451,12 @@ func (m *merger) preferAwaited(disk int, e forecast.Entry) forecast.Entry {
 // landParRead applies a completed ParRead to the merge state: FDS
 // updates, stalled-run promotions, M_D insertions and statistics. It is
 // the single landing path of both the sync and the async merge loop.
-func (m *merger) landParRead(blocks []pdisk.StoredBlock, addrs []pdisk.BlockAddr, entries []forecast.Entry) {
+func (m *merger[R]) landParRead(blocks []pdisk.StoredBlock, addrs []pdisk.BlockAddr, entries []forecast.Entry) {
 	m.stats.ReadOps++
 	var readRefs, promoted []trace.BlockRef
 	for i, blk := range blocks {
 		e := entries[i]
+		rs := pdisk.RecsOf[R](blk)
 		if m.mem.Has(e.Run, e.BlockIdx) {
 			panic(fmt.Sprintf("srm: re-read of in-memory block run=%d idx=%d", e.Run, e.BlockIdx))
 		}
@@ -459,7 +464,7 @@ func (m *merger) landParRead(blocks []pdisk.StoredBlock, addrs []pdisk.BlockAddr
 			panic(fmt.Sprintf("srm: block %d of run %d carries %d forecast keys, want 1",
 				e.BlockIdx, m.runs[e.Run].ID, len(blk.Forecast)))
 		}
-		if got := blk.Records.FirstKey(); got != e.Key {
+		if got := record.FirstKeyOf(rs); got != e.Key {
 			panic(fmt.Sprintf("srm: FDS predicted key %d for run %d block %d, block starts with %d",
 				e.Key, e.Run, e.BlockIdx, got))
 		}
@@ -469,26 +474,26 @@ func (m *merger) landParRead(blocks []pdisk.StoredBlock, addrs []pdisk.BlockAddr
 			m.stats.BlocksReread++
 		}
 		if m.sink != nil {
-			readRefs = append(readRefs, m.ref(e.Run, e.BlockIdx, blk.Records.FirstKey()))
+			readRefs = append(readRefs, m.ref(e.Run, e.BlockIdx, record.FirstKeyOf(rs)))
 		}
 		if m.stalled[e.Run] && m.need[e.Run] == e.BlockIdx {
 			// Exchange 2 of Section 5.1: the read block is the leading
 			// block of a stalled run; it moves straight to M_L.
-			m.lead[e.Run] = blk.Records
+			m.lead[e.Run] = rs
 			m.leadIdx[e.Run] = e.BlockIdx
 			m.stalled[e.Run] = false
 			m.stallHeap.Remove(e.Run)
 			m.mem.LeadingAcquired()
 			m.pushHead(e.Run)
 			if m.sink != nil {
-				promoted = append(promoted, m.ref(e.Run, e.BlockIdx, blk.Records.FirstKey()))
+				promoted = append(promoted, m.ref(e.Run, e.BlockIdx, record.FirstKeyOf(rs)))
 			}
 			continue
 		}
-		m.mem.Insert(&membuf.Block{
+		m.mem.Insert(&membuf.Block[R]{
 			Run:     e.Run,
 			Idx:     e.BlockIdx,
-			Records: blk.Records,
+			Records: rs,
 			SuccKey: succKey,
 		})
 	}
@@ -509,7 +514,7 @@ func (m *merger) landParRead(blocks []pdisk.StoredBlock, addrs []pdisk.BlockAddr
 // prefetched blocks; no I/O, possible rereads later) so the next pump can
 // read the awaited block. Fixed-size merges never take this path and keep
 // Lemma 1's schedule untouched.
-func (m *merger) forceRoom() bool {
+func (m *merger[R]) forceRoom() bool {
 	extra := m.mem.Occupied() - (m.r + m.d)
 	if !m.varlen || m.fds.Len() == 0 || extra <= 0 {
 		return false
@@ -530,7 +535,7 @@ func (m *merger) forceRoom() bool {
 // stall-heap minimum, both constant while h keeps winning — is located by
 // binary search and written with one AppendBlock call and one loser-tree
 // update, instead of a tree round-trip per record.
-func (m *merger) consumeUntilBlockEvent() (int, error) {
+func (m *merger[R]) consumeUntilBlockEvent() (int, error) {
 	if m.cores > 1 && m.sink == nil && !m.varlen {
 		consumed, dRun, err := m.consumeSuperSpan(true)
 		if err != nil {
@@ -564,7 +569,7 @@ func (m *merger) consumeUntilBlockEvent() (int, error) {
 			return consumed, err
 		}
 		consumed += span
-		lastKey := m.lead[h][span-1].Key
+		lastKey := m.lead[h][span-1].K()
 		m.lead[h] = m.lead[h][span:]
 		if len(m.lead[h]) > 0 {
 			m.updateHead(h)
@@ -589,7 +594,7 @@ func (m *merger) consumeUntilBlockEvent() (int, error) {
 // are constant across the span, so bulk emission is exactly equivalent;
 // both bounds admit the current first record, so the span is ≥ 1 and the
 // merge always progresses.
-func (m *merger) gallopSpan(h int, haveStall bool, sKey uint64, stallInclusive bool) int {
+func (m *merger[R]) gallopSpan(h int, haveStall bool, sKey uint64, stallInclusive bool) int {
 	b := m.lead[h]
 	span := len(b)
 	if m.varlen {
@@ -634,7 +639,7 @@ func (m *merger) gallopSpan(h int, haveStall bool, sKey uint64, stallInclusive b
 // exhausted, its successor is promoted from M_R (Exchange 1 of Section
 // 5.1), or the run stalls awaiting a ParRead. The caller has already
 // released the M_L slot and retired h in the active loser tree.
-func (m *merger) blockEvent(h int) {
+func (m *merger[R]) blockEvent(h int) {
 	next := m.leadIdx[h] + 1
 	switch {
 	case next >= m.runs[h].NumBlocks():

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"srmsort/internal/pdisk"
+	"srmsort/internal/record"
 	"srmsort/internal/runio"
 )
 
@@ -21,19 +22,19 @@ import (
 // would. Placement seeds and output starting disks are assigned before any
 // work starts, so the result (final run contents, per-merge statistics,
 // total operation counts) is identical to the serial SortRuns run for run.
-func SortRunsParallel(sys *pdisk.System, runs []*runio.Run, r int, placement runio.Placement, seqStart, workers int) (*runio.Run, SortStats, int, error) {
-	return sortRunsParallel(sys, runs, r, placement, seqStart, workers, false, 1, nil)
+func SortRunsParallel[R record.KernelRecord](sys *pdisk.System, runs []*runio.Run, r int, placement runio.Placement, seqStart, workers int) (*runio.Run, SortStats, int, error) {
+	return sortRunsParallel[R](sys, runs, r, placement, seqStart, workers, false, 1, nil)
 }
 
 // SortRunsParallelAsync is SortRunsParallel with every merge performed by
 // MergeAsync: concurrent merges of disjoint groups, each overlapping its
 // own I/O with merging. Results are identical to the serial, synchronous
 // SortRuns.
-func SortRunsParallelAsync(sys *pdisk.System, runs []*runio.Run, r int, placement runio.Placement, seqStart, workers int) (*runio.Run, SortStats, int, error) {
-	return sortRunsParallel(sys, runs, r, placement, seqStart, workers, true, 1, nil)
+func SortRunsParallelAsync[R record.KernelRecord](sys *pdisk.System, runs []*runio.Run, r int, placement runio.Placement, seqStart, workers int) (*runio.Run, SortStats, int, error) {
+	return sortRunsParallel[R](sys, runs, r, placement, seqStart, workers, true, 1, nil)
 }
 
-func sortRunsParallel(sys *pdisk.System, runs []*runio.Run, r int, placement runio.Placement, seqStart, workers int, async bool, cores int, afterPass PassFunc) (*runio.Run, SortStats, int, error) {
+func sortRunsParallel[R record.KernelRecord](sys *pdisk.System, runs []*runio.Run, r int, placement runio.Placement, seqStart, workers int, async bool, cores int, afterPass PassFunc) (*runio.Run, SortStats, int, error) {
 	if r < 2 {
 		return nil, SortStats{}, seqStart, fmt.Errorf("srm: merge order R=%d, need >= 2", r)
 	}
@@ -84,7 +85,7 @@ func sortRunsParallel(sys *pdisk.System, runs []*runio.Run, r int, placement run
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				j.out, j.ms, j.err = mergeFn(async, cores)(sys, j.group, r, j.seq, j.start)
+				j.out, j.ms, j.err = mergeFn[R](async, cores)(sys, j.group, r, j.seq, j.start)
 				if j.err != nil {
 					return
 				}

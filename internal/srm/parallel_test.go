@@ -19,21 +19,21 @@ func TestParallelMatchesSerial(t *testing.T) {
 			t.Fatal(err)
 		}
 		pl := runio.StaggeredPlacement{D: 4}
-		formed, err := runform.MemoryLoad(sys, file, 200, pl, 0)
+		formed, err := runform.MemoryLoad[record.Record](sys, file, 200, pl, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
 		var final *runio.Run
 		var stats SortStats
 		if parallel {
-			final, stats, _, err = SortRunsParallel(sys, formed.Runs, 5, pl, formed.NextSeq, workers)
+			final, stats, _, err = SortRunsParallel[record.Record](sys, formed.Runs, 5, pl, formed.NextSeq, workers)
 		} else {
-			final, stats, _, err = SortRuns(sys, formed.Runs, 5, pl, formed.NextSeq)
+			final, stats, _, err = SortRuns[record.Record](sys, formed.Runs, 5, pl, formed.NextSeq)
 		}
 		if err != nil {
 			t.Fatal(err)
 		}
-		out, err := runio.ReadAll(sys, final)
+		out, err := runio.ReadAll[record.Record](sys, final)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -70,11 +70,11 @@ func TestParallelRandomPlacementDeterministic(t *testing.T) {
 			t.Fatal(err)
 		}
 		pl := &runio.RandomPlacement{D: 3, Rng: newRand(77)}
-		formed, err := runform.MemoryLoad(sys, file, 100, pl, 0)
+		formed, err := runform.MemoryLoad[record.Record](sys, file, 100, pl, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, stats, _, err := SortRunsParallel(sys, formed.Runs, 4, pl, formed.NextSeq, 4)
+		_, stats, _, err := SortRunsParallel[record.Record](sys, formed.Runs, 4, pl, formed.NextSeq, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -91,10 +91,10 @@ func TestParallelValidation(t *testing.T) {
 	g := record.NewGenerator(33)
 	runs := g.SplitIntoSortedRuns(g.Random(20), 2)
 	descs := writeRuns(t, sys, runs, runio.StaggeredPlacement{D: 2})
-	if _, _, _, err := SortRunsParallel(sys, descs, 1, runio.StaggeredPlacement{D: 2}, 0, 2); err == nil {
+	if _, _, _, err := SortRunsParallel[record.Record](sys, descs, 1, runio.StaggeredPlacement{D: 2}, 0, 2); err == nil {
 		t.Fatal("merge order 1 accepted")
 	}
-	if _, _, _, err := SortRunsParallel(sys, nil, 2, runio.StaggeredPlacement{D: 2}, 0, 2); err == nil {
+	if _, _, _, err := SortRunsParallel[record.Record](sys, nil, 2, runio.StaggeredPlacement{D: 2}, 0, 2); err == nil {
 		t.Fatal("no runs accepted")
 	}
 }

@@ -53,7 +53,7 @@ import (
 // instead); the caller applies its own block-event protocol — the sync
 // loop processes it immediately, the overlapped loop defers it until the
 // in-flight read lands.
-func (m *merger) consumeSuperSpan(stallInclusive bool) (consumed, dRun int, err error) {
+func (m *merger[R]) consumeSuperSpan(stallInclusive bool) (consumed, dRun int, err error) {
 	if m.active.Len() == 0 {
 		return 0, -1, nil
 	}
@@ -69,7 +69,7 @@ func (m *merger) consumeSuperSpan(stallInclusive bool) (consumed, dRun int, err 
 		return 0, -1, nil
 	}
 	if cap(m.scratch) < total {
-		m.scratch = make([]record.Record, total)
+		m.scratch = make([]R, total)
 	}
 	out := m.scratch[:total]
 	pmerge.Merge(seqs, out, m.cores, pmerge.KeyRun)
@@ -85,7 +85,7 @@ func (m *merger) consumeSuperSpan(stallInclusive bool) (consumed, dRun int, err 
 // the package comment above. It returns the spans indexed by run handle
 // (empty for inactive runs), their total length, and the depleted run
 // (-1 when the stall guard ends the call before any depletion).
-func (m *merger) superSpans(haveStall bool, sKey uint64, stallInclusive bool) (seqs [][]record.Record, total, dRun int) {
+func (m *merger[R]) superSpans(haveStall bool, sKey uint64, stallInclusive bool) (seqs [][]R, total, dRun int) {
 	// The run that depletes first is the (key, run)-minimum of the
 	// leading blocks' last records. A run is active iff its leading
 	// block is nonempty: promotions set lead, depletion/stall/exhaustion
@@ -97,13 +97,13 @@ func (m *merger) superSpans(haveStall bool, sKey uint64, stallInclusive bool) (s
 		if len(b) == 0 {
 			continue
 		}
-		last := uint64(b[len(b)-1].Key)
+		last := uint64(b[len(b)-1].K())
 		if dRun < 0 || last < dKey || (last == dKey && h < dRun) {
 			dKey, dRun = last, h
 		}
 	}
 	depletes := !haveStall || dKey < sKey || (stallInclusive && dKey == sKey)
-	seqs = make([][]record.Record, len(m.runs))
+	seqs = make([][]R, len(m.runs))
 	for h := range m.runs {
 		b := m.lead[h]
 		if len(b) == 0 {
@@ -132,14 +132,14 @@ func (m *merger) superSpans(haveStall bool, sKey uint64, stallInclusive bool) (s
 // and updates the active tree: surviving runs re-key to their new first
 // record, the depleted run (if any) releases its M_L slot and retires —
 // the same state transitions the serial consumers perform, batched.
-func (m *merger) applySuperSpans(seqs [][]record.Record, dRun int) {
+func (m *merger[R]) applySuperSpans(seqs [][]R, dRun int) {
 	for h, s := range seqs {
 		if len(s) == 0 {
 			continue
 		}
 		m.lead[h] = m.lead[h][len(s):]
 		if h != dRun {
-			m.active.Update(h, uint64(m.lead[h][0].Key))
+			m.active.Update(h, uint64(m.lead[h][0].K()))
 		}
 	}
 	if dRun >= 0 {

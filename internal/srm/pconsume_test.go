@@ -21,14 +21,14 @@ func mergeWithCores(t *testing.T, d, b int, runs [][]record.Record, placement ru
 	var ms MergeStats
 	var err error
 	if async {
-		out, ms, err = MergeAsyncCores(sys, descs, r, 1000, 0, cores)
+		out, ms, err = MergeAsyncCores[record.Record](sys, descs, r, 1000, 0, cores)
 	} else {
-		out, ms, err = MergeCores(sys, descs, r, 1000, 0, cores)
+		out, ms, err = MergeCores[record.Record](sys, descs, r, 1000, 0, cores)
 	}
 	if err != nil {
 		t.Fatal(err)
 	}
-	recs, err := runio.ReadAll(sys, out)
+	recs, err := runio.ReadAll[record.Record](sys, out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,11 +120,11 @@ func TestSortRunsOptsCores(t *testing.T) {
 		sys := newSys(t, d, b)
 		defer sys.Close()
 		descs := writeRuns(t, sys, runs, runio.StaggeredPlacement{D: d})
-		out, stats, _, err := SortRunsOpts(sys, descs, r, runio.StaggeredPlacement{D: d}, len(descs), opts)
+		out, stats, _, err := SortRunsOpts[record.Record](sys, descs, r, runio.StaggeredPlacement{D: d}, len(descs), opts)
 		if err != nil {
 			t.Fatal(err)
 		}
-		recs, err := runio.ReadAll(sys, out)
+		recs, err := runio.ReadAll[record.Record](sys, out)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"srmsort/internal/pdisk"
+	"srmsort/internal/record"
 	"srmsort/internal/runio"
 )
 
@@ -29,12 +30,12 @@ type SortStats struct {
 // mergeFn selects the merge procedure of one sort: the synchronous
 // schedule or its overlapped equivalent, with internal merging spread
 // over the given number of cores.
-func mergeFn(async bool, cores int) func(*pdisk.System, []*runio.Run, int, int, int) (*runio.Run, MergeStats, error) {
+func mergeFn[R record.KernelRecord](async bool, cores int) func(*pdisk.System, []*runio.Run, int, int, int) (*runio.Run, MergeStats, error) {
 	return func(sys *pdisk.System, runs []*runio.Run, r, outID, outStartDisk int) (*runio.Run, MergeStats, error) {
 		if async {
-			return MergeAsyncCores(sys, runs, r, outID, outStartDisk, cores)
+			return MergeAsyncCores[R](sys, runs, r, outID, outStartDisk, cores)
 		}
-		return MergeCores(sys, runs, r, outID, outStartDisk, cores)
+		return MergeCores[R](sys, runs, r, outID, outStartDisk, cores)
 	}
 }
 
@@ -80,28 +81,28 @@ type SortOpts struct {
 // value is returned so callers can keep one global sequence across run
 // formation and merging (the staggered placement of Section 8 depends on
 // it). Input runs are freed as soon as their merge completes.
-func SortRuns(sys *pdisk.System, runs []*runio.Run, r int, placement runio.Placement, seqStart int) (*runio.Run, SortStats, int, error) {
-	return sortRuns(sys, runs, r, placement, seqStart, SortOpts{})
+func SortRuns[R record.KernelRecord](sys *pdisk.System, runs []*runio.Run, r int, placement runio.Placement, seqStart int) (*runio.Run, SortStats, int, error) {
+	return sortRuns[R](sys, runs, r, placement, seqStart, SortOpts{})
 }
 
 // SortRunsAsync is SortRuns with every merge performed by MergeAsync, so
 // reads, writes and internal merging overlap. Output runs and statistics
 // are identical to SortRuns' (see async.go).
-func SortRunsAsync(sys *pdisk.System, runs []*runio.Run, r int, placement runio.Placement, seqStart int) (*runio.Run, SortStats, int, error) {
-	return sortRuns(sys, runs, r, placement, seqStart, SortOpts{Async: true})
+func SortRunsAsync[R record.KernelRecord](sys *pdisk.System, runs []*runio.Run, r int, placement runio.Placement, seqStart int) (*runio.Run, SortStats, int, error) {
+	return sortRuns[R](sys, runs, r, placement, seqStart, SortOpts{Async: true})
 }
 
 // SortRunsOpts is the fully general entry point: SortRuns with the
 // execution mode (sync/async, serial/parallel) and checkpoint hook chosen
 // by opts. All modes produce identical runs and statistics.
-func SortRunsOpts(sys *pdisk.System, runs []*runio.Run, r int, placement runio.Placement, seqStart int, opts SortOpts) (*runio.Run, SortStats, int, error) {
+func SortRunsOpts[R record.KernelRecord](sys *pdisk.System, runs []*runio.Run, r int, placement runio.Placement, seqStart int, opts SortOpts) (*runio.Run, SortStats, int, error) {
 	if opts.Workers > 1 || opts.Workers < 0 {
-		return sortRunsParallel(sys, runs, r, placement, seqStart, opts.Workers, opts.Async, opts.Cores, opts.AfterPass)
+		return sortRunsParallel[R](sys, runs, r, placement, seqStart, opts.Workers, opts.Async, opts.Cores, opts.AfterPass)
 	}
-	return sortRuns(sys, runs, r, placement, seqStart, opts)
+	return sortRuns[R](sys, runs, r, placement, seqStart, opts)
 }
 
-func sortRuns(sys *pdisk.System, runs []*runio.Run, r int, placement runio.Placement, seqStart int, opts SortOpts) (*runio.Run, SortStats, int, error) {
+func sortRuns[R record.KernelRecord](sys *pdisk.System, runs []*runio.Run, r int, placement runio.Placement, seqStart int, opts SortOpts) (*runio.Run, SortStats, int, error) {
 	if r < 2 {
 		return nil, SortStats{}, seqStart, fmt.Errorf("srm: merge order R=%d, need >= 2", r)
 	}
@@ -126,7 +127,7 @@ func sortRuns(sys *pdisk.System, runs []*runio.Run, r int, placement runio.Place
 				next = append(next, group[0])
 				continue
 			}
-			merged, ms, err := mergeFn(opts.Async, opts.Cores)(sys, group, r, seq, placement.StartDisk(seq))
+			merged, ms, err := mergeFn[R](opts.Async, opts.Cores)(sys, group, r, seq, placement.StartDisk(seq))
 			if err != nil {
 				return nil, stats, seq, err
 			}

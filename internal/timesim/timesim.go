@@ -84,7 +84,7 @@ type timedMerger struct {
 	p    Params
 	runs []*sim.Run
 	fds  *forecast.FDS
-	mem  *membuf.Manager
+	mem  *membuf.Manager[record.Rec16]
 
 	leadIdx   []int
 	leadLast  []record.Key
@@ -130,7 +130,7 @@ func Merge(runs []*sim.Run, d, r int, p Params) (Result, error) {
 		d: d, r: r, p: p,
 		runs:      runs,
 		fds:       forecast.New(d, len(runs)),
-		mem:       membuf.New(r, d),
+		mem:       membuf.New[record.Rec16](r, d),
 		leadIdx:   make([]int, len(runs)),
 		leadLast:  make([]record.Key, len(runs)),
 		need:      make([]int, len(runs)),
@@ -308,10 +308,10 @@ func (m *timedMerger) parRead() {
 			m.active.Push(e.Run, uint64(run.Last[e.BlockIdx]))
 			continue
 		}
-		m.mem.Insert(&membuf.Block{
+		m.mem.Insert(&membuf.Block[record.Rec16]{
 			Run: e.Run,
 			Idx: e.BlockIdx,
-			Records: record.Block{
+			Records: []record.Rec16{
 				{Key: run.First[e.BlockIdx]},
 				{Key: run.Last[e.BlockIdx]},
 			},

@@ -418,14 +418,14 @@ func (c Config) newSystem() (*pdisk.System, pdisk.Store, func(), error) {
 // reading the result back out is verification, not sorting cost. cp, when
 // non-nil, receives a checkpoint after formation and every merge pass; tr,
 // when non-nil, receives Progress snapshots at the same points.
-func runAlgorithm(sys *pdisk.System, file *runform.InputFile, cfg Config, m, r int, stats *Stats, cp *checkpointer, tr *progressTracker) (func(func(record.Record) error) error, error) {
+func runAlgorithm[R record.KernelRecord](sys *pdisk.System, file *runform.InputFile, cfg Config, m, r int, stats *Stats, cp *checkpointer, tr *progressTracker) (func(func(R) error) error, error) {
 	switch cfg.Algorithm {
 	case DSM:
-		return sortDSM(sys, file, m, r, cfg.Async, cfg.cores(), stats, cp, tr)
+		return sortDSM[R](sys, file, m, r, cfg.Async, cfg.cores(), stats, cp, tr)
 	case PSV:
-		return sortPSV(sys, file, m, stats, tr)
+		return sortPSV[R](sys, file, m, stats, tr)
 	default:
-		return sortSRM(sys, file, m, r, cfg, stats, cp, tr)
+		return sortSRM[R](sys, file, m, r, cfg, stats, cp, tr)
 	}
 }
 
@@ -546,23 +546,48 @@ type (
 	recordSink func(rec record.Record) error
 )
 
+// forceWideKernel routes fixed16 sorts through the wide record.Record
+// kernel instantiation instead of the 16-byte Rec16 one. Test-only hook:
+// the two-width equivalence fuzzer flips it to check that both
+// instantiations produce byte-identical output.
+var forceWideKernel = false
+
 // runSort is the sorting core behind Sort, Resume, SortStream and
-// ResumeStream. feed supplies the unsorted input (not invoked when a
+// ResumeStream: it resolves the codec and dispatches to the kernel
+// instantiation matching the record representation — the 16-byte
+// pointer-free record.Rec16 for the fixed16 codec, the wide record.Record
+// for the varlen codecs (whose Ext payload the kernel must carry and
+// adjudicate). feed supplies the unsorted input (not invoked when a
 // resume finds a checkpoint manifest — the input already lives on the
 // store); sink receives the sorted output stream. nrec is the input size
 // when the caller knows it (0 for streamed inputs), used only to
 // cross-check a resume manifest against the supplied input.
 func runSort(cfg Config, resume bool, nrec int, feed recordFeed, sink recordSink) (Stats, error) {
+	codec, err := cfg.codec()
+	if err != nil {
+		return Stats{}, err
+	}
+	if codec.FixedSize() != 0 && !forceWideKernel {
+		return runSortTyped(cfg, codec, resume, nrec, feed, sink,
+			func(rec record.Record) record.Rec16 {
+				return record.Rec16{Key: rec.Key, Val: rec.Val}
+			})
+	}
+	return runSortTyped(cfg, codec, resume, nrec, feed, sink,
+		func(rec record.Record) record.Record { return rec })
+}
+
+// runSortTyped is runSort instantiated at one kernel record width.
+// fromWide narrows one ingested wide record to the kernel representation
+// (the identity for record.Record); emission widens through R.Wide() at
+// the sink boundary only.
+func runSortTyped[R record.KernelRecord](cfg Config, codec record.Codec, resume bool, nrec int, feed recordFeed, sink recordSink, fromWide func(record.Record) R) (Stats, error) {
 	r, m, err := cfg.MergeOrder()
 	if err != nil {
 		return Stats{}, err
 	}
 	if cfg.Checkpoint && cfg.Algorithm == PSV {
 		return Stats{}, fmt.Errorf("srmsort: checkpointing is not supported for PSV")
-	}
-	codec, err := cfg.codec()
-	if err != nil {
-		return Stats{}, err
 	}
 	varlen := codec.FixedSize() == 0
 	if varlen && cfg.RunFormation == ReplacementSelection {
@@ -580,7 +605,7 @@ func runSort(cfg Config, resume bool, nrec int, feed recordFeed, sink recordSink
 	}
 	defer cleanup()
 
-	var emit func(func(record.Record) error) error
+	var emit func(func(R) error) error
 	var man *manifest
 	if resume {
 		if man, err = loadManifest(store); err != nil {
@@ -591,7 +616,7 @@ func runSort(cfg Config, resume bool, nrec int, feed recordFeed, sink recordSink
 		if err := man.check(cfg, m, r, nrec, codec.Name()); err != nil {
 			return Stats{}, err
 		}
-		emit, err = resumeMerge(sys, store, man, cfg, r, &stats, tr)
+		emit, err = resumeMerge[R](sys, store, man, cfg, r, &stats, tr)
 		if err != nil {
 			return Stats{}, err
 		}
@@ -603,7 +628,7 @@ func runSort(cfg Config, resume bool, nrec int, feed recordFeed, sink recordSink
 				return Stats{}, err
 			}
 		}
-		loader := runform.NewLoader(sys)
+		loader := runform.NewLoader[R](sys)
 		// Records and codec must agree: a varlen sort needs canonical
 		// MakeVar encodings in every record, and the fixed16 codec cannot
 		// carry an Ext payload. Catch the mismatch at ingest with a clear
@@ -615,7 +640,7 @@ func runSort(cfg Config, resume bool, nrec int, feed recordFeed, sink recordSink
 			if !varlen && rec.Ext != "" {
 				return fmt.Errorf("srmsort: variable-length records need Config.Codec varlen or varlen+flate (codec is %s)", codec.Name())
 			}
-			return loader.Append(rec)
+			return loader.Append(fromWide(rec))
 		}
 		if err := feed(app); err != nil {
 			return Stats{}, err
@@ -650,7 +675,7 @@ func runSort(cfg Config, resume bool, nrec int, feed recordFeed, sink recordSink
 		}
 		sys.ResetStats() // loading the input is setup, not sorting cost
 
-		emit, err = runAlgorithm(sys, file, cfg, m, r, &stats, cp, tr)
+		emit, err = runAlgorithm[R](sys, file, cfg, m, r, &stats, cp, tr)
 		if err != nil {
 			return Stats{}, err
 		}
@@ -665,8 +690,8 @@ func runSort(cfg Config, resume bool, nrec int, feed recordFeed, sink recordSink
 	stats.WriteBalance = final.WriteBalance()
 	stats.SimTime = final.SimTime
 
-	if err := emit(func(rec record.Record) error {
-		if err := sink(rec); err != nil {
+	if err := emit(func(rec R) error {
+		if err := sink(rec.Wide()); err != nil {
 			return err
 		}
 		tr.emitted(1)
@@ -713,7 +738,7 @@ func chainPassFuncs(hooks ...srm.PassFunc) srm.PassFunc {
 	}
 }
 
-func sortSRM(sys *pdisk.System, file *runform.InputFile, m, r int, cfg Config, stats *Stats, cp *checkpointer, tr *progressTracker) (func(func(record.Record) error) error, error) {
+func sortSRM[R record.KernelRecord](sys *pdisk.System, file *runform.InputFile, m, r int, cfg Config, stats *Stats, cp *checkpointer, tr *progressTracker) (func(func(R) error) error, error) {
 	var placement runio.Placement
 	if cfg.Algorithm == SRMDeterministic {
 		placement = runio.StaggeredPlacement{D: cfg.D}
@@ -731,9 +756,9 @@ func sortSRM(sys *pdisk.System, file *runform.InputFile, m, r int, cfg Config, s
 	var formed runform.Result
 	var err error
 	if cfg.RunFormation == ReplacementSelection {
-		formed, err = runform.ReplacementSelectionCores(sys, file, m, placement, 0, cfg.cores())
+		formed, err = runform.ReplacementSelectionCores[R](sys, file, m, placement, 0, cfg.cores())
 	} else {
-		formed, err = runform.MemoryLoadCores(sys, file, (m+1)/2, placement, 0, cfg.cores())
+		formed, err = runform.MemoryLoadCores[R](sys, file, (m+1)/2, placement, 0, cfg.cores())
 	}
 	if err != nil {
 		return nil, err
@@ -744,7 +769,7 @@ func sortSRM(sys *pdisk.System, file *runform.InputFile, m, r int, cfg Config, s
 	stats.InitialRuns = len(formed.Runs)
 	if len(formed.Runs) == 0 {
 		tr.formed(0, 0, r, 0)
-		return func(func(record.Record) error) error { return nil }, nil
+		return func(func(R) error) error { return nil }, nil
 	}
 	tr.formed(len(formed.Runs), len(formed.Runs), r, 0)
 
@@ -778,7 +803,7 @@ func sortSRM(sys *pdisk.System, file *runform.InputFile, m, r int, cfg Config, s
 		}
 	}
 	opts.AfterPass = chainPassFuncs(cpHook, trHook)
-	final, sortStats, _, err := srm.SortRunsOpts(sys, formed.Runs, r, placement, formed.NextSeq, opts)
+	final, sortStats, _, err := srm.SortRunsOpts[R](sys, formed.Runs, r, placement, formed.NextSeq, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -789,14 +814,14 @@ func sortSRM(sys *pdisk.System, file *runform.InputFile, m, r int, cfg Config, s
 	stats.BlocksFlushed = sortStats.BlocksFlushed
 	stats.BlocksReread = sortStats.BlocksReread
 	if cfg.Async {
-		return func(fn func(record.Record) error) error { return runio.StreamAsync(sys, final, fn) }, nil
+		return func(fn func(R) error) error { return runio.StreamAsync(sys, final, fn) }, nil
 	}
-	return func(fn func(record.Record) error) error { return runio.Stream(sys, final, fn) }, nil
+	return func(fn func(R) error) error { return runio.Stream(sys, final, fn) }, nil
 }
 
-func sortPSV(sys *pdisk.System, file *runform.InputFile, m int, stats *Stats, tr *progressTracker) (func(func(record.Record) error) error, error) {
+func sortPSV[R record.KernelRecord](sys *pdisk.System, file *runform.InputFile, m int, stats *Stats, tr *progressTracker) (func(func(R) error) error, error) {
 	bufBlocks := (m/sys.B() - 2*sys.D()) / sys.D()
-	final, ps, err := psv.Sort(sys, file, (m+1)/2, bufBlocks)
+	final, ps, err := psv.Sort[R](sys, file, (m+1)/2, bufBlocks)
 	if err != nil {
 		return nil, err
 	}
@@ -810,21 +835,21 @@ func sortPSV(sys *pdisk.System, file *runform.InputFile, m int, stats *Stats, tr
 	stats.MergeReads = ps.MergeReadOps + ps.TransposeReadOps
 	stats.MergeWrites = ps.MergeWriteOps + ps.TransposeWriteOps
 	stats.TransposeOps = ps.TransposeReadOps + ps.TransposeWriteOps
-	return func(fn func(record.Record) error) error { return runio.Stream(sys, final, fn) }, nil
+	return func(fn func(R) error) error { return runio.Stream(sys, final, fn) }, nil
 }
 
-func sortDSM(sys *pdisk.System, file *runform.InputFile, m, r int, async bool, cores int, stats *Stats, cp *checkpointer, tr *progressTracker) (func(func(record.Record) error) error, error) {
-	dsmStream := func(final *dsm.Run) func(func(record.Record) error) error {
+func sortDSM[R record.KernelRecord](sys *pdisk.System, file *runform.InputFile, m, r int, async bool, cores int, stats *Stats, cp *checkpointer, tr *progressTracker) (func(func(R) error) error, error) {
+	dsmStream := func(final *dsm.Run) func(func(R) error) error {
 		if async {
-			return func(fn func(record.Record) error) error { return dsm.StreamAsync(sys, final, fn) }
+			return func(fn func(R) error) error { return dsm.StreamAsync(sys, final, fn) }
 		}
-		return func(fn func(record.Record) error) error { return dsm.Stream(sys, final, fn) }
+		return func(fn func(R) error) error { return dsm.Stream(sys, final, fn) }
 	}
 	if cp == nil && tr == nil {
 		var final *dsm.Run
 		var ds dsm.SortStats
 		var err error
-		final, ds, err = dsm.SortCores(sys, file, (m+1)/2, r, async, cores)
+		final, ds, err = dsm.SortCores[R](sys, file, (m+1)/2, r, async, cores)
 		if err != nil {
 			return nil, err
 		}
@@ -843,7 +868,7 @@ func sortDSM(sys *pdisk.System, file *runform.InputFile, m, r int, async bool, c
 	before := sys.Stats()
 	var runs []*dsm.Run
 	var err error
-	runs, err = dsm.FormRunsCores(sys, file, (m+1)/2, async, cores)
+	runs, err = dsm.FormRunsCores[R](sys, file, (m+1)/2, async, cores)
 	if err != nil {
 		return nil, err
 	}
@@ -853,7 +878,7 @@ func sortDSM(sys *pdisk.System, file *runform.InputFile, m, r int, async bool, c
 	stats.InitialRuns = len(runs)
 	if len(runs) == 0 {
 		tr.formed(0, 0, r, 0)
-		final, err := dsm.NewWriter(sys, 0).Finish()
+		final, err := dsm.NewWriter[R](sys, 0).Finish()
 		if err != nil {
 			return nil, err
 		}
@@ -866,7 +891,7 @@ func sortDSM(sys *pdisk.System, file *runform.InputFile, m, r int, async bool, c
 			return nil, err
 		}
 	}
-	final, ms, _, err := dsm.MergeAll(sys, runs, r, len(runs), dsm.MergeAllOpts{
+	final, ms, _, err := dsm.MergeAll[R](sys, runs, r, len(runs), dsm.MergeAllOpts{
 		Async: async,
 		AfterPass: func(pass int, survivors []*dsm.Run, seq int) error {
 			if cp != nil {
