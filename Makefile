@@ -37,17 +37,22 @@ aliascheck:
 
 # The fault-tolerance matrix: seeded faults and mid-write kills across
 # every algorithm x backend x D, each cell resumed to completion and
-# byte-compared against its fault-free run. Raced, and under a hard
-# deadline so a hung resume loop fails fast instead of wedging CI.
+# byte-compared against its fault-free run — plus the straggler wing
+# (seeded Pareto latency under deadlines/hedging), the stuck-op wing
+# (a 250 ms read hang bounded by the deadline layer) and the server
+# drain-interrupted-kill cells. Raced, and under a hard deadline so a
+# hung resume loop fails fast instead of wedging CI.
 chaos:
 	go test -race -count=1 -timeout 10m ./internal/chaos/
 
 # The sortd server load tests: dozens of concurrent jobs over the HTTP
-# API with seeded store faults, plus the server kill/restart matrix
-# (20 tenants, two abrupt teardowns, byte-identical results required).
+# API with seeded store faults, the server kill/restart matrix
+# (20 tenants, two abrupt teardowns, byte-identical results required),
+# and the graceful-drain suite (clean drains refuse submissions with
+# 503, expired windows sever nothing, drain-interrupted kills resume).
 # Raced, under a hard deadline.
 loadtest:
-	go test -race -count=1 -timeout 10m -run 'TestServerLoad|TestHTTPCancelAndErrors|TestServerKillRestart|TestServerCleanRestart' ./internal/jobs/ ./internal/chaos/
+	go test -race -count=1 -timeout 10m -run 'TestServerLoad|TestHTTPCancelAndErrors|TestServerKillRestart|TestServerCleanRestart|TestServerDrainInterruptedKill|TestDrainCleanRefusesSubmissions|TestDrainWindowExpires' ./internal/jobs/ ./internal/chaos/
 
 # Fail (listing the offenders) if any file is not gofmt-clean.
 fmt-check:

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"runtime"
 	"testing"
+	"time"
 
 	"srmsort/internal/analysis"
 	"srmsort/internal/occupancy"
@@ -310,6 +311,41 @@ func BenchmarkSortEndToEnd(b *testing.B) {
 				}
 			}
 		}
+	}
+}
+
+// BenchmarkSortDeadline measures what the deadline/hedging layer costs
+// when nothing goes wrong: the same fault-free sort with no deadline
+// layer at all, with tracking plus a generous deadline, and with a
+// hedge delay so large it never fires. The deltas are the fixed
+// overhead table in EXPERIMENTS.md §hedged-reads — the layer's price
+// must stay within noise of the bare stack.
+func BenchmarkSortDeadline(b *testing.B) {
+	const n = 100_000
+	in := benchRecords(n, 42)
+	cells := []struct {
+		name   string
+		policy *DeadlinePolicy
+	}{
+		{"bare", nil},
+		{"deadline=1s", &DeadlinePolicy{OpDeadline: time.Second}},
+		{"deadline=1s+hedge=1s", &DeadlinePolicy{OpDeadline: time.Second, HedgeAfter: time.Second}},
+	}
+	for _, cell := range cells {
+		b.Run(cell.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := Config{D: 4, B: 64, K: 4, Seed: 11, Deadline: cell.policy}
+				out, _, err := Sort(in, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(out) != n {
+					b.Fatalf("sorted %d of %d records", len(out), n)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(n)*float64(b.N)), "ns/rec")
+		})
 	}
 }
 

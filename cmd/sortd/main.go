@@ -10,7 +10,8 @@
 //
 //	sortd -addr :8080 -root /var/lib/sortd -budget 4000000
 //	      [-core-budget N] [-gate-width 2] [-gate-disks 64] [-retries 5]
-//	      [-max-attempts 3] [-d 8] [-b 64] [-k 4] [-alg srm] [-seed 1]
+//	      [-max-attempts 3] [-op-deadline DUR] [-hedge-after DUR]
+//	      [-drain 5s] [-d 8] [-b 64] [-k 4] [-alg srm] [-seed 1]
 //	      [-async] [-workers N] [-cores N]
 //
 // The -d/-b/-k/-alg/... flags are per-job defaults; each submission may
@@ -22,11 +23,21 @@
 //	curl -s localhost:8080/jobs/job-000001/result -o sorted.rec
 //	curl -s -X DELETE localhost:8080/jobs/job-000001  # cancel
 //
-// Kill the process mid-flight and start it again on the same -root: the
-// incomplete jobs resume from their last checkpointed merge pass.
+// -op-deadline and -hedge-after give every job's store the deadline/
+// hedging layer (stuck transfers abandoned and retried, straggling reads
+// hedged); the accumulated per-disk latency ledger appears as io_health
+// in GET /stats.
+//
+// On SIGTERM/SIGINT the server drains: it refuses new submissions (503),
+// waits up to -drain for in-flight jobs to finish — each checkpoints
+// after every merge pass regardless — then severs whatever remains and
+// exits. Kill the process mid-flight (or let the drain window expire)
+// and start it again on the same -root: the incomplete jobs resume from
+// their last checkpointed merge pass.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -35,6 +46,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"srmsort"
 	"srmsort/internal/jobs"
@@ -50,6 +62,9 @@ func main() {
 		gateDisks   = flag.Int("gate-disks", 64, "disks the shared gate covers (largest d= any job may request)")
 		retries     = flag.Int("retries", 5, "re-attempt transient I/O failures up to N times per operation (0 = fail on first error)")
 		maxAttempts = flag.Int("max-attempts", 3, "sort attempts per job (first run + checkpoint resumes) before it fails")
+		deadline    = flag.Duration("op-deadline", 0, "abandon any job block I/O still in flight after this long (retryable; 0 = no deadline)")
+		hedge       = flag.Duration("hedge-after", 0, "re-issue a job's straggling read after this long and take the first result (0 = no hedging)")
+		drain       = flag.Duration("drain", 5*time.Second, "on SIGTERM, wait this long for in-flight jobs before severing them (0 = abrupt)")
 		d           = flag.Int("d", 8, "default disks per job")
 		b           = flag.Int("b", 64, "default block size in records")
 		k           = flag.Int("k", 4, "default memory parameter k")
@@ -83,6 +98,12 @@ func main() {
 		policy.Seed = *seed
 		opts.Retry = &policy
 	}
+	if *deadline > 0 || *hedge > 0 {
+		opts.Deadline = &srmsort.DeadlinePolicy{
+			OpDeadline: *deadline,
+			HedgeAfter: *hedge,
+		}
+	}
 
 	m, err := jobs.NewManager(opts)
 	if err != nil {
@@ -95,18 +116,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sortd: %v\n", err)
 		os.Exit(1)
 	}
-	srv := &http.Server{Handler: jobs.NewHandler(m)}
+	srv := &http.Server{
+		Handler: jobs.NewHandler(m),
+		// A client that opens a connection and never sends its headers
+		// must not pin a drain forever.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 
-	// Teardown is deliberately abrupt: stop listening, sever every
-	// running job mid-operation, exit. Durable jobs checkpoint, so the
-	// next sortd over the same -root resumes them — an orderly drain
-	// would only hide bugs in that path.
+	// Teardown drains first: new submissions get 503, in-flight jobs get
+	// up to -drain to finish (each checkpoints after every merge pass
+	// regardless, so an expired window loses nothing — the next sortd
+	// over the same -root resumes whatever was severed).
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sig
-		log.Printf("sortd: %v: tearing down (incomplete jobs will resume on restart)", s)
-		srv.Close()
+		log.Printf("sortd: %v: draining (up to %v; new submissions refused)", s, *drain)
+		if m.Drain(*drain) {
+			log.Printf("sortd: drained clean")
+		} else {
+			log.Printf("sortd: drain window expired; severing remaining jobs (they resume on restart)")
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		srv.Shutdown(ctx)
+		cancel()
 		m.Kill()
 	}()
 

@@ -9,7 +9,8 @@
 //	        [-model none|1996|modern] [-backend mem|file] [-dir DIR]
 //	        [-codec fixed16|varlen|varlen+flate]
 //	        [-seed N] [-verify] [-cpuprofile FILE] [-memprofile FILE]
-//	        [-retries N] [-checkpoint] [-resume] [-scrub]
+//	        [-retries N] [-op-deadline DUR] [-hedge-after DUR] [-v]
+//	        [-checkpoint] [-resume] [-scrub]
 //
 // -codec selects the record codec: fixed16 (the default 16-byte records),
 // varlen (variable-length keys and payloads) or varlen+flate (varlen with
@@ -19,6 +20,11 @@
 //
 // Fault tolerance: -retries N re-attempts transient I/O failures up to N
 // times per operation under deterministic exponential backoff;
+// -op-deadline bounds every block I/O (a stuck transfer is abandoned,
+// classified retryable, and charged to the disk's error budget);
+// -hedge-after re-issues straggling reads and takes the first result; -v
+// prints the resulting per-disk latency statistics (EWMA and windowed
+// p99) after the sort;
 // -checkpoint persists a recovery manifest after run formation and every
 // merge pass (with -backend file -dir DIR the disk files survive the
 // process, so a killed sort can be continued); -resume continues such an
@@ -60,32 +66,35 @@ import (
 
 func main() {
 	var (
-		n       = flag.Int("n", 1_000_000, "number of records to sort")
-		d       = flag.Int("d", 8, "number of disks D")
-		b       = flag.Int("b", 64, "block size B in records")
-		k       = flag.Int("k", 4, "memory parameter k (M = (2k+4)DB + kD^2)")
-		mem     = flag.Int("mem", 0, "memory M in records (overrides -k)")
-		alg     = flag.String("alg", "srm", "algorithm: srm, srm-det, dsm, psv")
-		input   = flag.String("input", "random", "input distribution: random, sorted, reverse, dups")
-		runform = flag.String("runform", "load", "run formation: load (half memoryloads), rs (replacement selection)")
-		model   = flag.String("model", "none", "disk time model: none, 1996, modern")
-		backend = flag.String("backend", "mem", "storage backend: mem (in-process), file (real disk files)")
-		codec   = flag.String("codec", "fixed16", "record codec: fixed16, varlen, varlen+flate")
-		dir     = flag.String("dir", "", "directory for -backend file disk files (default: fresh temp dir)")
-		file    = flag.Bool("file", false, "deprecated alias for -backend file")
-		seed    = flag.Int64("seed", 1, "random seed (placement and input)")
-		workers = flag.Int("workers", 0, "goroutines for a pass's merges (SRM only; -1 = GOMAXPROCS)")
-		cores   = flag.Int("cores", 0, "cores per sort step: chunked run formation and sharded merging (0 = GOMAXPROCS, 1 = serial; identical output)")
-		async   = flag.Bool("async", false, "overlap I/O with merging (SRM/DSM; identical output and I/O statistics)")
-		verify  = flag.Bool("verify", true, "verify the output is sorted")
-		inFile  = flag.String("infile", "", "read wire-format records from this file instead of generating (-n ignored)")
-		outFile = flag.String("outfile", "", "write the sorted wire-format records to this file")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the sort to this file")
-		memProf = flag.String("memprofile", "", "write an allocation profile taken after the sort to this file")
-		retries = flag.Int("retries", 0, "re-attempt transient I/O failures up to N times per operation (0 = fail on first error)")
-		ckpt    = flag.Bool("checkpoint", false, "persist a recovery manifest after every completed merge pass")
-		resume  = flag.Bool("resume", false, "continue an interrupted checkpointed sort from its last completed pass (implies -checkpoint)")
-		scrub   = flag.Bool("scrub", false, "audit every block checksum under -dir and exit (requires -backend file)")
+		n        = flag.Int("n", 1_000_000, "number of records to sort")
+		d        = flag.Int("d", 8, "number of disks D")
+		b        = flag.Int("b", 64, "block size B in records")
+		k        = flag.Int("k", 4, "memory parameter k (M = (2k+4)DB + kD^2)")
+		mem      = flag.Int("mem", 0, "memory M in records (overrides -k)")
+		alg      = flag.String("alg", "srm", "algorithm: srm, srm-det, dsm, psv")
+		input    = flag.String("input", "random", "input distribution: random, sorted, reverse, dups")
+		runform  = flag.String("runform", "load", "run formation: load (half memoryloads), rs (replacement selection)")
+		model    = flag.String("model", "none", "disk time model: none, 1996, modern")
+		backend  = flag.String("backend", "mem", "storage backend: mem (in-process), file (real disk files)")
+		codec    = flag.String("codec", "fixed16", "record codec: fixed16, varlen, varlen+flate")
+		dir      = flag.String("dir", "", "directory for -backend file disk files (default: fresh temp dir)")
+		file     = flag.Bool("file", false, "deprecated alias for -backend file")
+		seed     = flag.Int64("seed", 1, "random seed (placement and input)")
+		workers  = flag.Int("workers", 0, "goroutines for a pass's merges (SRM only; -1 = GOMAXPROCS)")
+		cores    = flag.Int("cores", 0, "cores per sort step: chunked run formation and sharded merging (0 = GOMAXPROCS, 1 = serial; identical output)")
+		async    = flag.Bool("async", false, "overlap I/O with merging (SRM/DSM; identical output and I/O statistics)")
+		verify   = flag.Bool("verify", true, "verify the output is sorted")
+		inFile   = flag.String("infile", "", "read wire-format records from this file instead of generating (-n ignored)")
+		outFile  = flag.String("outfile", "", "write the sorted wire-format records to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sort to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile taken after the sort to this file")
+		retries  = flag.Int("retries", 0, "re-attempt transient I/O failures up to N times per operation (0 = fail on first error)")
+		deadline = flag.Duration("op-deadline", 0, "abandon any block I/O still in flight after this long (retryable; 0 = no deadline)")
+		hedge    = flag.Duration("hedge-after", 0, "re-issue a straggling read after this long and take the first result (0 = no hedging)")
+		verbose  = flag.Bool("v", false, "also print per-disk latency/health statistics (needs -op-deadline or -hedge-after)")
+		ckpt     = flag.Bool("checkpoint", false, "persist a recovery manifest after every completed merge pass")
+		resume   = flag.Bool("resume", false, "continue an interrupted checkpointed sort from its last completed pass (implies -checkpoint)")
+		scrub    = flag.Bool("scrub", false, "audit every block checksum under -dir and exit (requires -backend file)")
 	)
 	flag.Parse()
 
@@ -144,6 +153,19 @@ func main() {
 		policy.MaxAttempts = *retries
 		policy.Seed = *seed
 		cfg.Retry = &policy
+	}
+	if *deadline > 0 || *hedge > 0 {
+		cfg.Deadline = &srmsort.DeadlinePolicy{
+			OpDeadline: *deadline,
+			HedgeAfter: *hedge,
+		}
+		if *deadline > 0 && cfg.Retry == nil {
+			// A deadline without a retry layer would surface every
+			// timeout to the caller; give abandoned ops their re-issue.
+			policy := srmsort.DefaultRetryPolicy()
+			policy.Seed = *seed
+			cfg.Retry = &policy
+		}
 	}
 	cfg.Checkpoint = *ckpt || *resume
 
@@ -303,6 +325,19 @@ func main() {
 		fmt.Printf("  modelled disk time:  %.2f s (%s disks)\n", stats.SimTime, *model)
 	}
 	fmt.Printf("  host wall clock:     %v\n", elapsed.Round(time.Millisecond))
+	if stats.Health != nil {
+		h := stats.Health
+		fmt.Printf("  I/O health:          %d hedged reads (%d won), %d deadline timeouts\n",
+			h.HedgedReads, h.HedgeWins, h.Timeouts)
+		if *verbose {
+			for _, dh := range h.PerDisk {
+				fmt.Printf("    disk %2d: %7d ops, %3d timeouts, latency %.0f µs EWMA / %.0f µs p99\n",
+					dh.Disk, dh.Ops, dh.Timeouts, dh.EWMAMicros, dh.P99Micros)
+			}
+		}
+	} else if *verbose {
+		fmt.Printf("  I/O health:          not tracked (set -op-deadline or -hedge-after)\n")
+	}
 }
 
 func generate(kind string, n int, seed int64) []srmsort.Record {
@@ -446,6 +481,8 @@ func diagnose(err error) string {
 		parts = append(parts, "on-disk corruption: run -scrub, then -resume to rebuild from the last checkpoint")
 	case errors.Is(err, pdisk.ErrDiskOffline):
 		parts = append(parts, "disk exceeded its error budget and was taken offline")
+	case errors.Is(err, pdisk.ErrDeadline):
+		parts = append(parts, "operation exceeded its -op-deadline; raise the deadline or add -retries so timeouts are re-issued")
 	}
 	if len(parts) == 0 {
 		return err.Error()

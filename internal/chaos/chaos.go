@@ -47,6 +47,24 @@ type Cell struct {
 	// process with more (or fewer) cores must still reproduce the
 	// fault-free bytes exactly.
 	ResumeCores int
+	// Straggle turns on the seeded heavy-tail (Pareto) latency model for
+	// every operation — microsecond-scale, so cells finish in bounded
+	// wall-clock — normally paired with OpDeadline/HedgeAfter so hedges
+	// and timeouts genuinely fire during the run.
+	Straggle bool
+	// StuckRead arms one read roughly halfway through the sort to hang
+	// for 250 ms. With OpDeadline set, the deadline layer abandons it,
+	// the retry layer re-issues it, and the sort must still finish
+	// byte-identical to the fault-free run. Reads only, deliberately: a
+	// deadline-abandoned WRITE landing after a resume has reallocated
+	// its address would corrupt the resumed state, so stuck writes are
+	// exercised in the unit tests, never raced against recovery.
+	StuckRead bool
+	// OpDeadline and HedgeAfter configure the deadline/hedging layer of
+	// the faulted run (the fault-free reference always runs without one;
+	// the layer must not change a single output byte).
+	OpDeadline time.Duration
+	HedgeAfter time.Duration
 	// Codec selects the cell's record codec ("" = fixed16). Varlen cells
 	// ("varlen", "varlen+flate") carry variable-length records generated
 	// from the same seed; kills, resumes and the byte-identity check run
@@ -155,14 +173,33 @@ func (c Cell) sortEncoded(cfg srmsort.Config, resume bool) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// faultConfig is the cell's steady-state fault schedule (no kill).
+// faultConfig is the cell's steady-state fault schedule (no kill, no
+// stuck op — those are armed per incarnation).
 func (c Cell) faultConfig() pdisk.FaultConfig {
-	return pdisk.FaultConfig{
+	fc := pdisk.FaultConfig{
 		Seed:          c.Seed,
 		ReadFailProb:  c.FailProb,
 		WriteFailProb: c.FailProb,
 		FreeFailProb:  c.FailProb,
 	}
+	if c.Straggle {
+		// Real (not injected) sleeps, scaled so the p99.9 tail is a few
+		// milliseconds: big enough to trip a 1–20 ms deadline or hedge,
+		// small enough that a cell's thousands of ops stay sub-second.
+		fc.ParetoScale = 40 * time.Microsecond
+		fc.ParetoAlpha = 1.1
+		fc.ParetoCap = 4 * time.Millisecond
+	}
+	return fc
+}
+
+// deadlinePolicy is the cell's deadline/hedging layer, nil when neither
+// knob is set.
+func (c Cell) deadlinePolicy() *pdisk.DeadlinePolicy {
+	if c.OpDeadline <= 0 && c.HedgeAfter <= 0 {
+		return nil
+	}
+	return &pdisk.DeadlinePolicy{OpDeadline: c.OpDeadline, HedgeAfter: c.HedgeAfter}
 }
 
 // newInner builds the cell's backend store, codec-aware for the file
@@ -221,8 +258,10 @@ func (c Cell) runCheckpointed(want []byte) (Result, error) {
 	defer inner.Close()
 
 	armed := c.faultConfig()
-	if c.Kill {
-		// Learn the write count fault-free, then arm the tear at ~60%.
+	if c.Kill || c.StuckRead {
+		// Learn the op counts fault-free, then arm the counted faults:
+		// the tear at ~60% of the writes, the stuck read at ~50% of the
+		// reads.
 		probe := pdisk.NewFaultStore(pdisk.NewMemStore(), pdisk.FaultConfig{})
 		probeCfg := c.config()
 		probeCfg.Store = probe
@@ -230,7 +269,13 @@ func (c Cell) runCheckpointed(want []byte) (Result, error) {
 		if _, err := c.sortEncoded(probeCfg, false); err != nil {
 			return Result{}, fmt.Errorf("chaos: probe sort: %w", err)
 		}
-		armed.TornWriteAt = probe.OpCount("write") * 3 / 5
+		if c.Kill {
+			armed.TornWriteAt = probe.OpCount("write") * 3 / 5
+		}
+		if c.StuckRead {
+			armed.StuckReadAt = probe.OpCount("read") / 2
+			armed.StuckDelay = 250 * time.Millisecond
+		}
 		probe.Close()
 	}
 	fault := pdisk.NewFaultStore(inner, armed)
@@ -239,6 +284,7 @@ func (c Cell) runCheckpointed(want []byte) (Result, error) {
 	cfg.Store = fault
 	cfg.Checkpoint = true
 	cfg.Retry = c.retryPolicy()
+	cfg.Deadline = c.deadlinePolicy()
 
 	res := Result{}
 	out, err := c.sortEncoded(cfg, false)
@@ -288,6 +334,7 @@ func (c Cell) runRestartFromScratch(want []byte) (Result, error) {
 		cfg := c.config()
 		cfg.Store = fault
 		cfg.Retry = c.retryPolicy()
+		cfg.Deadline = c.deadlinePolicy()
 		out, err := c.sortEncoded(cfg, false)
 		inner.Close()
 		if err == nil {

@@ -3,6 +3,7 @@ package chaos
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"srmsort"
 )
@@ -163,5 +164,108 @@ func TestChaosDeterministic(t *testing.T) {
 	}
 	if a != b {
 		t.Fatalf("identical cells diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestChaosStragglers runs the heavy-tail wing: every operation draws a
+// seeded Pareto delay (microsecond scale, millisecond tail) under a
+// deadline/hedging layer, on top of the usual transient faults. The
+// cells must finish byte-identical to the fault-free run in bounded
+// wall-clock — hedges and timeouts may reorder and re-issue I/O, but
+// they must never change a byte.
+func TestChaosStragglers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("straggler cells use real (microsecond) sleeps")
+	}
+	cells := []struct {
+		name string
+		cell Cell
+	}{
+		// Hedge-dominated: the 4 ms Pareto cap stays under the 20 ms
+		// deadline, so stragglers are rescued by the 2 ms hedge alone.
+		{"srm-mem-hedge", Cell{Algorithm: srmsort.SRM, Backend: srmsort.MemBackend,
+			D: 4, Records: 1000, Seed: 501, FailProb: 0.02,
+			Straggle: true, OpDeadline: 20 * time.Millisecond, HedgeAfter: 2 * time.Millisecond}},
+		{"dsm-file-hedge", Cell{Algorithm: srmsort.DSM, Backend: srmsort.FileBackend,
+			D: 4, Records: 1000, Seed: 502, FailProb: 0.02,
+			Straggle: true, OpDeadline: 20 * time.Millisecond, HedgeAfter: 2 * time.Millisecond}},
+		// Timeout-dominated: a 3 ms deadline sits inside the 4 ms tail
+		// cap, so the slowest ops genuinely time out and are re-issued
+		// by the retry layer.
+		{"srm-mem-timeout", Cell{Algorithm: srmsort.SRM, Backend: srmsort.MemBackend,
+			D: 4, Records: 1000, Seed: 503, FailProb: 0.02,
+			Straggle: true, OpDeadline: 3 * time.Millisecond}},
+		// Straggle plus a mid-write kill: recovery and hedging compose.
+		{"srm-file-kill", Cell{Algorithm: srmsort.SRM, Backend: srmsort.FileBackend,
+			D: 4, Records: 1000, Seed: 504, FailProb: 0.02, Kill: true,
+			Straggle: true, OpDeadline: 20 * time.Millisecond, HedgeAfter: 2 * time.Millisecond}},
+	}
+	for _, tc := range cells {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cell := tc.cell
+			if cell.Backend == srmsort.FileBackend {
+				cell.Dir = t.TempDir()
+			}
+			start := time.Now()
+			res, err := Run(cell)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if elapsed := time.Since(start); elapsed > 2*time.Minute {
+				t.Fatalf("straggler cell took %v; the tail model must stay bounded", elapsed)
+			}
+			t.Logf("attempts=%d killed=%v", res.Attempts, res.Killed)
+		})
+	}
+}
+
+// TestChaosStuckOp arms one read halfway through the sort to hang for
+// 250 ms — the stuck-disk scenario. With a 20 ms deadline the op is
+// abandoned and re-issued (or rescued by a hedge) long before the hang
+// resolves; the sort must complete byte-identical without ever waiting
+// out the stuck transfer serially.
+func TestChaosStuckOp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stuck-op cells hold a real 250 ms hang in the background")
+	}
+	cells := []struct {
+		name string
+		cell Cell
+	}{
+		{"srm-mem-deadline", Cell{Algorithm: srmsort.SRM, Backend: srmsort.MemBackend,
+			D: 4, Records: 1000, Seed: 601, FailProb: 0.02,
+			StuckRead: true, OpDeadline: 20 * time.Millisecond}},
+		{"srm-file-deadline", Cell{Algorithm: srmsort.SRM, Backend: srmsort.FileBackend,
+			D: 4, Records: 1000, Seed: 602, FailProb: 0.02,
+			StuckRead: true, OpDeadline: 20 * time.Millisecond}},
+		// Hedge-rescued: no deadline at all — the 5 ms hedge leg returns
+		// while the stuck primary sleeps its 250 ms out harmlessly.
+		{"dsm-mem-hedge", Cell{Algorithm: srmsort.DSM, Backend: srmsort.MemBackend,
+			D: 4, Records: 1000, Seed: 603, FailProb: 0.02,
+			StuckRead: true, HedgeAfter: 5 * time.Millisecond}},
+		// Stuck read AND a later mid-write kill: the abandoned read's
+		// background completion must not disturb the resume.
+		{"srm-file-kill", Cell{Algorithm: srmsort.SRM, Backend: srmsort.FileBackend,
+			D: 4, Records: 1000, Seed: 604, FailProb: 0.02, Kill: true,
+			StuckRead: true, OpDeadline: 20 * time.Millisecond}},
+	}
+	for _, tc := range cells {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cell := tc.cell
+			if cell.Backend == srmsort.FileBackend {
+				cell.Dir = t.TempDir()
+			}
+			start := time.Now()
+			res, err := Run(cell)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if elapsed := time.Since(start); elapsed > 2*time.Minute {
+				t.Fatalf("stuck-op cell took %v; the deadline must bound the hang", elapsed)
+			}
+			t.Logf("attempts=%d killed=%v", res.Attempts, res.Killed)
+		})
 	}
 }

@@ -35,6 +35,17 @@ type ServerCell struct {
 	// Kills is how many teardown/restart cycles to inflict while jobs
 	// are still in flight.
 	Kills int
+	// DrainWindow, when > 0, precedes every kill with a Drain of that
+	// window — deliberately sized to expire with jobs still running, so
+	// each teardown is a drain-interrupted kill: submissions already
+	// refused, jobs severed mid-drain, and the next incarnation must
+	// still resume everything.
+	DrainWindow time.Duration
+	// OpDeadline and HedgeAfter, when set, give every incarnation's jobs
+	// the deadline/hedging layer (jobs.Options.Deadline), so the resume
+	// path is exercised with abandoned and hedged I/O in flight.
+	OpDeadline time.Duration
+	HedgeAfter time.Duration
 }
 
 // ServerResult reports what the scenario took.
@@ -106,6 +117,10 @@ func RunServer(c ServerCell, root string) (ServerResult, error) {
 		policy := pdisk.DefaultRetryPolicy()
 		policy.Seed = c.Seed
 		policy.Sleep = func(time.Duration) {} // deterministic, no real waiting
+		var deadline *pdisk.DeadlinePolicy
+		if c.OpDeadline > 0 || c.HedgeAfter > 0 {
+			deadline = &pdisk.DeadlinePolicy{OpDeadline: c.OpDeadline, HedgeAfter: c.HedgeAfter}
+		}
 		return jobs.Options{
 			Root:         root,
 			MemoryBudget: c.Budget,
@@ -115,6 +130,7 @@ func RunServer(c ServerCell, root string) (ServerResult, error) {
 			CoreBudget:  c.Jobs,
 			MaxAttempts: 12,
 			Retry:       &policy,
+			Deadline:    deadline,
 			Defaults:    serverSpec(c.Seed),
 			StoreWrap: func(jobID string, inner pdisk.Store) pdisk.Store {
 				var fs int64
@@ -154,6 +170,13 @@ func RunServer(c ServerCell, root string) (ServerResult, error) {
 		if err := waitDone(m, threshold, &res); err != nil {
 			m.Kill()
 			return res, err
+		}
+		if c.DrainWindow > 0 {
+			// A drain that expires mid-flight: submissions are already
+			// refused when the kill lands, the severed jobs resume next
+			// incarnation. (Completing within the window is fine too —
+			// then the kill simply finds nothing to sever.)
+			m.Drain(c.DrainWindow)
 		}
 		m.Kill()
 		notePeak(m, &res)

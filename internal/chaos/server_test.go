@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"testing"
+	"time"
 )
 
 // TestServerKillRestart is the service-level chaos matrix: 20 concurrent
@@ -38,6 +39,44 @@ func TestServerKillRestart(t *testing.T) {
 	}
 	if res.PeakMemory == 0 {
 		t.Error("peak memory reservation is zero — the ledger never saw a job")
+	}
+	t.Logf("restarts=%d resumed=%d peak=%d/%d records",
+		res.Restarts, res.Resumed, res.PeakMemory, res.Budget)
+}
+
+// TestServerDrainInterruptedKill is the graceful-shutdown wing: every
+// teardown first drains with a window deliberately too short for the
+// remaining backlog, then kills whatever the expired drain left running.
+// The deadline layer is on, so severed jobs may leave abandoned I/O in
+// flight when the kill lands. The next incarnation must resume every
+// severed job, and the final outputs must still be byte-identical to
+// the fault-free sorts.
+func TestServerDrainInterruptedKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("server chaos matrix is long; skipped under -short")
+	}
+	cell := ServerCell{
+		Jobs:          12,
+		RecordsPerJob: 1200,
+		Seed:          88,
+		FailProb:      0.02,
+		Kills:         2,
+		DrainWindow:   10 * time.Millisecond,
+		OpDeadline:    30 * time.Second,
+	}
+	res, err := RunServer(cell, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts != cell.Kills {
+		t.Errorf("restarts = %d, want %d", res.Restarts, cell.Kills)
+	}
+	if res.Resumed == 0 {
+		t.Error("no job survived a drain-interrupted kill — the drains never expired mid-flight")
+	}
+	if res.PeakMemory > res.Budget {
+		t.Errorf("admission control exceeded the budget: peak %d > %d records",
+			res.PeakMemory, res.Budget)
 	}
 	t.Logf("restarts=%d resumed=%d peak=%d/%d records",
 		res.Restarts, res.Resumed, res.PeakMemory, res.Budget)

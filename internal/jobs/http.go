@@ -2,10 +2,13 @@ package jobs
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+
+	"srmsort/internal/pdisk"
 )
 
 // NewHandler exposes a Manager over HTTP/JSON — the sortd wire surface:
@@ -37,7 +40,13 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		j, err := m.Submit(spec, r.Body)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrDraining) || errors.Is(err, ErrKilled) {
+				// The server is going away, not the request: tell the
+				// client to try another instance (or later).
+				code = http.StatusServiceUnavailable
+			}
+			httpError(w, code, err)
 			return
 		}
 		writeJSON(w, http.StatusAccepted, j.Status())
@@ -105,6 +114,10 @@ type ServerStats struct {
 	CoresInUse   int           `json:"cores_in_use"`
 	CoresPeak    int           `json:"cores_peak"`
 	Jobs         map[State]int `json:"jobs"`
+	// IOHealth is the server-wide per-disk latency/timeout/hedging
+	// ledger, accumulated across every job's deadline layer; absent
+	// when the server runs without Options.Deadline.
+	IOHealth *pdisk.HealthStats `json:"io_health,omitempty"`
 }
 
 // Stats snapshots the server ledgers and per-state job counts.
@@ -123,6 +136,7 @@ func (m *Manager) Stats() ServerStats {
 		CoresInUse:   cInUse,
 		CoresPeak:    cPeak,
 		Jobs:         counts,
+		IOHealth:     m.Health(),
 	}
 }
 

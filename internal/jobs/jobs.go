@@ -43,6 +43,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"srmsort"
 	"srmsort/internal/pdisk"
@@ -317,6 +318,12 @@ type Options struct {
 	// Retry, if non-nil, gives every job's store transient-fault
 	// retries.
 	Retry *pdisk.RetryPolicy
+	// Deadline, if non-nil, gives every job's store a deadline/hedging
+	// layer beneath the retry layer (srmsort.Config.Deadline). The
+	// manager clones the policy and fills its Tracker, so every job
+	// shares one server-wide health tracker — per-disk latency across
+	// all tenants, surfaced through Manager.Health and GET /stats.
+	Deadline *pdisk.DeadlinePolicy
 	// MaxAttempts bounds sort attempts per job per server incarnation
 	// (first run plus checkpoint resumes after retry-exhausted faults).
 	// 0 means 3.
@@ -339,13 +346,15 @@ type Manager struct {
 	opts   Options
 	budget *budget
 	gate   *pdisk.DiskGate
+	health *pdisk.HealthTracker // shared across all jobs; nil without Deadline
 	wg     sync.WaitGroup
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string
-	nextID int
-	killed bool
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	nextID   int
+	killed   bool
+	draining bool
 }
 
 // NewManager builds a manager and, when opts.Root holds jobs from a
@@ -374,10 +383,22 @@ func NewManager(opts Options) (*Manager, error) {
 		return nil, fmt.Errorf("jobs: CoreBudget = %d, need >= 1", opts.CoreBudget)
 	}
 	opts.Defaults = opts.Defaults.withDefaults(Spec{Algorithm: "srm", D: 4, B: 16, K: 3, Cores: 1})
+	if opts.Deadline != nil {
+		// Clone the policy and pin one tracker: every job's deadline
+		// layer reports into the same server-wide health ledger.
+		policy := *opts.Deadline
+		if policy.Tracker == nil {
+			policy.Tracker = pdisk.NewHealthTracker()
+		}
+		opts.Deadline = &policy
+	}
 	m := &Manager{
 		opts:   opts,
 		budget: newBudget(opts.MemoryBudget, opts.CoreBudget),
 		jobs:   make(map[string]*Job),
+	}
+	if opts.Deadline != nil {
+		m.health = opts.Deadline.Tracker
 	}
 	if opts.GateWidth > 0 {
 		m.gate = pdisk.NewDiskGate(opts.GateDisks, opts.GateWidth)
@@ -419,6 +440,10 @@ func (m *Manager) Submit(spec Spec, input io.Reader) (*Job, error) {
 	if m.killed {
 		m.mu.Unlock()
 		return nil, ErrKilled
+	}
+	if m.draining {
+		m.mu.Unlock()
+		return nil, ErrDraining
 	}
 	m.nextID++
 	id := fmt.Sprintf("job-%06d", m.nextID)
@@ -697,8 +722,47 @@ func (m *Manager) Kill() {
 	m.wg.Wait()
 }
 
-// Close is Kill: sortd has no graceful drain — the whole point is that
-// an abrupt exit loses no durable job.
+// Drain stops accepting submissions and waits up to window for every
+// job already in the system (queued included) to reach a terminal
+// state. It reports whether the drain completed: false means the window
+// expired with jobs still in flight — the caller then Kills, and the
+// interrupted jobs' checkpoints resume under the next incarnation, so
+// an expired drain loses nothing a kill would not. A window <= 0 waits
+// without bound.
+func (m *Manager) Drain(window time.Duration) bool {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	if window <= 0 {
+		<-done
+		return true
+	}
+	select {
+	case <-done:
+		return true
+	case <-time.After(window):
+		return false
+	}
+}
+
+// Health returns the server-wide I/O health snapshot (per-disk latency,
+// timeouts, hedged reads) accumulated across every job's deadline
+// layer; nil when Options.Deadline is unset.
+func (m *Manager) Health() *pdisk.HealthStats {
+	if m.health == nil {
+		return nil
+	}
+	s := m.health.Snapshot()
+	return &s
+}
+
+// Close is Kill: an abrupt exit loses no durable job. Callers wanting
+// an orderly stop call Drain first and Kill whatever remains.
 func (m *Manager) Close() error {
 	m.Kill()
 	return nil
@@ -790,6 +854,7 @@ func (m *Manager) runJob(j *Job, resume bool) {
 	// its jobs restart from the persisted input instead of a manifest.
 	cfg.Checkpoint = cfg.Algorithm != srmsort.PSV
 	cfg.Retry = m.opts.Retry
+	cfg.Deadline = m.opts.Deadline
 	cfg.Gate = m.gate
 	cfg.Progress = j.noteProgress
 

@@ -20,6 +20,10 @@ var ErrKilled = errors.New("jobs: server shut down")
 // server's entire budget — it can never be admitted.
 var ErrOverBudget = errors.New("jobs: job exceeds server memory budget")
 
+// ErrDraining reports a submission refused because the server is
+// draining: it finishes the jobs it has and accepts no new ones.
+var ErrDraining = errors.New("jobs: server is draining")
+
 // killableStore wraps a job's Store with a kill switch. kill makes every
 // subsequent operation fail with a pdisk.TerminalError, which the retry
 // layer refuses to retry, so a running sort collapses promptly instead

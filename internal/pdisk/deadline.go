@@ -1,0 +1,351 @@
+package pdisk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrDeadline is the base error of every operation abandoned at its
+// per-op deadline. It is classified Retryable — a retry layer above
+// re-issues the operation and charges the timeout to the disk's error
+// budget, so a persistently stuck disk degrades to ErrDiskOffline
+// instead of hanging the merge.
+var ErrDeadline = errors.New("pdisk: operation deadline exceeded")
+
+// DeadlineError reports one operation abandoned at its deadline.
+type DeadlineError struct {
+	Op       string
+	Addr     BlockAddr
+	Deadline time.Duration
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("pdisk: %s %v exceeded its %v deadline", e.Op, e.Addr, e.Deadline)
+}
+
+// Unwrap exposes ErrDeadline to errors.Is.
+func (e *DeadlineError) Unwrap() error { return ErrDeadline }
+
+// DeadlinePolicy configures a DeadlineStore. Like RetryPolicy, every
+// time-dependent act goes through an injected function (After, Now), so
+// tests drive the deadline and hedge timers deterministically.
+type DeadlinePolicy struct {
+	// OpDeadline bounds every ReadBlock/WriteBlock/Free: an operation
+	// still in flight when the deadline fires returns a DeadlineError
+	// (retryable) while the issued transfer continues in the background.
+	// 0 means no deadline.
+	OpDeadline time.Duration
+	// HedgeAfter re-issues a read still in flight after this delay and
+	// takes whichever result arrives first — the tail-latency hedge.
+	// The losing leg's block is discarded, which the ownership-handoff
+	// contract makes safe: blocks are immutable once returned, so an
+	// abandoned result holds no aliasing hazard. 0 disables hedging.
+	// Reads only: writes and frees are not idempotent-by-timing in the
+	// same way and are joined, not raced (see DeadlineStore).
+	HedgeAfter time.Duration
+	// Tracker, if non-nil, receives the latency/health accounting; nil
+	// gives the store a private tracker. sortd shares one tracker across
+	// every job's deadline layer.
+	Tracker *HealthTracker
+	// After is the timer source; nil means a runtime timer that is
+	// released as soon as the operation completes (deadlines are long
+	// relative to ops, so letting every timer live until it fires — as
+	// time.After would — accumulates them by the tens of thousands).
+	After func(time.Duration) <-chan time.Time
+	// Now is the clock latency samples are measured with; nil means
+	// time.Now.
+	Now func() time.Time
+}
+
+// withDefaults resolves nil time sources. After stays nil here: the
+// store's timer() distinguishes an injected source (left to fire on its
+// own — tests own its lifecycle) from the default runtime timer it can
+// stop the moment the operation completes.
+func (p DeadlinePolicy) withDefaults() DeadlinePolicy {
+	if p.Now == nil {
+		p.Now = time.Now
+	}
+	return p
+}
+
+// joinKey identifies an in-flight write or free for deduplication.
+type joinKey struct {
+	op   string
+	addr BlockAddr
+}
+
+// joinedOp is one in-flight write/free: waiters block on done, the
+// issuing goroutine stores err and removes the entry before closing.
+type joinedOp struct {
+	done chan struct{}
+	err  error
+}
+
+// DeadlineStore wraps a Store and bounds every block operation with a
+// per-op deadline, hedges straggling reads, and tracks per-disk latency:
+//
+//   - ReadBlock races up to two legs of the same read (the second issued
+//     after HedgeAfter) and returns the first success; the deadline
+//     abandons both. A lost leg's result is discarded — safe under the
+//     ownership-handoff contract (returned blocks are immutable).
+//   - WriteBlock and Free are joined, not raced: a retry of an operation
+//     whose previous attempt is still in flight waits on that attempt
+//     (up to a fresh deadline) instead of issuing a duplicate, so a
+//     straggling write never runs concurrently with its own retry. An
+//     abandoned attempt that later completes removes itself; writes are
+//     idempotent (retries carry identical bytes), and a free completing
+//     late makes the retry's ErrAbsent a success — RetryStore knows this
+//     (see its free handling).
+//   - Deadline errors are Retryable, so the retry layer above re-issues
+//     them and charges the disk's error budget: a stuck disk trips
+//     ErrDiskOffline instead of hanging the sort.
+//
+// Manifest, frontier and the other optional capabilities forward
+// without deadlines — they are recovery-path traffic, not the per-block
+// hot path the straggler model concerns.
+type DeadlineStore struct {
+	inner  Store
+	policy DeadlinePolicy
+
+	mu      sync.Mutex
+	pending map[joinKey]*joinedOp
+}
+
+// NewDeadlineStore wraps inner under the given policy. A policy with
+// neither OpDeadline nor HedgeAfter still tracks latency.
+func NewDeadlineStore(inner Store, policy DeadlinePolicy) *DeadlineStore {
+	policy = policy.withDefaults()
+	if policy.Tracker == nil {
+		policy.Tracker = NewHealthTracker()
+	}
+	return &DeadlineStore{
+		inner:   inner,
+		policy:  policy,
+		pending: make(map[joinKey]*joinedOp),
+	}
+}
+
+// Tracker returns the store's health tracker (shared or private).
+func (d *DeadlineStore) Tracker() *HealthTracker { return d.policy.Tracker }
+
+// timer returns a channel that fires after dur, plus a release func the
+// caller runs once the channel is no longer needed. With an injected
+// After the release is a no-op (tests fire and own those channels);
+// the default path uses a real timer and stops it eagerly, so an op
+// that completes in microseconds does not leave a multi-second timer
+// alive in the runtime heap.
+func (d *DeadlineStore) timer(dur time.Duration) (<-chan time.Time, func()) {
+	if d.policy.After != nil {
+		return d.policy.After(dur), func() {}
+	}
+	t := time.NewTimer(dur)
+	return t.C, func() { t.Stop() }
+}
+
+// HealthSnapshot implements HealthReporter.
+func (d *DeadlineStore) HealthSnapshot() *HealthStats {
+	s := d.policy.Tracker.Snapshot()
+	return &s
+}
+
+// readResult carries one read leg's outcome; the channel is buffered so
+// an abandoned leg completes and is collected without a receiver.
+type readResult struct {
+	blk   StoredBlock
+	err   error
+	hedge bool
+}
+
+// ReadBlock implements Store with hedging and a deadline.
+func (d *DeadlineStore) ReadBlock(addr BlockAddr) (StoredBlock, error) {
+	if d.policy.OpDeadline <= 0 && d.policy.HedgeAfter <= 0 {
+		start := d.policy.Now()
+		blk, err := d.inner.ReadBlock(addr)
+		if err == nil {
+			d.policy.Tracker.Observe(addr.Disk, d.policy.Now().Sub(start))
+		}
+		return blk, err
+	}
+	results := make(chan readResult, 2)
+	issue := func(hedge bool) {
+		go func() {
+			blk, err := d.inner.ReadBlock(addr)
+			results <- readResult{blk: blk, err: err, hedge: hedge}
+		}()
+	}
+	start := d.policy.Now()
+	issue(false)
+	inFlight := 1
+	var deadlineC, hedgeC <-chan time.Time
+	if d.policy.OpDeadline > 0 {
+		c, release := d.timer(d.policy.OpDeadline)
+		deadlineC = c
+		defer release()
+	}
+	if d.policy.HedgeAfter > 0 {
+		c, release := d.timer(d.policy.HedgeAfter)
+		hedgeC = c
+		defer release()
+	}
+	var firstErr error
+	for {
+		select {
+		case r := <-results:
+			inFlight--
+			if r.err == nil {
+				d.policy.Tracker.Observe(addr.Disk, d.policy.Now().Sub(start))
+				if r.hedge {
+					d.policy.Tracker.HedgeWon()
+				}
+				return r.blk, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if inFlight == 0 {
+				// Every issued leg failed; surface the first error (the
+				// primary's, unless the hedge leg failed first).
+				return StoredBlock{}, firstErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			d.policy.Tracker.Hedged()
+			issue(true)
+			inFlight++
+		case <-deadlineC:
+			d.policy.Tracker.Timeout(addr.Disk, d.policy.OpDeadline)
+			return StoredBlock{}, &DeadlineError{Op: "read", Addr: addr, Deadline: d.policy.OpDeadline}
+		}
+	}
+}
+
+// WriteBlock implements Store with a deadline; see bounded.
+func (d *DeadlineStore) WriteBlock(addr BlockAddr, b StoredBlock) error {
+	return d.bounded("write", addr, func() error {
+		return d.inner.WriteBlock(addr, b)
+	})
+}
+
+// Free implements Store with a deadline; see bounded.
+func (d *DeadlineStore) Free(addr BlockAddr) error {
+	return d.bounded("free", addr, func() error {
+		return d.inner.Free(addr)
+	})
+}
+
+// bounded runs one write/free under the deadline with join semantics: if
+// an earlier attempt of the same operation is still in flight (its
+// deadline fired but the transfer did not finish), the call waits on
+// that attempt instead of issuing a duplicate. The issuing goroutine
+// removes the pending entry before publishing its result, so a new call
+// after completion issues fresh.
+func (d *DeadlineStore) bounded(op string, addr BlockAddr, call func() error) error {
+	if d.policy.OpDeadline <= 0 {
+		start := d.policy.Now()
+		err := call()
+		if err == nil {
+			d.policy.Tracker.Observe(addr.Disk, d.policy.Now().Sub(start))
+		}
+		return err
+	}
+	key := joinKey{op: op, addr: addr}
+	d.mu.Lock()
+	lo := d.pending[key]
+	fresh := lo == nil
+	if fresh {
+		lo = &joinedOp{done: make(chan struct{})}
+		d.pending[key] = lo
+	}
+	d.mu.Unlock()
+	start := d.policy.Now()
+	if fresh {
+		go func() {
+			err := call()
+			d.mu.Lock()
+			lo.err = err
+			if d.pending[key] == lo {
+				delete(d.pending, key)
+			}
+			d.mu.Unlock()
+			close(lo.done)
+		}()
+	}
+	deadlineC, release := d.timer(d.policy.OpDeadline)
+	defer release()
+	select {
+	case <-lo.done:
+		if lo.err == nil {
+			d.policy.Tracker.Observe(addr.Disk, d.policy.Now().Sub(start))
+		}
+		return lo.err
+	case <-deadlineC:
+		d.policy.Tracker.Timeout(addr.Disk, d.policy.OpDeadline)
+		return &DeadlineError{Op: op, Addr: addr, Deadline: d.policy.OpDeadline}
+	}
+}
+
+// Usage implements Store.
+func (d *DeadlineStore) Usage() Usage { return d.inner.Usage() }
+
+// Close implements Store; abandoned background legs against the closed
+// inner store fail harmlessly into their buffered channels.
+func (d *DeadlineStore) Close() error { return d.inner.Close() }
+
+// SerialTransfers forwards the wrapped store's scheduling preference.
+func (d *DeadlineStore) SerialTransfers() bool {
+	if ss, ok := d.inner.(SerialStore); ok {
+		return ss.SerialTransfers()
+	}
+	return false
+}
+
+// Frontier forwards allocation recovery (no deadline: recovery path).
+func (d *DeadlineStore) Frontier(disk int) (int, error) {
+	if fs, ok := d.inner.(FrontierStore); ok {
+		return fs.Frontier(disk)
+	}
+	return 0, nil
+}
+
+// SaveManifest forwards ManifestStore (no deadline: checkpoint path).
+func (d *DeadlineStore) SaveManifest(data []byte) error {
+	ms, ok := d.inner.(ManifestStore)
+	if !ok {
+		return fmt.Errorf("%w: store has no manifest support", ErrInvalid)
+	}
+	return ms.SaveManifest(data)
+}
+
+// LoadManifest forwards ManifestStore.
+func (d *DeadlineStore) LoadManifest() ([]byte, bool, error) {
+	if ms, ok := d.inner.(ManifestStore); ok {
+		return ms.LoadManifest()
+	}
+	return nil, false, nil
+}
+
+// ClearManifest forwards ManifestStore.
+func (d *DeadlineStore) ClearManifest() error {
+	if ms, ok := d.inner.(ManifestStore); ok {
+		return ms.ClearManifest()
+	}
+	return nil
+}
+
+// Sync forwards a durability flush.
+func (d *DeadlineStore) Sync() error {
+	if s, ok := d.inner.(interface{ Sync() error }); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
+// Blocks forwards BlockLister.
+func (d *DeadlineStore) Blocks() []BlockAddr {
+	if bl, ok := d.inner.(BlockLister); ok {
+		return bl.Blocks()
+	}
+	return nil
+}

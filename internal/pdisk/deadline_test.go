@@ -1,0 +1,510 @@
+package pdisk
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stuckStore wraps a MemStore and parks a configured number of calls per
+// operation kind on a release channel, simulating a device whose
+// transfers hang. Calls are counted so tests can assert how many ops the
+// layers above actually issued.
+type stuckStore struct {
+	*MemStore
+
+	mu      sync.Mutex
+	park    map[string]int // remaining calls to park, per op kind
+	calls   map[string]int
+	release chan struct{}
+}
+
+func newStuckStore(park map[string]int) *stuckStore {
+	return &stuckStore{
+		MemStore: NewMemStore(),
+		park:     park,
+		calls:    make(map[string]int),
+		release:  make(chan struct{}),
+	}
+}
+
+// enter counts the call and parks it if the schedule says so.
+func (s *stuckStore) enter(op string) {
+	s.mu.Lock()
+	s.calls[op]++
+	parked := s.park[op] > 0
+	if parked {
+		s.park[op]--
+	}
+	s.mu.Unlock()
+	if parked {
+		<-s.release
+	}
+}
+
+func (s *stuckStore) callCount(op string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls[op]
+}
+
+func (s *stuckStore) ReadBlock(addr BlockAddr) (StoredBlock, error) {
+	s.enter("read")
+	return s.MemStore.ReadBlock(addr)
+}
+
+func (s *stuckStore) WriteBlock(addr BlockAddr, b StoredBlock) error {
+	s.enter("write")
+	return s.MemStore.WriteBlock(addr, b)
+}
+
+func (s *stuckStore) Free(addr BlockAddr) error {
+	s.enter("free")
+	return s.MemStore.Free(addr)
+}
+
+// timerCtl is a deterministic timer source: every After call yields a
+// fresh buffered channel the test fires explicitly, so deadline and
+// hedge expiry happen exactly when the test says — never from the wall
+// clock.
+type timerCtl struct {
+	mu     sync.Mutex
+	timers []chan time.Time
+}
+
+func (c *timerCtl) After(time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	c.mu.Lock()
+	c.timers = append(c.timers, ch)
+	c.mu.Unlock()
+	return ch
+}
+
+// fire waits for the i-th registered timer (in After-call order) to
+// exist and expires it.
+func (c *timerCtl) fire(t *testing.T, i int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c.mu.Lock()
+		if len(c.timers) > i {
+			ch := c.timers[i]
+			c.mu.Unlock()
+			ch <- time.Time{}
+			return
+		}
+		c.mu.Unlock()
+		if time.Now().After(deadline) {
+			t.Fatalf("timer %d never registered", i)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// count returns how many timers have been registered so far.
+func (c *timerCtl) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.timers)
+}
+
+// waitTimers blocks until at least n timers are registered.
+func (c *timerCtl) waitTimers(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for c.count() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d timers registered", c.count(), n)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// A read abandoned at its deadline must surface a DeadlineError that is
+// retryable — the whole point of the deadline is handing the op to the
+// retry layer — and must be charged to the health tracker.
+func TestDeadlineTimeoutIsRetryable(t *testing.T) {
+	inner := newStuckStore(map[string]int{"read": 1})
+	defer close(inner.release)
+	if err := inner.MemStore.WriteBlock(BlockAddr{Disk: 2, Index: 0}, blk(1)); err != nil {
+		t.Fatal(err)
+	}
+	ctl := &timerCtl{}
+	ds := NewDeadlineStore(inner, DeadlinePolicy{
+		OpDeadline: 50 * time.Millisecond,
+		After:      ctl.After,
+	})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := ds.ReadBlock(BlockAddr{Disk: 2, Index: 0})
+		errc <- err
+	}()
+	ctl.fire(t, 0)
+	err := <-errc
+	var derr *DeadlineError
+	if !errors.As(err, &derr) {
+		t.Fatalf("want *DeadlineError, got %v", err)
+	}
+	if derr.Op != "read" || derr.Deadline != 50*time.Millisecond {
+		t.Fatalf("bad DeadlineError: %+v", derr)
+	}
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("not ErrDeadline: %v", err)
+	}
+	if !Retryable(err) {
+		t.Fatalf("deadline error must be retryable: %v", err)
+	}
+	snap := ds.HealthSnapshot()
+	if snap.Timeouts != 1 {
+		t.Fatalf("Timeouts = %d, want 1", snap.Timeouts)
+	}
+	if len(snap.PerDisk) != 1 || snap.PerDisk[0].Disk != 2 || snap.PerDisk[0].Timeouts != 1 {
+		t.Fatalf("per-disk health = %+v", snap.PerDisk)
+	}
+}
+
+// A hedged read must return the hedge leg's result when the primary is
+// stuck, and account the hedge issue and win.
+func TestDeadlineHedgeWins(t *testing.T) {
+	inner := newStuckStore(map[string]int{"read": 1})
+	defer close(inner.release)
+	addr := BlockAddr{Disk: 0, Index: 0}
+	if err := inner.MemStore.WriteBlock(addr, blk(7)); err != nil {
+		t.Fatal(err)
+	}
+	ctl := &timerCtl{}
+	ds := NewDeadlineStore(inner, DeadlinePolicy{
+		HedgeAfter: 5 * time.Millisecond,
+		After:      ctl.After,
+	})
+	type res struct {
+		blk StoredBlock
+		err error
+	}
+	resc := make(chan res, 1)
+	go func() {
+		b, err := ds.ReadBlock(addr)
+		resc <- res{b, err}
+	}()
+	ctl.fire(t, 0) // the hedge timer: primary is parked, hedge leg runs
+	r := <-resc
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if len(r.blk.Records) != 1 || r.blk.Records[0].Key != 7 {
+		t.Fatalf("hedge returned wrong block: %+v", r.blk)
+	}
+	snap := ds.HealthSnapshot()
+	if snap.HedgedReads != 1 || snap.HedgeWins != 1 {
+		t.Fatalf("hedged=%d wins=%d, want 1/1", snap.HedgedReads, snap.HedgeWins)
+	}
+	if snap.Timeouts != 0 {
+		t.Fatalf("Timeouts = %d, want 0", snap.Timeouts)
+	}
+	if inner.callCount("read") != 2 {
+		t.Fatalf("inner reads = %d, want 2 (primary + hedge)", inner.callCount("read"))
+	}
+}
+
+// Deadline timeouts must charge the per-disk error budget: a disk whose
+// transfers keep hanging goes offline instead of hanging the sort.
+func TestDeadlineChargesRetryBudget(t *testing.T) {
+	inner := newStuckStore(map[string]int{"read": 100}) // every read hangs
+	defer close(inner.release)
+	addr := BlockAddr{Disk: 1, Index: 0}
+	if err := inner.MemStore.WriteBlock(addr, blk(3)); err != nil {
+		t.Fatal(err)
+	}
+	ctl := &timerCtl{}
+	ds := NewDeadlineStore(inner, DeadlinePolicy{
+		OpDeadline: 20 * time.Millisecond,
+		After:      ctl.After,
+	})
+	rs := NewRetryStore(ds, RetryPolicy{
+		MaxAttempts: 5,
+		DiskBudget:  2,
+		Sleep:       func(time.Duration) {},
+	})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := rs.ReadBlock(addr)
+		errc <- err
+	}()
+	ctl.fire(t, 0) // attempt 1 times out
+	ctl.fire(t, 1) // attempt 2 times out -> budget exhausted
+	err := <-errc
+	if !errors.Is(err, ErrDiskOffline) {
+		t.Fatalf("want ErrDiskOffline, got %v", err)
+	}
+	counts := rs.Counts()
+	if counts.DisksOffline != 1 {
+		t.Fatalf("DisksOffline = %d, want 1", counts.DisksOffline)
+	}
+	if counts.Attempts != 2 {
+		t.Fatalf("Attempts = %d, want 2", counts.Attempts)
+	}
+	if got := ds.HealthSnapshot().Timeouts; got != 2 {
+		t.Fatalf("Timeouts = %d, want 2", got)
+	}
+	// The disk is offline: later operations fail fast, issuing nothing.
+	before := inner.callCount("read")
+	if _, err := rs.ReadBlock(addr); !errors.Is(err, ErrDiskOffline) {
+		t.Fatalf("offline disk must fail fast, got %v", err)
+	}
+	if inner.callCount("read") != before {
+		t.Fatal("offline disk still issued inner reads")
+	}
+	// The retry wrapper forwards the health snapshot up the stack.
+	if snap := rs.HealthSnapshot(); snap == nil || snap.Timeouts != 2 {
+		t.Fatalf("RetryStore.HealthSnapshot = %+v", snap)
+	}
+}
+
+// A free abandoned at its deadline may still complete in the background.
+// The retry's re-issued free then sees ErrAbsent — which the retry layer
+// must treat as success, because the block is gone exactly as requested.
+func TestDeadlineLateFreeCompletes(t *testing.T) {
+	inner := newStuckStore(map[string]int{"free": 1})
+	addr := BlockAddr{Disk: 0, Index: 0}
+	if err := inner.MemStore.WriteBlock(addr, blk(9)); err != nil {
+		t.Fatal(err)
+	}
+	ctl := &timerCtl{}
+	ds := NewDeadlineStore(inner, DeadlinePolicy{
+		OpDeadline: 20 * time.Millisecond,
+		After:      ctl.After,
+	})
+	var once sync.Once
+	rs := NewRetryStore(ds, RetryPolicy{
+		MaxAttempts: 4,
+		Sleep: func(time.Duration) {
+			// Between attempts, let the abandoned free land: the retry's
+			// next attempt either joins it or re-issues into ErrAbsent.
+			once.Do(func() { close(inner.release) })
+		},
+	})
+	errc := make(chan error, 1)
+	go func() { errc <- rs.Free(addr) }()
+	ctl.fire(t, 0) // attempt 1 abandoned at its deadline
+	if err := <-errc; err != nil {
+		t.Fatalf("late-completing free must read as success, got %v", err)
+	}
+	// The block really is gone.
+	if _, err := inner.MemStore.ReadBlock(addr); !errors.Is(err, ErrAbsent) {
+		t.Fatalf("block still present after free: %v", err)
+	}
+}
+
+// A retry of a write whose earlier attempt is still in flight must join
+// that attempt, not issue a concurrent duplicate.
+func TestDeadlineJoinedWriteSingleIssue(t *testing.T) {
+	inner := newStuckStore(map[string]int{"write": 1})
+	addr := BlockAddr{Disk: 0, Index: 0}
+	ctl := &timerCtl{}
+	ds := NewDeadlineStore(inner, DeadlinePolicy{
+		OpDeadline: 20 * time.Millisecond,
+		After:      ctl.After,
+	})
+	errc := make(chan error, 1)
+	go func() { errc <- ds.WriteBlock(addr, blk(4)) }()
+	ctl.fire(t, 0) // first attempt abandoned, transfer still in flight
+	if err := <-errc; !errors.Is(err, ErrDeadline) {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+	// Retry while the first transfer is still parked: must join, not
+	// re-issue.
+	errc2 := make(chan error, 1)
+	go func() { errc2 <- ds.WriteBlock(addr, blk(4)) }()
+	ctl.waitTimers(t, 2) // the retry is inside its select, joined
+	if got := inner.callCount("write"); got != 1 {
+		t.Fatalf("inner writes = %d, want 1 (joined, not duplicated)", got)
+	}
+	close(inner.release) // the parked transfer lands
+	if err := <-errc2; err != nil {
+		t.Fatalf("joined write must inherit the landed result, got %v", err)
+	}
+	if got := inner.callCount("write"); got != 1 {
+		t.Fatalf("inner writes = %d after join, want 1", got)
+	}
+	// The pending entry is gone: a fresh write issues anew.
+	if err := ds.WriteBlock(addr, blk(5)); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.callCount("write"); got != 2 {
+		t.Fatalf("inner writes = %d, want 2 (fresh issue)", got)
+	}
+	// The landed block is readable through the store.
+	b, err := ds.ReadBlock(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Records) != 1 || b.Records[0].Key != 5 {
+		t.Fatalf("read back %+v", b)
+	}
+}
+
+// Without OpDeadline or HedgeAfter the store is a pure latency tracker:
+// operations pass straight through and per-disk EWMA/p99 accumulate.
+func TestDeadlineTrackerOnly(t *testing.T) {
+	ds := NewDeadlineStore(NewMemStore(), DeadlinePolicy{})
+	for i := 0; i < 4; i++ {
+		addr := BlockAddr{Disk: i % 2, Index: i / 2}
+		if err := ds.WriteBlock(addr, blk(1)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ds.ReadBlock(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := ds.HealthSnapshot()
+	if len(snap.PerDisk) != 2 {
+		t.Fatalf("PerDisk = %+v", snap.PerDisk)
+	}
+	var ops int64
+	for _, d := range snap.PerDisk {
+		ops += d.Ops
+		if d.Timeouts != 0 {
+			t.Fatalf("unexpected timeout on disk %d", d.Disk)
+		}
+	}
+	if ops != 8 {
+		t.Fatalf("tracked ops = %d, want 8", ops)
+	}
+}
+
+// The health tracker's p99 must come from the sample window and the EWMA
+// must follow the stream.
+func TestHealthTrackerStats(t *testing.T) {
+	tr := NewHealthTracker()
+	for i := 0; i < 98; i++ {
+		tr.Observe(0, time.Millisecond)
+	}
+	// Two stragglers in 100 samples: the nearest-rank p99 (the 99th
+	// sorted value) lands on them.
+	tr.Observe(0, 50*time.Millisecond)
+	tr.Observe(0, 50*time.Millisecond)
+	snap := tr.Snapshot()
+	if len(snap.PerDisk) != 1 {
+		t.Fatalf("PerDisk = %+v", snap.PerDisk)
+	}
+	d := snap.PerDisk[0]
+	if d.Ops != 100 {
+		t.Fatalf("Ops = %d", d.Ops)
+	}
+	if d.P99Micros != 50000 {
+		t.Fatalf("P99Micros = %v, want 50000", d.P99Micros)
+	}
+	if d.EWMAMicros <= 1000 || d.EWMAMicros >= 50000 {
+		t.Fatalf("EWMAMicros = %v, want between the base and the straggler", d.EWMAMicros)
+	}
+}
+
+// Deterministic Pareto stragglers: the same seed must produce the same
+// delay schedule, every delay bounded by the cap.
+func TestFaultStoreParetoDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		var mu sync.Mutex
+		var got []time.Duration
+		fs := NewFaultStore(NewMemStore(), FaultConfig{
+			Seed:        11,
+			ParetoScale: 50 * time.Microsecond,
+			ParetoAlpha: 1.2,
+			ParetoCap:   5 * time.Millisecond,
+			Sleep: func(d time.Duration) {
+				mu.Lock()
+				got = append(got, d)
+				mu.Unlock()
+			},
+		})
+		a := BlockAddr{Disk: 0, Index: 0}
+		if err := fs.WriteBlock(a, blk(1)); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			if _, err := fs.ReadBlock(a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return got
+	}
+	first := run()
+	second := run()
+	if len(first) != 9 {
+		t.Fatalf("recorded %d delays, want 9", len(first))
+	}
+	for i, d := range first {
+		if d <= 0 || d > 5*time.Millisecond {
+			t.Fatalf("delay %d = %v outside (0, cap]", i, d)
+		}
+		if d != second[i] {
+			t.Fatalf("delay %d differs across identical seeds: %v vs %v", i, d, second[i])
+		}
+	}
+}
+
+// A counted stuck op adds StuckDelay to exactly the scheduled operation.
+func TestFaultStoreStuckOp(t *testing.T) {
+	var mu sync.Mutex
+	var got []time.Duration
+	fs := NewFaultStore(NewMemStore(), FaultConfig{
+		Seed:        3,
+		StuckReadAt: 2,
+		StuckDelay:  250 * time.Millisecond,
+		Sleep: func(d time.Duration) {
+			mu.Lock()
+			got = append(got, d)
+			mu.Unlock()
+		},
+	})
+	a := BlockAddr{Disk: 0, Index: 0}
+	if err := fs.WriteBlock(a, blk(1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := fs.ReadBlock(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Only read #2 draws a delay: the write and the other reads have no
+	// latency model configured, so they never call Sleep.
+	if len(got) != 1 || got[0] != 250*time.Millisecond {
+		t.Fatalf("recorded delays = %v, want exactly [250ms]", got)
+	}
+}
+
+// A stuck write behind a DeadlineStore with a real (tiny) deadline: the
+// caller gets a retryable deadline error while the transfer finishes in
+// the background — the unit-scale version of the straggler-disk story.
+func TestFaultStoreStuckWriteAbandoned(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(), FaultConfig{
+		Seed:         1,
+		StuckWriteAt: 1,
+		StuckDelay:   200 * time.Millisecond,
+	})
+	ds := NewDeadlineStore(fs, DeadlinePolicy{OpDeadline: 10 * time.Millisecond})
+	a := BlockAddr{Disk: 0, Index: 0}
+	err := ds.WriteBlock(a, blk(6))
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("stuck write must hit its deadline, got %v", err)
+	}
+	// The abandoned transfer lands; a joined or fresh retry succeeds.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := ds.WriteBlock(a, blk(6)); err == nil {
+			break
+		} else if !errors.Is(err, ErrDeadline) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("write never completed")
+		}
+	}
+	b, err := ds.ReadBlock(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Records) != 1 || b.Records[0].Key != 6 {
+		t.Fatalf("read back %+v", b)
+	}
+}

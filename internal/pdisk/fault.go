@@ -3,6 +3,7 @@ package pdisk
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"time"
@@ -35,7 +36,15 @@ var ErrInjected = errors.New("pdisk: injected fault")
 //     with writes, frees or other goroutines. ReadFailProb (etc.) is the
 //     per-operation failure probability; TornWriteProb the per-write
 //     tearing probability; MaxLatency > 0 adds a uniform [0, MaxLatency)
-//     delay to every operation, modelling a slow device.
+//     delay to every operation, modelling a slow device. ParetoScale > 0
+//     adds a heavy-tailed Pareto delay — the straggler model: most
+//     operations are barely delayed, a seeded few are delayed by orders
+//     of magnitude. StuckReadAt/StuckWriteAt park exactly one counted
+//     operation for StuckDelay — an op that, from the sort's point of
+//     view, never completes until a deadline layer above abandons it.
+//
+// All delays are performed by the injected Sleep (nil = time.Sleep),
+// like RetryPolicy.Sleep, so latency tests run deterministically fast.
 type FaultConfig struct {
 	Seed int64
 
@@ -56,6 +65,30 @@ type FaultConfig struct {
 	TornWriteProb float64
 
 	MaxLatency time.Duration
+
+	// ParetoScale > 0 adds a Pareto-distributed delay x_m·u^(−1/α) per
+	// operation (x_m = ParetoScale, α = ParetoAlpha, u uniform from the
+	// op kind's seeded stream), capped at ParetoCap — deterministic
+	// heavy-tail latency for straggler testing.
+	ParetoScale time.Duration
+	// ParetoAlpha is the tail exponent; 0 means 1.2 (heavy: infinite
+	// variance, finite mean).
+	ParetoAlpha float64
+	// ParetoCap bounds a single Pareto delay; 0 means 100·ParetoScale.
+	ParetoCap time.Duration
+
+	// StuckReadAt parks the n-th read (1-based) for StuckDelay before it
+	// proceeds — a transfer stuck long past any reasonable deadline.
+	// Later reads are unaffected. StuckWriteAt likewise for writes.
+	StuckReadAt  int64
+	StuckWriteAt int64
+	// StuckDelay is how long a stuck operation parks; 0 means 1s.
+	StuckDelay time.Duration
+
+	// Sleep performs every injected delay; nil means time.Sleep. Tests
+	// inject a recorder so latency schedules are asserted without real
+	// waiting (the same seam as RetryPolicy.Sleep).
+	Sleep func(time.Duration)
 }
 
 // TornWriter is the backend hook FaultStore tears writes through:
@@ -130,6 +163,22 @@ func (f *FaultStore) OpCount(name string) int64 {
 	return 0
 }
 
+// sleep performs an injected delay through the configured Sleep func
+// (nil = time.Sleep). No lock is held while sleeping.
+func (f *FaultStore) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	f.mu.Lock()
+	fn := f.cfg.Sleep
+	f.mu.Unlock()
+	if fn == nil {
+		time.Sleep(d)
+	} else {
+		fn(d)
+	}
+}
+
 // decide counts one operation of the given kind and returns its fate:
 // an injected delay and/or error.
 func (f *FaultStore) decide(kind int, addr BlockAddr) (time.Duration, error) {
@@ -151,6 +200,33 @@ func (f *FaultStore) decide(kind int, addr BlockAddr) (time.Duration, error) {
 	var delay time.Duration
 	if f.cfg.MaxLatency > 0 {
 		delay = time.Duration(f.rngs[kind].Int63n(int64(f.cfg.MaxLatency)))
+	}
+	if f.cfg.ParetoScale > 0 {
+		alpha := f.cfg.ParetoAlpha
+		if alpha <= 0 {
+			alpha = 1.2
+		}
+		limit := f.cfg.ParetoCap
+		if limit <= 0 {
+			limit = 100 * f.cfg.ParetoScale
+		}
+		u := f.rngs[kind].Float64()
+		if u < 1e-12 {
+			u = 1e-12
+		}
+		tail := time.Duration(float64(f.cfg.ParetoScale) * math.Pow(u, -1/alpha))
+		if tail > limit || tail <= 0 {
+			tail = limit
+		}
+		delay += tail
+	}
+	if (kind == opRead && f.cfg.StuckReadAt > 0 && n == f.cfg.StuckReadAt) ||
+		(kind == opWrite && f.cfg.StuckWriteAt > 0 && n == f.cfg.StuckWriteAt) {
+		stuck := f.cfg.StuckDelay
+		if stuck <= 0 {
+			stuck = time.Second
+		}
+		delay += stuck
 	}
 	f.mu.Unlock()
 	if fail {
@@ -179,9 +255,7 @@ func (f *FaultStore) decideTorn() bool {
 // ReadBlock implements Store.
 func (f *FaultStore) ReadBlock(addr BlockAddr) (StoredBlock, error) {
 	delay, err := f.decide(opRead, addr)
-	if delay > 0 {
-		time.Sleep(delay)
-	}
+	f.sleep(delay)
 	if err != nil {
 		return StoredBlock{}, err
 	}
@@ -194,9 +268,7 @@ func (f *FaultStore) ReadBlock(addr BlockAddr) (StoredBlock, error) {
 // retry can be the right response — recovery is the next open's problem.
 func (f *FaultStore) WriteBlock(addr BlockAddr, b StoredBlock) error {
 	delay, err := f.decide(opWrite, addr)
-	if delay > 0 {
-		time.Sleep(delay)
-	}
+	f.sleep(delay)
 	if err != nil {
 		return err
 	}
@@ -214,9 +286,7 @@ func (f *FaultStore) WriteBlock(addr BlockAddr, b StoredBlock) error {
 // Free implements Store.
 func (f *FaultStore) Free(addr BlockAddr) error {
 	delay, err := f.decide(opFree, addr)
-	if delay > 0 {
-		time.Sleep(delay)
-	}
+	f.sleep(delay)
 	if err != nil {
 		return err
 	}
@@ -231,9 +301,7 @@ func (f *FaultStore) Usage() Usage { return f.inner.Usage() }
 // allocator-seeding path NewSystem depends on.
 func (f *FaultStore) Frontier(disk int) (int, error) {
 	delay, err := f.decide(opFrontier, BlockAddr{Disk: disk})
-	if delay > 0 {
-		time.Sleep(delay)
-	}
+	f.sleep(delay)
 	if err != nil {
 		return 0, err
 	}
@@ -247,9 +315,7 @@ func (f *FaultStore) Frontier(disk int) (int, error) {
 // checkpoint traffic is fault-injectable like any other I/O.
 func (f *FaultStore) SaveManifest(data []byte) error {
 	delay, err := f.decide(opManifest, BlockAddr{})
-	if delay > 0 {
-		time.Sleep(delay)
-	}
+	f.sleep(delay)
 	if err != nil {
 		return err
 	}
@@ -263,9 +329,7 @@ func (f *FaultStore) SaveManifest(data []byte) error {
 // LoadManifest implements ManifestStore.
 func (f *FaultStore) LoadManifest() ([]byte, bool, error) {
 	delay, err := f.decide(opManifest, BlockAddr{})
-	if delay > 0 {
-		time.Sleep(delay)
-	}
+	f.sleep(delay)
 	if err != nil {
 		return nil, false, err
 	}
@@ -279,9 +343,7 @@ func (f *FaultStore) LoadManifest() ([]byte, bool, error) {
 // ClearManifest implements ManifestStore.
 func (f *FaultStore) ClearManifest() error {
 	delay, err := f.decide(opManifest, BlockAddr{})
-	if delay > 0 {
-		time.Sleep(delay)
-	}
+	f.sleep(delay)
 	if err != nil {
 		return err
 	}

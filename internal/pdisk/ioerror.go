@@ -79,7 +79,8 @@ func (e *IOError) Unwrap() error { return e.Err }
 // re-attempting. Corruption, absent blocks, invalid requests, exhausted
 // disks, explicit TerminalError marks and already-exhausted retries are
 // terminal; everything else — injected transient faults, OS-level I/O
-// errors — is considered transient.
+// errors, deadline timeouts (ErrDeadline — the re-issue is the whole
+// point of abandoning a stuck op) — is considered transient.
 func Retryable(err error) bool {
 	if err == nil {
 		return false

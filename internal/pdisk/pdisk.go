@@ -254,6 +254,11 @@ func (s *System) Stats() Stats {
 		out.Retries = rc.Retries
 		out.RetryGiveUps = rc.GiveUps
 	}
+	if hr, ok := store.(HealthReporter); ok {
+		// Nil when no DeadlineStore is in the stack (RetryStore forwards
+		// the nil), keeping deadline-free Stats comparable.
+		out.Health = hr.HealthSnapshot()
+	}
 	return out
 }
 

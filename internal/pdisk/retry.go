@@ -1,6 +1,7 @@
 package pdisk
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -226,11 +227,22 @@ func (r *RetryStore) do(op string, addr BlockAddr, disk int, call func() error) 
 			Err: fmt.Errorf("%w: disk %d", ErrDiskOffline, disk)}
 	}
 	var err error
+	var sawDeadline bool
 	for attempt := 1; ; attempt++ {
 		atomic.AddInt64(&r.attempts, 1)
 		err = call()
 		if err == nil {
 			return nil
+		}
+		if op == "free" && sawDeadline && errors.Is(err, ErrAbsent) {
+			// A deadline-abandoned earlier attempt of this same free
+			// completed late in the background: the block is gone, which
+			// is exactly what the caller asked for. Frees are at-most-
+			// once; do not surface the duplicate as corruption.
+			return nil
+		}
+		if errors.Is(err, ErrDeadline) {
+			sawDeadline = true
 		}
 		if disk >= 0 && r.noteFailure(disk) {
 			atomic.AddInt64(&r.giveups, 1)
@@ -364,6 +376,16 @@ func (r *RetryStore) Sync() error {
 func (r *RetryStore) Blocks() []BlockAddr {
 	if bl, ok := r.inner.(BlockLister); ok {
 		return bl.Blocks()
+	}
+	return nil
+}
+
+// HealthSnapshot forwards the deadline layer's latency tracker when one
+// sits below, so System.Stats reaches it through the retry wrapper (nil
+// when the stack has no DeadlineStore).
+func (r *RetryStore) HealthSnapshot() *HealthStats {
+	if hr, ok := r.inner.(HealthReporter); ok {
+		return hr.HealthSnapshot()
 	}
 	return nil
 }

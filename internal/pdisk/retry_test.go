@@ -3,6 +3,7 @@ package pdisk
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -288,4 +289,110 @@ func contains(s, sub string) bool {
 		}
 	}
 	return false
+}
+
+// failDiskStore fails every read of disk 0 with a transient error and
+// counts the calls it actually received; other disks pass through.
+type failDiskStore struct {
+	*MemStore
+	disk0Reads int64 // atomic
+}
+
+func (s *failDiskStore) ReadBlock(addr BlockAddr) (StoredBlock, error) {
+	if addr.Disk == 0 {
+		atomic.AddInt64(&s.disk0Reads, 1)
+		return StoredBlock{}, errors.New("injected transient failure")
+	}
+	return s.MemStore.ReadBlock(addr)
+}
+
+// The per-disk error budget must be exact in the single-threaded case:
+// a budget of 3 takes the disk offline on exactly the third failed
+// attempt, no sooner and no later.
+func TestRetryDiskBudgetExactCount(t *testing.T) {
+	inner := &failDiskStore{MemStore: NewMemStore()}
+	retry := NewRetryStore(inner, RetryPolicy{
+		MaxAttempts: 10,
+		DiskBudget:  3,
+		Sleep:       func(time.Duration) {},
+	})
+	_, err := retry.ReadBlock(BlockAddr{Disk: 0})
+	var rerr *RetryError
+	if !errors.As(err, &rerr) || !errors.Is(err, ErrDiskOffline) {
+		t.Fatalf("want RetryError wrapping ErrDiskOffline, got %v", err)
+	}
+	if rerr.Attempts != 3 {
+		t.Fatalf("Attempts = %d, want exactly the budget (3)", rerr.Attempts)
+	}
+	if got := atomic.LoadInt64(&inner.disk0Reads); got != 3 {
+		t.Fatalf("inner reads = %d, want 3", got)
+	}
+	c := retry.Counts()
+	if c.Attempts != 3 || c.Retries != 2 || c.DisksOffline != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+// The budget accounting must stay exact under concurrent operations on
+// the same disk: every inner call is counted exactly once (Attempts ==
+// calls the inner store saw), the disk goes offline exactly once, and
+// nothing resurrects it afterwards. Run under -race this also proves the
+// bookkeeping itself is data-race free.
+func TestRetryDiskBudgetConcurrentSameDisk(t *testing.T) {
+	inner := &failDiskStore{MemStore: NewMemStore()}
+	if err := inner.MemStore.WriteBlock(BlockAddr{Disk: 1, Index: 0}, mkBlock(record.Key(8))); err != nil {
+		t.Fatal(err)
+	}
+	retry := NewRetryStore(inner, RetryPolicy{
+		MaxAttempts: 10,
+		DiskBudget:  3,
+		Sleep:       func(time.Duration) {},
+	})
+	const workers = 8
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		go func(i int) {
+			_, err := retry.ReadBlock(BlockAddr{Disk: 0, Index: i})
+			errs <- err
+		}(i)
+	}
+	for i := 0; i < workers; i++ {
+		if err := <-errs; !errors.Is(err, ErrDiskOffline) {
+			t.Fatalf("want ErrDiskOffline, got %v", err)
+		}
+	}
+	c := retry.Counts()
+	if got := atomic.LoadInt64(&inner.disk0Reads); got != c.Attempts {
+		t.Fatalf("inner saw %d reads but Attempts = %d: attempts double- or under-counted", got, c.Attempts)
+	}
+	if c.DisksOffline != 1 {
+		t.Fatalf("DisksOffline = %d, want 1", c.DisksOffline)
+	}
+	// The offline disk stays down: a second concurrent wave fails fast
+	// without a single inner call, and the healthy disk still serves.
+	frozen := atomic.LoadInt64(&inner.disk0Reads)
+	done := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		go func(i int) {
+			if i%2 == 0 {
+				_, err := retry.ReadBlock(BlockAddr{Disk: 0, Index: i})
+				done <- err
+				return
+			}
+			_, err := retry.ReadBlock(BlockAddr{Disk: 1, Index: 0})
+			done <- err
+		}(i)
+	}
+	for i := 0; i < workers; i++ {
+		err := <-done
+		if err != nil && !errors.Is(err, ErrDiskOffline) {
+			t.Fatalf("second wave: %v", err)
+		}
+	}
+	if got := atomic.LoadInt64(&inner.disk0Reads); got != frozen {
+		t.Fatalf("offline disk received %d more reads; the budget must not resurrect it", got-frozen)
+	}
+	if c := retry.Counts(); c.DisksOffline != 1 {
+		t.Fatalf("DisksOffline = %d after second wave, want still 1", c.DisksOffline)
+	}
 }

@@ -18,6 +18,10 @@ type Stats struct {
 	// budget. Zero on an unwrapped store.
 	Retries      int64
 	RetryGiveUps int64
+	// Health reports the deadline/hedging layer's per-disk latency and
+	// timeout tracking when the store stack includes a DeadlineStore;
+	// nil otherwise (so Stats of deadline-free systems stay comparable).
+	Health *HealthStats
 }
 
 // Ops returns the total number of parallel I/O operations.

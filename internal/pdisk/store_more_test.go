@@ -2,6 +2,7 @@ package pdisk
 
 import (
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -94,9 +95,21 @@ func TestFaultStoreSeededDeterministic(t *testing.T) {
 	}
 }
 
-// MaxLatency must delay operations without failing them.
+// MaxLatency must delay operations without failing them. The delays go
+// through the injected Sleep, so the test records them instead of
+// actually waiting.
 func TestFaultStoreLatencyOnly(t *testing.T) {
-	fs := NewFaultStore(NewMemStore(), FaultConfig{Seed: 1, MaxLatency: time.Millisecond})
+	var mu sync.Mutex
+	var slept []time.Duration
+	fs := NewFaultStore(NewMemStore(), FaultConfig{
+		Seed:       1,
+		MaxLatency: time.Millisecond,
+		Sleep: func(d time.Duration) {
+			mu.Lock()
+			slept = append(slept, d)
+			mu.Unlock()
+		},
+	})
 	a := BlockAddr{Disk: 0, Index: 0}
 	if err := fs.WriteBlock(a, blk(1)); err != nil {
 		t.Fatal(err)
@@ -104,6 +117,14 @@ func TestFaultStoreLatencyOnly(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		if _, err := fs.ReadBlock(a); err != nil {
 			t.Fatal(err)
+		}
+	}
+	if len(slept) == 0 {
+		t.Fatal("no delays recorded")
+	}
+	for _, d := range slept {
+		if d < 0 || d >= time.Millisecond {
+			t.Fatalf("delay %v outside [0, MaxLatency)", d)
 		}
 	}
 }

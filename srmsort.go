@@ -128,6 +128,14 @@ type RetryPolicy = pdisk.RetryPolicy
 // base delay doubling to a 100 ms cap, 50% jitter).
 func DefaultRetryPolicy() RetryPolicy { return pdisk.DefaultRetryPolicy() }
 
+// DeadlinePolicy configures Config.Deadline: per-operation deadlines,
+// hedged reads and per-disk latency tracking. See pdisk.DeadlinePolicy.
+type DeadlinePolicy = pdisk.DeadlinePolicy
+
+// HealthStats is the deadline layer's per-disk latency and timeout
+// accounting; see pdisk.HealthStats.
+type HealthStats = pdisk.HealthStats
+
 // ScrubReport is the result of a Scrub pass over a file-backed store.
 type ScrubReport = pdisk.ScrubReport
 
@@ -214,6 +222,15 @@ type Config struct {
 	// (corruption, caller bugs) still surface immediately. Retry
 	// accounting appears in the system's pdisk.Stats.
 	Retry *pdisk.RetryPolicy
+	// Deadline, if non-nil, wraps the store in a pdisk.DeadlineStore
+	// beneath the retry layer: every block operation is bounded by a
+	// per-op deadline, straggling reads are hedged, and per-disk latency
+	// (EWMA and windowed p99) is tracked into Stats.Health. Deadline
+	// timeouts are retryable and charge the retry policy's per-disk
+	// error budget, so a stuck disk degrades to ErrDiskOffline instead
+	// of hanging the sort. Meaningful mostly with Retry set — without a
+	// retry layer a timeout surfaces directly to the caller.
+	Deadline *pdisk.DeadlinePolicy
 	// Checkpoint persists a recovery manifest through the store after run
 	// formation and after every completed merge pass, so an interrupted
 	// sort can be continued by Resume (or `srmsort -resume`) without
@@ -280,6 +297,10 @@ type Stats struct {
 	WriteBalance float64
 	// SimTime is the estimated I/O time in seconds under Config.Model.
 	SimTime float64
+	// Health is the deadline layer's per-disk latency/timeout accounting
+	// when Config.Deadline is set; nil otherwise (so stats of
+	// deadline-free runs stay comparable).
+	Health *HealthStats
 }
 
 // TotalOps returns all parallel I/O operations of the sort.
@@ -400,6 +421,12 @@ func (c Config) newSystem() (*pdisk.System, pdisk.Store, func(), error) {
 		}
 	default:
 		return nil, nil, nil, fmt.Errorf("srmsort: unknown backend %q", c.Backend)
+	}
+	if c.Deadline != nil {
+		// Beneath the retry layer: a deadline timeout is a retryable
+		// failure the retry layer re-issues and charges to the disk's
+		// error budget.
+		store = pdisk.NewDeadlineStore(store, *c.Deadline)
 	}
 	if c.Retry != nil {
 		store = pdisk.NewRetryStore(store, *c.Retry)
@@ -689,6 +716,7 @@ func runSortTyped[R record.KernelRecord](cfg Config, codec record.Codec, resume 
 	stats.ReadBalance = final.ReadBalance()
 	stats.WriteBalance = final.WriteBalance()
 	stats.SimTime = final.SimTime
+	stats.Health = final.Health
 
 	if err := emit(func(rec R) error {
 		if err := sink(rec.Wide()); err != nil {
